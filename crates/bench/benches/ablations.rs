@@ -1,0 +1,171 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * **alias vs linear weighted choice** for the image index draw — the
+//!   symbolic samplers draw the index on every sample, so this choice
+//!   multiplies into every `KL`/`KLM`/`Cover` iteration.
+//! * **optimal (DKLR) vs naive iteration planning** — the naive plan is
+//!   the Hoeffding-style `N = ⌈ln(2/δ)/(2(εµ̂)²)⌉` bound on the same rough
+//!   mean; DKLR's variance step is what makes the paper's "optimal
+//!   estimator" claims matter.
+//! * **parallel vs sequential ApxCQA** — the paper's suggested extension
+//!   (Appendix E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_common::{AliasTable, Mt64};
+use cqa_core::{
+    apx_cqa_on_synopses, apx_cqa_parallel, monte_carlo, Budget, NaturalSampler, Sampler,
+    Scheme,
+};
+use cqa_query::parse;
+use cqa_storage::ColumnType::*;
+use cqa_storage::{Database, Schema, Value};
+use cqa_synopsis::{build_synopses, AdmissiblePair, BuildOptions};
+
+/// Linear-scan weighted sampling, the textbook alternative to the alias
+/// table.
+struct LinearChoice {
+    cumulative: Vec<f64>,
+}
+
+impl LinearChoice {
+    fn new(weights: &[f64]) -> Self {
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        LinearChoice { cumulative }
+    }
+    fn sample(&self, rng: &mut Mt64) -> usize {
+        let x = rng.next_f64();
+        self.cumulative.iter().position(|&c| x < c).unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+fn bench_weighted_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_weighted_choice");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in [16usize, 256, 4096] {
+        let weights: Vec<f64> = (1..=n).map(|i| 1.0 / i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("alias", n), &weights, |b, w| {
+            let table = AliasTable::new(w);
+            let mut rng = Mt64::new(1);
+            b.iter(|| table.sample(&mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &weights, |b, w| {
+            let lin = LinearChoice::new(w);
+            let mut rng = Mt64::new(1);
+            b.iter(|| lin.sample(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+/// Naive Monte Carlo with a Hoeffding-style plan: stopping rule for a rough
+/// mean, then `N = ln(2/δ) / (2(εµ̂)²)` — ignores the variance, so it
+/// overshoots badly when the sampler's variance is far below µ̂².
+fn naive_monte_carlo<S: Sampler>(
+    sampler: &mut S,
+    eps: f64,
+    delta: f64,
+    rng: &mut Mt64,
+) -> f64 {
+    let budget = Budget::unbounded();
+    let mut count = 0;
+    let rough = cqa_core::stopping_rule(sampler, 0.5, delta / 2.0, &budget, rng, &mut count)
+        .expect("unbounded");
+    let n = ((2.0f64 / delta).ln() / (2.0 * (eps * rough.mu).powi(2))).ceil() as u64;
+    let mut s = 0.0;
+    for _ in 0..n {
+        s += sampler.sample(rng);
+    }
+    s / n as f64
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_iteration_planning");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    // A moderate-frequency pair where the DKLR variance step pays off.
+    let pair = AdmissiblePair::new(
+        vec![vec![(0, 0)], vec![(0, 1)], vec![(1, 0), (2, 0)]],
+        vec![3, 2, 2],
+    )
+    .expect("valid");
+    group.bench_function("dklr_optimal", |b| {
+        b.iter(|| {
+            let mut s = NaturalSampler::new(&pair);
+            let mut rng = Mt64::new(5);
+            monte_carlo(&mut s, 0.1, 0.25, &Budget::unbounded(), &mut rng).expect("unbounded")
+        })
+    });
+    group.bench_function("naive_hoeffding", |b| {
+        b.iter(|| {
+            let mut s = NaturalSampler::new(&pair);
+            let mut rng = Mt64::new(5);
+            naive_monte_carlo(&mut s, 0.1, 0.25, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn wide_database() -> Database {
+    let schema =
+        Schema::builder().relation("r", &[("k", Int), ("v", Int)], Some(1)).build();
+    let mut db = Database::new(schema);
+    let mut rng = Mt64::new(3);
+    for k in 0..200 {
+        for _ in 0..3 {
+            db.insert_named("r", &[Value::Int(k), Value::Int(rng.below(8) as i64)])
+                .unwrap();
+        }
+    }
+    db
+}
+
+fn bench_parallel_driver(c: &mut Criterion) {
+    let db = wide_database();
+    let q = parse(db.schema(), "Q(k, v) :- r(k, v)").expect("parses");
+    let syn = build_synopses(&db, &q, BuildOptions::default()).expect("builds");
+    let mut group = c.benchmark_group("ablation_parallel_driver");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut rng = Mt64::new(11);
+            apx_cqa_on_synopses(&syn, Scheme::Klm, 0.1, 0.25, &Budget::unbounded(), &mut rng)
+                .expect("runs")
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    apx_cqa_parallel(
+                        &syn,
+                        Scheme::Klm,
+                        0.1,
+                        0.25,
+                        &Budget::unbounded(),
+                        11,
+                        threads,
+                    )
+                    .expect("runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted_choice, bench_planning, bench_parallel_driver);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! One Criterion bench per paper figure: each runs a single down-scaled
+//! scenario cell of the corresponding figure pipeline, so `cargo bench`
+//! exercises every experiment end to end. The full sweeps (paper-sized
+//! series and CSV output) live in the `fig1_noise` … `fig5_validation`
+//! and `run_all` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqa_scenarios::{figures, BenchConfig, Pool};
+use std::sync::OnceLock;
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut cfg = BenchConfig::smoke();
+        cfg.timeout_secs = 1.0;
+        Pool::build(cfg).expect("smoke pool")
+    })
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.bench_function("fig1_noise_cell", |b| {
+        b.iter(|| figures::fig1_noise(pool(), &[(0.0, 1)]))
+    });
+    g.bench_function("fig2_balance_cell", |b| {
+        b.iter(|| figures::fig2_balance(pool(), &[(0.3, 1)]))
+    });
+    g.bench_function("fig3_preprocessing", |b| b.iter(|| figures::fig3_preprocessing(pool())));
+    g.bench_function("fig4_joins_cell", |b| {
+        b.iter(|| figures::fig4_joins(pool(), &[(0.3, 0.5)]))
+    });
+    g.bench_function("fig5_validation", |b| {
+        // Validation queries in the low-balance regime time out by design;
+        // keep the per-scheme budget tiny so one iteration stays bounded.
+        let mut cfg = BenchConfig::smoke();
+        cfg.timeout_secs = 0.2;
+        b.iter(|| figures::fig5_validation(&cfg).expect("validation"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

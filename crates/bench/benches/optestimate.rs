@@ -1,0 +1,55 @@
+//! Benchmarks of the Dagum–Karp–Luby–Ross estimator: how the cost of the
+//! stopping rule and the full iteration plan scales with the (unknown)
+//! mean — the inverse dependence that explains every trend in Figures 1–2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_common::Mt64;
+use cqa_core::{plan_iterations, stopping_rule, Budget, NaturalSampler};
+use cqa_synopsis::AdmissiblePair;
+
+/// A single-image pair whose ratio is `4^{-depth}`.
+fn pair_with_ratio(depth: usize) -> AdmissiblePair {
+    let sizes = vec![4u32; depth];
+    let image: Vec<(u32, u32)> = (0..depth).map(|b| (b as u32, 0)).collect();
+    AdmissiblePair::new(vec![image], sizes).expect("valid")
+}
+
+fn bench_optestimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optestimate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for &depth in &[1usize, 2, 3] {
+        let pair = pair_with_ratio(depth);
+        group.bench_with_input(
+            BenchmarkId::new("stopping_rule", format!("R=4^-{depth}")),
+            &pair,
+            |b, pair| {
+                b.iter(|| {
+                    let mut s = NaturalSampler::new(pair);
+                    let mut rng = Mt64::new(7);
+                    let mut count = 0;
+                    stopping_rule(&mut s, 0.2, 0.25, &Budget::unbounded(), &mut rng, &mut count)
+                        .expect("no budget")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("plan_iterations", format!("R=4^-{depth}")),
+            &pair,
+            |b, pair| {
+                b.iter(|| {
+                    let mut s = NaturalSampler::new(pair);
+                    let mut rng = Mt64::new(8);
+                    let mut count = 0;
+                    plan_iterations(&mut s, 0.2, 0.25, &Budget::unbounded(), &mut rng, &mut count)
+                        .expect("no budget")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optestimate);
+criterion_main!(benches);

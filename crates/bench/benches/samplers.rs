@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the three samplers (§4.2).
+//!
+//! Confirms the cost model the paper's analysis relies on: `SampleNatural`
+//! pays O(|B| + Σ|Hᵢ|) per sample, `SampleKL` pays for the prefix scan
+//! (cheap when the drawn index is small), and `SampleKLM` always scans
+//! every image — the reason KL catches up with KLM at many joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_common::Mt64;
+use cqa_core::{KlSampler, KlmSampler, NaturalSampler, Sampler};
+use cqa_synopsis::AdmissiblePair;
+
+/// A synthetic pair with `n` images over `n + span` blocks of size 4,
+/// each image covering `span` consecutive blocks (overlapping chains).
+fn chain_pair(n: usize, span: usize) -> AdmissiblePair {
+    let nblocks = n + span;
+    let sizes = vec![4u32; nblocks];
+    let images: Vec<Vec<(u32, u32)>> = (0..n)
+        .map(|i| (0..span).map(|k| ((i + k) as u32, ((i + k) % 4) as u32)).collect())
+        .collect();
+    AdmissiblePair::new(images, sizes).expect("valid synthetic pair")
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for &(n, span) in &[(8usize, 2usize), (64, 3), (256, 3)] {
+        let pair = chain_pair(n, span);
+        group.bench_with_input(
+            BenchmarkId::new("natural", format!("H{n}_span{span}")),
+            &pair,
+            |b, pair| {
+                let mut s = NaturalSampler::new(pair);
+                let mut rng = Mt64::new(1);
+                b.iter(|| s.sample(&mut rng));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kl", format!("H{n}_span{span}")),
+            &pair,
+            |b, pair| {
+                let mut s = KlSampler::new(pair);
+                let mut rng = Mt64::new(2);
+                b.iter(|| s.sample(&mut rng));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("klm", format!("H{n}_span{span}")),
+            &pair,
+            |b, pair| {
+                let mut s = KlmSampler::new(pair);
+                let mut rng = Mt64::new(3);
+                b.iter(|| s.sample(&mut rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks of the four full schemes on the two synopsis regimes the
+//! paper contrasts (§7.2):
+//!
+//! * a **Boolean-like** pair — one synopsis with many images and a ratio
+//!   close to 1 (Natural should dominate);
+//! * a **balanced** pair — a single image and a small ratio (the symbolic
+//!   schemes should dominate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_common::Mt64;
+use cqa_core::{approx_relative_frequency, Budget, ALL_SCHEMES};
+use cqa_synopsis::AdmissiblePair;
+
+/// Many single-atom images covering most of one block: R close to 1.
+fn boolean_like() -> AdmissiblePair {
+    let sizes = vec![4u32; 16];
+    let mut images = Vec::new();
+    for b in 0..16u32 {
+        for t in 0..3u32 {
+            images.push(vec![(b, t)]);
+        }
+    }
+    AdmissiblePair::new(images, sizes).expect("valid")
+}
+
+/// One image over four blocks of size 4: R = 1/256.
+fn balanced_like() -> AdmissiblePair {
+    AdmissiblePair::new(vec![vec![(0, 0), (1, 0), (2, 0), (3, 0)]], vec![4, 4, 4, 4])
+        .expect("valid")
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schemes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (regime, pair) in [("boolean_like", boolean_like()), ("balanced_like", balanced_like())]
+    {
+        for scheme in ALL_SCHEMES {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), regime),
+                &pair,
+                |b, pair| {
+                    b.iter(|| {
+                        let mut rng = Mt64::new(42);
+                        approx_relative_frequency(
+                            pair,
+                            scheme,
+                            0.1,
+                            0.25,
+                            &Budget::unbounded(),
+                            &mut rng,
+                        )
+                        .expect("no budget")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks of the preprocessing step (Figure 3's metric): synopsis
+//! construction over TPC-H-like data for queries of increasing join count
+//! on increasingly noisy databases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_common::Mt64;
+use cqa_noise::{add_query_aware_noise, NoiseSpec};
+use cqa_qgen::{sqg, SqgSpec};
+use cqa_query::answers;
+use cqa_storage::Database;
+use cqa_synopsis::{build_synopses, BuildOptions};
+use cqa_tpch::{generate, TpchConfig};
+
+fn workload() -> Vec<(String, Database, cqa_query::ConjunctiveQuery)> {
+    let base = generate(TpchConfig { scale: 0.0005, seed: 99 });
+    let mut rng = Mt64::new(17);
+    let mut out = Vec::new();
+    for joins in [1usize, 3, 5] {
+        // Draw until non-empty, as the pool builder does.
+        let q = loop {
+            let Ok(q) =
+                sqg(&base, SqgSpec { joins, constants: 2, proj_fraction: 1.0 }, &mut rng)
+            else {
+                continue;
+            };
+            if q.join_count() == joins && !answers(&base, &q).unwrap_or_default().is_empty() {
+                break q;
+            }
+        };
+        let (noisy, _) =
+            add_query_aware_noise(&base, &q, NoiseSpec::with_p(0.5), &mut rng).expect("noise");
+        out.push((format!("j{joins}_p50"), noisy, q));
+    }
+    out
+}
+
+fn bench_build(c: &mut Criterion) {
+    let cases = workload();
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, db, q) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(db, q), |b, (db, q)| {
+            b.iter(|| build_synopses(db, q, BuildOptions::default()).expect("builds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Accuracy validation: the (ε, δ) contract on real benchmark synopses.
+//!
+//! The paper fixes ε = 0.1 and δ = 0.25 (§6.3) and takes the guarantee
+//! `Pr[|est − R| ≤ ε·R] ≥ 1 − δ` from theory. This binary verifies it
+//! empirically on the synopses that actually arise in the scenario pool:
+//! for every pool pair whose exact ratio is computable (by `db(B)`
+//! enumeration or inclusion–exclusion), each scheme runs repeatedly and
+//! the observed relative errors are compared against ε and δ.
+
+use cqa_common::Mt64;
+use cqa_core::{approx_relative_frequency, Budget, ALL_SCHEMES};
+use cqa_scenarios::{BenchConfig, Pool};
+use cqa_synopsis::{exact_ratio_enumerate, exact_ratio_inclusion_exclusion, AdmissiblePair};
+
+const REPS: usize = 12;
+
+fn exact(pair: &AdmissiblePair) -> Option<f64> {
+    exact_ratio_enumerate(pair, 1_000_000)
+        .or_else(|_| exact_ratio_inclusion_exclusion(pair))
+        .ok()
+}
+
+fn main() {
+    let mut cfg = BenchConfig::from_env();
+    cfg.timeout_secs = cfg.timeout_secs.max(5.0);
+    let eps = cfg.eps;
+    let delta = cfg.delta;
+    let pool = Pool::build(cfg.clone()).expect("pool");
+
+    // Collect measurable synopses across the pool.
+    let mut cases: Vec<(AdmissiblePair, f64)> = Vec::new();
+    for qi in 0..pool.queries.len() {
+        for pi in 0..cfg.noise_levels.len() {
+            for bi in 0..cfg.balance_levels.len() {
+                let (db, q) = pool.pair(qi, pi, bi);
+                let Ok(syn) =
+                    cqa_synopsis::build_synopses(db, q, cqa_synopsis::BuildOptions::default())
+                else {
+                    continue;
+                };
+                for entry in syn.entries.into_iter().take(2) {
+                    if let Some(r) = exact(&entry.pair) {
+                        cases.push((entry.pair, r));
+                    }
+                }
+                if cases.len() >= 60 {
+                    break;
+                }
+            }
+        }
+    }
+    println!("measurable synopses: {}", cases.len());
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "scheme", "med err", "p90 err", "max err", "fail rate", "allowed δ"
+    );
+    for scheme in ALL_SCHEMES {
+        let mut errors: Vec<f64> = Vec::new();
+        let mut failures = 0usize;
+        let mut total = 0usize;
+        for (ci, (pair, r)) in cases.iter().enumerate() {
+            for rep in 0..REPS {
+                let mut rng = Mt64::from_key(&[ci as u64, rep as u64, scheme as u64]);
+                let Ok(out) = approx_relative_frequency(
+                    pair,
+                    scheme,
+                    eps,
+                    delta,
+                    &Budget::with_timeout_secs(cfg.timeout_secs),
+                    &mut rng,
+                ) else {
+                    continue; // timeout: accuracy undefined, not a failure
+                };
+                let rel_err = (out.estimate - r).abs() / r;
+                errors.push(rel_err);
+                total += 1;
+                if rel_err > eps {
+                    failures += 1;
+                }
+            }
+        }
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |p: f64| cqa_common::percentile(&errors, p);
+        println!(
+            "{:>8} {:>10.4} {:>10.4} {:>10.4} {:>11.1}% {:>9.0}%",
+            scheme.name(),
+            q(50.0),
+            q(90.0),
+            q(100.0),
+            failures as f64 / total.max(1) as f64 * 100.0,
+            delta * 100.0
+        );
+    }
+}

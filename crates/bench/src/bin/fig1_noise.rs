@@ -1,0 +1,18 @@
+//! Regenerates Figure 1 (noise scenarios `Noise[balance, joins]`) — and,
+//! with `CQA_APPENDIX=1`, the full grids of appendix Figures 6–7.
+
+use cqa_bench::{emit, fig1_selections};
+use cqa_scenarios::{figures, BenchConfig, Pool};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let selections = fig1_selections(&cfg);
+    eprintln!("[fig1] {} Noise[q, j] plots over grids {:?} × {:?}", selections.len(),
+        cfg.balance_levels, cfg.joins);
+    let pool = Pool::build(cfg).expect("pool build");
+    let figs = figures::fig1_noise(&pool, &selections);
+    emit(&figs);
+    for (id, winner) in figures::winners(&figs) {
+        println!("winner[{id}] = {winner}");
+    }
+}

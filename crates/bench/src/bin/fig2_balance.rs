@@ -1,0 +1,17 @@
+//! Regenerates Figure 2 (balance scenarios `Balance[noise, joins]`) — and,
+//! with `CQA_APPENDIX=1`, the full grids of appendix Figures 8–9.
+
+use cqa_bench::{emit, fig2_selections};
+use cqa_scenarios::{figures, BenchConfig, Pool};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let selections = fig2_selections(&cfg);
+    eprintln!("[fig2] {} Balance[p, j] plots", selections.len());
+    let pool = Pool::build(cfg).expect("pool build");
+    let figs = figures::fig2_balance(&pool, &selections);
+    emit(&figs);
+    for (id, winner) in figures::winners(&figs) {
+        println!("winner[{id}] = {winner}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 3: the distribution of the preprocessing step's
+//! running time over every database–query pair of `P_H`, plus the CDF
+//! claims of §7.1.
+
+use cqa_bench::emit;
+use cqa_scenarios::{figures, BenchConfig, Pool};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let pool = Pool::build(cfg).expect("pool build");
+    let (fig, summary) = figures::fig3_preprocessing(&pool);
+    emit(std::slice::from_ref(&fig));
+    println!("{summary}");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 4 (join scenarios `Joins[noise, balance]`, share of
+//! running time per scheme) — and, with `CQA_APPENDIX=1`, the full grids
+//! of appendix Figures 10–13.
+
+use cqa_bench::{emit, fig4_selections};
+use cqa_scenarios::{figures, BenchConfig, Pool};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let selections = fig4_selections(&cfg);
+    eprintln!("[fig4] {} Joins[p, q] plots", selections.len());
+    let pool = Pool::build(cfg).expect("pool build");
+    let figs = figures::fig4_joins(&pool, &selections);
+    emit(&figs);
+}

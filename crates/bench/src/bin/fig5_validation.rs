@@ -1,0 +1,18 @@
+//! Regenerates Figure 5 and appendix Figures 14–15: the validation
+//! scenarios on the TPC-H and TPC-DS workload queries, execution time vs
+//! noise with measured balance statistics.
+
+use cqa_bench::emit;
+use cqa_scenarios::{figures, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let (figs, notes) = figures::fig5_validation(&cfg).expect("validation scenarios");
+    emit(&figs);
+    for note in notes {
+        println!("note: {note}");
+    }
+    for (id, winner) in figures::winners(&figs) {
+        println!("winner[{id}] = {winner}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Runs every experiment of the paper in sequence and prints the
+//! take-home verdict table (§7.2):
+//!
+//! 1. Boolean CQs → `Natural` should win regardless of noise and joins.
+//! 2. Non-Boolean CQs → `KLM` (with `KL` close) should win; `Natural`
+//!    worst.
+//! 3. Feasibility: preprocessing concentrated, best-scheme times modest.
+
+use cqa_bench::{emit, fig1_selections, fig2_selections, fig4_selections};
+use cqa_scenarios::{figures, BenchConfig, Figure, Pool};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    eprintln!("[run_all] profile: scale={} timeout={}s threads={}", cfg.scale,
+        cfg.timeout_secs, cfg.threads);
+    let pool = Pool::build(cfg.clone()).expect("pool build");
+
+    println!("════════ Figure 1: noise scenarios ════════");
+    let fig1 = figures::fig1_noise(&pool, &fig1_selections(&cfg));
+    emit(&fig1);
+
+    println!("════════ Figure 2: balance scenarios ════════");
+    let fig2 = figures::fig2_balance(&pool, &fig2_selections(&cfg));
+    emit(&fig2);
+
+    println!("════════ Figure 3: preprocessing distribution ════════");
+    let (fig3, summary) = figures::fig3_preprocessing(&pool);
+    emit(std::slice::from_ref(&fig3));
+    println!("{summary}");
+
+    println!("════════ Figure 4: join scenarios ════════");
+    let fig4 = figures::fig4_joins(&pool, &fig4_selections(&cfg));
+    emit(&fig4);
+
+    println!("════════ Figure 5: validation scenarios ════════");
+    let (fig5, notes) = figures::fig5_validation(&cfg).expect("validation");
+    emit(&fig5);
+    for note in &notes {
+        println!("note: {note}");
+    }
+
+    println!("════════ Take-home verdicts (§7.2) ════════");
+    verdicts(&fig1, &fig2);
+}
+
+fn verdicts(fig1: &[Figure], fig2: &[Figure]) {
+    let mut boolean_wins: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut nonbool_wins: std::collections::BTreeMap<String, usize> = Default::default();
+    // Noise figures are Boolean iff their balance target is 0; balance
+    // figures mix regimes along the x axis, so their x = 0 column counts
+    // toward the Boolean verdict and the rest toward the non-Boolean one.
+    let winner_over = |fig: &Figure, keep: &dyn Fn(f64) -> bool| -> Option<String> {
+        fig.series
+            .iter()
+            .min_by(|a, b| {
+                let t = |s: &cqa_scenarios::Series| -> f64 {
+                    s.points.iter().filter(|p| keep(p.x)).map(|p| p.y).sum()
+                };
+                t(a).partial_cmp(&t(b)).expect("finite")
+            })
+            .map(|s| s.label.clone())
+    };
+    for fig in fig1 {
+        let Some(winner) = winner_over(fig, &|_| true) else { continue };
+        if fig.id.starts_with("noise_q00") {
+            *boolean_wins.entry(winner).or_default() += 1;
+        } else {
+            *nonbool_wins.entry(winner).or_default() += 1;
+        }
+    }
+    for fig in fig2 {
+        if let Some(winner) = winner_over(fig, &|x| x == 0.0) {
+            *boolean_wins.entry(winner).or_default() += 1;
+        }
+        if let Some(winner) = winner_over(fig, &|x| x > 0.0) {
+            *nonbool_wins.entry(winner).or_default() += 1;
+        }
+    }
+    println!("Boolean scenarios won by:     {boolean_wins:?} (paper: Natural sweeps)");
+    println!("Non-Boolean scenarios won by: {nonbool_wins:?} (paper: KLM, with KL close)");
+    let boolean_ok = boolean_wins.keys().all(|k| k == "Natural");
+    let nonbool_ok = nonbool_wins
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(k, _)| k == "KLM" || k == "KL")
+        .unwrap_or(false);
+    println!(
+        "take-home (1) Boolean → Natural: {}",
+        if boolean_ok { "REPRODUCED" } else { "CHECK MANUALLY" }
+    );
+    println!(
+        "take-home (2) non-Boolean → KL(M): {}",
+        if nonbool_ok { "REPRODUCED" } else { "CHECK MANUALLY" }
+    );
+}

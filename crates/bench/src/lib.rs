@@ -1,0 +1,132 @@
+//! Shared plumbing for the figure binaries.
+//!
+//! Each binary regenerates one figure family of the paper: it builds the
+//! scenario pool from [`cqa_scenarios::BenchConfig::from_env`], runs the
+//! corresponding pipeline, prints the ASCII tables, and writes CSVs under
+//! `results/`.
+
+use cqa_scenarios::{BenchConfig, Figure};
+use std::path::PathBuf;
+
+/// Where the CSV output goes (override with `CQA_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("CQA_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| "results".into())
+}
+
+/// Prints figures and writes their CSVs.
+pub fn emit(figures: &[Figure]) {
+    let dir = results_dir();
+    for fig in figures {
+        println!("{fig}");
+        if std::env::var("CQA_PLOT").map(|v| v == "1").unwrap_or(false) {
+            println!("{}", fig.plot());
+        }
+        match fig.write_csv(&dir) {
+            Ok(path) => println!("   csv: {}\n", path.display()),
+            Err(e) => eprintln!("   csv write failed: {e}\n"),
+        }
+    }
+}
+
+/// True when the appendix-sized grids were requested (`CQA_APPENDIX=1`).
+pub fn appendix_mode() -> bool {
+    std::env::var("CQA_APPENDIX").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The representative `(balance, joins)` selections of the paper's
+/// Figure 1, intersected with the configured grids; appendix mode takes
+/// the full cross product (Figures 6–7).
+pub fn fig1_selections(cfg: &BenchConfig) -> Vec<(f64, usize)> {
+    let balances: Vec<f64> = if appendix_mode() {
+        cfg.balance_levels.clone()
+    } else {
+        pick_near(&cfg.balance_levels, &[0.0, 0.3, 0.5])
+    };
+    let joins: Vec<usize> =
+        if appendix_mode() { cfg.joins.clone() } else { pick_joins(&cfg.joins, &[1, 3, 5]) };
+    cross(&balances, &joins)
+}
+
+/// Figure 2's `(noise, joins)` selections (appendix: Figures 8–9).
+pub fn fig2_selections(cfg: &BenchConfig) -> Vec<(f64, usize)> {
+    let noises: Vec<f64> = if appendix_mode() {
+        cfg.noise_levels.clone()
+    } else {
+        pick_near(&cfg.noise_levels, &[0.2, 0.4, 0.6])
+    };
+    let joins: Vec<usize> =
+        if appendix_mode() { cfg.joins.clone() } else { pick_joins(&cfg.joins, &[1, 3, 5]) };
+    cross(&noises, &joins)
+}
+
+/// Figure 4's `(noise, balance)` selections (appendix: Figures 10–13).
+pub fn fig4_selections(cfg: &BenchConfig) -> Vec<(f64, f64)> {
+    let noises: Vec<f64> = if appendix_mode() {
+        cfg.noise_levels.clone()
+    } else {
+        pick_near(&cfg.noise_levels, &[0.2, 0.4, 0.6])
+    };
+    let balances: Vec<f64> = if appendix_mode() {
+        cfg.balance_levels.clone()
+    } else {
+        pick_near(&cfg.balance_levels, &[0.0, 0.3, 0.5])
+    };
+    noises.iter().flat_map(|&p| balances.iter().map(move |&q| (p, q))).collect()
+}
+
+fn pick_near(grid: &[f64], wanted: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = wanted
+        .iter()
+        .map(|&w| {
+            *grid
+                .iter()
+                .min_by(|a, b| (*a - w).abs().partial_cmp(&(*b - w).abs()).expect("finite"))
+                .expect("non-empty grid")
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+fn pick_joins(grid: &[usize], wanted: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = wanted.iter().filter(|j| grid.contains(j)).copied().collect();
+    if out.is_empty() {
+        out = grid.to_vec();
+    }
+    out
+}
+
+fn cross<A: Copy, B: Copy>(xs: &[A], ys: &[B]) -> Vec<(A, B)> {
+    xs.iter().flat_map(|&x| ys.iter().map(move |&y| (x, y))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selections_use_grid_values() {
+        let cfg = BenchConfig::quick();
+        for (q, j) in fig1_selections(&cfg) {
+            assert!(cfg.balance_levels.contains(&q));
+            assert!(cfg.joins.contains(&j));
+        }
+        for (p, j) in fig2_selections(&cfg) {
+            assert!(cfg.noise_levels.contains(&p));
+            assert!(cfg.joins.contains(&j));
+        }
+        for (p, q) in fig4_selections(&cfg) {
+            assert!(cfg.noise_levels.contains(&p));
+            assert!(cfg.balance_levels.contains(&q));
+        }
+    }
+
+    #[test]
+    fn quick_selection_counts_match_the_paper_layout() {
+        let cfg = BenchConfig::quick();
+        // Nine representative plots per figure, as in Figures 1, 2, 4.
+        assert_eq!(fig1_selections(&cfg).len(), 9);
+        assert_eq!(fig2_selections(&cfg).len(), 9);
+        assert_eq!(fig4_selections(&cfg).len(), 9);
+    }
+}

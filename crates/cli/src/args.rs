@@ -1,0 +1,348 @@
+//! Command-line argument parsing (hand-rolled, dependency-free).
+
+use cqa_common::{CqaError, Result};
+use cqa_core::Scheme;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a benchmark database and dump it.
+    Generate {
+        /// `tpch` or `tpcds`.
+        bench: String,
+        /// Scale factor.
+        scale: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Output dump path.
+        out: PathBuf,
+    },
+    /// Inject query-aware noise into a dumped database.
+    Noise {
+        /// Input dump path.
+        db: PathBuf,
+        /// The target query (datalog syntax).
+        query: String,
+        /// Noise percentage `p`.
+        p: f64,
+        /// Minimum block size `ℓ`.
+        lmin: u32,
+        /// Maximum block size `u`.
+        umax: u32,
+        /// RNG seed.
+        seed: u64,
+        /// Output dump path.
+        out: PathBuf,
+    },
+    /// Run approximate CQA.
+    Query {
+        /// Input dump path.
+        db: PathBuf,
+        /// The query (datalog syntax).
+        query: String,
+        /// Which approximation scheme.
+        scheme: Scheme,
+        /// Relative error ε.
+        eps: f64,
+        /// Uncertainty δ.
+        delta: f64,
+        /// Optional wall-clock budget in seconds.
+        timeout: Option<f64>,
+        /// RNG seed.
+        seed: u64,
+        /// Worker threads (>1 uses the parallel driver).
+        threads: usize,
+    },
+    /// Run exact CQA by repair enumeration (small inputs).
+    Exact {
+        /// Input dump path.
+        db: PathBuf,
+        /// The query (datalog syntax).
+        query: String,
+        /// Repair-count cap for the brute force.
+        limit: u128,
+    },
+    /// Print synopsis statistics and a scheme recommendation.
+    Stats {
+        /// Input dump path.
+        db: PathBuf,
+        /// The query (datalog syntax).
+        query: String,
+    },
+    /// List the certain answers (true in every repair).
+    Certain {
+        /// Input dump path.
+        db: PathBuf,
+        /// The query (datalog syntax).
+        query: String,
+    },
+    /// Print the schema of a dump as DDL.
+    Schema {
+        /// Input dump path.
+        db: PathBuf,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+cqa-cli — approximate consistent query answering
+
+USAGE:
+  cqa-cli generate <tpch|tpcds> [--scale F] [--seed N] --out FILE
+  cqa-cli noise  --db FILE --query CQ [--p F] [--lmin N] [--umax N] [--seed N] --out FILE
+  cqa-cli query  --db FILE --query CQ [--scheme natural|kl|klm|cover]
+                 [--eps F] [--delta F] [--timeout SECS] [--seed N] [--threads N]
+  cqa-cli exact  --db FILE --query CQ [--limit N]
+  cqa-cli stats  --db FILE --query CQ
+  cqa-cli certain --db FILE --query CQ
+  cqa-cli schema --db FILE
+
+Queries use the datalog-style syntax, e.g. 'Q(n) :- employee(x, n, d)'.
+";
+
+struct Flags {
+    map: HashMap<String, String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| CqaError::InvalidParameter(format!("unexpected argument '{a}'")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CqaError::InvalidParameter(format!("--{key} needs a value")))?;
+            if map.insert(key.to_owned(), value.clone()).is_some() {
+                return Err(CqaError::InvalidParameter(format!("--{key} given twice")));
+            }
+        }
+        Ok(Flags { map })
+    }
+
+    fn take<T: std::str::FromStr>(&mut self, key: &str, default: Option<T>) -> Result<T> {
+        match self.map.remove(key) {
+            Some(v) => v.parse().map_err(|_| {
+                CqaError::InvalidParameter(format!("--{key}: cannot parse '{v}'"))
+            }),
+            None => default
+                .ok_or_else(|| CqaError::InvalidParameter(format!("--{key} is required"))),
+        }
+    }
+
+    fn finish(self) -> Result<()> {
+        if let Some(key) = self.map.keys().next() {
+            return Err(CqaError::InvalidParameter(format!("unknown flag --{key}")));
+        }
+        Ok(())
+    }
+}
+
+fn parse_scheme(name: &str) -> Result<Scheme> {
+    match name.to_ascii_lowercase().as_str() {
+        "natural" => Ok(Scheme::Natural),
+        "kl" => Ok(Scheme::Kl),
+        "klm" => Ok(Scheme::Klm),
+        "cover" => Ok(Scheme::Cover),
+        other => Err(CqaError::InvalidParameter(format!(
+            "unknown scheme '{other}' (expected natural, kl, klm, or cover)"
+        ))),
+    }
+}
+
+/// Parses the arguments after the program name.
+pub fn parse_args(args: &[String]) -> Result<Command> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let bench = args
+                .get(1)
+                .filter(|b| *b == "tpch" || *b == "tpcds")
+                .ok_or_else(|| {
+                    CqaError::InvalidParameter("generate needs 'tpch' or 'tpcds'".into())
+                })?
+                .clone();
+            let mut f = Flags::parse(&args[2..])?;
+            let out = Command::Generate {
+                bench,
+                scale: f.take("scale", Some(0.001))?,
+                seed: f.take("seed", Some(42))?,
+                out: f.take::<String>("out", None)?.into(),
+            };
+            f.finish()?;
+            Ok(out)
+        }
+        "noise" => {
+            let mut f = Flags::parse(&args[1..])?;
+            let out = Command::Noise {
+                db: f.take::<String>("db", None)?.into(),
+                query: f.take("query", None)?,
+                p: f.take("p", Some(0.5))?,
+                lmin: f.take("lmin", Some(2))?,
+                umax: f.take("umax", Some(5))?,
+                seed: f.take("seed", Some(42))?,
+                out: f.take::<String>("out", None)?.into(),
+            };
+            f.finish()?;
+            Ok(out)
+        }
+        "query" => {
+            let mut f = Flags::parse(&args[1..])?;
+            let scheme = parse_scheme(&f.take::<String>("scheme", Some("klm".into()))?)?;
+            let out = Command::Query {
+                db: f.take::<String>("db", None)?.into(),
+                query: f.take("query", None)?,
+                scheme,
+                eps: f.take("eps", Some(0.1))?,
+                delta: f.take("delta", Some(0.25))?,
+                timeout: f.take("timeout", Some(-1.0)).map(|t: f64| (t > 0.0).then_some(t))?,
+                seed: f.take("seed", Some(42))?,
+                threads: f.take("threads", Some(1))?,
+            };
+            f.finish()?;
+            Ok(out)
+        }
+        "exact" => {
+            let mut f = Flags::parse(&args[1..])?;
+            let out = Command::Exact {
+                db: f.take::<String>("db", None)?.into(),
+                query: f.take("query", None)?,
+                limit: f.take("limit", Some(1_000_000u128))?,
+            };
+            f.finish()?;
+            Ok(out)
+        }
+        "stats" => {
+            let mut f = Flags::parse(&args[1..])?;
+            let out = Command::Stats {
+                db: f.take::<String>("db", None)?.into(),
+                query: f.take("query", None)?,
+            };
+            f.finish()?;
+            Ok(out)
+        }
+        "certain" => {
+            let mut f = Flags::parse(&args[1..])?;
+            let out = Command::Certain {
+                db: f.take::<String>("db", None)?.into(),
+                query: f.take("query", None)?,
+            };
+            f.finish()?;
+            Ok(out)
+        }
+        "schema" => {
+            let mut f = Flags::parse(&args[1..])?;
+            let out = Command::Schema { db: f.take::<String>("db", None)?.into() };
+            f.finish()?;
+            Ok(out)
+        }
+        other => Err(CqaError::InvalidParameter(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let c = parse_args(&argv("generate tpch --scale 0.01 --seed 7 --out wh.db")).unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                bench: "tpch".into(),
+                scale: 0.01,
+                seed: 7,
+                out: "wh.db".into()
+            }
+        );
+    }
+
+    #[test]
+    fn generate_defaults_apply() {
+        let c = parse_args(&argv("generate tpcds --out x.db")).unwrap();
+        match c {
+            Command::Generate { bench, scale, seed, .. } => {
+                assert_eq!(bench, "tpcds");
+                assert_eq!(scale, 0.001);
+                assert_eq!(seed, 42);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_query_with_scheme() {
+        let mut a = argv("query --db x.db --scheme natural --eps 0.2");
+        a.extend(["--query".to_owned(), "Q(n) :- r(n)".to_owned()]);
+        let c = parse_args(&a).unwrap();
+        match c {
+            Command::Query { scheme, eps, delta, timeout, threads, .. } => {
+                assert_eq!(scheme, Scheme::Natural);
+                assert_eq!(eps, 0.2);
+                assert_eq!(delta, 0.25);
+                assert_eq!(timeout, None);
+                assert_eq!(threads, 1);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn timeout_flag_is_optional_and_positive() {
+        let mut a = argv("query --db x.db --timeout 5");
+        a.extend(["--query".to_owned(), "Q() :- r(n)".to_owned()]);
+        match parse_args(&a).unwrap() {
+            Command::Query { timeout, .. } => assert_eq!(timeout, Some(5.0)),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        assert!(parse_args(&argv("noise --db x.db --out y.db")).is_err()); // no --query
+        assert!(parse_args(&argv("generate tpch")).is_err()); // no --out
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_error() {
+        assert!(parse_args(&argv("schema --db x.db --bogus 1")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("generate oracle --out x.db")).is_err());
+        assert!(parse_args(&argv("query --db")).is_err()); // dangling value
+    }
+
+    #[test]
+    fn duplicate_flag_errors() {
+        assert!(parse_args(&argv("schema --db a --db b")).is_err());
+    }
+
+    #[test]
+    fn empty_args_give_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn scheme_names_are_case_insensitive() {
+        for (name, scheme) in
+            [("Natural", Scheme::Natural), ("KL", Scheme::Kl), ("KLM", Scheme::Klm), ("COVER", Scheme::Cover)]
+        {
+            assert_eq!(parse_scheme(name).unwrap(), scheme);
+        }
+        assert!(parse_scheme("montecarlo").is_err());
+    }
+}

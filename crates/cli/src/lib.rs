@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! The `cqa-cli` command-line tool.
+//!
+//! ```text
+//! cqa-cli generate tpch --scale 0.001 --seed 42 --out wh.cqadb
+//! cqa-cli noise    --db wh.cqadb --query 'Q(n) :- customer(k, n, nk, s, b)' \
+//!                  --p 0.5 --out noisy.cqadb
+//! cqa-cli stats    --db noisy.cqadb --query '...'
+//! cqa-cli query    --db noisy.cqadb --query '...' --scheme klm
+//! cqa-cli exact    --db noisy.cqadb --query '...'
+//! cqa-cli schema   --db noisy.cqadb
+//! ```
+//!
+//! Databases travel between commands as self-describing dumps
+//! (`cqa_storage::io`). The argument parser is hand-rolled and lives in
+//! [`args`] so it can be tested without spawning processes; [`run`]
+//! executes parsed commands.
+
+pub mod args;
+pub mod run;
+
+pub use args::{parse_args, Command};
+pub use run::execute;

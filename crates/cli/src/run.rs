@@ -1,0 +1,273 @@
+//! Command execution.
+
+use crate::args::{Command, USAGE};
+use cqa_common::{Mt64, Result};
+use cqa_core::{apx_cqa_on_synopses, apx_cqa_parallel, Budget, Scheme};
+use cqa_noise::{add_query_aware_noise, NoiseSpec};
+use cqa_query::parse;
+use cqa_repair::consistent_answers_exact;
+use cqa_storage::{dump_to_file, is_consistent, load_from_file, schema_to_ddl, Database};
+use cqa_synopsis::{build_synopses, BuildOptions, SynopsisStats};
+use std::io::Write;
+
+/// Executes one parsed command, writing human-readable output to `out`.
+pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
+    let w = |out: &mut dyn Write, s: String| {
+        out.write_all(s.as_bytes()).expect("write to output");
+        out.write_all(b"\n").expect("write to output");
+    };
+    match cmd {
+        Command::Help => w(out, USAGE.to_owned()),
+        Command::Generate { bench, scale, seed, out: path } => {
+            let db: Database = match bench.as_str() {
+                "tpch" => cqa_tpch::generate(cqa_tpch::TpchConfig { scale, seed }),
+                _ => cqa_tpcds::generate(cqa_tpcds::TpcdsConfig { scale, seed }),
+            };
+            dump_to_file(&db, &path)?;
+            w(
+                out,
+                format!(
+                    "generated {bench} at scale {scale}: {} facts over {} relations -> {}",
+                    db.fact_count(),
+                    db.schema().len(),
+                    path.display()
+                ),
+            );
+        }
+        Command::Noise { db, query, p, lmin, umax, seed, out: path } => {
+            let base = load_from_file(&db)?;
+            let q = parse(base.schema(), &query)?;
+            let mut rng = Mt64::new(seed);
+            let (noisy, report) =
+                add_query_aware_noise(&base, &q, NoiseSpec { p, lmin, umax }, &mut rng)?;
+            dump_to_file(&noisy, &path)?;
+            for (name, relevant, selected, added) in &report.per_relation {
+                w(out, format!("  {name}: {relevant} relevant, {selected} selected, {added} added"));
+            }
+            w(
+                out,
+                format!(
+                    "added {} facts; database now has {} facts (consistent: {}) -> {}",
+                    report.total_added,
+                    noisy.fact_count(),
+                    is_consistent(&noisy),
+                    path.display()
+                ),
+            );
+        }
+        Command::Query { db, query, scheme, eps, delta, timeout, seed, threads } => {
+            let database = load_from_file(&db)?;
+            let q = parse(database.schema(), &query)?;
+            let budget = match timeout {
+                Some(t) => Budget::with_timeout_secs(t),
+                None => Budget::unbounded(),
+            };
+            let syn = build_synopses(&database, &q, BuildOptions::default())?;
+            let stats = SynopsisStats::of(&syn);
+            w(
+                out,
+                format!(
+                    "preprocessing: {} answers, {} images, balance {:.2}, {:.3}s",
+                    stats.output_size, stats.hom_size, stats.balance, stats.build_secs
+                ),
+            );
+            let res = if threads > 1 {
+                apx_cqa_parallel(&syn, scheme, eps, delta, &budget, seed, threads)?
+            } else {
+                let mut rng = Mt64::new(seed);
+                apx_cqa_on_synopses(&syn, scheme, eps, delta, &budget, &mut rng)?
+            };
+            let mut ranked = res.answers;
+            ranked.sort_by(|a, b| {
+                b.frequency.partial_cmp(&a.frequency).expect("finite").then(a.tuple.cmp(&b.tuple))
+            });
+            for te in &ranked {
+                w(
+                    out,
+                    format!("  {:<40} {:>7.2}%", database.fmt_tuple(&te.tuple), te.frequency * 100.0),
+                );
+            }
+            w(
+                out,
+                format!(
+                    "{} answers via {} in {:?} ({} samples)",
+                    ranked.len(),
+                    scheme.name(),
+                    res.scheme_time,
+                    res.total_samples
+                ),
+            );
+        }
+        Command::Exact { db, query, limit } => {
+            let database = load_from_file(&db)?;
+            let q = parse(database.schema(), &query)?;
+            let answers = consistent_answers_exact(&database, &q, limit)?;
+            for (t, f) in &answers {
+                w(out, format!("  {:<40} {:>7.2}%", database.fmt_tuple(t), f * 100.0));
+            }
+            w(out, format!("{} answers (exact, by repair enumeration)", answers.len()));
+        }
+        Command::Stats { db, query } => {
+            let database = load_from_file(&db)?;
+            let q = parse(database.schema(), &query)?;
+            let syn = build_synopses(&database, &q, BuildOptions::default())?;
+            let stats = SynopsisStats::of(&syn);
+            w(out, format!("query:            {}", q.display(database.schema())));
+            w(out, format!("joins:            {}", q.join_count()));
+            w(out, format!("output size:      {}", stats.output_size));
+            w(out, format!("homomorphic size: {}", stats.hom_size));
+            w(out, format!("balance:          {:.3}", stats.balance));
+            w(out, format!("max |H|:          {}", stats.max_images));
+            w(out, format!("max |db(B)|:      10^{:.1}", stats.max_log10_db_b));
+            w(out, format!("preprocessing:    {:.3}s", stats.build_secs));
+            let pick: Scheme =
+                if stats.balance < 0.05 { Scheme::Natural } else { Scheme::Klm };
+            w(
+                out,
+                format!(
+                    "recommended scheme (per the paper's §7.2 decision rule): {}",
+                    pick.name()
+                ),
+            );
+        }
+        Command::Certain { db, query } => {
+            let database = load_from_file(&db)?;
+            let q = parse(database.schema(), &query)?;
+            let certain = cqa_synopsis::certain_answers(&database, &q)?;
+            for t in &certain {
+                w(out, format!("  {}", database.fmt_tuple(t)));
+            }
+            w(out, format!("{} certain answers (true in every repair)", certain.len()));
+        }
+        Command::Schema { db } => {
+            let database = load_from_file(&db)?;
+            w(out, schema_to_ddl(database.schema()));
+            w(
+                out,
+                format!(
+                    "{} facts, consistent: {}, repairs: {}",
+                    database.fact_count(),
+                    is_consistent(&database),
+                    database.repair_count()
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn run(cmd: Command) -> Result<String> {
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cqa_cli_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn end_to_end_generate_noise_query_exact() {
+        let base = tmp("base.db");
+        let noisy = tmp("noisy.db");
+        // A region-only query keeps the noisy instance's repair count tiny
+        // (≤ 2⁵) so the `exact` command stays debug-build fast.
+        let query = "Q(rn) :- region(rk, rn)".to_owned();
+
+        let out = run(Command::Generate {
+            bench: "tpch".into(),
+            scale: 0.0003,
+            seed: 5,
+            out: base.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("generated tpch"));
+
+        let out = run(Command::Noise {
+            db: base.clone(),
+            query: query.clone(),
+            p: 1.0,
+            lmin: 2,
+            umax: 2,
+            seed: 5,
+            out: noisy.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("consistent: false"));
+
+        let out = run(Command::Stats { db: noisy.clone(), query: query.clone() }).unwrap();
+        assert!(out.contains("balance"));
+        assert!(out.contains("recommended scheme"));
+
+        let approx = run(Command::Query {
+            db: noisy.clone(),
+            query: query.clone(),
+            scheme: Scheme::Klm,
+            eps: 0.1,
+            delta: 0.25,
+            timeout: None,
+            seed: 1,
+            threads: 2,
+        })
+        .unwrap();
+        assert!(approx.contains('%'));
+
+        let exact = run(Command::Exact { db: noisy.clone(), query, limit: 10_000_000 }).unwrap();
+        assert!(exact.contains("exact"));
+
+        // The two answer sets agree in size.
+        let count = |s: &str| s.lines().filter(|l| l.contains('%')).count();
+        assert_eq!(count(&approx), count(&exact));
+
+        std::fs::remove_file(base).ok();
+        std::fs::remove_file(noisy).ok();
+    }
+
+    #[test]
+    fn certain_command_lists_certain_tuples() {
+        let base = tmp("certain.db");
+        run(Command::Generate {
+            bench: "tpch".into(),
+            scale: 0.0003,
+            seed: 9,
+            out: base.clone(),
+        })
+        .unwrap();
+        // On a consistent database, every answer is certain.
+        let out = run(Command::Certain {
+            db: base.clone(),
+            query: "Q(rn) :- region(rk, rn)".into(),
+        })
+        .unwrap();
+        assert!(out.contains("5 certain answers"));
+        std::fs::remove_file(base).ok();
+    }
+
+    #[test]
+    fn schema_command_prints_ddl() {
+        let base = tmp("schema.db");
+        run(Command::Generate { bench: "tpcds".into(), scale: 0.0002, seed: 1, out: base.clone() })
+            .unwrap();
+        let out = run(Command::Schema { db: base.clone() }).unwrap();
+        assert!(out.contains("relation store_sales"));
+        assert!(out.contains("key 2"));
+        std::fs::remove_file(base).ok();
+    }
+
+    #[test]
+    fn help_flows_through() {
+        let out = run(parse_args(&[]).unwrap()).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(Command::Schema { db: "/nonexistent/x.db".into() });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Approximation schemes for consistent query answering — the paper's
+//! primary contribution.
+//!
+//! Given a database `D`, primary keys `Σ`, a CQ `Q(x̄)` and error
+//! parameters `ε, δ`, a *data-efficient randomized approximation scheme*
+//! for `RelativeFreq` outputs, for each candidate answer `t̄`, a value
+//! within relative error `ε` of `R_{D,Σ,Q}(t̄)` with probability ≥ 1 − δ,
+//! in time polynomial in `‖D‖`, `1/ε`, `log(1/δ)` (§3).
+//!
+//! Four schemes are implemented, all operating on encoded synopses
+//! (Lemma 4.1):
+//!
+//! | module | algorithm |
+//! |---|---|
+//! | [`sampler`] | Samplers 1–3: `SampleNatural`, `SampleKL`, `SampleKLM` |
+//! | [`optest`]  | `OptEstimate`: the Dagum–Karp–Luby–Ross optimal Monte-Carlo estimator |
+//! | [`montecarlo`] | `MonteCarlo[Sample]` (Algorithm 2) |
+//! | [`coverage`] | `SelfAdjustingCoverage` (Algorithm 6, after Karp–Luby–Madras) |
+//! | [`scheme`] | the four schemes `Natural`, `KL`, `KLM`, `Cover` (Algorithms 3–5) |
+//! | [`driver`] | `ApxCQA` (Algorithm 1 with the shared preprocessing of §5) |
+
+pub mod coverage;
+pub mod driver;
+pub mod montecarlo;
+pub mod optest;
+pub mod sampler;
+pub mod scheme;
+
+pub use coverage::{self_adjusting_coverage, coverage_iterations, CoverageOutcome};
+pub use driver::{apx_cqa, apx_cqa_on_synopses, apx_cqa_parallel, ApxCqaResult, TupleEstimate};
+pub use montecarlo::{monte_carlo, MonteCarloOutcome};
+pub use optest::{plan_iterations, stopping_rule, PlanOutcome, StoppingOutcome};
+pub use sampler::{KlSampler, KlmSampler, NaturalSampler, Sampler, SymbolicDraw};
+pub use scheme::{approx_relative_frequency, ApproxOutcome, Budget, Scheme, ALL_SCHEMES};

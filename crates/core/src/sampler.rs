@@ -1,0 +1,336 @@
+//! Samplers 1–3: the randomized procedures the Monte-Carlo estimators are
+//! parameterized with (§4.2).
+//!
+//! Every sampler takes an admissible pair `(H, B)` and outputs a number in
+//! `[0, 1]`; a sampler is *r-good* when `E[Sample] = R(H, B) · r` and the
+//! expectation is polynomially bounded away from zero. The three samplers:
+//!
+//! * [`NaturalSampler`] draws `I ∈ db(B)` uniformly and reports whether
+//!   some image is contained — 1-good (Lemma 4.3).
+//! * [`KlSampler`] draws `(i, I)` from the symbolic space `S•` and reports
+//!   whether no earlier image is contained — `|db(B)|/|S•|`-good
+//!   (Lemma 4.5, Karp–Luby).
+//! * [`KlmSampler`] draws the same way and reports `1/k` where `k` is the
+//!   number of contained images — same goodness, lower variance but every
+//!   sample pays an `O(Σ|Hⱼ|)` scan (Lemma 4.7, Karp–Luby–Madras).
+//!
+//! Sampling `(i, I)` uniformly from `S•` uses the factorization
+//! `Pr[i] = |I^i|/|S•| ∝ 1/|db(B_{H_i})|` (an O(1) alias-table draw)
+//! followed by a uniform draw of the unforced blocks.
+
+use cqa_common::{AliasTable, Mt64};
+use cqa_synopsis::AdmissiblePair;
+
+/// A randomized procedure producing values in `[0, 1]` whose expectation
+/// determines `R(H, B)` through the factor [`Sampler::r_factor`].
+pub trait Sampler {
+    /// Draws one sample.
+    fn sample(&mut self, rng: &mut Mt64) -> f64;
+
+    /// The `r` of r-goodness: `E[sample] = R(H, B) · r`.
+    fn r_factor(&self) -> f64;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Sampler 1: uniform over the natural space `db(B)`.
+pub struct NaturalSampler<'a> {
+    pair: &'a AdmissiblePair,
+    chosen: Vec<u32>,
+}
+
+impl<'a> NaturalSampler<'a> {
+    /// Prepares a sampler for `pair`.
+    pub fn new(pair: &'a AdmissiblePair) -> Self {
+        NaturalSampler { pair, chosen: vec![0; pair.num_blocks()] }
+    }
+}
+
+impl Sampler for NaturalSampler<'_> {
+    fn sample(&mut self, rng: &mut Mt64) -> f64 {
+        for (b, slot) in self.chosen.iter_mut().enumerate() {
+            *slot = rng.below(self.pair.block_size(b as u32) as u64) as u32;
+        }
+        let hit =
+            (0..self.pair.num_images()).any(|i| self.pair.image_contained(i, &self.chosen));
+        if hit {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn r_factor(&self) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "SampleNatural"
+    }
+}
+
+/// Shared machinery for drawing `(i, I)` uniformly from the symbolic space
+/// `S• = {(i, I) | I ∈ I^i}`.
+pub struct SymbolicDraw<'a> {
+    pair: &'a AdmissiblePair,
+    alias: AliasTable,
+    chosen: Vec<u32>,
+}
+
+impl<'a> SymbolicDraw<'a> {
+    /// Precomputes the alias table of image weights `|I^i| / |S•|`.
+    pub fn new(pair: &'a AdmissiblePair) -> Self {
+        SymbolicDraw { pair, alias: pair.image_alias(), chosen: vec![0; pair.num_blocks()] }
+    }
+
+    /// The underlying pair.
+    pub fn pair(&self) -> &AdmissiblePair {
+        self.pair
+    }
+
+    /// Draws `(i, I)`: the image index is returned, the database `I` is
+    /// left in the internal `chosen` buffer.
+    #[inline]
+    pub fn draw(&mut self, rng: &mut Mt64) -> usize {
+        let i = self.alias.sample(rng);
+        for (b, slot) in self.chosen.iter_mut().enumerate() {
+            *slot = rng.below(self.pair.block_size(b as u32) as u64) as u32;
+        }
+        // Force the facts of H_i: every I ∈ I^i contains them, and the
+        // remaining blocks stay uniform, so (i, I) is uniform on S•.
+        for a in self.pair.image(i) {
+            self.chosen[a.block as usize] = a.tid;
+        }
+        i
+    }
+
+    /// The chosen database from the last [`Self::draw`].
+    #[inline]
+    pub fn chosen(&self) -> &[u32] {
+        &self.chosen
+    }
+}
+
+/// Sampler 2 (`SampleKL`): 1 iff no image *earlier in the canonical order*
+/// is contained in `I`.
+pub struct KlSampler<'a> {
+    draw: SymbolicDraw<'a>,
+    r: f64,
+}
+
+impl<'a> KlSampler<'a> {
+    /// Prepares a sampler for `pair`.
+    pub fn new(pair: &'a AdmissiblePair) -> Self {
+        KlSampler { draw: SymbolicDraw::new(pair), r: 1.0 / pair.s_ratio() }
+    }
+}
+
+impl Sampler for KlSampler<'_> {
+    fn sample(&mut self, rng: &mut Mt64) -> f64 {
+        let i = self.draw.draw(rng);
+        let pair = self.draw.pair;
+        let chosen = &self.draw.chosen;
+        for j in 0..i {
+            if pair.image_contained(j, chosen) {
+                return 0.0;
+            }
+        }
+        1.0
+    }
+
+    fn r_factor(&self) -> f64 {
+        self.r
+    }
+
+    fn name(&self) -> &'static str {
+        "SampleKL"
+    }
+}
+
+/// Sampler 3 (`SampleKLM`): `1/k` where `k = |{j : H_j ⊆ I}| ≥ 1`.
+pub struct KlmSampler<'a> {
+    draw: SymbolicDraw<'a>,
+    r: f64,
+}
+
+impl<'a> KlmSampler<'a> {
+    /// Prepares a sampler for `pair`.
+    pub fn new(pair: &'a AdmissiblePair) -> Self {
+        KlmSampler { draw: SymbolicDraw::new(pair), r: 1.0 / pair.s_ratio() }
+    }
+}
+
+impl Sampler for KlmSampler<'_> {
+    fn sample(&mut self, rng: &mut Mt64) -> f64 {
+        let _ = self.draw.draw(rng);
+        let pair = self.draw.pair;
+        let chosen = &self.draw.chosen;
+        let mut k = 0u32;
+        for j in 0..pair.num_images() {
+            if pair.image_contained(j, chosen) {
+                k += 1;
+            }
+        }
+        debug_assert!(k >= 1, "the drawn image must be contained");
+        1.0 / k as f64
+    }
+
+    fn r_factor(&self) -> f64 {
+        self.r
+    }
+
+    fn name(&self) -> &'static str {
+        "SampleKLM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_common::RunningStats;
+    use cqa_synopsis::exact_ratio_enumerate;
+
+    fn example_pair() -> AdmissiblePair {
+        AdmissiblePair::new(vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]], vec![2, 2])
+            .unwrap()
+    }
+
+    fn overlap_pair() -> AdmissiblePair {
+        // Overlapping images over three blocks of mixed sizes.
+        AdmissiblePair::new(
+            vec![vec![(0, 0)], vec![(0, 0), (1, 1)], vec![(1, 1), (2, 2)], vec![(2, 0)]],
+            vec![2, 3, 4],
+        )
+        .unwrap()
+    }
+
+    fn empirical_mean<S: Sampler>(mut s: S, n: usize, seed: u64) -> f64 {
+        let mut rng = Mt64::new(seed);
+        let mut stats = RunningStats::new();
+        for _ in 0..n {
+            let x = s.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x), "sample {x} out of [0,1]");
+            stats.push(x);
+        }
+        stats.mean()
+    }
+
+    /// E[sample] · (1/r) should equal R(H,B) for every sampler — the
+    /// r-goodness lemmas 4.3, 4.5, 4.7.
+    fn check_r_good(pair: &AdmissiblePair, seed: u64) {
+        let exact = exact_ratio_enumerate(pair, 1_000_000).unwrap();
+        let n = 200_000;
+        let nat = empirical_mean(NaturalSampler::new(pair), n, seed);
+        assert!((nat - exact).abs() < 0.01, "natural mean {nat} vs R {exact}");
+
+        let kl_mean = empirical_mean(KlSampler::new(pair), n, seed + 1);
+        let kl_est = kl_mean / KlSampler::new(pair).r_factor();
+        assert!((kl_est - exact).abs() < 0.01, "KL estimate {kl_est} vs R {exact}");
+
+        let klm_mean = empirical_mean(KlmSampler::new(pair), n, seed + 2);
+        let klm_est = klm_mean / KlmSampler::new(pair).r_factor();
+        assert!((klm_est - exact).abs() < 0.01, "KLM estimate {klm_est} vs R {exact}");
+    }
+
+    #[test]
+    fn samplers_are_r_good_on_example() {
+        check_r_good(&example_pair(), 11);
+    }
+
+    #[test]
+    fn samplers_are_r_good_on_overlapping_images() {
+        check_r_good(&overlap_pair(), 12);
+    }
+
+    #[test]
+    fn samplers_are_r_good_on_random_pairs() {
+        let mut rng = Mt64::new(77);
+        for round in 0..5 {
+            // Small random pair; reuse the synopsis crate's generator shape.
+            let nblocks = 2 + rng.index(3);
+            let sizes: Vec<u32> = (0..nblocks).map(|_| 2 + rng.below(3) as u32).collect();
+            let nimages = 1 + rng.index(4);
+            let images: Vec<Vec<(u32, u32)>> = (0..nimages)
+                .map(|_| {
+                    let natoms = 1 + rng.index(2);
+                    rng.sample_indices(nblocks, natoms)
+                        .into_iter()
+                        .map(|b| (b as u32, rng.below(sizes[b] as u64) as u32))
+                        .collect()
+                })
+                .collect();
+            let pair = AdmissiblePair::new(images, sizes).unwrap();
+            check_r_good(&pair, 100 + round);
+        }
+    }
+
+    #[test]
+    fn kl_and_klm_have_the_same_expectation() {
+        let pair = overlap_pair();
+        let kl = empirical_mean(KlSampler::new(&pair), 300_000, 5);
+        let klm = empirical_mean(KlmSampler::new(&pair), 300_000, 6);
+        assert!((kl - klm).abs() < 0.01, "KL {kl} vs KLM {klm}");
+    }
+
+    #[test]
+    fn klm_variance_is_no_larger_than_kl() {
+        // The variance-reduction claim of §4.2: Var[SampleKLM] ≤ Var[SampleKL]
+        // (both have the same mean; KLM replaces an indicator with its
+        // conditional expectation).
+        let pair = overlap_pair();
+        let mut rng = Mt64::new(42);
+        let mut kl = KlSampler::new(&pair);
+        let mut klm = KlmSampler::new(&pair);
+        let mut s_kl = RunningStats::new();
+        let mut s_klm = RunningStats::new();
+        for _ in 0..200_000 {
+            s_kl.push(kl.sample(&mut rng));
+            s_klm.push(klm.sample(&mut rng));
+        }
+        assert!(
+            s_klm.variance() <= s_kl.variance() + 0.005,
+            "KLM variance {} vs KL {}",
+            s_klm.variance(),
+            s_kl.variance()
+        );
+    }
+
+    #[test]
+    fn natural_sampler_hits_iff_some_image_contained() {
+        // With a single image covering every block, the natural sampler's
+        // positive rate is exactly 1/|db(B)|.
+        let pair = AdmissiblePair::new(vec![vec![(0, 0), (1, 0)]], vec![3, 3]).unwrap();
+        let mean = empirical_mean(NaturalSampler::new(&pair), 200_000, 9);
+        assert!((mean - 1.0 / 9.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn symbolic_draw_always_contains_drawn_image() {
+        let pair = overlap_pair();
+        let mut draw = SymbolicDraw::new(&pair);
+        let mut rng = Mt64::new(3);
+        for _ in 0..10_000 {
+            let i = draw.draw(&mut rng);
+            assert!(pair.image_contained(i, draw.chosen()));
+        }
+    }
+
+    #[test]
+    fn symbolic_draw_index_distribution_matches_weights() {
+        let pair = overlap_pair();
+        let mut draw = SymbolicDraw::new(&pair);
+        let mut rng = Mt64::new(4);
+        let n = 300_000;
+        let mut counts = vec![0usize; pair.num_images()];
+        for _ in 0..n {
+            counts[draw.draw(&mut rng)] += 1;
+        }
+        let total: f64 = (0..pair.num_images()).map(|i| pair.inv_db_bh(i)).sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = pair.inv_db_bh(i) / total;
+            let got = c as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "image {i}: {got} vs {expect}");
+        }
+    }
+}

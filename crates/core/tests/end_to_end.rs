@@ -1,0 +1,115 @@
+//! End-to-end validation: `ApxCQA[scheme]` against brute-force repair
+//! enumeration, for all four schemes, on databases small enough that the
+//! exact relative frequencies are computable.
+
+use cqa_common::Mt64;
+use cqa_core::{apx_cqa, Budget, ALL_SCHEMES};
+use cqa_query::parse;
+use cqa_repair::consistent_answers_exact;
+use cqa_storage::ColumnType::*;
+use cqa_storage::{Database, Schema, Value};
+
+fn check_all_schemes(db: &Database, text: &str, seed: u64) {
+    let q = parse(db.schema(), text).unwrap();
+    let exact = consistent_answers_exact(db, &q, 5_000_000).unwrap();
+    for (k, scheme) in ALL_SCHEMES.into_iter().enumerate() {
+        let mut rng = Mt64::new(seed * 10 + k as u64);
+        let res = apx_cqa(db, &q, scheme, 0.1, 0.25, &Budget::unbounded(), &mut rng)
+            .unwrap_or_else(|e| panic!("{scheme} failed on {text}: {e}"));
+        assert_eq!(
+            res.answers.len(),
+            exact.len(),
+            "{scheme} returned {} answers, exact has {} for {text}",
+            res.answers.len(),
+            exact.len()
+        );
+        for te in &res.answers {
+            let (_, f) = exact
+                .iter()
+                .find(|(t, _)| *t == te.tuple)
+                .unwrap_or_else(|| panic!("{scheme} produced unexpected tuple for {text}"));
+            // ε = 0.1 at 75% confidence; allow a 2× slack per tuple so a
+            // single unlucky estimate does not flake the suite.
+            assert!(
+                (te.frequency - f).abs() <= 0.2 * f + 1e-9,
+                "{scheme} on {text}: tuple {:?} estimated {} vs exact {f}",
+                te.tuple,
+                te.frequency
+            );
+        }
+    }
+}
+
+fn hr_database() -> Database {
+    let schema = Schema::builder()
+        .relation("employee", &[("id", Int), ("name", Str), ("dept", Str)], Some(1))
+        .relation("dept", &[("dname", Str), ("floor", Int)], Some(1))
+        .build();
+    let mut db = Database::new(schema);
+    for (id, name, dept) in [
+        (1, "Bob", "HR"),
+        (1, "Bob", "IT"),
+        (2, "Alice", "IT"),
+        (2, "Tim", "IT"),
+        (3, "Eve", "HR"),
+        (3, "Eve", "Sales"),
+        (4, "Dan", "Sales"),
+    ] {
+        db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)])
+            .unwrap();
+    }
+    for (dname, floor) in [("HR", 1), ("HR", 3), ("IT", 2), ("Sales", 2)] {
+        db.insert_named("dept", &[Value::str(dname), Value::Int(floor)]).unwrap();
+    }
+    db
+}
+
+#[test]
+fn boolean_query_matches_ground_truth() {
+    let db = hr_database();
+    check_all_schemes(&db, "Q() :- employee(1, n1, d), employee(2, n2, d)", 1);
+}
+
+#[test]
+fn unary_query_matches_ground_truth() {
+    let db = hr_database();
+    check_all_schemes(&db, "Q(d) :- employee(x, n, d)", 2);
+}
+
+#[test]
+fn join_query_matches_ground_truth() {
+    let db = hr_database();
+    check_all_schemes(&db, "Q(n, f) :- employee(x, n, d), dept(d, f)", 3);
+}
+
+#[test]
+fn constant_query_matches_ground_truth() {
+    let db = hr_database();
+    check_all_schemes(&db, "Q(x) :- employee(x, n, 'Sales')", 4);
+}
+
+#[test]
+fn random_databases_match_ground_truth() {
+    let mut master = Mt64::new(4242);
+    for round in 0..6u64 {
+        let schema = Schema::builder()
+            .relation("r", &[("k", Int), ("a", Int)], Some(1))
+            .relation("s", &[("k", Int), ("b", Int)], Some(1))
+            .build();
+        let mut db = Database::new(schema);
+        let mut rng = master.fork();
+        for _ in 0..6 {
+            db.insert_named(
+                "r",
+                &[Value::Int(rng.below(3) as i64), Value::Int(rng.below(3) as i64)],
+            )
+            .unwrap();
+            db.insert_named(
+                "s",
+                &[Value::Int(rng.below(3) as i64), Value::Int(rng.below(3) as i64)],
+            )
+            .unwrap();
+        }
+        check_all_schemes(&db, "Q(a) :- r(k, a), s(a, b)", 100 + round);
+    }
+}

@@ -1,0 +1,301 @@
+#![warn(missing_docs)]
+
+//! The query-aware noise generator for primary keys (§6.1).
+//!
+//! Existing error-generation tools are query-oblivious: random key
+//! violations in a large database almost never touch the small portion a
+//! given query reads, so the resulting "inconsistency" would not affect
+//! the query at all. The paper's generator instead targets exactly the
+//! facts that *can* affect the query result:
+//!
+//! 1. Build `syn_{Σ,Q}(D)` on the consistent database and collect
+//!    `H = ⋃ᵢ Hᵢ` — every fact participating in a consistent homomorphic
+//!    image of the query.
+//! 2. For each relation `R` with a key, randomly select `⌈p · |H_R|⌉` of
+//!    those facts (`p` is the noise percentage).
+//! 3. For each selected fact, draw a target block size `s ∈ [ℓ, u]` and
+//!    add `s − 1` new facts with the *same key*. The non-key values are
+//!    copied from a random other `R`-fact with a *different* key, so the
+//!    injected facts keep the join patterns present in the data (crucial
+//!    for multi-attribute foreign-key joins).
+
+pub mod oblivious;
+
+pub use oblivious::add_oblivious_noise;
+
+use cqa_common::{CqaError, Mt64, Result};
+use cqa_query::ConjunctiveQuery;
+use cqa_storage::{is_consistent, Database, Datum, RelId};
+use cqa_synopsis::{build_synopses, BuildOptions};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parameters of one noise-injection run.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseSpec {
+    /// The fraction `0 < p ≤ 1` of query-relevant facts per relation whose
+    /// blocks receive noise.
+    pub p: f64,
+    /// Minimum size `ℓ ≥ 2` of a generated non-singleton block.
+    pub lmin: u32,
+    /// Maximum size `u ≥ ℓ` of a generated non-singleton block.
+    pub umax: u32,
+}
+
+impl NoiseSpec {
+    /// The paper's setting: block sizes in `[2, 5]`.
+    pub fn with_p(p: f64) -> Self {
+        NoiseSpec { p, lmin: 2, umax: 5 }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.p > 0.0 && self.p <= 1.0) {
+            return Err(CqaError::InvalidParameter(format!(
+                "noise percentage must be in (0,1], got {}",
+                self.p
+            )));
+        }
+        if self.lmin < 2 || self.umax < self.lmin {
+            return Err(CqaError::InvalidParameter(format!(
+                "block size range [{}, {}] invalid (need 2 ≤ ℓ ≤ u)",
+                self.lmin, self.umax
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What a noise run did, per relation.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseReport {
+    /// `(relation name, query-relevant facts, facts selected, facts added)`.
+    pub per_relation: Vec<(String, usize, usize, usize)>,
+    /// Total facts added across relations.
+    pub total_added: usize,
+}
+
+/// Injects query-aware noise, returning the inconsistent database `D*`
+/// and a report.
+///
+/// Preconditions (checked): `D |= Σ` and `Q(D) ≠ ∅`.
+pub fn add_query_aware_noise(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    spec: NoiseSpec,
+    rng: &mut Mt64,
+) -> Result<(Database, NoiseReport)> {
+    spec.validate()?;
+    if !is_consistent(db) {
+        return Err(CqaError::InvalidParameter(
+            "noise generator requires a consistent input database".into(),
+        ));
+    }
+
+    // Step 1: the query-relevant facts, grouped by relation.
+    let syn = build_synopses(db, q, BuildOptions::default())?;
+    let mut relevant: BTreeMap<RelId, BTreeSet<u32>> = BTreeMap::new();
+    for entry in &syn.entries {
+        for image in entry.pair.images() {
+            for atom in image {
+                let (rel, bid) = entry.global_blocks[atom.block as usize];
+                let row = db.blocks(rel).block_rows(bid)[atom.tid as usize];
+                relevant.entry(rel).or_default().insert(row);
+            }
+        }
+    }
+    if relevant.is_empty() {
+        return Err(CqaError::InvalidParameter(
+            "query has no consistent homomorphic images; nothing to perturb".into(),
+        ));
+    }
+
+    let mut out = db.clone();
+    let mut report = NoiseReport::default();
+    for (rel, rows) in relevant {
+        let def = db.schema().relation(rel);
+        let Some(key_len) = def.key_len else { continue };
+        let h_r: Vec<u32> = rows.into_iter().collect();
+        // Step 2: select ⌈p · |H_R|⌉ facts.
+        let m = ((spec.p * h_r.len() as f64).ceil() as usize).min(h_r.len());
+        let selected = rng.sample_indices(h_r.len(), m);
+        let table = db.table(rel);
+        let n_rows = table.len();
+        let mut added = 0usize;
+        for sel in &selected {
+            let row = table.row(h_r[*sel]);
+            let key = &row[..key_len];
+            // Step 3: grow the block to size s ∈ [ℓ, u].
+            let s = rng.range_inclusive(spec.lmin as u64, spec.umax as u64) as usize;
+            let mut new_fact: Vec<Datum> = row.to_vec();
+            for _ in 0..(s - 1) {
+                // Copy the non-key part of a random donor with a different
+                // key, preserving join patterns. Retry a few times when the
+                // donor collides (same key, or duplicate fact).
+                let mut placed = false;
+                for _attempt in 0..16 {
+                    let donor = table.row(rng.below(n_rows as u64) as u32);
+                    if &donor[..key_len] == key {
+                        continue;
+                    }
+                    new_fact[key_len..].copy_from_slice(&donor[key_len..]);
+                    if out.insert_datums(rel, &new_fact) {
+                        placed = true;
+                        break;
+                    }
+                }
+                if placed {
+                    added += 1;
+                }
+            }
+        }
+        report.per_relation.push((def.name.clone(), h_r.len(), selected.len(), added));
+        report.total_added += added;
+    }
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::{answers, parse};
+    use cqa_storage::violations;
+    use cqa_tpch::{generate, TpchConfig};
+
+    fn base() -> Database {
+        generate(TpchConfig { scale: 0.001, seed: 11 })
+    }
+
+    #[test]
+    fn noise_makes_the_database_inconsistent() {
+        let db = base();
+        let q = parse(db.schema(), "Q(nn) :- nation(nk, nn, rk), region(rk, rn)").unwrap();
+        let mut rng = Mt64::new(1);
+        let (noisy, report) =
+            add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.5), &mut rng).unwrap();
+        assert!(report.total_added > 0);
+        assert!(!is_consistent(&noisy));
+        assert!(noisy.fact_count() > db.fact_count());
+        // The original database is untouched.
+        assert!(is_consistent(&db));
+    }
+
+    #[test]
+    fn block_sizes_stay_within_bounds() {
+        let db = base();
+        let q = parse(db.schema(), "Q(sn) :- supplier(sk, sn, nk, bal)").unwrap();
+        let mut rng = Mt64::new(2);
+        let spec = NoiseSpec { p: 0.4, lmin: 2, umax: 5 };
+        let (noisy, _) = add_query_aware_noise(&db, &q, spec, &mut rng).unwrap();
+        let sup = noisy.schema().rel_id("supplier").unwrap();
+        let blocks = noisy.blocks(sup);
+        let mut saw_non_singleton = false;
+        for (bid, rows) in blocks.iter() {
+            assert!(rows.len() <= spec.umax as usize, "block {bid} has {} facts", rows.len());
+            if rows.len() > 1 {
+                saw_non_singleton = true;
+            }
+        }
+        assert!(saw_non_singleton);
+    }
+
+    #[test]
+    fn noise_targets_query_relevant_relations() {
+        let db = base();
+        // A query over nation/region only: noise must not touch lineitem.
+        let q = parse(db.schema(), "Q(nn) :- nation(nk, nn, rk), region(rk, rn)").unwrap();
+        let mut rng = Mt64::new(3);
+        let (noisy, _) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(1.0), &mut rng).unwrap();
+        let li = noisy.schema().rel_id("lineitem").unwrap();
+        assert_eq!(noisy.blocks(li).non_singleton_count(), 0);
+        let violated: BTreeSet<_> = violations(&noisy).into_iter().map(|v| v.rel).collect();
+        let nation = noisy.schema().rel_id("nation").unwrap();
+        let region = noisy.schema().rel_id("region").unwrap();
+        assert!(violated.is_subset(&BTreeSet::from([nation, region])));
+    }
+
+    #[test]
+    fn injected_facts_keep_keys_and_change_nonkeys() {
+        let db = base();
+        let q = parse(db.schema(), "Q(cn) :- customer(ck, cn, nk, seg, bal)").unwrap();
+        let mut rng = Mt64::new(4);
+        let (noisy, _) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.3), &mut rng).unwrap();
+        for v in violations(&noisy) {
+            let rel = v.rel;
+            let key_len = noisy.schema().relation(rel).key_len.unwrap();
+            let first = noisy.fact(v.facts[0]).to_vec();
+            for f in &v.facts[1..] {
+                let row = noisy.fact(*f);
+                assert_eq!(&row[..key_len], &first[..key_len], "key must be shared");
+                assert_ne!(&row[key_len..], &first[key_len..], "non-key must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn more_noise_means_more_conflicts() {
+        let db = base();
+        let q = parse(db.schema(), "Q(cn) :- customer(ck, cn, nk, seg, bal)").unwrap();
+        let mut r1 = Mt64::new(5);
+        let mut r2 = Mt64::new(5);
+        let (_, low) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.1), &mut r1).unwrap();
+        let (_, high) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.9), &mut r2).unwrap();
+        assert!(high.total_added > 2 * low.total_added);
+    }
+
+    #[test]
+    fn noise_preserves_query_answerability() {
+        // The injected facts copy non-key values from real facts, so the
+        // query keeps (at least) its original answers in the noisy data.
+        let db = base();
+        let q = parse(
+            db.schema(),
+            "Q(nn) :- supplier(sk, sn, nk, bal), nation(nk, nn, rk)",
+        )
+        .unwrap();
+        let before = answers(&db, &q).unwrap().len();
+        let mut rng = Mt64::new(6);
+        let (noisy, _) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.5), &mut rng).unwrap();
+        let after = answers(&noisy, &q).unwrap().len();
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let db = base();
+        let q = parse(db.schema(), "Q(rn) :- region(rk, rn)").unwrap();
+        let mut rng = Mt64::new(7);
+        assert!(add_query_aware_noise(&db, &q, NoiseSpec { p: 0.0, lmin: 2, umax: 5 }, &mut rng)
+            .is_err());
+        assert!(add_query_aware_noise(&db, &q, NoiseSpec { p: 0.5, lmin: 1, umax: 5 }, &mut rng)
+            .is_err());
+        assert!(add_query_aware_noise(&db, &q, NoiseSpec { p: 0.5, lmin: 4, umax: 3 }, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn inconsistent_input_is_rejected() {
+        let db = base();
+        let q = parse(db.schema(), "Q(rn) :- region(rk, rn)").unwrap();
+        let mut rng = Mt64::new(8);
+        let (noisy, _) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(1.0), &mut rng).unwrap();
+        assert!(add_query_aware_noise(&noisy, &q, NoiseSpec::with_p(0.5), &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_query_result_is_rejected() {
+        let db = base();
+        let q = parse(db.schema(), "Q(rn) :- region(999, rn)").unwrap();
+        let mut rng = Mt64::new(9);
+        assert!(add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.5), &mut rng).is_err());
+    }
+
+    #[test]
+    fn noise_is_deterministic_given_a_seed() {
+        let db = base();
+        let q = parse(db.schema(), "Q(cn) :- customer(ck, cn, nk, seg, bal)").unwrap();
+        let mut r1 = Mt64::new(10);
+        let mut r2 = Mt64::new(10);
+        let (a, _) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.3), &mut r1).unwrap();
+        let (b, _) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.3), &mut r2).unwrap();
+        assert_eq!(a.fact_count(), b.fact_count());
+    }
+}

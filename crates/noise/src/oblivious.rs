@@ -1,0 +1,140 @@
+//! The query-*oblivious* baseline noise generator.
+//!
+//! §6.1 argues that existing error-generation tools are unsuitable for
+//! this benchmark precisely because they ignore the query: "it is likely
+//! that we will not affect the evaluation of the query … we typically
+//! deal with very large databases, while only a small portion of them is
+//! needed to answer a query." This module implements that baseline —
+//! identical block-growing mechanics, but facts are selected uniformly
+//! from each relation instead of from the query-relevant set — so the
+//! claim can be measured (see the `noise_ablation` binary and the tests
+//! below).
+
+use crate::{NoiseReport, NoiseSpec};
+use cqa_common::{CqaError, Mt64, Result};
+use cqa_storage::{is_consistent, Database, Datum};
+
+/// Injects query-oblivious noise: per keyed relation, `⌈p · |R|⌉` facts
+/// are selected uniformly at random and their blocks grown to a size in
+/// `[ℓ, u]`, with non-key values copied from random donors (same
+/// mechanics as the query-aware generator, different selection).
+pub fn add_oblivious_noise(
+    db: &Database,
+    spec: NoiseSpec,
+    rng: &mut Mt64,
+) -> Result<(Database, NoiseReport)> {
+    spec.validate()?;
+    if !is_consistent(db) {
+        return Err(CqaError::InvalidParameter(
+            "noise generator requires a consistent input database".into(),
+        ));
+    }
+    let mut out = db.clone();
+    let mut report = NoiseReport::default();
+    for (rel, def) in db.schema().iter() {
+        let Some(key_len) = def.key_len else { continue };
+        let table = db.table(rel);
+        let n_rows = table.len();
+        if n_rows < 2 {
+            continue;
+        }
+        let m = ((spec.p * n_rows as f64).ceil() as usize).min(n_rows);
+        let selected = rng.sample_indices(n_rows, m);
+        let mut added = 0usize;
+        for sel in &selected {
+            let row = table.row(*sel as u32);
+            let key = &row[..key_len];
+            let s = rng.range_inclusive(spec.lmin as u64, spec.umax as u64) as usize;
+            let mut new_fact: Vec<Datum> = row.to_vec();
+            for _ in 0..(s - 1) {
+                let mut placed = false;
+                for _attempt in 0..16 {
+                    let donor = table.row(rng.below(n_rows as u64) as u32);
+                    if &donor[..key_len] == key {
+                        continue;
+                    }
+                    new_fact[key_len..].copy_from_slice(&donor[key_len..]);
+                    if out.insert_datums(rel, &new_fact) {
+                        placed = true;
+                        break;
+                    }
+                }
+                if placed {
+                    added += 1;
+                }
+            }
+        }
+        report.per_relation.push((def.name.clone(), n_rows, selected.len(), added));
+        report.total_added += added;
+    }
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::add_query_aware_noise;
+    use cqa_query::parse;
+    use cqa_synopsis::{build_synopses, BuildOptions};
+    use cqa_tpch::{generate, TpchConfig};
+
+    #[test]
+    fn oblivious_noise_makes_the_database_inconsistent() {
+        let db = generate(TpchConfig::tiny());
+        let mut rng = Mt64::new(1);
+        let (noisy, report) =
+            add_oblivious_noise(&db, NoiseSpec::with_p(0.3), &mut rng).unwrap();
+        assert!(report.total_added > 0);
+        assert!(!is_consistent(&noisy));
+    }
+
+    /// The paper's §6.1 argument, measured: at equal p, query-aware noise
+    /// inflates the query's homomorphic size far more per injected fact
+    /// than oblivious noise, because the latter spends most additions on
+    /// facts the query never reads.
+    #[test]
+    fn query_aware_noise_affects_the_query_more_per_fact() {
+        let db = generate(TpchConfig { scale: 0.001, seed: 3 });
+        // A selective query: only a sliver of the database is relevant.
+        let q = parse(
+            db.schema(),
+            "Q(cn) :- customer(ck, cn, nk, 'BUILDING', bal), nation(nk, nn, rk)",
+        )
+        .unwrap();
+        let base_homs = build_synopses(&db, &q, BuildOptions::default()).unwrap().hom_size;
+
+        let mut rng_a = Mt64::new(7);
+        let (aware, aware_rep) =
+            add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.5), &mut rng_a).unwrap();
+        let mut rng_b = Mt64::new(7);
+        let (obliv, obliv_rep) =
+            add_oblivious_noise(&db, NoiseSpec::with_p(0.5), &mut rng_b).unwrap();
+
+        let aware_homs = build_synopses(&aware, &q, BuildOptions::default()).unwrap().hom_size;
+        let obliv_homs = build_synopses(&obliv, &q, BuildOptions::default()).unwrap().hom_size;
+
+        let aware_gain = (aware_homs - base_homs) as f64 / aware_rep.total_added.max(1) as f64;
+        let obliv_gain = (obliv_homs - base_homs) as f64 / obliv_rep.total_added.max(1) as f64;
+        assert!(
+            aware_gain > 5.0 * obliv_gain,
+            "aware: +{} homs / {} facts; oblivious: +{} homs / {} facts",
+            aware_homs - base_homs,
+            aware_rep.total_added,
+            obliv_homs - base_homs,
+            obliv_rep.total_added
+        );
+        // And the oblivious generator had to add far more facts overall.
+        assert!(obliv_rep.total_added > aware_rep.total_added);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let db = generate(TpchConfig::tiny());
+        let mut rng = Mt64::new(2);
+        assert!(add_oblivious_noise(&db, NoiseSpec { p: 0.0, lmin: 2, umax: 5 }, &mut rng)
+            .is_err());
+        let (noisy, _) =
+            add_oblivious_noise(&db, NoiseSpec::with_p(0.2), &mut rng).unwrap();
+        assert!(add_oblivious_noise(&noisy, NoiseSpec::with_p(0.2), &mut rng).is_err());
+    }
+}

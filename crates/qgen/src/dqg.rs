@@ -1,0 +1,261 @@
+//! The dynamic query generator (§6.1): tuning the balance of a query.
+//!
+//! DQG takes a starting CQ `Q`, a database `D`, and target balances
+//! `b₁, …, bₙ`; it searches over projections of `Q` (random subsets of the
+//! attributes) and returns, for each target, the projection whose balance
+//! w.r.t. `D` is closest.
+//!
+//! Key optimization over the paper's implementation (which re-ran each
+//! candidate against PostgreSQL for up to 12 hours): the set of consistent
+//! homomorphisms and the homomorphic size `|⋃ᵢHᵢ|` do not depend on the
+//! projection. One evaluation pass caches the distinct consistent variable
+//! bindings; every candidate projection's output size is then a single
+//! hash-set pass over the cache, so thousands of candidates cost what one
+//! cost the paper.
+
+use cqa_common::{CqaError, Mt64, Result};
+use cqa_query::{for_each_hom, ConjunctiveQuery, EvalOptions, Term, VarId};
+use cqa_storage::{Database, Datum, RelId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::ControlFlow;
+
+/// One balanced query produced by DQG.
+#[derive(Debug, Clone)]
+pub struct DqgResult {
+    /// The requested balance.
+    pub target: f64,
+    /// The balance actually achieved on `D`.
+    pub achieved: f64,
+    /// The projected query.
+    pub query: ConjunctiveQuery,
+}
+
+/// Cached evaluation: distinct consistent bindings + homomorphic size.
+struct EvalCache {
+    bindings: Vec<Vec<Datum>>,
+    hom_size: usize,
+}
+
+fn evaluate_once(db: &Database, q: &ConjunctiveQuery) -> Result<EvalCache> {
+    let mut rel_blocks: HashMap<RelId, std::sync::Arc<cqa_storage::RelationBlocks>> =
+        HashMap::new();
+    for atom in &q.atoms {
+        rel_blocks.entry(atom.rel).or_insert_with(|| db.blocks(atom.rel));
+    }
+    let mut bindings: HashSet<Vec<Datum>> = HashSet::new();
+    let mut images: HashSet<Box<[(RelId, u32, u32)]>> = HashSet::new();
+    for_each_hom(db, q, EvalOptions::default(), |binding, facts| {
+        let mut image: Vec<(RelId, u32, u32)> = q
+            .atoms
+            .iter()
+            .zip(facts)
+            .map(|(atom, &row)| {
+                let (bid, tid) = rel_blocks[&atom.rel].of_row(row);
+                (atom.rel, bid, tid)
+            })
+            .collect();
+        image.sort_unstable();
+        image.dedup();
+        let consistent = image
+            .windows(2)
+            .all(|w| !(w[0].0 == w[1].0 && w[0].1 == w[1].1 && w[0].2 != w[1].2));
+        if consistent {
+            bindings.insert(binding.to_vec());
+            images.insert(image.into_boxed_slice());
+        }
+        ControlFlow::Continue(())
+    })?;
+    Ok(EvalCache { bindings: bindings.into_iter().collect(), hom_size: images.len() })
+}
+
+/// Balance of the projection `head` given the cached bindings.
+fn balance_of(cache: &EvalCache, head: &[VarId]) -> f64 {
+    if cache.hom_size == 0 {
+        return 0.0;
+    }
+    let mut seen: HashSet<Vec<Datum>> = HashSet::with_capacity(cache.bindings.len());
+    for b in &cache.bindings {
+        seen.insert(head.iter().map(|v| b[v.idx()]).collect());
+    }
+    seen.len() as f64 / cache.hom_size as f64
+}
+
+/// Runs DQG: for each target balance, the best projection found within the
+/// iteration budget (the paper's time budget `t`, expressed as candidate
+/// count thanks to the cached evaluation).
+pub fn dqg(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    targets: &[f64],
+    iterations: usize,
+    rng: &mut Mt64,
+) -> Result<Vec<DqgResult>> {
+    for &t in targets {
+        if !(0.0..=1.0).contains(&t) {
+            return Err(CqaError::InvalidParameter(format!("balance target {t} out of [0,1]")));
+        }
+    }
+    let cache = evaluate_once(db, q)?;
+    if cache.hom_size == 0 {
+        return Err(CqaError::InvalidParameter(
+            "query has no consistent homomorphic images; balance is undefined".into(),
+        ));
+    }
+
+    // The attribute slots a projection may select (variable positions).
+    let var_slots: Vec<VarId> = {
+        let mut vs: BTreeSet<VarId> = BTreeSet::new();
+        for atom in &q.atoms {
+            for t in &atom.terms {
+                if let Term::Var(v) = t {
+                    vs.insert(*v);
+                }
+            }
+        }
+        vs.into_iter().collect()
+    };
+
+    // Candidate pool: the full projection, every single variable, and
+    // random subsets up to the iteration budget.
+    let mut pool: Vec<Vec<VarId>> = Vec::with_capacity(iterations + var_slots.len() + 1);
+    pool.push(var_slots.clone());
+    for &v in &var_slots {
+        pool.push(vec![v]);
+    }
+    for _ in 0..iterations {
+        let k = 1 + rng.index(var_slots.len());
+        let mut head: Vec<VarId> =
+            rng.sample_indices(var_slots.len(), k).into_iter().map(|i| var_slots[i]).collect();
+        head.sort();
+        pool.push(head);
+    }
+    pool.sort();
+    pool.dedup();
+
+    let scored: Vec<(f64, &Vec<VarId>)> =
+        pool.iter().map(|head| (balance_of(&cache, head), head)).collect();
+
+    let mut out = Vec::with_capacity(targets.len());
+    for &target in targets {
+        let (achieved, head) = scored
+            .iter()
+            .min_by(|(a, _), (b, _)| {
+                (a - target).abs().partial_cmp(&(b - target).abs()).expect("finite balances")
+            })
+            .expect("pool is non-empty");
+        let name = format!("{}_b{:02}", q.name, (target * 100.0).round() as u32);
+        out.push(DqgResult {
+            target,
+            achieved: *achieved,
+            query: q.with_head(name, (*head).clone())?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::parse;
+    use cqa_storage::{Schema, Value};
+    use cqa_storage::ColumnType::*;
+    use cqa_synopsis::{build_synopses, BuildOptions};
+
+    /// A database engineered to offer a range of balances: r(k, a, b) where
+    /// `a` is highly selective and `b` nearly constant.
+    fn graded_db() -> Database {
+        let schema = Schema::builder()
+            .relation("r", &[("k", Int), ("a", Int), ("b", Int)], Some(1))
+            .build();
+        let mut db = Database::new(schema);
+        for k in 0..40 {
+            db.insert_named("r", &[Value::Int(k), Value::Int(k), Value::Int(k % 2)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn achieved_balance_matches_synopsis_balance() {
+        // DQG's internal balance must agree with the synopsis builder's.
+        let db = graded_db();
+        let q = parse(db.schema(), "Q(k, a, b) :- r(k, a, b)").unwrap();
+        let mut rng = Mt64::new(1);
+        let results = dqg(&db, &q, &[0.0, 0.5, 1.0], 50, &mut rng).unwrap();
+        for r in &results {
+            let syn = build_synopses(&db, &r.query, BuildOptions::default()).unwrap();
+            assert!(
+                (syn.balance() - r.achieved).abs() < 1e-12,
+                "DQG balance {} vs synopsis {} for target {}",
+                r.achieved,
+                syn.balance(),
+                r.target
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_targets_are_approached() {
+        let db = graded_db();
+        let q = parse(db.schema(), "Q(k, a, b) :- r(k, a, b)").unwrap();
+        let mut rng = Mt64::new(2);
+        let results = dqg(&db, &q, &[0.05, 1.0], 100, &mut rng).unwrap();
+        // Balance 1.0 achievable with the key attribute projected; 0.05 is
+        // approached by the near-constant attribute (2/40).
+        assert!(results[1].achieved == 1.0);
+        assert!(results[0].achieved <= 0.1, "low target achieved {}", results[0].achieved);
+    }
+
+    #[test]
+    fn results_align_with_targets_in_order() {
+        let db = graded_db();
+        let q = parse(db.schema(), "Q(k, a, b) :- r(k, a, b)").unwrap();
+        let mut rng = Mt64::new(3);
+        let targets = [0.1, 0.5, 0.9];
+        let results = dqg(&db, &q, &targets, 100, &mut rng).unwrap();
+        assert_eq!(results.len(), 3);
+        for (r, &t) in results.iter().zip(&targets) {
+            assert_eq!(r.target, t);
+            assert!(!r.query.head.is_empty() || r.achieved < 0.2);
+        }
+        // Achieved balances are monotone along the targets here.
+        assert!(results[0].achieved <= results[1].achieved);
+        assert!(results[1].achieved <= results[2].achieved);
+    }
+
+    #[test]
+    fn empty_query_is_rejected() {
+        let db = graded_db();
+        let q = parse(db.schema(), "Q(k) :- r(k, 999, b)").unwrap();
+        let mut rng = Mt64::new(4);
+        assert!(dqg(&db, &q, &[0.5], 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn invalid_targets_are_rejected() {
+        let db = graded_db();
+        let q = parse(db.schema(), "Q(k) :- r(k, a, b)").unwrap();
+        let mut rng = Mt64::new(5);
+        assert!(dqg(&db, &q, &[1.5], 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn inconsistent_homs_are_excluded_from_the_cache() {
+        // Join that forces two facts from one block: only consistent homs
+        // count toward balance.
+        let schema = Schema::builder()
+            .relation("r", &[("k", Int), ("a", Int)], Some(1))
+            .build();
+        let mut db = Database::new(schema);
+        db.insert_named("r", &[Value::Int(1), Value::Int(10)]).unwrap();
+        db.insert_named("r", &[Value::Int(1), Value::Int(20)]).unwrap();
+        let q = parse(db.schema(), "Q(x, y) :- r(k, x), r(k2, y)").unwrap();
+        let mut rng = Mt64::new(6);
+        let results = dqg(&db, &q, &[1.0], 20, &mut rng).unwrap();
+        // Consistent homs: only (10,10) and (20,20) via the same fact twice
+        // is impossible here (k≠k2 unify separately)... the pairs (10,20)
+        // and (20,10) need both facts of the block → inconsistent. The
+        // diagonal pairs use a single fact → consistent.
+        let syn = build_synopses(&db, &results[0].query, BuildOptions::default()).unwrap();
+        assert!((results[0].achieved - syn.balance()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Query generators: the *static* query generator (SQG, Appendix D) and
+//! the *dynamic* query generator (DQG, §6.1).
+//!
+//! * [`sqg`] tunes the static parameters of a CQ — number of joins,
+//!   number of constant occurrences, fraction of projected attributes —
+//!   by sampling join conditions from the schema's foreign-key joinable
+//!   pairs and constants from the values actually occurring in the data.
+//! * [`dqg`] tunes the central *dynamic* parameter, the **balance**
+//!   (output size / homomorphic size), by searching over random
+//!   projections of a starting query. Because the set of consistent
+//!   homomorphisms and the homomorphic size are independent of the
+//!   projection, one evaluation pass suffices for the whole search — the
+//!   paper runs its DQG for 12 hours against PostgreSQL; here each
+//!   candidate projection costs one hash-set pass over the cached
+//!   bindings.
+
+pub mod dqg;
+pub mod sqg;
+
+pub use dqg::{dqg, DqgResult};
+pub use sqg::{sqg, SqgSpec};

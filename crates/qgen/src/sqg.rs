@@ -1,0 +1,351 @@
+//! The static query generator (Appendix D).
+//!
+//! SQG takes a schema, the number of joins `j`, the number of constant
+//! occurrences `c`, and a projection fraction `p`; it samples `j` join
+//! conditions from the foreign-key joinable attribute pairs, `c` constant
+//! conditions with values drawn from the data (the paper's function `f`
+//! maps each attribute to the constants occurring in `D_H` at that
+//! attribute), and finally projects `⌈p · |T|⌉` of the attributes.
+//!
+//! One deliberate refinement over a literal reading of the appendix: when
+//! the query already has atoms, the next join condition is anchored at an
+//! attribute of an *existing* atom, so generated queries are connected.
+//! Disconnected CQs multiply unrelated result sets and are useless as
+//! stress tests; the paper's own generated queries are connected.
+
+use cqa_common::{CqaError, Mt64, Result};
+use cqa_query::{Atom, ConjunctiveQuery, Term};
+use cqa_storage::{Database, RelId};
+use std::collections::BTreeMap;
+
+/// Static query parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SqgSpec {
+    /// Number of join conditions `j`.
+    pub joins: usize,
+    /// Number of constant occurrences `c`.
+    pub constants: usize,
+    /// Fraction `0 ≤ p ≤ 1` of attributes to project.
+    pub proj_fraction: f64,
+}
+
+/// Union-find over attribute slots.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind { parent: Vec::new() }
+    }
+    fn add(&mut self) -> usize {
+        let i = self.parent.len();
+        self.parent.push(i);
+        i
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+/// Generates a random CQ with the given static parameters over the
+/// database's schema, sampling constants from the database's contents.
+///
+/// The query may evaluate to the empty set on `db`; callers (like the
+/// scenario builder) retry with fresh randomness until non-empty, exactly
+/// as the paper keeps "the CQs whose evaluation over `D_H` is non-empty".
+pub fn sqg(db: &Database, spec: SqgSpec, rng: &mut Mt64) -> Result<ConjunctiveQuery> {
+    let schema = db.schema();
+    if !(0.0..=1.0).contains(&spec.proj_fraction) {
+        return Err(CqaError::InvalidParameter(format!(
+            "projection fraction must be in [0,1], got {}",
+            spec.proj_fraction
+        )));
+    }
+    let pairs = schema.joinable_pairs();
+    if spec.joins > 0 && pairs.is_empty() {
+        return Err(CqaError::InvalidParameter(
+            "schema has no joinable attribute pairs but joins were requested".into(),
+        ));
+    }
+
+    // One atom per relation; slot (rel, pos) ↦ union-find node.
+    let mut uf = UnionFind::new();
+    let mut slots: BTreeMap<(RelId, usize), usize> = BTreeMap::new();
+    let mut in_query: Vec<RelId> = Vec::new();
+
+    let add_relation = |rel: RelId,
+                            uf: &mut UnionFind,
+                            slots: &mut BTreeMap<(RelId, usize), usize>,
+                            in_query: &mut Vec<RelId>| {
+        if in_query.contains(&rel) {
+            return;
+        }
+        in_query.push(rel);
+        for pos in 0..schema.relation(rel).arity() {
+            let node = uf.add();
+            slots.insert((rel, pos), node);
+        }
+    };
+
+    // Join conditions.
+    let mut joins_placed = 0usize;
+    let mut attempts = 0usize;
+    while joins_placed < spec.joins {
+        attempts += 1;
+        if attempts > 64 * (spec.joins + 1) {
+            return Err(CqaError::InvalidParameter(format!(
+                "could not place {} join conditions over this schema",
+                spec.joins
+            )));
+        }
+        // Anchor at an existing atom when there is one (connectivity).
+        let candidates: Vec<_> = if in_query.is_empty() {
+            pairs.clone()
+        } else {
+            pairs.iter().copied().filter(|((r, _), _)| in_query.contains(r)).collect()
+        };
+        if candidates.is_empty() {
+            return Err(CqaError::InvalidParameter(
+                "no joinable attributes reachable from the current atoms".into(),
+            ));
+        }
+        let ((r, k), (p, l)) = candidates[rng.index(candidates.len())];
+        if r == p {
+            continue; // no self-joins: one atom per relation
+        }
+        add_relation(r, &mut uf, &mut slots, &mut in_query);
+        add_relation(p, &mut uf, &mut slots, &mut in_query);
+        let (a, b) = (slots[&(r, k)], slots[&(p, l)]);
+        if uf.union(a, b) {
+            joins_placed += 1;
+        }
+    }
+    if in_query.is_empty() {
+        // j = 0: a single random relation atom.
+        let rel = RelId(rng.index(schema.len()) as u32);
+        add_relation(rel, &mut uf, &mut slots, &mut in_query);
+    }
+
+    // Constant conditions: only on slots not participating in a join
+    // (a constant inside a join class would silently change the join).
+    let mut constants: BTreeMap<(RelId, usize), cqa_storage::Value> = BTreeMap::new();
+    let mut class_sizes: BTreeMap<usize, usize> = BTreeMap::new();
+    for &node in slots.values() {
+        *class_sizes.entry(uf.find(node)).or_default() += 1;
+    }
+    let free_slots: Vec<(RelId, usize)> = slots
+        .iter()
+        .filter(|(_, &node)| class_sizes[&uf.find(node)] == 1)
+        .map(|(&slot, _)| slot)
+        .collect();
+    if spec.constants > free_slots.len() {
+        return Err(CqaError::InvalidParameter(format!(
+            "cannot place {} constants: only {} non-join attribute slots",
+            spec.constants,
+            free_slots.len()
+        )));
+    }
+    for ix in rng.sample_indices(free_slots.len(), spec.constants) {
+        let (rel, pos) = free_slots[ix];
+        let table = db.table(rel);
+        if table.is_empty() {
+            return Err(CqaError::InvalidParameter(format!(
+                "relation {} is empty; cannot sample a constant",
+                schema.relation(rel).name
+            )));
+        }
+        let row = table.row(rng.below(table.len() as u64) as u32);
+        constants.insert((rel, pos), db.resolve(row[pos]));
+    }
+
+    // Assign variables: one per union-find class among non-constant slots.
+    let mut class_var: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut var_names: Vec<String> = Vec::new();
+    let mut atoms = Vec::new();
+    let mut rels_sorted = in_query.clone();
+    rels_sorted.sort();
+    for &rel in &rels_sorted {
+        let mut terms = Vec::with_capacity(schema.relation(rel).arity());
+        for pos in 0..schema.relation(rel).arity() {
+            if let Some(v) = constants.get(&(rel, pos)) {
+                terms.push(Term::Const(v.clone()));
+                continue;
+            }
+            let class = uf.find(slots[&(rel, pos)]);
+            let var = *class_var.entry(class).or_insert_with(|| {
+                let id = var_names.len() as u32;
+                var_names.push(format!("v{id}"));
+                id
+            });
+            terms.push(Term::Var(cqa_query::VarId(var)));
+        }
+        atoms.push(Atom { rel, terms });
+    }
+
+    // Projection: ⌈p · |T|⌉ random attribute slots; the variables at the
+    // chosen (non-constant) slots become the head.
+    let all_slots: Vec<(RelId, usize)> = slots.keys().copied().collect();
+    let want = (spec.proj_fraction * all_slots.len() as f64).ceil() as usize;
+    let chosen = rng.sample_indices(all_slots.len(), want.min(all_slots.len()));
+    let mut head: Vec<cqa_query::VarId> = Vec::new();
+    for ix in chosen {
+        let slot = all_slots[ix];
+        if constants.contains_key(&slot) {
+            continue;
+        }
+        let class = uf.find(slots[&slot]);
+        let v = cqa_query::VarId(class_var[&class]);
+        if !head.contains(&v) {
+            head.push(v);
+        }
+    }
+    head.sort();
+
+    ConjunctiveQuery::new(
+        format!("Q_j{}_c{}", spec.joins, spec.constants),
+        head,
+        atoms,
+        var_names,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_tpch::{generate, TpchConfig};
+
+    fn db() -> Database {
+        generate(TpchConfig::tiny())
+    }
+
+    #[test]
+    fn respects_join_count() {
+        let db = db();
+        let mut rng = Mt64::new(1);
+        for j in 0..=5 {
+            let q = sqg(&db, SqgSpec { joins: j, constants: 0, proj_fraction: 1.0 }, &mut rng)
+                .unwrap();
+            assert_eq!(q.join_count(), j, "query {}", q.display(db.schema()));
+        }
+    }
+
+    #[test]
+    fn respects_constant_count() {
+        let db = db();
+        let mut rng = Mt64::new(2);
+        for c in 0..=3 {
+            let q = sqg(&db, SqgSpec { joins: 2, constants: c, proj_fraction: 1.0 }, &mut rng)
+                .unwrap();
+            assert_eq!(q.constant_count(), c);
+        }
+    }
+
+    #[test]
+    fn constants_come_from_the_data() {
+        let db = db();
+        let mut rng = Mt64::new(3);
+        for _ in 0..10 {
+            let q = sqg(&db, SqgSpec { joins: 1, constants: 2, proj_fraction: 1.0 }, &mut rng)
+                .unwrap();
+            for atom in &q.atoms {
+                for (pos, t) in atom.terms.iter().enumerate() {
+                    if let Term::Const(v) = t {
+                        // The constant value must occur at that attribute.
+                        let ix = db.index(atom.rel, &[pos as u16]);
+                        let d = db.lookup_value(v).expect("value sampled from db");
+                        assert!(!ix.get(&[d]).is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_queries_are_connected() {
+        let db = db();
+        let mut rng = Mt64::new(4);
+        for _ in 0..20 {
+            let q = sqg(&db, SqgSpec { joins: 4, constants: 2, proj_fraction: 0.5 }, &mut rng)
+                .unwrap();
+            // Connectivity: the atom-sharing graph over variables has one
+            // component.
+            let n = q.atoms.len();
+            let mut reach = vec![false; n];
+            reach[0] = true;
+            loop {
+                let mut changed = false;
+                for i in 0..n {
+                    if reach[i] {
+                        continue;
+                    }
+                    let connected = q.atoms[i].vars().any(|v| {
+                        q.atoms
+                            .iter()
+                            .enumerate()
+                            .any(|(j, a)| reach[j] && a.vars().any(|w| w == v))
+                    });
+                    if connected {
+                        reach[i] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            assert!(reach.iter().all(|&r| r), "disconnected query {}", q.display(db.schema()));
+        }
+    }
+
+    #[test]
+    fn zero_projection_gives_boolean_query() {
+        let db = db();
+        let mut rng = Mt64::new(5);
+        let q = sqg(&db, SqgSpec { joins: 2, constants: 1, proj_fraction: 0.0 }, &mut rng)
+            .unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn full_projection_covers_all_variable_classes() {
+        let db = db();
+        let mut rng = Mt64::new(6);
+        let q =
+            sqg(&db, SqgSpec { joins: 1, constants: 0, proj_fraction: 1.0 }, &mut rng).unwrap();
+        let body: std::collections::BTreeSet<_> = q.body_vars();
+        let head: std::collections::BTreeSet<_> = q.head.iter().copied().collect();
+        assert_eq!(body, head);
+    }
+
+    #[test]
+    fn invalid_fraction_is_rejected() {
+        let db = db();
+        let mut rng = Mt64::new(7);
+        assert!(sqg(&db, SqgSpec { joins: 1, constants: 0, proj_fraction: 1.5 }, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let db = db();
+        let mut r1 = Mt64::new(8);
+        let mut r2 = Mt64::new(8);
+        let spec = SqgSpec { joins: 3, constants: 2, proj_fraction: 0.5 };
+        let a = sqg(&db, spec, &mut r1).unwrap();
+        let b = sqg(&db, spec, &mut r2).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,534 @@
+//! Homomorphism enumeration: the join engine.
+//!
+//! [`for_each_hom`] streams every homomorphism `h` from a CQ to a database,
+//! delivering both the variable binding and the per-atom fact provenance
+//! (`h(Q)` as row indices). The synopsis builder groups these by the head
+//! tuple `h(x̄)` to form the paper's `syn_{Σ,Q}(D)` in a single pass —
+//! functionally the paper's one-SQL-query preprocessing (§5).
+//!
+//! The plan is a greedy bound-first atom ordering; each step looks up
+//! candidate rows through an on-demand hash index on its bound positions
+//! (or scans when nothing is bound, which only happens for the first atom
+//! of a connected component).
+
+use crate::ast::{ConjunctiveQuery, Term, VarId};
+use cqa_common::{CqaError, Deadline, Result};
+use cqa_storage::{Database, Datum};
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+/// Limits on an evaluation run.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Stop after this many homomorphisms (`None` = unlimited).
+    pub max_homs: Option<usize>,
+    /// Abort with [`CqaError::TimedOut`] past this deadline.
+    pub deadline: Deadline,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { max_homs: None, deadline: Deadline::none() }
+    }
+}
+
+/// A materialized homomorphism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hom {
+    /// `binding[v]` is the image of variable `v`.
+    pub binding: Vec<Datum>,
+    /// `facts[i]` is the row (in `q.atoms[i].rel`) the `i`-th atom maps to.
+    pub facts: Vec<u32>,
+}
+
+const POLL_INTERVAL: u64 = 4096;
+
+struct Engine<'a> {
+    db: &'a Database,
+    q: &'a ConjunctiveQuery,
+    /// Plan: atom indices in evaluation order.
+    order: Vec<usize>,
+    /// Per plan step: positions bound before the step (for index lookup).
+    lookup_cols: Vec<Vec<u16>>,
+    /// Resolved constants per atom position (`None` for variables).
+    consts: Vec<Vec<Option<Datum>>>,
+    /// Current binding, `None` = unbound.
+    binding: Vec<Option<Datum>>,
+    /// Chosen row per plan step.
+    rows: Vec<u32>,
+    opts: EvalOptions,
+    emitted: usize,
+    work: u64,
+}
+
+impl<'a> Engine<'a> {
+    /// Resolves constants and computes the greedy plan. Returns `None` when
+    /// some constant cannot occur in the database (empty result).
+    fn plan(
+        db: &'a Database,
+        q: &'a ConjunctiveQuery,
+        seed: &[(VarId, Datum)],
+        opts: EvalOptions,
+    ) -> Option<Self> {
+        let mut consts = Vec::with_capacity(q.atoms.len());
+        for atom in &q.atoms {
+            let mut row = Vec::with_capacity(atom.terms.len());
+            for t in &atom.terms {
+                match t {
+                    Term::Var(_) => row.push(None),
+                    Term::Const(v) => match db.lookup_value(v) {
+                        Some(d) => row.push(Some(d)),
+                        None => return None,
+                    },
+                }
+            }
+            consts.push(row);
+        }
+
+        let mut binding = vec![None; q.num_vars()];
+        let mut bound: Vec<bool> = vec![false; q.num_vars()];
+        for &(v, d) in seed {
+            if let Some(existing) = binding[v.idx()] {
+                if existing != d {
+                    return None;
+                }
+            }
+            binding[v.idx()] = Some(d);
+            bound[v.idx()] = true;
+        }
+
+        // Greedy ordering: repeatedly take the atom with the most bound
+        // positions; break ties towards smaller tables.
+        let n = q.atoms.len();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut lookup_cols = Vec::with_capacity(n);
+        while !remaining.is_empty() {
+            let (pick_pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &ai)| {
+                    let atom = &q.atoms[ai];
+                    let mut bound_count = 0usize;
+                    for (i, t) in atom.terms.iter().enumerate() {
+                        let is_bound = match t {
+                            Term::Const(_) => true,
+                            Term::Var(v) => bound[v.idx()],
+                        };
+                        if is_bound {
+                            bound_count += 1;
+                        }
+                        let _ = i;
+                    }
+                    let size = db.table(atom.rel).len();
+                    // Higher bound_count first, then smaller table.
+                    (pos, (std::cmp::Reverse(bound_count), size))
+                })
+                .min_by_key(|&(_, key)| key)
+                .expect("remaining non-empty");
+            let ai = remaining.swap_remove(pick_pos);
+            let atom = &q.atoms[ai];
+            let mut cols = Vec::new();
+            let mut seen_here: HashSet<VarId> = HashSet::new();
+            for (i, t) in atom.terms.iter().enumerate() {
+                match t {
+                    Term::Const(_) => cols.push(i as u16),
+                    Term::Var(v) => {
+                        if bound[v.idx()] && !seen_here.contains(v) {
+                            // Repeats of a bound var inside one atom go to
+                            // the runtime check, not the index key, so the
+                            // key stays free of duplicate columns.
+                            cols.push(i as u16);
+                            seen_here.insert(*v);
+                        }
+                    }
+                }
+            }
+            for v in atom.vars() {
+                bound[v.idx()] = true;
+            }
+            order.push(ai);
+            lookup_cols.push(cols);
+        }
+
+        Some(Engine {
+            db,
+            q,
+            order,
+            lookup_cols,
+            consts,
+            binding,
+            rows: vec![0; n],
+            opts,
+            emitted: 0,
+            work: 0,
+        })
+    }
+
+    fn poll(&mut self) -> Result<()> {
+        self.work += 1;
+        if self.work % POLL_INTERVAL == 0 && self.opts.deadline.expired() {
+            return Err(CqaError::TimedOut { phase: "query evaluation" });
+        }
+        Ok(())
+    }
+
+    fn run<F>(&mut self, f: &mut F) -> Result<ControlFlow<()>>
+    where
+        F: FnMut(&[Datum], &[u32]) -> ControlFlow<()>,
+    {
+        self.step(0, f)
+    }
+
+    fn step<F>(&mut self, depth: usize, f: &mut F) -> Result<ControlFlow<()>>
+    where
+        F: FnMut(&[Datum], &[u32]) -> ControlFlow<()>,
+    {
+        if depth == self.order.len() {
+            self.emitted += 1;
+            // All variables of the body are bound here; head vars are a
+            // subset by safety.
+            let binding: Vec<Datum> = self
+                .binding
+                .iter()
+                .map(|b| b.unwrap_or(Datum::Int(0)))
+                .collect();
+            // Re-order rows into atom order for the provenance.
+            let mut facts = vec![0u32; self.order.len()];
+            for (step, &ai) in self.order.iter().enumerate() {
+                facts[ai] = self.rows[step];
+            }
+            let flow = f(&binding, &facts);
+            if let Some(max) = self.opts.max_homs {
+                if self.emitted >= max {
+                    return Ok(ControlFlow::Break(()));
+                }
+            }
+            return Ok(flow);
+        }
+
+        let ai = self.order[depth];
+        let atom = &self.q.atoms[ai];
+        let rel = atom.rel;
+        let cols = &self.lookup_cols[depth];
+
+        // Candidate rows: indexed lookup when something is bound, else scan.
+        let candidates: CandidateIter = if cols.is_empty() {
+            CandidateIter::Scan(0..self.db.table(rel).len() as u32)
+        } else {
+            let key: Vec<Datum> = cols
+                .iter()
+                .map(|&c| match &atom.terms[c as usize] {
+                    Term::Const(_) => self.consts[ai][c as usize].expect("resolved"),
+                    Term::Var(v) => self.binding[v.idx()].expect("bound by plan"),
+                })
+                .collect();
+            let ix = self.db.index(rel, cols);
+            CandidateIter::Rows(ix.get(&key).to_vec().into_iter())
+        };
+
+        for row_id in candidates {
+            self.poll()?;
+            let row = self.db.table(rel).row(row_id);
+            // Unify, recording which variables this atom binds (trail).
+            let mut trail: Vec<VarId> = Vec::new();
+            let mut ok = true;
+            for (i, t) in atom.terms.iter().enumerate() {
+                match t {
+                    Term::Const(_) => {
+                        if self.consts[ai][i] != Some(row[i]) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match self.binding[v.idx()] {
+                        Some(d) => {
+                            if d != row[i] {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            self.binding[v.idx()] = Some(row[i]);
+                            trail.push(*v);
+                        }
+                    },
+                }
+            }
+            if ok {
+                self.rows[depth] = row_id;
+                let flow = self.step(depth + 1, f)?;
+                if flow.is_break() {
+                    for v in trail {
+                        self.binding[v.idx()] = None;
+                    }
+                    return Ok(ControlFlow::Break(()));
+                }
+            }
+            for v in trail {
+                self.binding[v.idx()] = None;
+            }
+        }
+        Ok(ControlFlow::Continue(()))
+    }
+}
+
+enum CandidateIter {
+    Scan(std::ops::Range<u32>),
+    Rows(std::vec::IntoIter<u32>),
+}
+
+impl Iterator for CandidateIter {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            CandidateIter::Scan(r) => r.next(),
+            CandidateIter::Rows(it) => it.next(),
+        }
+    }
+}
+
+/// Streams every homomorphism from `q` to `db`.
+///
+/// The callback receives the full variable binding (indexed by [`VarId`])
+/// and the per-atom fact rows; returning `ControlFlow::Break` stops the
+/// enumeration early.
+pub fn for_each_hom<F>(db: &Database, q: &ConjunctiveQuery, opts: EvalOptions, mut f: F) -> Result<()>
+where
+    F: FnMut(&[Datum], &[u32]) -> ControlFlow<()>,
+{
+    for_each_hom_seeded(db, q, &[], opts, &mut f)
+}
+
+/// Like [`for_each_hom`] but with some variables pre-bound.
+pub fn for_each_hom_seeded<F>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    seed: &[(VarId, Datum)],
+    opts: EvalOptions,
+    f: &mut F,
+) -> Result<()>
+where
+    F: FnMut(&[Datum], &[u32]) -> ControlFlow<()>,
+{
+    match Engine::plan(db, q, seed, opts) {
+        None => Ok(()),
+        Some(mut engine) => {
+            // An early break from the callback is a normal outcome here.
+            let _ = engine.run(f)?;
+            Ok(())
+        }
+    }
+}
+
+/// Materializes all homomorphisms (use only when the count is manageable).
+pub fn homomorphisms(db: &Database, q: &ConjunctiveQuery, opts: EvalOptions) -> Result<Vec<Hom>> {
+    let mut out = Vec::new();
+    for_each_hom(db, q, opts, |binding, facts| {
+        out.push(Hom { binding: binding.to_vec(), facts: facts.to_vec() });
+        ControlFlow::Continue(())
+    })?;
+    Ok(out)
+}
+
+/// The distinct answers `Q(D)` (§2): projections of the homomorphisms onto
+/// the head variables.
+pub fn answers(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<Vec<Datum>>> {
+    let mut seen: HashSet<Vec<Datum>> = HashSet::new();
+    let mut out = Vec::new();
+    for_each_hom(db, q, EvalOptions::default(), |binding, _| {
+        let t: Vec<Datum> = q.head.iter().map(|v| binding[v.idx()]).collect();
+        if seen.insert(t.clone()) {
+            out.push(t);
+        }
+        ControlFlow::Continue(())
+    })?;
+    Ok(out)
+}
+
+/// True iff `t̄ ∈ Q(D)`: some homomorphism maps the head to `t̄`.
+pub fn is_answer(db: &Database, q: &ConjunctiveQuery, t: &[Datum]) -> Result<bool> {
+    assert_eq!(t.len(), q.head.len(), "tuple arity must match the head");
+    let mut seed: Vec<(VarId, Datum)> = Vec::with_capacity(t.len());
+    for (&v, &d) in q.head.iter().zip(t) {
+        // Repeated head variables must agree.
+        if let Some(&(_, prev)) = seed.iter().find(|&&(w, _)| w == v) {
+            if prev != d {
+                return Ok(false);
+            }
+            continue;
+        }
+        seed.push((v, d));
+    }
+    let mut found = false;
+    for_each_hom_seeded(db, q, &seed, EvalOptions::default(), &mut |_, _| {
+        found = true;
+        ControlFlow::Break(())
+    })?;
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use cqa_storage::ColumnType::*;
+    use cqa_storage::{Schema, Value};
+
+    /// The paper's Example 1.1 plus a department relation for joins.
+    fn db() -> Database {
+        let schema = Schema::builder()
+            .relation("employee", &[("id", Int), ("name", Str), ("dept", Str)], Some(1))
+            .relation("dept", &[("dname", Str), ("floor", Int)], Some(1))
+            .foreign_key("employee", &["dept"], "dept", &["dname"])
+            .build();
+        let mut db = Database::new(schema);
+        for (id, name, dept) in
+            [(1, "Bob", "HR"), (1, "Bob", "IT"), (2, "Alice", "IT"), (2, "Tim", "IT")]
+        {
+            db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)])
+                .unwrap();
+        }
+        for (dname, floor) in [("HR", 1), ("IT", 2)] {
+            db.insert_named("dept", &[Value::str(dname), Value::Int(floor)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn enumerates_all_homomorphisms() {
+        let db = db();
+        let q = parse(db.schema(), "Q(x, n, d) :- employee(x, n, d)").unwrap();
+        let homs = homomorphisms(&db, &q, EvalOptions::default()).unwrap();
+        assert_eq!(homs.len(), 4);
+    }
+
+    #[test]
+    fn constant_filters_apply() {
+        let db = db();
+        let q = parse(db.schema(), "Q(x) :- employee(x, n, 'IT')").unwrap();
+        let homs = homomorphisms(&db, &q, EvalOptions::default()).unwrap();
+        assert_eq!(homs.len(), 3);
+        let ans = answers(&db, &q).unwrap();
+        assert_eq!(ans.len(), 2); // ids 1 and 2
+    }
+
+    #[test]
+    fn join_produces_cross_relation_matches() {
+        let db = db();
+        let q = parse(db.schema(), "Q(n, f) :- employee(x, n, d), dept(d, f)").unwrap();
+        let homs = homomorphisms(&db, &q, EvalOptions::default()).unwrap();
+        assert_eq!(homs.len(), 4);
+        let ans = answers(&db, &q).unwrap();
+        // (Bob,1), (Bob,2), (Alice,2), (Tim,2)
+        assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn provenance_rows_reconstruct_the_image() {
+        let db = db();
+        let q = parse(db.schema(), "Q() :- employee(x, n, d), dept(d, f)").unwrap();
+        for_each_hom(&db, &q, EvalOptions::default(), |binding, facts| {
+            // The dept atom's row must actually contain the binding of d.
+            let dept_rel = db.schema().rel_id("dept").unwrap();
+            let drow = db.table(dept_rel).row(facts[1]);
+            let d_var = q.atoms[0].terms[2].clone();
+            if let Term::Var(v) = d_var {
+                assert_eq!(drow[0], binding[v.idx()]);
+            }
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_requires_equality() {
+        let schema = Schema::builder().relation("p", &[("a", Int), ("b", Int)], None).build();
+        let mut db = Database::new(schema);
+        db.insert_named("p", &[Value::Int(1), Value::Int(1)]).unwrap();
+        db.insert_named("p", &[Value::Int(1), Value::Int(2)]).unwrap();
+        let q = parse(db.schema(), "Q(x) :- p(x, x)").unwrap();
+        let ans = answers(&db, &q).unwrap();
+        assert_eq!(ans, vec![vec![Datum::Int(1)]]);
+    }
+
+    #[test]
+    fn unknown_string_constant_yields_empty_result() {
+        let db = db();
+        let q = parse(db.schema(), "Q(x) :- employee(x, n, 'Payroll')").unwrap();
+        assert!(homomorphisms(&db, &q, EvalOptions::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn boolean_query_same_department_example() {
+        // The paper's Example 1.1 query: do employees 1 and 2 work in the
+        // same department? True in the full (inconsistent) database.
+        let db = db();
+        let q = parse(
+            db.schema(),
+            "Q() :- employee(1, n1, d), employee(2, n2, d)",
+        )
+        .unwrap();
+        let homs = homomorphisms(&db, &q, EvalOptions::default()).unwrap();
+        // (1,Bob,IT) joins with (2,Alice,IT) and (2,Tim,IT).
+        assert_eq!(homs.len(), 2);
+    }
+
+    #[test]
+    fn is_answer_checks_membership() {
+        let db = db();
+        let q = parse(db.schema(), "Q(x, d) :- employee(x, n, d)").unwrap();
+        let it = db.lookup_value(&Value::str("IT")).unwrap();
+        let hr = db.lookup_value(&Value::str("HR")).unwrap();
+        assert!(is_answer(&db, &q, &[Datum::Int(1), it]).unwrap());
+        assert!(is_answer(&db, &q, &[Datum::Int(2), hr]).unwrap() == false);
+    }
+
+    #[test]
+    fn is_answer_with_repeated_head_vars() {
+        let db = db();
+        let q = parse(db.schema(), "Q(x, x) :- employee(x, n, d)").unwrap();
+        assert!(is_answer(&db, &q, &[Datum::Int(1), Datum::Int(1)]).unwrap());
+        assert!(!is_answer(&db, &q, &[Datum::Int(1), Datum::Int(2)]).unwrap());
+    }
+
+    #[test]
+    fn max_homs_limits_enumeration() {
+        let db = db();
+        let q = parse(db.schema(), "Q(x) :- employee(x, n, d)").unwrap();
+        let homs =
+            homomorphisms(&db, &q, EvalOptions { max_homs: Some(2), ..Default::default() })
+                .unwrap();
+        assert_eq!(homs.len(), 2);
+    }
+
+    #[test]
+    fn callback_break_stops_early() {
+        let db = db();
+        let q = parse(db.schema(), "Q(x) :- employee(x, n, d)").unwrap();
+        let mut count = 0;
+        for_each_hom(&db, &q, EvalOptions::default(), |_, _| {
+            count += 1;
+            ControlFlow::Break(())
+        })
+        .unwrap();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn cartesian_product_when_disconnected() {
+        let db = db();
+        let q = parse(db.schema(), "Q() :- employee(x, n, d), dept(e, f)").unwrap();
+        let homs = homomorphisms(&db, &q, EvalOptions::default()).unwrap();
+        assert_eq!(homs.len(), 4 * 2);
+    }
+
+    #[test]
+    fn self_join_enumerates_pairs() {
+        let db = db();
+        let q = parse(db.schema(), "Q(x, y) :- employee(x, n1, d), employee(y, n2, d)").unwrap();
+        let homs = homomorphisms(&db, &q, EvalOptions::default()).unwrap();
+        // HR: 1 pair; IT: 3×3 pairs.
+        assert_eq!(homs.len(), 1 + 9);
+    }
+}

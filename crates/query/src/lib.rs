@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Conjunctive queries: representation, parsing, and evaluation.
+//!
+//! A CQ `Q(x̄) :- R₁(z̄₁) ∧ … ∧ Rₙ(z̄ₙ)` (§2) is represented by [`ast`],
+//! parsed from a datalog-style surface syntax by [`parser`], and evaluated
+//! by [`eval`], which enumerates **all homomorphisms** from the query to a
+//! database together with per-atom fact provenance. The provenance is what
+//! the synopsis construction (the paper's preprocessing step, §5) consumes:
+//! each homomorphism `h` yields a homomorphic image `h(Q)` as a set of
+//! facts, from which block metadata is attached.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Atom, ConjunctiveQuery, Term, VarId};
+pub use eval::{answers, for_each_hom, homomorphisms, is_answer, EvalOptions, Hom};
+pub use parser::parse;

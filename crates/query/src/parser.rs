@@ -1,0 +1,369 @@
+//! A datalog-style surface syntax for conjunctive queries.
+//!
+//! ```text
+//! Q(x, d) :- employee(x, n, d), dept(d, 2)
+//! ```
+//!
+//! * Identifiers in the head and at term positions are **variables**.
+//! * Integers (`42`, `-3`) and single-quoted strings (`'HR'`) are constants.
+//! * The relation names and arities are validated against a [`Schema`],
+//!   and constant types against the column types.
+//! * A Boolean query has an empty head: `Q() :- r(x, y)`.
+
+use crate::ast::{Atom, ConjunctiveQuery, Term, VarId};
+use cqa_common::{CqaError, Result};
+use cqa_storage::{ColumnType, Schema, Value};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    ColonDash,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            ':' => {
+                chars.next();
+                if chars.next() != Some('-') {
+                    return Err(CqaError::Parse("expected '-' after ':'".into()));
+                }
+                toks.push(Tok::ColonDash);
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(CqaError::Parse("unterminated string".into())),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: i64 = s
+                    .parse()
+                    .map_err(|_| CqaError::Parse(format!("bad integer literal '{s}'")))?;
+                toks.push(Tok::Int(n));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => return Err(CqaError::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    schema: &'a Schema,
+    vars: HashMap<String, VarId>,
+    var_names: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| CqaError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<()> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(CqaError::Parse(format!("expected {want:?}, got {got:?}")))
+        }
+    }
+
+    fn var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.vars.get(name) {
+            return v;
+        }
+        let v = VarId(self.var_names.len() as u32);
+        self.vars.insert(name.to_owned(), v);
+        self.var_names.push(name.to_owned());
+        v
+    }
+
+    fn parse_query(&mut self) -> Result<ConjunctiveQuery> {
+        // Head: name '(' vars ')' ':-'
+        let name = match self.next()? {
+            Tok::Ident(n) => n,
+            t => return Err(CqaError::Parse(format!("expected query name, got {t:?}"))),
+        };
+        self.expect(Tok::LParen)?;
+        let mut head = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                match self.next()? {
+                    Tok::Ident(v) => head.push(self.var(&v)),
+                    t => {
+                        return Err(CqaError::Parse(format!(
+                            "head terms must be variables, got {t:?}"
+                        )))
+                    }
+                }
+                match self.next()? {
+                    Tok::Comma => continue,
+                    Tok::RParen => break,
+                    t => return Err(CqaError::Parse(format!("expected ',' or ')', got {t:?}"))),
+                }
+            }
+        } else {
+            self.expect(Tok::RParen)?;
+        }
+        self.expect(Tok::ColonDash)?;
+
+        // Body: atom (',' atom)*
+        let mut atoms = Vec::new();
+        loop {
+            atoms.push(self.parse_atom()?);
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.pos += 1;
+                }
+                None => break,
+                Some(t) => {
+                    return Err(CqaError::Parse(format!("expected ',' or end of query, got {t:?}")))
+                }
+            }
+        }
+        ConjunctiveQuery::new(name, head, atoms, std::mem::take(&mut self.var_names))
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom> {
+        let rel_name = match self.next()? {
+            Tok::Ident(n) => n,
+            t => return Err(CqaError::Parse(format!("expected relation name, got {t:?}"))),
+        };
+        let rel = self.schema.require(&rel_name)?;
+        let def = self.schema.relation(rel);
+        self.expect(Tok::LParen)?;
+        let mut terms = Vec::new();
+        loop {
+            let term = match self.next()? {
+                Tok::Ident(v) => Term::Var(self.var(&v)),
+                Tok::Int(i) => Term::Const(Value::Int(i)),
+                Tok::Str(s) => Term::Const(Value::Str(s)),
+                t => return Err(CqaError::Parse(format!("expected term, got {t:?}"))),
+            };
+            terms.push(term);
+            match self.next()? {
+                Tok::Comma => continue,
+                Tok::RParen => break,
+                t => return Err(CqaError::Parse(format!("expected ',' or ')', got {t:?}"))),
+            }
+        }
+        if terms.len() != def.arity() {
+            return Err(CqaError::ArityMismatch {
+                relation: rel_name,
+                expected: def.arity(),
+                got: terms.len(),
+            });
+        }
+        for (i, t) in terms.iter().enumerate() {
+            if let Term::Const(v) = t {
+                let ok = matches!(
+                    (v, def.columns[i].ty),
+                    (Value::Int(_), ColumnType::Int) | (Value::Str(_), ColumnType::Str)
+                );
+                if !ok {
+                    return Err(CqaError::TypeMismatch {
+                        relation: rel_name,
+                        column: def.columns[i].name.clone(),
+                        detail: format!("constant {v} has the wrong type"),
+                    });
+                }
+            }
+        }
+        Ok(Atom { rel, terms })
+    }
+}
+
+/// Parses a conjunctive query against a schema.
+pub fn parse(schema: &Schema, input: &str) -> Result<ConjunctiveQuery> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0, schema, vars: HashMap::new(), var_names: Vec::new() };
+    let q = p.parse_query()?;
+    if p.pos != p.toks.len() {
+        return Err(CqaError::Parse("trailing input after query".into()));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_storage::ColumnType::*;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .relation("employee", &[("id", Int), ("name", Str), ("dept", Str)], Some(1))
+            .relation("dept", &[("dname", Str), ("floor", Int)], Some(1))
+            .build()
+    }
+
+    #[test]
+    fn parses_simple_query() {
+        let s = schema();
+        let q = parse(&s, "Q(x) :- employee(x, n, d)").unwrap();
+        assert_eq!(q.name, "Q");
+        assert_eq!(q.head.len(), 1);
+        assert_eq!(q.atoms.len(), 1);
+        assert_eq!(q.num_vars(), 3);
+    }
+
+    #[test]
+    fn parses_join_and_constants() {
+        let s = schema();
+        let q = parse(&s, "Q(x, d) :- employee(x, n, d), dept(d, 2)").unwrap();
+        assert_eq!(q.join_count(), 1);
+        assert_eq!(q.constant_count(), 1);
+        assert_eq!(q.atoms[1].terms[1], Term::Const(Value::Int(2)));
+    }
+
+    #[test]
+    fn parses_string_constants() {
+        let s = schema();
+        let q = parse(&s, "Q(x) :- employee(x, n, 'HR')").unwrap();
+        assert_eq!(q.atoms[0].terms[2], Term::Const(Value::str("HR")));
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let s = schema();
+        let q = parse(&s, "Q() :- employee(x, n, d)").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let s = schema();
+        let text = "Q(x, d) :- employee(x, n, d), dept(d, 2)";
+        let q = parse(&s, text).unwrap();
+        let rendered = q.display(&s).to_string();
+        let q2 = parse(&s, &rendered).unwrap();
+        assert_eq!(q.head, q2.head);
+        assert_eq!(q.atoms, q2.atoms);
+    }
+
+    #[test]
+    fn negative_integers_parse() {
+        let s = schema();
+        let q = parse(&s, "Q() :- dept(n, -5)").unwrap();
+        assert_eq!(q.atoms[0].terms[1], Term::Const(Value::Int(-5)));
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let s = schema();
+        assert!(matches!(parse(&s, "Q() :- nope(x)"), Err(CqaError::UnknownName(_))));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let s = schema();
+        assert!(matches!(
+            parse(&s, "Q() :- employee(x, y)"),
+            Err(CqaError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let s = schema();
+        assert!(matches!(
+            parse(&s, "Q() :- employee('one', n, d)"),
+            Err(CqaError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn constants_in_head_are_rejected() {
+        let s = schema();
+        assert!(parse(&s, "Q(1) :- employee(x, n, d)").is_err());
+    }
+
+    #[test]
+    fn unsafe_head_variable_is_rejected() {
+        let s = schema();
+        assert!(parse(&s, "Q(z) :- employee(x, n, d)").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let s = schema();
+        assert!(parse(&s, "Q() :- employee(x, n, d) garbage()").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_rejected() {
+        let s = schema();
+        assert!(parse(&s, "Q() :- employee(x, n, 'HR").is_err());
+    }
+
+    #[test]
+    fn repeated_variables_unify() {
+        let s = schema();
+        // Same variable in two positions of one atom.
+        let q = parse(&s, "Q() :- dept(d, f), dept(d, f)").unwrap();
+        assert_eq!(q.num_vars(), 2);
+    }
+}

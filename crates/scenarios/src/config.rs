@@ -1,0 +1,176 @@
+//! Benchmark configuration profiles.
+//!
+//! The paper's grids (10 noise levels × 11 balance levels × 5 join levels
+//! × 5 queries each, 1 GB databases, 1-hour timeouts) consumed 48 days of
+//! CPU. The profiles here keep the *structure* — the same three scenario
+//! families over the same axes — at container scale. Every knob can be
+//! overridden through `CQA_*` environment variables, so `full`-profile
+//! runs remain a single command.
+
+use std::env;
+
+/// All knobs of a benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// TPC-H-like scale factor for the base database `D_H`.
+    pub scale: f64,
+    /// Master seed; everything (data, noise, queries, samplers) derives
+    /// from it.
+    pub seed: u64,
+    /// Noise levels `p` (fractions of query-relevant facts perturbed).
+    pub noise_levels: Vec<f64>,
+    /// Balance targets `q`; 0 denotes the Boolean query `Q_p[0]`.
+    pub balance_levels: Vec<f64>,
+    /// Join counts of the SQG queries.
+    pub joins: Vec<usize>,
+    /// SQG queries generated per join level (the paper uses 5).
+    pub queries_per_join: usize,
+    /// Constant occurrences per SQG query (the paper fixes 2).
+    pub constants: usize,
+    /// DQG candidate budget per (query, noise) combination.
+    pub dqg_iterations: usize,
+    /// Relative error ε (the paper fixes 0.1).
+    pub eps: f64,
+    /// Uncertainty δ (the paper fixes 0.25).
+    pub delta: f64,
+    /// Per-(pair, scheme) timeout in seconds (the paper uses 1 hour per
+    /// scenario).
+    pub timeout_secs: f64,
+    /// Worker threads for scenario execution.
+    pub threads: usize,
+    /// Noise block-size bounds `[ℓ, u]` (the paper fixes [2, 5]).
+    pub block_min: u32,
+    /// See [`Self::block_min`].
+    pub block_max: u32,
+    /// Minimum homomorphic size a pool query must have on `D_H`. Queries
+    /// with almost no homomorphic images make every scheme trivially fast
+    /// and, for Boolean scenarios, lose the `R(H,B) ≈ 1` property the
+    /// paper's analysis hinges on (§7.1: "the only synopsis therein
+    /// collects all the homomorphic images of the query").
+    pub min_hom_size: usize,
+}
+
+impl BenchConfig {
+    /// A CI-sized profile: minutes, not days. Same axes as the paper with
+    /// coarser grids.
+    pub fn quick() -> Self {
+        BenchConfig {
+            scale: 0.001,
+            seed: 20210620, // the PODS'21 presentation date
+            noise_levels: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            balance_levels: vec![0.0, 0.3, 0.5, 0.7, 1.0],
+            joins: vec![1, 2, 3, 4, 5],
+            queries_per_join: 2,
+            constants: 2,
+            dqg_iterations: 200,
+            eps: 0.1,
+            delta: 0.25,
+            timeout_secs: 3.0,
+            threads: default_threads(),
+            block_min: 2,
+            block_max: 5,
+            min_hom_size: 8,
+        }
+    }
+
+    /// The paper-shaped profile: full 10×11×5 grids, 5 queries per join
+    /// level, larger data. Still hours rather than days at our scale.
+    pub fn full() -> Self {
+        BenchConfig {
+            scale: 0.005,
+            noise_levels: (1..=10).map(|i| i as f64 / 10.0).collect(),
+            balance_levels: (0..=10).map(|i| i as f64 / 10.0).collect(),
+            queries_per_join: 5,
+            dqg_iterations: 2000,
+            timeout_secs: 30.0,
+            min_hom_size: 16,
+            ..Self::quick()
+        }
+    }
+
+    /// An even smaller profile for unit tests of the harness itself.
+    pub fn smoke() -> Self {
+        BenchConfig {
+            scale: 0.0003,
+            noise_levels: vec![0.3, 0.8],
+            balance_levels: vec![0.0, 0.5],
+            joins: vec![1, 2],
+            queries_per_join: 1,
+            dqg_iterations: 30,
+            timeout_secs: 2.0,
+            threads: 2,
+            min_hom_size: 2,
+            ..Self::quick()
+        }
+    }
+
+    /// Loads the profile named by `CQA_PROFILE` (`quick` default, `full`,
+    /// `smoke`), then applies individual `CQA_*` overrides:
+    /// `CQA_SCALE`, `CQA_SEED`, `CQA_TIMEOUT`, `CQA_THREADS`,
+    /// `CQA_QUERIES_PER_JOIN`, `CQA_EPS`, `CQA_DELTA`.
+    pub fn from_env() -> Self {
+        let mut cfg = match env::var("CQA_PROFILE").as_deref() {
+            Ok("full") => Self::full(),
+            Ok("smoke") => Self::smoke(),
+            _ => Self::quick(),
+        };
+        fn parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+            env::var(key).ok()?.parse().ok()
+        }
+        if let Some(v) = parse("CQA_SCALE") {
+            cfg.scale = v;
+        }
+        if let Some(v) = parse("CQA_SEED") {
+            cfg.seed = v;
+        }
+        if let Some(v) = parse("CQA_TIMEOUT") {
+            cfg.timeout_secs = v;
+        }
+        if let Some(v) = parse("CQA_THREADS") {
+            cfg.threads = v;
+        }
+        if let Some(v) = parse("CQA_QUERIES_PER_JOIN") {
+            cfg.queries_per_join = v;
+        }
+        if let Some(v) = parse("CQA_EPS") {
+            cfg.eps = v;
+        }
+        if let Some(v) = parse("CQA_DELTA") {
+            cfg.delta = v;
+        }
+        cfg
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_well_formed() {
+        for cfg in [BenchConfig::quick(), BenchConfig::full(), BenchConfig::smoke()] {
+            assert!(cfg.scale > 0.0);
+            assert!(!cfg.noise_levels.is_empty());
+            assert!(cfg.noise_levels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!(cfg.balance_levels.iter().all(|&q| (0.0..=1.0).contains(&q)));
+            assert!(cfg.eps > 0.0 && cfg.delta > 0.0 && cfg.delta < 1.0);
+            assert!(cfg.block_min >= 2 && cfg.block_max >= cfg.block_min);
+            assert!(cfg.threads >= 1);
+        }
+    }
+
+    #[test]
+    fn full_profile_has_paper_grids() {
+        let cfg = BenchConfig::full();
+        assert_eq!(cfg.noise_levels.len(), 10);
+        assert_eq!(cfg.balance_levels.len(), 11);
+        assert_eq!(cfg.joins, vec![1, 2, 3, 4, 5]);
+        assert_eq!(cfg.queries_per_join, 5);
+        assert_eq!(cfg.eps, 0.1);
+        assert_eq!(cfg.delta, 0.25);
+    }
+}

@@ -1,0 +1,265 @@
+//! Building the database–query pair set `P_H` (§6.2).
+//!
+//! 1. Generate the consistent base database `D_H` (TPC-H-like).
+//! 2. For each join level `j`, keep SQG-generated CQs with exactly `j`
+//!    joins, the configured constant count, full projection, and a
+//!    non-empty (and not explosively large) answer over `D_H`.
+//! 3. For each query `Q` and noise level `p`, produce `D_Q[p]` with the
+//!    query-aware noise generator (block sizes in `[ℓ, u]`).
+//! 4. For each `(Q, p)` and balance target `q > 0`, produce `Q_p[q]` with
+//!    DQG over `D_Q[p]`; target 0 is the Boolean query `Q_p[0]`.
+
+use crate::config::BenchConfig;
+use cqa_common::{CqaError, Mt64, Result};
+use cqa_noise::{add_query_aware_noise, NoiseSpec};
+use cqa_qgen::{dqg, sqg, SqgSpec};
+use cqa_query::ConjunctiveQuery;
+use cqa_storage::Database;
+use cqa_synopsis::{build_synopses, BuildOptions};
+use cqa_tpch::{generate, TpchConfig};
+
+/// Guard against pathological SQG candidates: queries whose homomorphism
+/// count on the *base* database exceeds this are re-drawn.
+const MAX_BASE_HOMS: usize = 50_000;
+
+/// One base query of the pool.
+#[derive(Debug, Clone)]
+pub struct PoolQuery {
+    /// The join level `j`.
+    pub join_level: usize,
+    /// Index within the join level.
+    pub index: usize,
+    /// The fully-projected SQG query.
+    pub base: ConjunctiveQuery,
+}
+
+/// A balanced variant `Q_p[q]`.
+#[derive(Debug, Clone)]
+pub struct BalancedQuery {
+    /// The requested balance (0 = Boolean).
+    pub target: f64,
+    /// The balance achieved on `D_Q[p]` (0 reported for Boolean).
+    pub achieved: f64,
+    /// The query.
+    pub query: ConjunctiveQuery,
+}
+
+/// The pair set `P_H`, fully materialized.
+pub struct Pool {
+    /// The configuration it was built with.
+    pub config: BenchConfig,
+    /// The consistent base database `D_H`.
+    pub base_db: Database,
+    /// Base queries, ordered by join level then index.
+    pub queries: Vec<PoolQuery>,
+    /// `noisy_dbs[q][pi]` = `D_Q[p]` for query `q` and noise level index
+    /// `pi`.
+    pub noisy_dbs: Vec<Vec<Database>>,
+    /// `balanced[q][pi][bi]` = `Q_p[b]`.
+    pub balanced: Vec<Vec<Vec<BalancedQuery>>>,
+}
+
+impl Pool {
+    /// Builds the pool. Progress lines go to stderr because pool builds
+    /// take the bulk of a benchmark run's setup time.
+    pub fn build(config: BenchConfig) -> Result<Pool> {
+        let mut rng = Mt64::new(config.seed);
+        eprintln!(
+            "[pool] generating D_H at scale {} (seed {}) ...",
+            config.scale, config.seed
+        );
+        let base_db = generate(TpchConfig { scale: config.scale, seed: rng.next_u64() });
+        eprintln!("[pool] D_H has {} facts", base_db.fact_count());
+
+        let mut queries = Vec::new();
+        for &j in &config.joins {
+            let mut kept = 0;
+            let mut attempts = 0;
+            while kept < config.queries_per_join {
+                attempts += 1;
+                if attempts > 200 * config.queries_per_join {
+                    return Err(CqaError::InvalidParameter(format!(
+                        "could not find {} usable queries with {j} joins",
+                        config.queries_per_join
+                    )));
+                }
+                let Ok(q) = sqg(
+                    &base_db,
+                    SqgSpec { joins: j, constants: config.constants, proj_fraction: 1.0 },
+                    &mut rng,
+                ) else {
+                    continue;
+                };
+                if q.join_count() != j {
+                    continue;
+                }
+                // Keep queries that are non-empty and tractable on D_H.
+                let Ok(syn) = build_synopses(
+                    &base_db,
+                    &q,
+                    BuildOptions { deadline: None, max_homs: Some(MAX_BASE_HOMS) },
+                ) else {
+                    continue;
+                };
+                if syn.total_homs >= MAX_BASE_HOMS
+                    || syn.output_size() == 0
+                    || syn.hom_size < config.min_hom_size
+                {
+                    continue;
+                }
+                queries.push(PoolQuery { join_level: j, index: kept, base: q });
+                kept += 1;
+            }
+            eprintln!("[pool] kept {} queries with {j} joins", config.queries_per_join);
+        }
+
+        let mut noisy_dbs = Vec::with_capacity(queries.len());
+        let mut balanced = Vec::with_capacity(queries.len());
+        for pq in &queries {
+            let mut dbs_for_q = Vec::with_capacity(config.noise_levels.len());
+            let mut bal_for_q = Vec::with_capacity(config.noise_levels.len());
+            for &p in &config.noise_levels {
+                let spec = NoiseSpec { p, lmin: config.block_min, umax: config.block_max };
+                let (noisy, _) = add_query_aware_noise(&base_db, &pq.base, spec, &mut rng)?;
+                // Balanced variants on this noisy database.
+                let positive: Vec<f64> = config
+                    .balance_levels
+                    .iter()
+                    .copied()
+                    .filter(|&b| b > 0.0)
+                    .collect();
+                let dqg_results = if positive.is_empty() {
+                    Vec::new()
+                } else {
+                    dqg(&noisy, &pq.base, &positive, config.dqg_iterations, &mut rng)?
+                };
+                let mut variants = Vec::with_capacity(config.balance_levels.len());
+                let mut dqg_iter = dqg_results.into_iter();
+                for &b in &config.balance_levels {
+                    if b == 0.0 {
+                        variants.push(BalancedQuery {
+                            target: 0.0,
+                            achieved: 0.0,
+                            query: pq.base.boolean(),
+                        });
+                    } else {
+                        let r = dqg_iter.next().expect("one DQG result per positive target");
+                        variants.push(BalancedQuery {
+                            target: r.target,
+                            achieved: r.achieved,
+                            query: r.query,
+                        });
+                    }
+                }
+                dbs_for_q.push(noisy);
+                bal_for_q.push(variants);
+            }
+            eprintln!(
+                "[pool] query j={} #{}: {} noisy databases ready",
+                pq.join_level,
+                pq.index,
+                config.noise_levels.len()
+            );
+            noisy_dbs.push(dbs_for_q);
+            balanced.push(bal_for_q);
+        }
+
+        Ok(Pool { config, base_db, queries, noisy_dbs, balanced })
+    }
+
+    /// Indices of the pool queries at a join level.
+    pub fn queries_at_join(&self, j: usize) -> Vec<usize> {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.join_level == j)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The pair `(D_Q[p], Q_p[b])` by indices.
+    pub fn pair(&self, q: usize, pi: usize, bi: usize) -> (&Database, &ConjunctiveQuery) {
+        (&self.noisy_dbs[q][pi], &self.balanced[q][pi][bi].query)
+    }
+
+    /// Total number of database–query pairs (the paper's |P_H| = 2750).
+    pub fn pair_count(&self) -> usize {
+        self.queries.len() * self.config.noise_levels.len() * self.config.balance_levels.len()
+    }
+
+    /// A deterministic per-pair seed.
+    pub fn pair_seed(&self, q: usize, pi: usize, bi: usize) -> u64 {
+        self.config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((q as u64) << 24)
+            .wrapping_add((pi as u64) << 12)
+            .wrapping_add(bi as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_storage::is_consistent;
+
+    fn smoke_pool() -> Pool {
+        Pool::build(BenchConfig::smoke()).expect("smoke pool builds")
+    }
+
+    #[test]
+    fn pool_structure_matches_config() {
+        let pool = smoke_pool();
+        let cfg = &pool.config;
+        assert_eq!(pool.queries.len(), cfg.joins.len() * cfg.queries_per_join);
+        assert_eq!(pool.noisy_dbs.len(), pool.queries.len());
+        for (q, dbs) in pool.noisy_dbs.iter().enumerate() {
+            assert_eq!(dbs.len(), cfg.noise_levels.len());
+            for (pi, db) in dbs.iter().enumerate() {
+                assert!(!is_consistent(db), "D_Q[p] must be inconsistent");
+                assert_eq!(pool.balanced[q][pi].len(), cfg.balance_levels.len());
+            }
+        }
+        assert_eq!(pool.pair_count(), 2 * 1 * 2 * 2);
+    }
+
+    #[test]
+    fn join_levels_are_respected() {
+        let pool = smoke_pool();
+        for pq in &pool.queries {
+            assert_eq!(pq.base.join_count(), pq.join_level);
+        }
+        assert_eq!(pool.queries_at_join(1).len(), pool.config.queries_per_join);
+    }
+
+    #[test]
+    fn balance_zero_is_boolean() {
+        let pool = smoke_pool();
+        for q in 0..pool.queries.len() {
+            for pi in 0..pool.config.noise_levels.len() {
+                for (bi, &b) in pool.config.balance_levels.iter().enumerate() {
+                    let bq = &pool.balanced[q][pi][bi];
+                    if b == 0.0 {
+                        assert!(bq.query.is_boolean());
+                    } else {
+                        assert!(!bq.query.is_boolean());
+                        assert!((0.0..=1.0).contains(&bq.achieved));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_seeds_are_distinct() {
+        let pool = smoke_pool();
+        let mut seeds = std::collections::HashSet::new();
+        for q in 0..pool.queries.len() {
+            for pi in 0..pool.config.noise_levels.len() {
+                for bi in 0..pool.config.balance_levels.len() {
+                    assert!(seeds.insert(pool.pair_seed(q, pi, bi)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Figure data structures and rendering.
+//!
+//! Every experiment produces a [`Figure`]: named series of `(x, y)` points
+//! with timeout annotations, exactly the shape of the paper's plots. A
+//! figure renders as an ASCII table for the terminal and as CSV for
+//! external plotting.
+
+use serde::Serialize;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One measured point of a series.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Point {
+    /// The x coordinate (noise %, balance %, join count, …).
+    pub x: f64,
+    /// The y value (seconds, share %, fraction of pairs, …).
+    pub y: f64,
+    /// Runs that hit the timeout at this point (the integer annotations of
+    /// the paper's plots).
+    pub timeouts: usize,
+    /// Total runs aggregated into this point.
+    pub total: usize,
+}
+
+/// One plotted line (a scheme, usually).
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<Point>,
+}
+
+/// A full figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Stable identifier, e.g. `noise_q00_j3`.
+    pub id: String,
+    /// Human title, e.g. `Noise[0, 3]`.
+    pub title: String,
+    /// X axis label.
+    pub xlabel: String,
+    /// Y axis label.
+    pub ylabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// CSV with one row per x value and one column pair per series.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.id, self.title));
+        out.push_str(&self.xlabel.replace(' ', "_").to_lowercase());
+        for s in &self.series {
+            out.push_str(&format!(",{0},{0}_timeouts", s.label));
+        }
+        out.push('\n');
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.x).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => out.push_str(&format!(",{:.6},{}", p.y, p.timeouts)),
+                    None => out.push_str(",,"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV under `dir` as `<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+impl Figure {
+    /// A rough ASCII plot of the series (one letter per series, rows from
+    /// the max down to 0), mirroring the look of the paper's figures well
+    /// enough to eyeball trends in a terminal.
+    pub fn plot(&self) -> String {
+        const HEIGHT: usize = 12;
+        let letters: Vec<char> = self
+            .series
+            .iter()
+            .map(|s| s.label.chars().next().unwrap_or('?'))
+            .collect();
+        let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        if n == 0 {
+            return String::new();
+        }
+        let max_y = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.y))
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let mut grid = vec![vec![' '; n * 4]; HEIGHT];
+        for (si, s) in self.series.iter().enumerate() {
+            for (i, p) in s.points.iter().enumerate() {
+                let row = ((1.0 - p.y / max_y) * (HEIGHT - 1) as f64).round() as usize;
+                let col = i * 4 + si.min(3);
+                if grid[row][col] == ' ' {
+                    grid[row][col] = letters[si];
+                } else {
+                    grid[row][col] = '*'; // overlap
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{} — {} (max y = {:.3} {})\n", self.id, self.title, max_y, self.ylabel));
+        for row in grid {
+            out.push_str("  |");
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push_str("  +");
+        out.push_str(&"-".repeat(n * 4));
+        out.push('\n');
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .zip(&letters)
+            .map(|(s, c)| format!("{c}={}", s.label))
+            .collect();
+        out.push_str(&format!("   x: {} | {}\n", self.xlabel, legend.join("  ")));
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    /// ASCII table: one row per x value, one column per series; timeouts
+    /// are annotated as `(k!)` after the value, matching the integer
+    /// annotations on the paper's plots.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── {} ─ {} ──", self.id, self.title)?;
+        write!(f, "{:>12}", self.xlabel)?;
+        for s in &self.series {
+            write!(f, "{:>16}", s.label)?;
+        }
+        writeln!(f)?;
+        let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for i in 0..n {
+            let x = self.series.iter().find_map(|s| s.points.get(i)).map(|p| p.x).unwrap_or(0.0);
+            write!(f, "{x:>12.1}")?;
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) if p.timeouts > 0 => {
+                        write!(f, "{:>11.3} ({}!)", p.y, p.timeouts)?
+                    }
+                    Some(p) => write!(f, "{:>16.3}", p.y)?,
+                    None => write!(f, "{:>16}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "   (y: {}; `(k!)` marks k timed-out runs)", self.ylabel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        Figure {
+            id: "noise_q00_j1".into(),
+            title: "Noise[0, 1]".into(),
+            xlabel: "Noise (%)".into(),
+            ylabel: "Execution time (s)".into(),
+            series: vec![
+                Series {
+                    label: "Natural".into(),
+                    points: vec![
+                        Point { x: 20.0, y: 0.5, timeouts: 0, total: 5 },
+                        Point { x: 40.0, y: 0.6, timeouts: 0, total: 5 },
+                    ],
+                },
+                Series {
+                    label: "KL".into(),
+                    points: vec![
+                        Point { x: 20.0, y: 1.5, timeouts: 0, total: 5 },
+                        Point { x: 40.0, y: 3.0, timeouts: 2, total: 5 },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_figure().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("# noise_q00_j1"));
+        assert_eq!(lines[1], "noise_(%),Natural,Natural_timeouts,KL,KL_timeouts");
+        assert!(lines[2].starts_with("20,0.5"));
+        assert!(lines[3].contains(",2")); // the KL timeout count
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn display_renders_all_series() {
+        let text = sample_figure().to_string();
+        assert!(text.contains("Natural"));
+        assert!(text.contains("KL"));
+        assert!(text.contains("(2!)"));
+        assert!(text.contains("Noise[0, 1]"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("cqa_report_test");
+        let path = sample_figure().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("Natural"));
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[cfg(test)]
+mod plot_tests {
+    use super::*;
+
+    #[test]
+    fn plot_renders_all_series_letters() {
+        let fig = Figure {
+            id: "t".into(),
+            title: "test".into(),
+            xlabel: "x".into(),
+            ylabel: "s".into(),
+            series: vec![
+                Series {
+                    label: "Natural".into(),
+                    points: vec![
+                        Point { x: 1.0, y: 1.0, timeouts: 0, total: 1 },
+                        Point { x: 2.0, y: 2.0, timeouts: 0, total: 1 },
+                    ],
+                },
+                Series {
+                    label: "KL".into(),
+                    points: vec![
+                        Point { x: 1.0, y: 0.5, timeouts: 0, total: 1 },
+                        Point { x: 2.0, y: 4.0, timeouts: 0, total: 1 },
+                    ],
+                },
+            ],
+        };
+        let plot = fig.plot();
+        assert!(plot.contains('N'));
+        assert!(plot.contains('K'));
+        assert!(plot.contains("N=Natural"));
+        assert!(plot.contains("max y = 4.000"));
+    }
+
+    #[test]
+    fn empty_figure_plots_to_nothing() {
+        let fig = Figure {
+            id: "e".into(),
+            title: "empty".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![],
+        };
+        assert!(fig.plot().is_empty());
+    }
+}

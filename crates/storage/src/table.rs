@@ -1,0 +1,153 @@
+//! Set-semantics fact tables.
+//!
+//! A table stores its rows in one flat `Vec<Datum>` (row-major) plus a
+//! hash-based row set for O(1) duplicate detection, because a database is a
+//! *set* of facts (§2). Row indices are stable: rows are append-only.
+
+use crate::value::Datum;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A single relation's facts.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    arity: usize,
+    data: Vec<Datum>,
+    /// Row hash → rows with that hash (collision chain).
+    row_set: HashMap<u64, Vec<u32>>,
+}
+
+fn hash_row(row: &[Datum]) -> u64 {
+    let mut h = DefaultHasher::new();
+    row.hash(&mut h);
+    h.finish()
+}
+
+impl Table {
+    /// An empty table of the given arity.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0, "zero-arity relations are not supported");
+        Table { arity, data: Vec::new(), row_set: HashMap::new() }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// True when the table has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `i`-th row.
+    #[inline]
+    pub fn row(&self, i: u32) -> &[Datum] {
+        let start = i as usize * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// True when the table already contains `row`.
+    pub fn contains(&self, row: &[Datum]) -> bool {
+        self.find(row).is_some()
+    }
+
+    /// The index of `row`, if present.
+    pub fn find(&self, row: &[Datum]) -> Option<u32> {
+        debug_assert_eq!(row.len(), self.arity);
+        self.row_set
+            .get(&hash_row(row))?
+            .iter()
+            .copied()
+            .find(|&i| self.row(i) == row)
+    }
+
+    /// Inserts a row; returns its index, or `None` if it was already
+    /// present (set semantics).
+    pub fn insert(&mut self, row: &[Datum]) -> Option<u32> {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        let h = hash_row(row);
+        if let Some(chain) = self.row_set.get(&h) {
+            if chain.iter().any(|&i| self.row(i) == row) {
+                return None;
+            }
+        }
+        let idx = self.len() as u32;
+        self.data.extend_from_slice(row);
+        self.row_set.entry(h).or_default().push(idx);
+        Some(idx)
+    }
+
+    /// Iterates `(row_index, row)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[Datum])> {
+        self.data.chunks_exact(self.arity).enumerate().map(|(i, r)| (i as u32, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Vec<Datum> {
+        vals.iter().map(|&v| Datum::Int(v)).collect()
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = Table::new(3);
+        let r0 = t.insert(&row(&[1, 2, 3])).unwrap();
+        let r1 = t.insert(&row(&[4, 5, 6])).unwrap();
+        assert_eq!(r0, 0);
+        assert_eq!(r1, 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(0), row(&[1, 2, 3]).as_slice());
+        assert_eq!(t.row(1), row(&[4, 5, 6]).as_slice());
+    }
+
+    #[test]
+    fn set_semantics_reject_duplicates() {
+        let mut t = Table::new(2);
+        assert!(t.insert(&row(&[1, 1])).is_some());
+        assert!(t.insert(&row(&[1, 1])).is_none());
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&row(&[1, 1])));
+        assert!(!t.contains(&row(&[1, 2])));
+    }
+
+    #[test]
+    fn find_returns_index() {
+        let mut t = Table::new(1);
+        for i in 0..100 {
+            t.insert(&row(&[i]));
+        }
+        assert_eq!(t.find(&row(&[42])), Some(42));
+        assert_eq!(t.find(&row(&[1000])), None);
+    }
+
+    #[test]
+    fn iter_yields_all_rows_in_order() {
+        let mut t = Table::new(2);
+        t.insert(&row(&[1, 2]));
+        t.insert(&row(&[3, 4]));
+        let collected: Vec<_> = t.iter().map(|(i, r)| (i, r.to_vec())).collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[0], (0, row(&[1, 2])));
+        assert_eq!(collected[1], (1, row(&[3, 4])));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_insert_panics() {
+        let mut t = Table::new(2);
+        t.insert(&row(&[1]));
+    }
+}

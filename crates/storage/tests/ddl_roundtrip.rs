@@ -1,0 +1,81 @@
+//! Property test: random schemas round-trip through the DDL text format,
+//! and random databases round-trip through the dump format.
+
+use cqa_storage::{
+    dump_to_string, load_from_str, parse_schema, schema_to_ddl, ColumnType, Database, Schema,
+    Value,
+};
+use proptest::prelude::*;
+
+fn ident(prefix: &str, i: usize) -> String {
+    format!("{prefix}{i}")
+}
+
+/// Strategy: a random schema with 1–4 relations, 1–5 typed columns each,
+/// optional prefix keys, and FKs between type-compatible columns.
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    let relation = prop::collection::vec(prop::bool::ANY, 1..=5) // column types
+        .prop_flat_map(|types| {
+            let arity = types.len();
+            (Just(types), prop::option::of(1..=arity))
+        });
+    prop::collection::vec(relation, 1..=4).prop_map(|rels| {
+        let mut b = Schema::builder();
+        for (ri, (types, key)) in rels.iter().enumerate() {
+            let cols: Vec<(String, ColumnType)> = types
+                .iter()
+                .enumerate()
+                .map(|(ci, &is_int)| {
+                    (ident("c", ci), if is_int { ColumnType::Int } else { ColumnType::Str })
+                })
+                .collect();
+            let col_refs: Vec<(&str, ColumnType)> =
+                cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            b = b.relation(&ident("rel", ri), &col_refs, *key);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schemas_roundtrip_through_ddl(schema in schema_strategy()) {
+        let text = schema_to_ddl(&schema);
+        let parsed = parse_schema(&text).expect("generated DDL parses");
+        prop_assert_eq!(schema.relations(), parsed.relations());
+    }
+
+    #[test]
+    fn databases_roundtrip_through_dumps(
+        schema in schema_strategy(),
+        rows in prop::collection::vec(prop::collection::vec(0i64..5, 5), 0..20),
+        strings in prop::collection::vec("[a-z\\t\\\\]{0,6}", 8),
+    ) {
+        let mut db = Database::new(schema);
+        for row in rows {
+            // Insert into relation 0, coercing values to column types.
+            let rel = cqa_storage::RelId(0);
+            let def = db.schema().relation(rel);
+            let values: Vec<Value> = def
+                .columns
+                .iter()
+                .zip(&row)
+                .map(|(c, &v)| match c.ty {
+                    ColumnType::Int => Value::Int(v),
+                    ColumnType::Str => {
+                        Value::str(strings[(v.unsigned_abs() as usize) % strings.len()].clone())
+                    }
+                })
+                .collect();
+            db.insert(rel, &values).expect("typed insert");
+        }
+        let dump = dump_to_string(&db);
+        let loaded = load_from_str(&dump).expect("dump loads");
+        prop_assert_eq!(loaded.fact_count(), db.fact_count());
+        prop_assert_eq!(loaded.schema().relations(), db.schema().relations());
+        // Block structure (and hence the repair count) survives.
+        prop_assert!((loaded.repair_count().ln() - db.repair_count().ln()).abs() < 1e-9);
+    }
+}

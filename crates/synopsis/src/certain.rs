@@ -1,0 +1,174 @@
+//! Certain answers through synopses.
+//!
+//! The classical CQA notion (§1): `t̄` is a *certain* answer when it is an
+//! answer in **every** repair, i.e. `R_{D,Σ,Q}(t̄) = 1`. The paper's
+//! benchmark "can serve as the basis for evaluating algorithms that target
+//! … certain answers"; this module provides the reference algorithm on
+//! synopses, with two cheap filters wrapped around the exponential core:
+//!
+//! * **sufficient**: some image lies entirely in singleton blocks — such
+//!   an image survives every repair, so `R = 1` *if it alone covers
+//!   `db(B)`*… in fact an all-singleton image is contained in every
+//!   `I ∈ db(B)`, hence `R = 1` outright;
+//! * **necessary**: `R ≤ |S•|/|db(B)|` (a union bound), so
+//!   `s_ratio < 1` already refutes certainty;
+//! * otherwise inclusion–exclusion decides exactly.
+
+use crate::admissible::AdmissiblePair;
+use crate::build::{build_synopses, BuildOptions, SynopsisSet};
+use crate::exact::{exact_ratio_enumerate, exact_ratio_inclusion_exclusion};
+use cqa_common::Result;
+use cqa_query::ConjunctiveQuery;
+use cqa_storage::{Database, Datum};
+
+/// How a certainty verdict was reached (exposed for tests and the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertaintyEvidence {
+    /// An image lies entirely in singleton blocks: certain.
+    SingletonImage,
+    /// `|S•|/|db(B)| < 1`: the union bound refutes certainty.
+    UnionBound,
+    /// Decided by exact computation of `R(H, B)`.
+    Exact,
+}
+
+/// Decides whether the tuple owning `pair` is a certain answer
+/// (`R(H, B) = 1`).
+///
+/// Returns `CqaError::TooLarge` when neither filter applies and the pair
+/// is too large for both exact algorithms.
+pub fn is_certain(pair: &AdmissiblePair) -> Result<(bool, CertaintyEvidence)> {
+    // Sufficient filter: an image over singleton blocks only is contained
+    // in every member of db(B).
+    for img in pair.images() {
+        if img.iter().all(|a| pair.block_size(a.block) == 1) {
+            return Ok((true, CertaintyEvidence::SingletonImage));
+        }
+    }
+    // Necessary filter: R ≤ Σᵢ 1/|db(B_{H_i})|.
+    if pair.s_ratio() < 1.0 - 1e-12 {
+        return Ok((false, CertaintyEvidence::UnionBound));
+    }
+    let r = exact_ratio_inclusion_exclusion(pair)
+        .or_else(|_| exact_ratio_enumerate(pair, 50_000_000))?;
+    Ok((r >= 1.0 - 1e-9, CertaintyEvidence::Exact))
+}
+
+/// The certain answers of `Q` over `D`: tuples true in every repair.
+pub fn certain_answers(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<Vec<Datum>>> {
+    let syn = build_synopses(db, q, BuildOptions::default())?;
+    certain_answers_of(&syn)
+}
+
+/// The certain answers among an already-built synopsis set.
+pub fn certain_answers_of(syn: &SynopsisSet) -> Result<Vec<Vec<Datum>>> {
+    let mut out = Vec::new();
+    for entry in &syn.entries {
+        if is_certain(&entry.pair)?.0 {
+            out.push(entry.tuple.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::parse;
+    use cqa_storage::ColumnType::*;
+    use cqa_storage::{Schema, Value};
+
+    fn example_db() -> Database {
+        let schema = Schema::builder()
+            .relation("employee", &[("id", Int), ("name", Str), ("dept", Str)], Some(1))
+            .build();
+        let mut db = Database::new(schema);
+        for (id, name, dept) in
+            [(1, "Bob", "HR"), (1, "Bob", "IT"), (2, "Alice", "IT"), (2, "Tim", "IT")]
+        {
+            db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn example_1_1_names_certainty() {
+        let db = example_db();
+        // Bob is employee 1's name in every repair; Alice/Tim are not.
+        let q = parse(db.schema(), "Q(n) :- employee(x, n, d)").unwrap();
+        let certain = certain_answers(&db, &q).unwrap();
+        let names: Vec<String> =
+            certain.iter().map(|t| db.resolve(t[0]).to_string()).collect();
+        assert_eq!(names, vec!["'Bob'"]);
+    }
+
+    #[test]
+    fn boolean_example_is_not_certain() {
+        let db = example_db();
+        let q = parse(db.schema(), "Q() :- employee(1, n1, d), employee(2, n2, d)").unwrap();
+        assert!(certain_answers(&db, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn singleton_image_shortcut_fires() {
+        // Block of size 1 → certain, decided without exact computation.
+        let pair = AdmissiblePair::new(vec![vec![(0, 0)]], vec![1]).unwrap();
+        assert_eq!(is_certain(&pair).unwrap(), (true, CertaintyEvidence::SingletonImage));
+    }
+
+    #[test]
+    fn union_bound_shortcut_fires() {
+        // One image over a block of size 3: s_ratio = 1/3 < 1.
+        let pair = AdmissiblePair::new(vec![vec![(0, 0)]], vec![3]).unwrap();
+        assert_eq!(is_certain(&pair).unwrap(), (false, CertaintyEvidence::UnionBound));
+    }
+
+    #[test]
+    fn exact_path_decides_cover() {
+        // Two images covering a block of size 2: certain, but only the
+        // exact computation can tell (s_ratio = 1, no singleton image).
+        let pair = AdmissiblePair::new(vec![vec![(0, 0)], vec![(0, 1)]], vec![2]).unwrap();
+        assert_eq!(is_certain(&pair).unwrap(), (true, CertaintyEvidence::Exact));
+        // Overlapping but not covering: s_ratio = 3/4 + 1/4... construct a
+        // non-covering pair with s_ratio ≥ 1.
+        let pair = AdmissiblePair::new(
+            vec![vec![(0, 0)], vec![(0, 0), (1, 0)], vec![(1, 1)]],
+            vec![2, 2],
+        )
+        .unwrap();
+        // s_ratio = 1/2 + 1/4 + 1/2 = 1.25 ≥ 1, but (tid0=1, tid1... I =
+        // {(0,1),(1,0)} contains no image → not certain.
+        let (certain, ev) = is_certain(&pair).unwrap();
+        assert!(!certain);
+        assert_eq!(ev, CertaintyEvidence::Exact);
+    }
+
+    #[test]
+    fn certainty_matches_repair_enumeration() {
+        use cqa_common::Mt64;
+        let mut rng = Mt64::new(31337);
+        for _ in 0..20 {
+            let schema = Schema::builder()
+                .relation("r", &[("k", Int), ("v", Int)], Some(1))
+                .build();
+            let mut db = Database::new(schema);
+            for _ in 0..6 {
+                db.insert_named(
+                    "r",
+                    &[Value::Int(rng.below(3) as i64), Value::Int(rng.below(2) as i64)],
+                )
+                .unwrap();
+            }
+            let q = parse(db.schema(), "Q(v) :- r(k, v)").unwrap();
+            let via_synopsis = certain_answers(&db, &q).unwrap();
+            let exact = cqa_repair::consistent_answers_exact(&db, &q, 100_000).unwrap();
+            let via_repairs: Vec<Vec<Datum>> = exact
+                .into_iter()
+                .filter(|(_, f)| (*f - 1.0).abs() < 1e-12)
+                .map(|(t, _)| t)
+                .collect();
+            assert_eq!(via_synopsis, via_repairs);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Exact computation of `R(H, B)` — ground truth for the approximation
+//! schemes.
+//!
+//! Two independent exponential-time references:
+//!
+//! * [`exact_ratio_enumerate`] walks all of `db(B)` (feasible when the
+//!   product of block sizes is small);
+//! * [`exact_ratio_inclusion_exclusion`] applies inclusion–exclusion over
+//!   subsets of `H` (feasible when `|H| ≤ ~25`), using the observation
+//!   that `|{I : H_S ⊆ I}| / |db(B)| = Π_{b ∈ blocks(H_S)} 1/size(b)` when
+//!   the union `H_S` is consistent and 0 otherwise.
+//!
+//! Having both lets the tests cross-validate them against each other and
+//! against the repair-enumeration baseline of `cqa-repair` (Lemma 4.1(3)).
+
+use crate::admissible::AdmissiblePair;
+use cqa_common::{CqaError, Result};
+
+/// Exact `R(H, B)` by enumerating `db(B)` (odometer over blocks).
+///
+/// Fails with [`CqaError::TooLarge`] when `|db(B)| > limit`.
+pub fn exact_ratio_enumerate(pair: &AdmissiblePair, limit: u64) -> Result<f64> {
+    let mut total: u64 = 1;
+    for &s in pair.block_sizes() {
+        total = total
+            .checked_mul(s as u64)
+            .filter(|&t| t <= limit)
+            .ok_or_else(|| CqaError::TooLarge(format!("|db(B)| exceeds limit {limit}")))?;
+    }
+    let nblocks = pair.num_blocks();
+    let mut chosen = vec![0u32; nblocks];
+    let mut hits: u64 = 0;
+    let mut remaining = total;
+    loop {
+        if (0..pair.num_images()).any(|i| pair.image_contained(i, &chosen)) {
+            hits += 1;
+        }
+        remaining -= 1;
+        if remaining == 0 {
+            break;
+        }
+        // Odometer increment.
+        for b in 0..nblocks {
+            chosen[b] += 1;
+            if chosen[b] < pair.block_size(b as u32) {
+                break;
+            }
+            chosen[b] = 0;
+        }
+    }
+    Ok(hits as f64 / total as f64)
+}
+
+/// Exact `R(H, B)` by inclusion–exclusion over non-empty subsets of `H`.
+///
+/// Fails with [`CqaError::TooLarge`] when `|H| > 25` (2²⁵ subsets).
+pub fn exact_ratio_inclusion_exclusion(pair: &AdmissiblePair) -> Result<f64> {
+    let n = pair.num_images();
+    if n > 25 {
+        return Err(CqaError::TooLarge(format!("|H| = {n} too large for inclusion–exclusion")));
+    }
+    let mut sum = 0.0f64;
+    // For each subset, merge the images and check consistency: two atoms of
+    // the same block with different tids force the intersection empty.
+    let mut merged: Vec<Option<u32>> = vec![None; pair.num_blocks()];
+    for mask in 1u32..(1u32 << n) {
+        for slot in merged.iter_mut() {
+            *slot = None;
+        }
+        let mut consistent = true;
+        let mut prob = 1.0f64;
+        'outer: for i in 0..n {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            for a in pair.image(i) {
+                match merged[a.block as usize] {
+                    None => {
+                        merged[a.block as usize] = Some(a.tid);
+                        prob /= pair.block_size(a.block) as f64;
+                    }
+                    Some(t) if t == a.tid => {}
+                    Some(_) => {
+                        consistent = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if consistent {
+            let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+            sum += sign * prob;
+        }
+    }
+    // Clamp tiny negative drift from cancellation.
+    Ok(sum.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_common::Mt64;
+
+    fn example_pair() -> AdmissiblePair {
+        AdmissiblePair::new(vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]], vec![2, 2])
+            .unwrap()
+    }
+
+    #[test]
+    fn example_1_1_ratio_is_one_half() {
+        let p = example_pair();
+        assert!((exact_ratio_enumerate(&p, 1000).unwrap() - 0.5).abs() < 1e-12);
+        assert!((exact_ratio_inclusion_exclusion(&p).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_image_ratio_is_inv_db_bh() {
+        let p = AdmissiblePair::new(vec![vec![(0, 0), (2, 1)]], vec![2, 3, 4]).unwrap();
+        let expected = 1.0 / (2.0 * 4.0);
+        assert!((exact_ratio_enumerate(&p, 1000).unwrap() - expected).abs() < 1e-12);
+        assert!((exact_ratio_inclusion_exclusion(&p).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covering_images_give_ratio_one() {
+        // Images cover every choice of block 0.
+        let p = AdmissiblePair::new(vec![vec![(0, 0)], vec![(0, 1)]], vec![2, 3]).unwrap();
+        assert!((exact_ratio_enumerate(&p, 1000).unwrap() - 1.0).abs() < 1e-12);
+        assert!((exact_ratio_inclusion_exclusion(&p).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_images_add_up() {
+        // Two images on disjoint tids of one block of size 4: R = 1/2.
+        let p = AdmissiblePair::new(vec![vec![(0, 0)], vec![(0, 2)]], vec![4]).unwrap();
+        assert!((exact_ratio_enumerate(&p, 1000).unwrap() - 0.5).abs() < 1e-12);
+        assert!((exact_ratio_inclusion_exclusion(&p).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    /// Generates a random admissible pair for cross-validation.
+    pub(crate) fn random_pair(rng: &mut Mt64, max_blocks: usize, max_images: usize) -> AdmissiblePair {
+        let nblocks = 1 + rng.index(max_blocks);
+        let sizes: Vec<u32> = (0..nblocks).map(|_| 1 + rng.below(4) as u32).collect();
+        let nimages = 1 + rng.index(max_images);
+        let images: Vec<Vec<(u32, u32)>> = (0..nimages)
+            .map(|_| {
+                let natoms = 1 + rng.index(nblocks.min(3));
+                let blocks = rng.sample_indices(nblocks, natoms);
+                blocks
+                    .into_iter()
+                    .map(|b| (b as u32, rng.below(sizes[b] as u64) as u32))
+                    .collect()
+            })
+            .collect();
+        AdmissiblePair::new(images, sizes).unwrap()
+    }
+
+    #[test]
+    fn enumeration_and_inclusion_exclusion_agree_on_random_pairs() {
+        let mut rng = Mt64::new(99);
+        for _ in 0..200 {
+            let p = random_pair(&mut rng, 5, 6);
+            let a = exact_ratio_enumerate(&p, 100_000).unwrap();
+            let b = exact_ratio_inclusion_exclusion(&p).unwrap();
+            assert!((a - b).abs() < 1e-9, "enumerate={a} incl-excl={b} for {p:?}");
+        }
+    }
+
+    #[test]
+    fn ratio_respects_lemma_lower_bound() {
+        let mut rng = Mt64::new(5);
+        for _ in 0..100 {
+            let p = random_pair(&mut rng, 4, 4);
+            let r = exact_ratio_enumerate(&p, 100_000).unwrap();
+            assert!(r >= p.ratio_lower_bound() - 1e-12);
+            assert!(r <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn enumeration_limit_is_enforced() {
+        let p = AdmissiblePair::new(vec![vec![(0, 0)]], vec![4]).unwrap();
+        assert!(exact_ratio_enumerate(&p, 3).is_err());
+    }
+
+    #[test]
+    fn inclusion_exclusion_size_limit_is_enforced() {
+        // 26 single-atom images over 26 blocks.
+        let sizes = vec![2u32; 26];
+        let images: Vec<Vec<(u32, u32)>> = (0..26).map(|b| vec![(b as u32, 0)]).collect();
+        let p = AdmissiblePair::new(images, sizes).unwrap();
+        assert!(exact_ratio_inclusion_exclusion(&p).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Database synopses: the interface between databases and the
+//! approximation schemes.
+//!
+//! The `(Σ,Q)`-synopsis of `D` for a tuple `t̄` (§4.1) is the pair
+//! `(H, B)` of (i) the consistent homomorphic images of `Q(t̄)` in `D` and
+//! (ii) the key-equal blocks of the facts occurring in those images. By
+//! Lemma 4.1 the synopsis determines the relative frequency:
+//! `R_{D,Σ,Q}(t̄) = R(H, B)`, and it can be built in polynomial time.
+//!
+//! * [`admissible`] — the integer-encoded admissible pair the schemes
+//!   consume (`enc(syn_{Σ,Q}(D))` of §5: facts are `(block, tid)` pairs,
+//!   blocks carry only their size `kcnt`).
+//! * [`build`] — the preprocessing step: one pass over all homomorphisms
+//!   builds every tuple's synopsis, mirroring the paper's single-SQL-query
+//!   rewriting `Q^rew` (Appendix C).
+//! * [`exact`] — exact `R(H, B)` by `db(B)` enumeration and by
+//!   inclusion–exclusion over `H` (ground truth for tests and accuracy
+//!   experiments).
+//! * [`stats`] — the dynamic query parameters of §6.1: homomorphic size,
+//!   output size, and **balance**.
+
+pub mod admissible;
+pub mod build;
+pub mod certain;
+pub mod dnf;
+pub mod exact;
+pub mod rewrite;
+pub mod stats;
+
+pub use admissible::{AdmissiblePair, ImageAtom};
+pub use build::{build_synopses, BuildOptions, SynopsisEntry, SynopsisSet};
+pub use certain::{certain_answers, certain_answers_of, is_certain, CertaintyEvidence};
+pub use dnf::BlockDnf;
+pub use exact::{exact_ratio_enumerate, exact_ratio_inclusion_exclusion};
+pub use rewrite::{fold_rows, rewrite_rows, AtomMeta, RewriteRow};
+pub use stats::SynopsisStats;

@@ -1,0 +1,122 @@
+//! The dynamic query parameters of §6.1, computed from a synopsis set.
+
+use crate::build::SynopsisSet;
+use cqa_common::LogNum;
+
+/// Summary statistics of `syn_{Σ,Q}(D)` — the quantities the paper's
+/// analysis attributes the schemes' behaviour to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynopsisStats {
+    /// `|Q(D)|` restricted to positive-frequency tuples (output size).
+    pub output_size: usize,
+    /// `|⋃ᵢ Hᵢ|` (homomorphic size).
+    pub hom_size: usize,
+    /// Balance = output size / homomorphic size (0 when empty).
+    pub balance: f64,
+    /// Average number of images per synopsis.
+    pub avg_images: f64,
+    /// Largest `|H|` over all synopses.
+    pub max_images: usize,
+    /// Average number of blocks per synopsis.
+    pub avg_blocks: f64,
+    /// Largest `|db(B)|` over all synopses, log₁₀.
+    pub max_log10_db_b: f64,
+    /// Preprocessing wall time in seconds.
+    pub build_secs: f64,
+}
+
+impl SynopsisStats {
+    /// Computes the statistics of a synopsis set.
+    pub fn of(set: &SynopsisSet) -> Self {
+        let n = set.entries.len();
+        let avg_images = if n == 0 {
+            0.0
+        } else {
+            set.entries.iter().map(|e| e.pair.num_images()).sum::<usize>() as f64 / n as f64
+        };
+        let avg_blocks = if n == 0 {
+            0.0
+        } else {
+            set.entries.iter().map(|e| e.pair.num_blocks()).sum::<usize>() as f64 / n as f64
+        };
+        let max_images = set.entries.iter().map(|e| e.pair.num_images()).max().unwrap_or(0);
+        let max_log10_db_b = set
+            .entries
+            .iter()
+            .map(|e| e.pair.log_db_b())
+            .fold(LogNum::ZERO, |a, b| if b > a { b } else { a })
+            .log10();
+        SynopsisStats {
+            output_size: set.output_size(),
+            hom_size: set.hom_size,
+            balance: set.balance(),
+            avg_images,
+            max_images,
+            avg_blocks,
+            max_log10_db_b: if n == 0 { 0.0 } else { max_log10_db_b },
+            build_secs: set.build_time.as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_synopses, BuildOptions};
+    use cqa_query::parse;
+    use cqa_storage::ColumnType::*;
+    use cqa_storage::{Database, Schema, Value};
+
+    fn example_db() -> Database {
+        let schema = Schema::builder()
+            .relation("employee", &[("id", Int), ("name", Str), ("dept", Str)], Some(1))
+            .build();
+        let mut db = Database::new(schema);
+        for (id, name, dept) in
+            [(1, "Bob", "HR"), (1, "Bob", "IT"), (2, "Alice", "IT"), (2, "Tim", "IT")]
+        {
+            db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn stats_of_non_boolean_query() {
+        let db = example_db();
+        let q = parse(db.schema(), "Q(n) :- employee(2, n, d)").unwrap();
+        let set = build_synopses(&db, &q, BuildOptions::default()).unwrap();
+        let s = SynopsisStats::of(&set);
+        assert_eq!(s.output_size, 2);
+        assert_eq!(s.hom_size, 2);
+        assert!((s.balance - 1.0).abs() < 1e-12);
+        assert!((s.avg_images - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_images, 1);
+        assert!((s.avg_blocks - 1.0).abs() < 1e-12);
+        // |db(B)| = 2 per synopsis → log10 ≈ 0.301.
+        assert!((s.max_log10_db_b - 2f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_boolean_query_have_low_balance() {
+        let db = example_db();
+        let q = parse(db.schema(), "Q() :- employee(1, n1, d), employee(2, n2, d)").unwrap();
+        let set = build_synopses(&db, &q, BuildOptions::default()).unwrap();
+        let s = SynopsisStats::of(&set);
+        assert_eq!(s.output_size, 1);
+        assert_eq!(s.hom_size, 2);
+        assert!((s.balance - 0.5).abs() < 1e-12);
+        assert_eq!(s.max_images, 2);
+    }
+
+    #[test]
+    fn stats_of_empty_set_are_zero() {
+        let db = example_db();
+        let q = parse(db.schema(), "Q(n) :- employee(9, n, d)").unwrap();
+        let set = build_synopses(&db, &q, BuildOptions::default()).unwrap();
+        let s = SynopsisStats::of(&set);
+        assert_eq!(s.output_size, 0);
+        assert_eq!(s.balance, 0.0);
+        assert_eq!(s.max_log10_db_b, 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! A TPC-DS-like snowflake subset and its validation workload.
+//!
+//! The paper's second validation batch uses TPC-DS at scale factor 1
+//! (Appendix F): a combination of snowflake schemas with 24 relations, of
+//! which the eight selected query templates (1, 33, 60, 62, 65, 66, 68,
+//! 82) touch fifteen. We build exactly that subset — three sales channels
+//! (store/catalog/web), returns, inventory, and the shared dimensions —
+//! with the standard primary keys (key columns first) and foreign keys.
+//!
+//! As with `cqa-tpch`, only the columns that participate in keys, joins,
+//! or query constants are kept, and the validation queries strip
+//! aggregates and turn range predicates into categorical constants,
+//! preserving each template's join structure and balance character.
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+
+pub use gen::{generate, TpcdsConfig};
+pub use queries::validation_queries;
+pub use schema::tpcds_schema;

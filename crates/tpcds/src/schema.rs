@@ -1,0 +1,180 @@
+//! The TPC-DS-like subset schema: the fifteen relations touched by the
+//! validation query templates.
+
+use cqa_storage::{ColumnType::*, Schema};
+
+/// Builds the TPC-DS-like subset schema.
+pub fn tpcds_schema() -> Schema {
+    Schema::builder()
+        .relation(
+            "date_dim",
+            &[("d_datekey", Int), ("d_year", Int), ("d_moy", Int), ("d_qoy", Int), ("d_dow", Int)],
+            Some(1),
+        )
+        .relation("time_dim", &[("t_timekey", Int), ("t_hour", Int), ("t_shift", Str)], Some(1))
+        .relation(
+            "item",
+            &[
+                ("i_itemkey", Int),
+                ("i_brand", Str),
+                ("i_category", Str),
+                ("i_manufact_id", Int),
+                ("i_current_price", Int),
+            ],
+            Some(1),
+        )
+        .relation(
+            "customer_address",
+            &[("ca_addrkey", Int), ("ca_city", Str), ("ca_state", Str), ("ca_gmt_offset", Int)],
+            Some(1),
+        )
+        .relation(
+            "household_demographics",
+            &[("hd_demokey", Int), ("hd_dep_count", Int), ("hd_vehicle_count", Int)],
+            Some(1),
+        )
+        .relation(
+            "customer",
+            &[
+                ("c_custkey", Int),
+                ("c_addrkey", Int),
+                ("c_hdemokey", Int),
+                ("c_first_name", Str),
+                ("c_last_name", Str),
+            ],
+            Some(1),
+        )
+        .relation("store", &[("s_storekey", Int), ("s_city", Str), ("s_state", Str)], Some(1))
+        .relation("warehouse", &[("w_warehousekey", Int), ("w_state", Str)], Some(1))
+        .relation(
+            "ship_mode",
+            &[("sm_shipmodekey", Int), ("sm_type", Str), ("sm_carrier", Str)],
+            Some(1),
+        )
+        .relation("web_site", &[("web_sitekey", Int), ("web_name", Str)], Some(1))
+        .relation(
+            "store_sales",
+            &[
+                ("ss_itemkey", Int),
+                ("ss_ticket", Int),
+                ("ss_datekey", Int),
+                ("ss_custkey", Int),
+                ("ss_storekey", Int),
+                ("ss_hdemokey", Int),
+                ("ss_addrkey", Int),
+                ("ss_sales_price", Int),
+            ],
+            Some(2),
+        )
+        .relation(
+            "store_returns",
+            &[
+                ("sr_itemkey", Int),
+                ("sr_ticket", Int),
+                ("sr_datekey", Int),
+                ("sr_custkey", Int),
+                ("sr_storekey", Int),
+                ("sr_return_amt", Int),
+            ],
+            Some(2),
+        )
+        .relation(
+            "catalog_sales",
+            &[
+                ("cs_itemkey", Int),
+                ("cs_order", Int),
+                ("cs_datekey", Int),
+                ("cs_custkey", Int),
+                ("cs_warehousekey", Int),
+                ("cs_shipmodekey", Int),
+                ("cs_sales_price", Int),
+            ],
+            Some(2),
+        )
+        .relation(
+            "web_sales",
+            &[
+                ("ws_itemkey", Int),
+                ("ws_order", Int),
+                ("ws_datekey", Int),
+                ("ws_timekey", Int),
+                ("ws_custkey", Int),
+                ("ws_sitekey", Int),
+                ("ws_warehousekey", Int),
+                ("ws_shipmodekey", Int),
+                ("ws_sales_price", Int),
+            ],
+            Some(2),
+        )
+        .relation(
+            "inventory",
+            &[
+                ("inv_datekey", Int),
+                ("inv_itemkey", Int),
+                ("inv_warehousekey", Int),
+                ("inv_quantity", Int),
+            ],
+            Some(3),
+        )
+        .foreign_key("customer", &["c_addrkey"], "customer_address", &["ca_addrkey"])
+        .foreign_key("customer", &["c_hdemokey"], "household_demographics", &["hd_demokey"])
+        .foreign_key("store_sales", &["ss_itemkey"], "item", &["i_itemkey"])
+        .foreign_key("store_sales", &["ss_datekey"], "date_dim", &["d_datekey"])
+        .foreign_key("store_sales", &["ss_custkey"], "customer", &["c_custkey"])
+        .foreign_key("store_sales", &["ss_storekey"], "store", &["s_storekey"])
+        .foreign_key("store_sales", &["ss_hdemokey"], "household_demographics", &["hd_demokey"])
+        .foreign_key("store_sales", &["ss_addrkey"], "customer_address", &["ca_addrkey"])
+        .foreign_key("store_returns", &["sr_itemkey"], "item", &["i_itemkey"])
+        .foreign_key("store_returns", &["sr_datekey"], "date_dim", &["d_datekey"])
+        .foreign_key("store_returns", &["sr_custkey"], "customer", &["c_custkey"])
+        .foreign_key("store_returns", &["sr_storekey"], "store", &["s_storekey"])
+        .foreign_key("catalog_sales", &["cs_itemkey"], "item", &["i_itemkey"])
+        .foreign_key("catalog_sales", &["cs_datekey"], "date_dim", &["d_datekey"])
+        .foreign_key("catalog_sales", &["cs_custkey"], "customer", &["c_custkey"])
+        .foreign_key("catalog_sales", &["cs_warehousekey"], "warehouse", &["w_warehousekey"])
+        .foreign_key("catalog_sales", &["cs_shipmodekey"], "ship_mode", &["sm_shipmodekey"])
+        .foreign_key("web_sales", &["ws_itemkey"], "item", &["i_itemkey"])
+        .foreign_key("web_sales", &["ws_datekey"], "date_dim", &["d_datekey"])
+        .foreign_key("web_sales", &["ws_timekey"], "time_dim", &["t_timekey"])
+        .foreign_key("web_sales", &["ws_custkey"], "customer", &["c_custkey"])
+        .foreign_key("web_sales", &["ws_sitekey"], "web_site", &["web_sitekey"])
+        .foreign_key("web_sales", &["ws_warehousekey"], "warehouse", &["w_warehousekey"])
+        .foreign_key("web_sales", &["ws_shipmodekey"], "ship_mode", &["sm_shipmodekey"])
+        .foreign_key("inventory", &["inv_datekey"], "date_dim", &["d_datekey"])
+        .foreign_key("inventory", &["inv_itemkey"], "item", &["i_itemkey"])
+        .foreign_key("inventory", &["inv_warehousekey"], "warehouse", &["w_warehousekey"])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_fifteen_relations() {
+        let s = tpcds_schema();
+        assert_eq!(s.len(), 15);
+    }
+
+    #[test]
+    fn fact_tables_have_composite_keys() {
+        let s = tpcds_schema();
+        for (name, klen) in [
+            ("store_sales", 2),
+            ("store_returns", 2),
+            ("catalog_sales", 2),
+            ("web_sales", 2),
+            ("inventory", 3),
+        ] {
+            let rel = s.relation(s.rel_id(name).unwrap());
+            assert_eq!(rel.key_len, Some(klen), "{name}");
+        }
+    }
+
+    #[test]
+    fn snowflake_fk_graph_is_rich() {
+        let s = tpcds_schema();
+        // 27 FK column pairs × 2 directions.
+        assert_eq!(s.joinable_pairs().len(), 54);
+    }
+}

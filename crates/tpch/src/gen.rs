@@ -1,0 +1,308 @@
+//! Deterministic dbgen-style data generation.
+
+use crate::schema::tpch_schema;
+use cqa_common::Mt64;
+use cqa_storage::{Database, Value};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// The scale factor. TPC-H SF 1 corresponds to roughly 9M tuples; the
+    /// benchmark harness defaults to small fractions of that (the schemes'
+    /// relative behaviour is driven by noise/balance/joins, not raw scale —
+    /// see DESIGN.md's substitution table).
+    pub scale: f64,
+    /// RNG seed; the same seed and scale always produce the same database.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { scale: 0.001, seed: 42 }
+    }
+}
+
+impl TpchConfig {
+    /// A scale suitable for unit tests (hundreds of facts).
+    pub fn tiny() -> Self {
+        TpchConfig { scale: 0.0002, seed: 7 }
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("VIETNAM", 2),
+    ("CHINA", 2),
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR",
+];
+const TYPE_ADJ: [&str; 5] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY"];
+const TYPE_MAT: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const PART_NOUNS: [&str; 8] =
+    ["almond", "antique", "azure", "beige", "bisque", "blush", "burnished", "chartreuse"];
+
+/// Seven years of dates, as day offsets from 1992-01-01.
+const DATE_RANGE: i64 = 2556;
+
+fn pick<'a>(rng: &mut Mt64, xs: &[&'a str]) -> &'a str {
+    xs[rng.index(xs.len())]
+}
+
+/// Generates a consistent TPC-H-like database.
+pub fn generate(config: TpchConfig) -> Database {
+    let mut db = Database::new(tpch_schema());
+    let mut rng = Mt64::new(config.seed);
+    let sf = config.scale.max(0.0);
+    let scaled = |base: f64| -> i64 { ((base * sf).round() as i64).max(1) };
+
+    let n_supplier = scaled(10_000.0);
+    let n_part = scaled(200_000.0);
+    let n_customer = scaled(150_000.0);
+    let n_orders = scaled(1_500_000.0);
+
+    // region
+    for (i, name) in REGIONS.iter().enumerate() {
+        db.insert_named("region", &[Value::Int(i as i64), Value::str(*name)]).unwrap();
+    }
+    // nation
+    for (i, (name, region)) in NATIONS.iter().enumerate() {
+        db.insert_named(
+            "nation",
+            &[Value::Int(i as i64), Value::str(*name), Value::Int(*region)],
+        )
+        .unwrap();
+    }
+    // supplier
+    for k in 1..=n_supplier {
+        db.insert_named(
+            "supplier",
+            &[
+                Value::Int(k),
+                Value::str(format!("Supplier#{k:09}")),
+                Value::Int(rng.below(25) as i64),
+                Value::Int(rng.below(1_000_000) as i64 - 100_000),
+            ],
+        )
+        .unwrap();
+    }
+    // part
+    for k in 1..=n_part {
+        let name =
+            format!("{} {}", pick(&mut rng, &PART_NOUNS), pick(&mut rng, &PART_NOUNS));
+        let brand = format!("Brand#{}{}", 1 + rng.below(5), 1 + rng.below(5));
+        let ptype = format!("{} {}", pick(&mut rng, &TYPE_ADJ), pick(&mut rng, &TYPE_MAT));
+        db.insert_named(
+            "part",
+            &[
+                Value::Int(k),
+                Value::str(name),
+                Value::str(brand),
+                Value::str(ptype),
+                Value::Int(1 + rng.below(50) as i64),
+                Value::str(pick(&mut rng, &CONTAINERS)),
+                Value::Int(90_000 + rng.below(20_000) as i64),
+            ],
+        )
+        .unwrap();
+    }
+    // partsupp: 4 suppliers per part (fewer when there are few suppliers).
+    let per_part = 4.min(n_supplier as usize);
+    for pk in 1..=n_part {
+        let suppliers = rng.sample_indices(n_supplier as usize, per_part);
+        for s in suppliers {
+            db.insert_named(
+                "partsupp",
+                &[
+                    Value::Int(pk),
+                    Value::Int(s as i64 + 1),
+                    Value::Int(1 + rng.below(9999) as i64),
+                    Value::Int(100 + rng.below(100_000) as i64),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    // customer
+    for k in 1..=n_customer {
+        db.insert_named(
+            "customer",
+            &[
+                Value::Int(k),
+                Value::str(format!("Customer#{k:09}")),
+                Value::Int(rng.below(25) as i64),
+                Value::str(pick(&mut rng, &SEGMENTS)),
+                Value::Int(rng.below(1_100_000) as i64 - 100_000),
+            ],
+        )
+        .unwrap();
+    }
+    // Pre-compute each part's registered suppliers once; inserting facts
+    // invalidates the database's index caches, so querying an index inside
+    // the generation loop would rebuild it per row.
+    let mut part_suppliers: Vec<Vec<i64>> = vec![Vec::new(); n_part as usize + 1];
+    {
+        let ps = db.schema().rel_id("partsupp").unwrap();
+        for (_, row) in db.table(ps).iter() {
+            let pk = row[0].as_int().expect("ps_partkey") as usize;
+            let sk = row[1].as_int().expect("ps_suppkey");
+            part_suppliers[pk].push(sk);
+        }
+    }
+
+    // orders + lineitem
+    let next_clerk = move |rng: &mut Mt64| format!("Clerk#{:09}", 1 + rng.below(1000));
+    for ok in 1..=n_orders {
+        let custkey = 1 + rng.below(n_customer as u64) as i64;
+        let orderdate = rng.below(DATE_RANGE as u64 - 150) as i64;
+        let status = ["F", "O", "P"][rng.index(3)];
+        let n_lines = 1 + rng.below(7) as i64;
+        let mut total = 0i64;
+        for ln in 1..=n_lines {
+            let partkey = 1 + rng.below(n_part as u64) as i64;
+            // Pick one of the part's registered suppliers so the composite
+            // lineitem→partsupp FK holds.
+            let suppliers = &part_suppliers[partkey as usize];
+            let suppkey = if suppliers.is_empty() {
+                1 + rng.below(n_supplier as u64) as i64
+            } else {
+                suppliers[rng.index(suppliers.len())]
+            };
+            let quantity = 1 + rng.below(50) as i64;
+            let price = quantity * (90_000 + rng.below(20_000) as i64) / 100;
+            total += price;
+            let shipdate = orderdate + 1 + rng.below(120) as i64;
+            db.insert_named(
+                "lineitem",
+                &[
+                    Value::Int(ok),
+                    Value::Int(ln),
+                    Value::Int(partkey),
+                    Value::Int(suppkey),
+                    Value::Int(quantity),
+                    Value::Int(price),
+                    Value::Int(rng.below(11) as i64), // discount 0..10%
+                    Value::str(["A", "N", "R"][rng.index(3)]),
+                    Value::str(["O", "F"][rng.index(2)]),
+                    Value::Int(shipdate),
+                    Value::str(pick(&mut rng, &SHIPMODES)),
+                ],
+            )
+            .unwrap();
+        }
+        db.insert_named(
+            "orders",
+            &[
+                Value::Int(ok),
+                Value::Int(custkey),
+                Value::str(status),
+                Value::Int(total),
+                Value::Int(orderdate),
+                Value::str(pick(&mut rng, &PRIORITIES)),
+                Value::str(next_clerk(&mut rng)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_storage::is_consistent;
+
+    #[test]
+    fn generated_database_is_consistent() {
+        let db = generate(TpchConfig::tiny());
+        assert!(is_consistent(&db));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(TpchConfig { scale: 0.0003, seed: 9 });
+        let b = generate(TpchConfig { scale: 0.0003, seed: 9 });
+        assert_eq!(a.fact_count(), b.fact_count());
+        // Spot-check a relation's contents.
+        let rel = a.schema().rel_id("customer").unwrap();
+        for (i, row) in a.table(rel).iter() {
+            assert_eq!(row, b.table(rel).row(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(TpchConfig { scale: 0.0003, seed: 1 });
+        let b = generate(TpchConfig { scale: 0.0003, seed: 2 });
+        let rel = a.schema().rel_id("lineitem").unwrap();
+        assert_ne!(a.table(rel).row(0), b.table(rel).row(0));
+    }
+
+    #[test]
+    fn cardinality_ratios_follow_tpch() {
+        let db = generate(TpchConfig { scale: 0.002, seed: 3 });
+        let count = |name: &str| db.table(db.schema().rel_id(name).unwrap()).len() as f64;
+        assert_eq!(count("region"), 5.0);
+        assert_eq!(count("nation"), 25.0);
+        // orders ≈ 10 × customers; lineitem ≈ 4 × orders (1..7 per order).
+        let ratio_oc = count("orders") / count("customer");
+        assert!((9.0..11.0).contains(&ratio_oc), "orders/customer = {ratio_oc}");
+        let ratio_lo = count("lineitem") / count("orders");
+        assert!((3.0..5.0).contains(&ratio_lo), "lineitem/orders = {ratio_lo}");
+        assert!((count("partsupp") / count("part") - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_rows() {
+        let db = generate(TpchConfig::tiny());
+        let s = db.schema();
+        for (rid, rel) in s.iter() {
+            for fk in &rel.foreign_keys {
+                let target_ix =
+                    db.index(fk.target, &fk.target_columns.iter().map(|&c| c as u16).collect::<Vec<_>>());
+                for (_, row) in db.table(rid).iter() {
+                    let key: Vec<_> = fk.columns.iter().map(|&c| row[c]).collect();
+                    assert!(
+                        !target_ix.get(&key).is_empty(),
+                        "dangling FK from {} to {}",
+                        rel.name,
+                        s.relation(fk.target).name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lineitem_blocks_are_singletons_initially() {
+        let db = generate(TpchConfig::tiny());
+        let li = db.schema().rel_id("lineitem").unwrap();
+        assert_eq!(db.blocks(li).non_singleton_count(), 0);
+    }
+}

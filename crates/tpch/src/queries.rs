@@ -1,0 +1,134 @@
+//! The TPC-H validation workload (Appendix F).
+//!
+//! The paper instantiates nine positive TPC-H query templates
+//! (1, 4, 5, 6, 8, 10, 12, 14, 19), strips aggregates from the `SELECT`
+//! clause, and uses them as validation scenarios. We express the same
+//! join/filter structures as CQs over our schema. Range predicates (date
+//! windows, price bands) become categorical equality constants — the only
+//! selection our CQ dialect supports — chosen so each query keeps the
+//! balance character the paper reports (categorical outputs → balance ≈ 0;
+//! wide outputs → higher balance).
+
+use cqa_common::Result;
+use cqa_query::{parse, ConjunctiveQuery};
+use cqa_storage::Schema;
+
+/// The validation queries as `(name, query)` pairs, in template order.
+pub fn validation_queries(schema: &Schema) -> Result<Vec<(String, ConjunctiveQuery)>> {
+    let specs: &[(&str, &str)] = &[
+        // Q1: pricing summary — lineitem scan, categorical output.
+        (
+            "Q1H",
+            "Q1H(rf, ls) :- lineitem(ok, ln, pk, sk, qty, ep, di, rf, ls, sd, 'MAIL')",
+        ),
+        // Q4: order priority checking — orders ⋈ lineitem, categorical output.
+        (
+            "Q4H",
+            "Q4H(pr) :- orders(ok, ck, 'F', tp, od, pr, cl), \
+             lineitem(ok, ln, pk, sk, qty, ep, di, rf, ls, sd, sm)",
+        ),
+        // Q5: local supplier volume — the classic 6-way join with the
+        // customer and supplier in the same nation; categorical output.
+        (
+            "Q5H",
+            "Q5H(nn) :- customer(ck, cn, nk, seg, bal), \
+             orders(ok, ck, st, tp, od, pr, cl), \
+             lineitem(ok, ln, pk, sk, qty, ep, di, rf, ls, sd, sm), \
+             supplier(sk, sn, nk, sbal), nation(nk, nn, rk), region(rk, 'ASIA')",
+        ),
+        // Q6: forecasting revenue change — Boolean selection on lineitem.
+        ("Q6H", "Q6H() :- lineitem(ok, ln, pk, sk, 25, ep, 5, rf, ls, sd, sm)"),
+        // Q8: national market share — widest join; date output gives
+        // non-trivial balance.
+        (
+            "Q8H",
+            "Q8H(od) :- part(pk, pn, br, 'ECONOMY BRASS', psz, cont, rp), \
+             lineitem(ok, ln, pk, sk, qty, ep, di, rf, ls, sd, sm), \
+             orders(ok, ck, st, tp, od, pr, cl), customer(ck, cn, cnk, seg, bal), \
+             nation(cnk, nn, rk), region(rk, 'AMERICA')",
+        ),
+        // Q10: returned item reporting — customer identity output gives
+        // moderate balance.
+        (
+            "Q10H",
+            "Q10H(cn, nn) :- customer(ck, cn, nk, seg, bal), \
+             orders(ok, ck, st, tp, od, pr, cl), \
+             lineitem(ok, ln, pk, sk, qty, ep, di, 'R', ls, sd, sm), \
+             nation(nk, nn, rk)",
+        ),
+        // Q12: shipping mode / order priority — categorical output.
+        (
+            "Q12H",
+            "Q12H(pr) :- orders(ok, ck, st, tp, od, pr, cl), \
+             lineitem(ok, ln, pk, sk, qty, ep, di, rf, ls, sd, 'SHIP')",
+        ),
+        // Q14: promotion effect — lineitem ⋈ part, part-type output.
+        (
+            "Q14H",
+            "Q14H(pt) :- lineitem(ok, ln, pk, sk, qty, ep, di, 'N', ls, sd, sm), \
+             part(pk, pn, br, pt, psz, cont, rp)",
+        ),
+        // Q19: discounted revenue — brand/container/ship-mode constants,
+        // quantity output.
+        (
+            "Q19H",
+            "Q19H(qty) :- lineitem(ok, ln, pk, sk, qty, ep, di, rf, ls, sd, 'AIR'), \
+             part(pk, pn, 'Brand#12', pt, psz, 'SM CASE', rp)",
+        ),
+    ];
+    specs.iter().map(|(name, text)| Ok(((*name).to_owned(), parse(schema, text)?))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TpchConfig};
+    use crate::schema::tpch_schema;
+    use cqa_query::answers;
+
+    #[test]
+    fn all_validation_queries_parse() {
+        let s = tpch_schema();
+        let qs = validation_queries(&s).unwrap();
+        assert_eq!(qs.len(), 9);
+        let names: Vec<_> = qs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Q1H", "Q4H", "Q5H", "Q6H", "Q8H", "Q10H", "Q12H", "Q14H", "Q19H"]);
+    }
+
+    #[test]
+    fn q6_is_boolean_and_others_are_not() {
+        let s = tpch_schema();
+        for (name, q) in validation_queries(&s).unwrap() {
+            if name == "Q6H" {
+                assert!(q.is_boolean());
+            } else {
+                assert!(!q.is_boolean(), "{name} should have answer variables");
+            }
+        }
+    }
+
+    #[test]
+    fn join_counts_are_plausible() {
+        let s = tpch_schema();
+        let qs = validation_queries(&s).unwrap();
+        let by_name: std::collections::HashMap<_, _> =
+            qs.iter().map(|(n, q)| (n.as_str(), q)).collect();
+        assert_eq!(by_name["Q1H"].join_count(), 0);
+        assert!(by_name["Q5H"].join_count() >= 5);
+        assert!(by_name["Q8H"].join_count() >= 5);
+    }
+
+    #[test]
+    fn frequent_constant_queries_are_nonempty_at_small_scale() {
+        let db = generate(TpchConfig { scale: 0.001, seed: 5 });
+        let qs = validation_queries(db.schema()).unwrap();
+        for (name, q) in &qs {
+            // Brand- and quantity-constant queries can legitimately be
+            // empty at tiny scale; the robust ones must match.
+            if ["Q1H", "Q4H", "Q10H", "Q12H", "Q14H"].contains(&name.as_str()) {
+                let ans = answers(&db, q).unwrap();
+                assert!(!ans.is_empty(), "{name} returned no answers");
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The TPC-H-like schema: eight relations, primary keys first, full FK
+//! graph.
+
+use cqa_storage::{ColumnType::*, Schema};
+
+/// Builds the TPC-H-like schema.
+///
+/// Primary keys (as in TPC-H): `region(r_regionkey)`,
+/// `nation(n_nationkey)`, `supplier(s_suppkey)`, `part(p_partkey)`,
+/// `partsupp(ps_partkey, ps_suppkey)`, `customer(c_custkey)`,
+/// `orders(o_orderkey)`, `lineitem(l_orderkey, l_linenumber)`.
+pub fn tpch_schema() -> Schema {
+    Schema::builder()
+        .relation("region", &[("r_regionkey", Int), ("r_name", Str)], Some(1))
+        .relation(
+            "nation",
+            &[("n_nationkey", Int), ("n_name", Str), ("n_regionkey", Int)],
+            Some(1),
+        )
+        .relation(
+            "supplier",
+            &[
+                ("s_suppkey", Int),
+                ("s_name", Str),
+                ("s_nationkey", Int),
+                ("s_acctbal", Int),
+            ],
+            Some(1),
+        )
+        .relation(
+            "part",
+            &[
+                ("p_partkey", Int),
+                ("p_name", Str),
+                ("p_brand", Str),
+                ("p_type", Str),
+                ("p_size", Int),
+                ("p_container", Str),
+                ("p_retailprice", Int),
+            ],
+            Some(1),
+        )
+        .relation(
+            "partsupp",
+            &[
+                ("ps_partkey", Int),
+                ("ps_suppkey", Int),
+                ("ps_availqty", Int),
+                ("ps_supplycost", Int),
+            ],
+            Some(2),
+        )
+        .relation(
+            "customer",
+            &[
+                ("c_custkey", Int),
+                ("c_name", Str),
+                ("c_nationkey", Int),
+                ("c_mktsegment", Str),
+                ("c_acctbal", Int),
+            ],
+            Some(1),
+        )
+        .relation(
+            "orders",
+            &[
+                ("o_orderkey", Int),
+                ("o_custkey", Int),
+                ("o_orderstatus", Str),
+                ("o_totalprice", Int),
+                ("o_orderdate", Int),
+                ("o_orderpriority", Str),
+                ("o_clerk", Str),
+            ],
+            Some(1),
+        )
+        .relation(
+            "lineitem",
+            &[
+                ("l_orderkey", Int),
+                ("l_linenumber", Int),
+                ("l_partkey", Int),
+                ("l_suppkey", Int),
+                ("l_quantity", Int),
+                ("l_extendedprice", Int),
+                ("l_discount", Int),
+                ("l_returnflag", Str),
+                ("l_linestatus", Str),
+                ("l_shipdate", Int),
+                ("l_shipmode", Str),
+            ],
+            Some(2),
+        )
+        .foreign_key("nation", &["n_regionkey"], "region", &["r_regionkey"])
+        .foreign_key("supplier", &["s_nationkey"], "nation", &["n_nationkey"])
+        .foreign_key("customer", &["c_nationkey"], "nation", &["n_nationkey"])
+        .foreign_key("partsupp", &["ps_partkey"], "part", &["p_partkey"])
+        .foreign_key("partsupp", &["ps_suppkey"], "supplier", &["s_suppkey"])
+        .foreign_key("orders", &["o_custkey"], "customer", &["c_custkey"])
+        .foreign_key("lineitem", &["l_orderkey"], "orders", &["o_orderkey"])
+        .foreign_key("lineitem", &["l_partkey"], "part", &["p_partkey"])
+        .foreign_key("lineitem", &["l_suppkey"], "supplier", &["s_suppkey"])
+        .foreign_key(
+            "lineitem",
+            &["l_partkey", "l_suppkey"],
+            "partsupp",
+            &["ps_partkey", "ps_suppkey"],
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_eight_relations() {
+        let s = tpch_schema();
+        assert_eq!(s.len(), 8);
+        for name in
+            ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"]
+        {
+            assert!(s.rel_id(name).is_some(), "missing relation {name}");
+        }
+    }
+
+    #[test]
+    fn composite_keys_are_declared() {
+        let s = tpch_schema();
+        let ps = s.relation(s.rel_id("partsupp").unwrap());
+        assert_eq!(ps.key_len, Some(2));
+        let li = s.relation(s.rel_id("lineitem").unwrap());
+        assert_eq!(li.key_len, Some(2));
+        let ord = s.relation(s.rel_id("orders").unwrap());
+        assert_eq!(ord.key_len, Some(1));
+    }
+
+    #[test]
+    fn foreign_keys_span_the_schema() {
+        let s = tpch_schema();
+        let pairs = s.joinable_pairs();
+        // 11 FK column pairs × 2 directions.
+        assert_eq!(pairs.len(), 22);
+        // lineitem joins with orders, part, supplier, partsupp.
+        let li = s.rel_id("lineitem").unwrap();
+        let partners: std::collections::HashSet<_> = pairs
+            .iter()
+            .filter(|((r, _), _)| *r == li)
+            .map(|(_, (p, _))| *p)
+            .collect();
+        assert_eq!(partners.len(), 4);
+    }
+}

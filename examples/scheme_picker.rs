@@ -1,0 +1,113 @@
+//! Picking the right approximation scheme from synopsis statistics.
+//!
+//! The paper's take-home messages (§7.2) give a decision rule: after the
+//! (cheap, scheme-independent) preprocessing step, look at the synopsis
+//! statistics — Boolean/low-balance inputs want `Natural`, everything
+//! else wants `KLM`. This example implements that rule and shows it
+//! picking correctly on two contrasting workloads.
+//!
+//! Run with: `cargo run --release --example scheme_picker`
+
+use cqa::prelude::*;
+use cqa::synopsis::SynopsisSet;
+
+/// The paper's decision rule (§7.2): `Natural` for Boolean / near-zero
+/// balance inputs, `KLM` otherwise.
+fn recommend(stats: &SynopsisStats) -> Scheme {
+    if stats.balance < 0.05 {
+        Scheme::Natural
+    } else {
+        Scheme::Klm
+    }
+}
+
+fn time_all(syn: &SynopsisSet) -> Result<Vec<(Scheme, f64)>> {
+    let mut out = Vec::new();
+    for scheme in ALL_SCHEMES {
+        let mut rng = Mt64::new(99);
+        let sw = std::time::Instant::now();
+        cqa::core::apx_cqa_on_synopses(
+            syn,
+            scheme,
+            0.1,
+            0.25,
+            &Budget::with_timeout_secs(60.0),
+            &mut rng,
+        )?;
+        out.push((scheme, sw.elapsed().as_secs_f64()));
+    }
+    Ok(out)
+}
+
+fn analyze(db: &Database, q: &ConjunctiveQuery, label: &str) -> Result<()> {
+    println!("── {label}: {}", q.display(db.schema()));
+    let syn = build_synopses(db, q, BuildOptions::default())?;
+    let stats = SynopsisStats::of(&syn);
+    println!(
+        "   output size {}, homomorphic size {}, balance {:.2}",
+        stats.output_size, stats.hom_size, stats.balance
+    );
+    let pick = recommend(&stats);
+    println!("   recommendation: {pick}");
+    let timings = time_all(&syn)?;
+    let best = timings
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty");
+    for (scheme, secs) in &timings {
+        let marker = if *scheme == pick { "  <- recommended" } else { "" };
+        println!("   {:>8}: {secs:>8.4}s{marker}", scheme.name());
+    }
+    println!(
+        "   fastest was {} — recommendation {}\n",
+        best.0,
+        if best.0 == pick { "CORRECT" } else { "different (small inputs can tie)" }
+    );
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    // A database with wide blocks so the contrast is visible.
+    let schema = Schema::builder()
+        .relation(
+            "reading",
+            &[("sensor", ColumnType::Int), ("value", ColumnType::Int)],
+            Some(1),
+        )
+        .relation(
+            "alarm",
+            &[("aid", ColumnType::Int), ("sensor", ColumnType::Int), ("level", ColumnType::Int)],
+            Some(1),
+        )
+        .foreign_key("alarm", &["sensor"], "reading", &["sensor"])
+        .build();
+    let mut db = Database::new(schema);
+    let mut rng = Mt64::new(1);
+    // 40 sensors, each reporting 3 conflicting values (blocks of size 3).
+    for s in 0..40 {
+        for _ in 0..3 {
+            db.insert_named("reading", &[Value::Int(s), Value::Int(rng.below(10) as i64)])?;
+        }
+    }
+    // 120 alarms with 2 conflicting rows each.
+    for a in 0..120 {
+        for _ in 0..2 {
+            db.insert_named(
+                "alarm",
+                &[Value::Int(a), Value::Int(rng.below(40) as i64), Value::Int(rng.below(4) as i64)],
+            )?;
+        }
+    }
+
+    // Boolean workload: is any sensor reading 7 while alarmed at level 3?
+    let boolean = parse(
+        db.schema(),
+        "Q() :- reading(s, 7), alarm(a, s, 3)",
+    )?;
+    analyze(&db, &boolean, "Boolean monitoring check")?;
+
+    // Non-Boolean workload: per-alarm sensor values (high balance).
+    let wide = parse(db.schema(), "Q(a, v) :- alarm(a, s, l), reading(s, v)")?;
+    analyze(&db, &wide, "Per-alarm report")?;
+    Ok(())
+}

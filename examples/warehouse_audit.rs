@@ -1,0 +1,102 @@
+//! Auditing a noisy data warehouse.
+//!
+//! Generates a TPC-H-like warehouse, injects query-aware key violations
+//! (the paper's noise generator, §6.1), and runs a reporting query under
+//! all four approximation schemes — the full pipeline of the benchmark in
+//! miniature, with synopsis statistics and per-scheme timings printed.
+//!
+//! Run with: `cargo run --release --example warehouse_audit`
+
+use cqa::noise::{add_query_aware_noise, NoiseSpec};
+use cqa::prelude::*;
+use cqa::tpch::{generate, TpchConfig};
+
+fn main() -> Result<()> {
+    let db = generate(TpchConfig { scale: 0.001, seed: 1234 });
+    println!("warehouse: {} facts over {} relations", db.fact_count(), db.schema().len());
+
+    // A reporting query: which market segments bought which priorities?
+    let q = parse(
+        db.schema(),
+        "Q(seg, pr) :- customer(ck, cn, nk, seg, bal), orders(ok, ck, st, tp, od, pr, cl)",
+    )?;
+    println!("query: {}\n", q.display(db.schema()));
+
+    // Inject 50% query-aware noise with block sizes in [2, 5].
+    let mut rng = Mt64::new(5678);
+    let (noisy, report) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.5), &mut rng)?;
+    println!("noise report (relation, relevant, selected, added):");
+    for (name, relevant, selected, added) in &report.per_relation {
+        println!("  {name:<10} {relevant:>6} {selected:>6} {added:>6}");
+    }
+    println!("total facts now: {} (consistent = {})", noisy.fact_count(), is_consistent(&noisy));
+    println!("repairs: {}\n", noisy.repair_count());
+
+    // Preprocessing: one synopsis pass shared by every scheme.
+    let syn = build_synopses(&noisy, &q, BuildOptions::default())?;
+    let stats = SynopsisStats::of(&syn);
+    println!(
+        "synopses: {} answers, homomorphic size {}, balance {:.2}, built in {:.3}s",
+        stats.output_size, stats.hom_size, stats.balance, stats.build_secs
+    );
+
+    // All four schemes with a 30s safety budget.
+    println!("\n{:>8} {:>10} {:>14} {:>12}", "scheme", "time (s)", "samples", "max |est-f|");
+    let mut reference: Option<Vec<(Vec<Datum>, f64)>> = None;
+    for scheme in ALL_SCHEMES {
+        let mut rng = Mt64::new(42);
+        let budget = Budget::with_timeout_secs(30.0);
+        let sw = std::time::Instant::now();
+        let res = cqa::core::apx_cqa_on_synopses(&syn, scheme, 0.1, 0.25, &budget, &mut rng)?;
+        let secs = sw.elapsed().as_secs_f64();
+        // Agreement across schemes: compare against the first scheme's
+        // estimates (they all target the same frequencies).
+        let max_dev = match &reference {
+            None => {
+                reference =
+                    Some(res.answers.iter().map(|t| (t.tuple.clone(), t.frequency)).collect());
+                0.0
+            }
+            Some(reference) => res
+                .answers
+                .iter()
+                .map(|te| {
+                    reference
+                        .iter()
+                        .find(|(t, _)| *t == te.tuple)
+                        .map(|(_, f)| (te.frequency - f).abs())
+                        .unwrap_or(1.0)
+                })
+                .fold(0.0f64, f64::max),
+        };
+        println!(
+            "{:>8} {:>10.3} {:>14} {:>12.4}",
+            scheme.name(),
+            secs,
+            res.total_samples,
+            max_dev
+        );
+    }
+
+    // The five most and least reliable answers under KLM.
+    let mut rng = Mt64::new(43);
+    let res = cqa::core::apx_cqa_on_synopses(
+        &syn,
+        Scheme::Klm,
+        0.1,
+        0.25,
+        &Budget::with_timeout_secs(30.0),
+        &mut rng,
+    )?;
+    let mut ranked = res.answers.clone();
+    ranked.sort_by(|a, b| b.frequency.partial_cmp(&a.frequency).expect("finite"));
+    println!("\nmost reliable answers:");
+    for te in ranked.iter().take(5) {
+        println!("  {:<40} {:>6.1}%", noisy.fmt_tuple(&te.tuple), te.frequency * 100.0);
+    }
+    println!("least reliable answers:");
+    for te in ranked.iter().rev().take(5) {
+        println!("  {:<40} {:>6.1}%", noisy.fmt_tuple(&te.tuple), te.frequency * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! The Block-DNF correspondence end to end: all four CQA approximation
+//! schemes running on DNF-counting inputs (footnote 6 / §7.2 of the
+//! paper — the problem family the schemes were originally designed for).
+
+use cqa::common::Mt64;
+use cqa::prelude::*;
+use cqa::synopsis::BlockDnf;
+
+#[test]
+fn all_schemes_count_block_dnf_formulas() {
+    // Variables 0..9 partitioned into three blocks; three clauses.
+    let dnf = BlockDnf::new(
+        vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7, 8]],
+        vec![vec![0, 3], vec![1], vec![3, 5]],
+    );
+    let pair = dnf.to_admissible().unwrap();
+    let exact = dnf.satisfying_fraction();
+    assert!(exact > 0.0 && exact < 1.0);
+    for scheme in ALL_SCHEMES {
+        let mut rng = Mt64::new(17);
+        let out =
+            approx_relative_frequency(&pair, scheme, 0.1, 0.25, &Budget::unbounded(), &mut rng)
+                .unwrap();
+        assert!(
+            (out.estimate - exact).abs() <= 0.15 * exact,
+            "{scheme}: {} vs exact {exact}",
+            out.estimate
+        );
+    }
+}
+
+#[test]
+fn random_formulas_agree_with_brute_force() {
+    let mut rng = Mt64::new(31415);
+    for _ in 0..10 {
+        // Random block partition and clauses.
+        let nblocks = 2 + rng.index(3);
+        let mut blocks = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..nblocks {
+            let size = 2 + rng.below(3) as u32;
+            blocks.push((next..next + size).collect::<Vec<_>>());
+            next += size;
+        }
+        let nclauses = 1 + rng.index(4);
+        let clauses: Vec<Vec<u32>> = (0..nclauses)
+            .map(|_| {
+                let k = 1 + rng.index(nblocks.min(2));
+                rng.sample_indices(nblocks, k)
+                    .into_iter()
+                    .map(|b| blocks[b][rng.index(blocks[b].len())])
+                    .collect()
+            })
+            .collect();
+        let dnf = BlockDnf::new(blocks, clauses);
+        let pair = dnf.to_admissible().unwrap();
+        let exact = dnf.satisfying_fraction();
+        let mut srng = Mt64::new(rng.next_u64());
+        let out = approx_relative_frequency(
+            &pair,
+            Scheme::Klm,
+            0.1,
+            0.25,
+            &Budget::unbounded(),
+            &mut srng,
+        )
+        .unwrap();
+        assert!(
+            (out.estimate - exact).abs() <= 0.2 * exact + 1e-9,
+            "KLM on random formula: {} vs {exact}",
+            out.estimate
+        );
+    }
+}
+
+#[test]
+fn certain_answers_match_frequency_one() {
+    // cqa::synopsis::certain on a database with certain and uncertain
+    // tuples — checked against the approximate frequencies.
+    let schema = Schema::builder()
+        .relation("r", &[("k", ColumnType::Int), ("v", ColumnType::Int)], Some(1))
+        .build();
+    let mut db = Database::new(schema);
+    // Key 1 is clean (certain value 10); key 2 conflicted.
+    db.insert_named("r", &[Value::Int(1), Value::Int(10)]).unwrap();
+    db.insert_named("r", &[Value::Int(2), Value::Int(20)]).unwrap();
+    db.insert_named("r", &[Value::Int(2), Value::Int(30)]).unwrap();
+    let q = parse(db.schema(), "Q(v) :- r(k, v)").unwrap();
+    let certain = cqa::synopsis::certain_answers(&db, &q).unwrap();
+    assert_eq!(certain, vec![vec![Datum::Int(10)]]);
+    let mut rng = Mt64::new(5);
+    let res = apx_cqa(&db, &q, Scheme::Natural, 0.05, 0.1, &Budget::unbounded(), &mut rng)
+        .unwrap();
+    for te in &res.answers {
+        let is_certain = certain.contains(&te.tuple);
+        if is_certain {
+            assert!(te.frequency > 0.9);
+        } else {
+            assert!(te.frequency < 0.7);
+        }
+    }
+}

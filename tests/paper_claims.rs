@@ -1,0 +1,147 @@
+//! Checks of concrete numeric claims made in the paper's text.
+
+use cqa::prelude::*;
+use cqa::synopsis::exact_ratio_enumerate;
+
+/// §1 / Example 1.1: "The relative frequency of the empty tuple is 50%
+/// since, out of four repairs in total, only two satisfy the query."
+#[test]
+fn example_1_1_fifty_percent() {
+    let schema = Schema::builder()
+        .relation(
+            "employee",
+            &[("id", ColumnType::Int), ("name", ColumnType::Str), ("dept", ColumnType::Str)],
+            Some(1),
+        )
+        .build();
+    let mut db = Database::new(schema);
+    for (id, name, dept) in
+        [(1, "Bob", "HR"), (1, "Bob", "IT"), (2, "Alice", "IT"), (2, "Tim", "IT")]
+    {
+        db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)])
+            .unwrap();
+    }
+    assert!((db.repair_count().value() - 4.0).abs() < 1e-12, "four repairs in total");
+    let q = parse(db.schema(), "Q() :- employee(1, n1, d), employee(2, n2, d)").unwrap();
+    let f = relative_frequency_exact(&db, &q, &[], 100).unwrap();
+    assert!((f - 0.5).abs() < 1e-12, "true in exactly two repairs");
+}
+
+/// §4.2 footnote 5: `E[SampleKL] = E[SampleKLM] ≥ 1/|H|` — the bound that
+/// lets the symbolic schemes terminate quickly.
+#[test]
+fn symbolic_expectation_lower_bound() {
+    use cqa::common::Mt64;
+    use cqa::core::{KlSampler, Sampler};
+    use cqa::synopsis::AdmissiblePair;
+    let mut master = Mt64::new(404);
+    for _ in 0..20 {
+        let mut rng = master.fork();
+        let nblocks = 2 + rng.index(3);
+        let sizes: Vec<u32> = (0..nblocks).map(|_| 2 + rng.below(3) as u32).collect();
+        let nimages = 1 + rng.index(5);
+        let images: Vec<Vec<(u32, u32)>> = (0..nimages)
+            .map(|_| {
+                let natoms = 1 + rng.index(2);
+                rng.sample_indices(nblocks, natoms)
+                    .into_iter()
+                    .map(|b| (b as u32, rng.below(sizes[b] as u64) as u32))
+                    .collect()
+            })
+            .collect();
+        let pair = AdmissiblePair::new(images, sizes).unwrap();
+        let n = pair.num_images() as f64;
+        // E[SampleKL] = R(H,B) / s_ratio ≥ 1/n.
+        let r = exact_ratio_enumerate(&pair, 1_000_000).unwrap();
+        let expectation = r / pair.s_ratio();
+        assert!(
+            expectation >= 1.0 / n - 1e-9,
+            "E[SampleKL] = {expectation} below 1/|H| = {}",
+            1.0 / n
+        );
+        // And the sampler's empirical mean agrees.
+        let mut s = KlSampler::new(&pair);
+        let mut sum = 0.0;
+        let m = 50_000;
+        for _ in 0..m {
+            sum += s.sample(&mut rng);
+        }
+        assert!((sum / m as f64 - expectation).abs() < 0.02);
+    }
+}
+
+/// §4.3 / Algorithm 6: the deterministic iteration budget formula
+/// `N = ⌈8(1+ε)|H|ln(3/δ) / ((1−ε²/8)ε²)⌉` and its linearity in `|H|` —
+/// the reason Cover is slow on Boolean inputs.
+#[test]
+fn coverage_budget_formula() {
+    use cqa::core::coverage_iterations;
+    let eps = 0.1;
+    let delta = 0.25;
+    // Hand-computed value for |H| = 100:
+    let expect = (8.0 * 1.1 * 100.0 * (12.0f64).ln() / ((1.0 - 0.00125) * 0.01)).ceil() as u64;
+    assert_eq!(coverage_iterations(100, eps, delta), expect);
+    // With the paper's ε = 0.1, δ = 0.25 the constant factor exceeds 2000
+    // iterations per image — "the factor that is multiplied by |H| … can
+    // become very large, even for not very small values of ε and δ" (§7.1).
+    assert!(coverage_iterations(1, eps, delta) > 2000);
+}
+
+/// §2: checking `R_{D,Σ,Q}(t̄) > 0` is polynomial — via the synopsis:
+/// positive iff a consistent homomorphic image exists (Lemma 4.1(4)).
+#[test]
+fn positivity_check_via_synopsis() {
+    let schema = Schema::builder()
+        .relation("r", &[("k", ColumnType::Int), ("v", ColumnType::Int)], Some(1))
+        .build();
+    let mut db = Database::new(schema);
+    db.insert_named("r", &[Value::Int(1), Value::Int(10)]).unwrap();
+    db.insert_named("r", &[Value::Int(1), Value::Int(20)]).unwrap();
+    let q = parse(db.schema(), "Q(v) :- r(k, v)").unwrap();
+    let syn = build_synopses(&db, &q, BuildOptions::default()).unwrap();
+    // Both 10 and 20 are answers in *some* repair → both have synopses.
+    assert_eq!(syn.output_size(), 2);
+    let exact = consistent_answers_exact(&db, &q, 100).unwrap();
+    assert_eq!(exact.len(), 2);
+    for (_, f) in exact {
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}
+
+/// §6.3: the experiments fix δ = 0.25 and ε = 0.1 — "75% confidence and
+/// 10% error". Statistical check at exactly those parameters.
+#[test]
+fn paper_epsilon_delta_guarantee() {
+    use cqa::common::Mt64;
+    use cqa::synopsis::AdmissiblePair;
+    let pair = AdmissiblePair::new(
+        vec![vec![(0, 0)], vec![(0, 1), (1, 0)], vec![(1, 2), (2, 1)]],
+        vec![3, 3, 2],
+    )
+    .unwrap();
+    let exact = exact_ratio_enumerate(&pair, 1_000_000).unwrap();
+    let (eps, delta) = (0.1, 0.25);
+    for scheme in ALL_SCHEMES {
+        let mut failures = 0;
+        let runs = 24;
+        for seed in 0..runs {
+            let mut rng = Mt64::new(7_000 + seed);
+            let out = approx_relative_frequency(
+                &pair,
+                scheme,
+                eps,
+                delta,
+                &Budget::unbounded(),
+                &mut rng,
+            )
+            .unwrap();
+            if (out.estimate - exact).abs() > eps * exact {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures as f64 / runs as f64 <= delta + 0.05,
+            "{scheme}: {failures}/{runs} outside the ε-band"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full benchmark pipeline on a small TPC-H
+//! instance — data generation → SQG → query-aware noise → DQG →
+//! preprocessing → all four schemes → comparison against exact CQA where
+//! the instance permits.
+
+use cqa::noise::{add_query_aware_noise, NoiseSpec};
+use cqa::prelude::*;
+use cqa::qgen::{dqg, sqg, SqgSpec};
+use cqa::tpch::{generate, TpchConfig};
+
+#[test]
+fn full_pipeline_runs_and_agrees_with_ground_truth() {
+    let base = generate(TpchConfig { scale: 0.0005, seed: 77 });
+    assert!(is_consistent(&base));
+    let mut rng = Mt64::new(99);
+
+    // A 1-join query, retried until non-empty, as the pool builder does.
+    let q = loop {
+        let Ok(q) = sqg(&base, SqgSpec { joins: 1, constants: 2, proj_fraction: 1.0 }, &mut rng)
+        else {
+            continue;
+        };
+        if q.join_count() == 1 && !answers(&base, &q).unwrap().is_empty() {
+            break q;
+        }
+    };
+
+    // Inject a mild amount of noise so exact repair enumeration stays
+    // feasible on the query-relevant part.
+    let (noisy, report) =
+        add_query_aware_noise(&base, &q, NoiseSpec { p: 0.2, lmin: 2, umax: 3 }, &mut rng)
+            .expect("noise");
+    assert!(report.total_added > 0);
+    assert!(!is_consistent(&noisy));
+
+    let syn = build_synopses(&noisy, &q, BuildOptions::default()).expect("synopses");
+    assert!(syn.output_size() > 0);
+
+    // Exact per-tuple frequencies on the synopsis (small enough), compared
+    // with what each scheme reports.
+    for entry in syn.entries.iter().take(5) {
+        let exact = cqa::synopsis::exact_ratio_enumerate(&entry.pair, 10_000_000)
+            .expect("small pair");
+        for scheme in ALL_SCHEMES {
+            let mut srng = Mt64::new(5);
+            let out = approx_relative_frequency(
+                &entry.pair,
+                scheme,
+                0.1,
+                0.25,
+                &Budget::unbounded(),
+                &mut srng,
+            )
+            .expect("approximation");
+            assert!(
+                (out.estimate - exact).abs() <= 0.2 * exact + 1e-9,
+                "{scheme} estimated {} vs exact {exact}",
+                out.estimate
+            );
+        }
+    }
+}
+
+#[test]
+fn dqg_balances_transfer_to_apx_cqa() {
+    let base = generate(TpchConfig { scale: 0.0005, seed: 31 });
+    let mut rng = Mt64::new(13);
+    let q = loop {
+        let Ok(q) = sqg(&base, SqgSpec { joins: 2, constants: 2, proj_fraction: 1.0 }, &mut rng)
+        else {
+            continue;
+        };
+        if q.join_count() == 2 && !answers(&base, &q).unwrap().is_empty() {
+            break q;
+        }
+    };
+    let (noisy, _) =
+        add_query_aware_noise(&base, &q, NoiseSpec::with_p(0.4), &mut rng).expect("noise");
+    let results = dqg(&noisy, &q, &[0.5, 1.0], 100, &mut rng).expect("dqg");
+    for r in &results {
+        // The projected query must run through the full ApxCQA driver.
+        let res = apx_cqa(&noisy, &r.query, Scheme::Klm, 0.1, 0.25, &Budget::unbounded(), &mut rng)
+            .expect("apx cqa");
+        assert!(!res.answers.is_empty());
+        for te in &res.answers {
+            assert!((0.0..=1.0).contains(&te.frequency));
+        }
+    }
+}
+
+#[test]
+fn boolean_and_projected_queries_share_candidate_answers() {
+    // The Boolean version of a query is entailed (R > 0) iff the original
+    // has some answer — Lemma 4.1(4) seen through the driver.
+    let base = generate(TpchConfig { scale: 0.0005, seed: 55 });
+    let mut rng = Mt64::new(3);
+    let q = parse(
+        base.schema(),
+        "Q(nn) :- supplier(sk, sn, nk, bal), nation(nk, nn, rk)",
+    )
+    .unwrap();
+    let (noisy, _) =
+        add_query_aware_noise(&base, &q, NoiseSpec::with_p(0.5), &mut rng).expect("noise");
+    let syn_q = build_synopses(&noisy, &q, BuildOptions::default()).unwrap();
+    let syn_bool = build_synopses(&noisy, &q.boolean(), BuildOptions::default()).unwrap();
+    assert_eq!(syn_bool.output_size(), 1);
+    assert_eq!(syn_q.hom_size, syn_bool.hom_size);
+    // The Boolean synopsis merges every image into one admissible pair.
+    assert_eq!(syn_bool.entries[0].pair.num_images(), syn_bool.hom_size);
+}
+
+#[test]
+fn validation_queries_flow_through_the_driver() {
+    let db = cqa::tpch::generate(TpchConfig { scale: 0.001, seed: 8 });
+    let queries = cqa::tpch::validation_queries(db.schema()).unwrap();
+    let mut rng = Mt64::new(21);
+    // Q1H is non-empty at this scale and single-atom, so fast.
+    let (_, q1) = queries.iter().find(|(n, _)| n == "Q1H").unwrap();
+    let (noisy, _) =
+        add_query_aware_noise(&db, q1, NoiseSpec::with_p(0.3), &mut rng).expect("noise");
+    let res = apx_cqa(&noisy, q1, Scheme::Natural, 0.1, 0.25, &Budget::unbounded(), &mut rng)
+        .expect("runs");
+    assert!(!res.answers.is_empty());
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the core data structures and invariants.
+
+use cqa::common::{AliasTable, LogNum, Mt64};
+use cqa::prelude::*;
+use cqa::synopsis::{exact_ratio_enumerate, exact_ratio_inclusion_exclusion, AdmissiblePair};
+use proptest::prelude::*;
+
+/// Strategy: a random admissible pair with small blocks.
+fn admissible_pair() -> impl Strategy<Value = AdmissiblePair> {
+    // Block sizes 1..=4, 1..=5 blocks; 1..=5 images of 1..=3 atoms.
+    (
+        prop::collection::vec(1u32..=4, 1..=5),
+        proptest::num::u64::ANY,
+    )
+        .prop_map(|(sizes, seed)| {
+            let mut rng = Mt64::new(seed);
+            let nblocks = sizes.len();
+            let nimages = 1 + rng.index(5);
+            let images: Vec<Vec<(u32, u32)>> = (0..nimages)
+                .map(|_| {
+                    let natoms = 1 + rng.index(nblocks.min(3));
+                    rng.sample_indices(nblocks, natoms)
+                        .into_iter()
+                        .map(|b| (b as u32, rng.below(sizes[b] as u64) as u32))
+                        .collect()
+                })
+                .collect();
+            AdmissiblePair::new(images, sizes).expect("construction is valid by design")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The two independent exact algorithms agree on any admissible pair.
+    #[test]
+    fn exact_algorithms_agree(pair in admissible_pair()) {
+        let a = exact_ratio_enumerate(&pair, 10_000_000).unwrap();
+        let b = exact_ratio_inclusion_exclusion(&pair).unwrap();
+        prop_assert!((a - b).abs() < 1e-9, "enumerate {a} vs incl-excl {b}");
+    }
+
+    /// R(H,B) obeys the Lemma 4.3 lower bound and never exceeds 1.
+    #[test]
+    fn ratio_bounds(pair in admissible_pair()) {
+        let r = exact_ratio_enumerate(&pair, 10_000_000).unwrap();
+        prop_assert!(r <= 1.0 + 1e-12);
+        prop_assert!(r >= pair.ratio_lower_bound() - 1e-12);
+        // And the union bound from above: R ≤ Σ 1/|db(B_{H_i})| = s_ratio.
+        prop_assert!(r <= pair.s_ratio() + 1e-12);
+    }
+
+    /// Every scheme's estimate lands in [0,1] and within a loose band of
+    /// the exact ratio (the tight ε-band is checked statistically in the
+    /// core crate; here we assert sanity across arbitrary shapes).
+    #[test]
+    fn schemes_are_sane_on_arbitrary_pairs(pair in admissible_pair(), seed in 0u64..1000) {
+        let exact = exact_ratio_enumerate(&pair, 10_000_000).unwrap();
+        for scheme in ALL_SCHEMES {
+            let mut rng = Mt64::new(seed);
+            let out = approx_relative_frequency(
+                &pair, scheme, 0.2, 0.25, &Budget::unbounded(), &mut rng,
+            ).unwrap();
+            prop_assert!((0.0..=1.0).contains(&out.estimate));
+            prop_assert!(
+                (out.estimate - exact).abs() <= 0.5 * exact + 1e-9,
+                "{scheme}: {} vs exact {exact}", out.estimate
+            );
+        }
+    }
+
+    /// Log-space arithmetic matches plain arithmetic in the range where
+    /// plain arithmetic works.
+    #[test]
+    fn lognum_matches_f64(a in 1e-3f64..1e3, b in 1e-3f64..1e3) {
+        let (la, lb) = (LogNum::from_value(a), LogNum::from_value(b));
+        prop_assert!(((la * lb).value() - a * b).abs() / (a * b) < 1e-12);
+        prop_assert!(((la / lb).value() - a / b).abs() / (a / b) < 1e-12);
+        prop_assert!((la.add(lb).value() - (a + b)).abs() / (a + b) < 1e-12);
+        prop_assert!((la.ratio(lb) - a / b).abs() / (a / b) < 1e-12);
+    }
+
+    /// `Mt64::below` stays in range for arbitrary moduli.
+    #[test]
+    fn mt_below_in_range(seed in proptest::num::u64::ANY, n in 1u64..=u64::MAX) {
+        let mut rng = Mt64::new(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// Alias tables never emit a zero-weight category.
+    #[test]
+    fn alias_respects_support(seed in proptest::num::u64::ANY,
+                              mask in 1u8..15) {
+        let weights: Vec<f64> =
+            (0..4).map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 }).collect();
+        let table = AliasTable::new(&weights);
+        let mut rng = Mt64::new(seed);
+        for _ in 0..64 {
+            let k = table.sample(&mut rng);
+            prop_assert!(weights[k] > 0.0, "sampled zero-weight category {k}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random small databases: blocks partition the rows of each relation,
+    /// and the repair count is the product of block sizes.
+    #[test]
+    fn blocks_partition_and_count(rows in prop::collection::vec((0i64..4, 0i64..4), 1..12)) {
+        let schema = Schema::builder()
+            .relation("r", &[("k", ColumnType::Int), ("v", ColumnType::Int)], Some(1))
+            .build();
+        let mut db = Database::new(schema);
+        for (k, v) in rows {
+            db.insert_named("r", &[Value::Int(k), Value::Int(v)]).unwrap();
+        }
+        let rel = db.schema().rel_id("r").unwrap();
+        let blocks = db.blocks(rel);
+        let n = db.table(rel).len();
+        // Partition: every row appears in exactly one block.
+        let mut seen = vec![false; n];
+        for (_, rows) in blocks.iter() {
+            for &row in rows {
+                prop_assert!(!seen[row as usize], "row {row} in two blocks");
+                seen[row as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        // Count: product of block sizes.
+        let product: f64 = blocks.iter().map(|(_, r)| r.len() as f64).product();
+        prop_assert!((db.repair_count().value() - product).abs() < 1e-9);
+    }
+
+    /// The synopsis-based exact frequency equals the repair-enumeration
+    /// frequency on random small databases (Lemma 4.1(3), property form).
+    #[test]
+    fn lemma_41_randomized(rows_r in prop::collection::vec((0i64..3, 0i64..3), 1..8),
+                           rows_s in prop::collection::vec((0i64..3, 0i64..3), 1..8)) {
+        let schema = Schema::builder()
+            .relation("r", &[("k", ColumnType::Int), ("a", ColumnType::Int)], Some(1))
+            .relation("s", &[("k", ColumnType::Int), ("b", ColumnType::Int)], Some(1))
+            .build();
+        let mut db = Database::new(schema);
+        for (k, a) in rows_r {
+            db.insert_named("r", &[Value::Int(k), Value::Int(a)]).unwrap();
+        }
+        for (k, b) in rows_s {
+            db.insert_named("s", &[Value::Int(k), Value::Int(b)]).unwrap();
+        }
+        let q = parse(db.schema(), "Q(a) :- r(k, a), s(a, b)").unwrap();
+        let syn = build_synopses(&db, &q, BuildOptions::default()).unwrap();
+        let exact = consistent_answers_exact(&db, &q, 2_000_000).unwrap();
+        prop_assert_eq!(syn.output_size(), exact.len());
+        for (t, f) in &exact {
+            let entry = syn.get(t).expect("tuple has a synopsis");
+            let r = exact_ratio_enumerate(&entry.pair, 10_000_000).unwrap();
+            prop_assert!((r - f).abs() < 1e-9, "synopsis {r} vs repairs {f}");
+        }
+    }
+}
