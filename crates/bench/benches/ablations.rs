@@ -10,16 +10,15 @@
 //! * **parallel vs sequential ApxCQA** — the paper's suggested extension
 //!   (Appendix E).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa_common::{AliasTable, Mt64};
 use cqa_core::{
-    apx_cqa_on_synopses, apx_cqa_parallel, monte_carlo, Budget, NaturalSampler, Sampler,
-    Scheme,
+    apx_cqa_on_synopses, apx_cqa_parallel, monte_carlo, Budget, NaturalSampler, Sampler, Scheme,
 };
 use cqa_query::parse;
 use cqa_storage::ColumnType::*;
 use cqa_storage::{Database, Schema, Value};
 use cqa_synopsis::{build_synopses, AdmissiblePair, BuildOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Linear-scan weighted sampling, the textbook alternative to the alias
 /// table.
@@ -69,12 +68,7 @@ fn bench_weighted_choice(c: &mut Criterion) {
 /// Naive Monte Carlo with a Hoeffding-style plan: stopping rule for a rough
 /// mean, then `N = ln(2/δ) / (2(εµ̂)²)` — ignores the variance, so it
 /// overshoots badly when the sampler's variance is far below µ̂².
-fn naive_monte_carlo<S: Sampler>(
-    sampler: &mut S,
-    eps: f64,
-    delta: f64,
-    rng: &mut Mt64,
-) -> f64 {
+fn naive_monte_carlo<S: Sampler>(sampler: &mut S, eps: f64, delta: f64, rng: &mut Mt64) -> f64 {
     let budget = Budget::unbounded();
     let mut count = 0;
     let rough = cqa_core::stopping_rule(sampler, 0.5, delta / 2.0, &budget, rng, &mut count)
@@ -93,11 +87,9 @@ fn bench_planning(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(5));
     group.warm_up_time(std::time::Duration::from_secs(1));
     // A moderate-frequency pair where the DKLR variance step pays off.
-    let pair = AdmissiblePair::new(
-        vec![vec![(0, 0)], vec![(0, 1)], vec![(1, 0), (2, 0)]],
-        vec![3, 2, 2],
-    )
-    .expect("valid");
+    let pair =
+        AdmissiblePair::new(vec![vec![(0, 0)], vec![(0, 1)], vec![(1, 0), (2, 0)]], vec![3, 2, 2])
+            .expect("valid");
     group.bench_function("dklr_optimal", |b| {
         b.iter(|| {
             let mut s = NaturalSampler::new(&pair);
@@ -116,14 +108,12 @@ fn bench_planning(c: &mut Criterion) {
 }
 
 fn wide_database() -> Database {
-    let schema =
-        Schema::builder().relation("r", &[("k", Int), ("v", Int)], Some(1)).build();
+    let schema = Schema::builder().relation("r", &[("k", Int), ("v", Int)], Some(1)).build();
     let mut db = Database::new(schema);
     let mut rng = Mt64::new(3);
     for k in 0..200 {
         for _ in 0..3 {
-            db.insert_named("r", &[Value::Int(k), Value::Int(rng.below(8) as i64)])
-                .unwrap();
+            db.insert_named("r", &[Value::Int(k), Value::Int(rng.below(8) as i64)]).unwrap();
         }
     }
     db
@@ -145,24 +135,12 @@ fn bench_parallel_driver(c: &mut Criterion) {
         })
     });
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    apx_cqa_parallel(
-                        &syn,
-                        Scheme::Klm,
-                        0.1,
-                        0.25,
-                        &Budget::unbounded(),
-                        11,
-                        threads,
-                    )
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                apx_cqa_parallel(&syn, Scheme::Klm, 0.1, 0.25, &Budget::unbounded(), 11, threads)
                     .expect("runs")
-                })
-            },
-        );
+            })
+        });
     }
     group.finish();
 }

@@ -4,8 +4,8 @@
 //! series and CSV output) live in the `fig1_noise` … `fig5_validation`
 //! and `run_all` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqa_scenarios::{figures, BenchConfig, Pool};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::OnceLock;
 
 fn pool() -> &'static Pool {
@@ -22,16 +22,12 @@ fn bench_fig1(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(8));
     g.warm_up_time(std::time::Duration::from_secs(1));
-    g.bench_function("fig1_noise_cell", |b| {
-        b.iter(|| figures::fig1_noise(pool(), &[(0.0, 1)]))
-    });
+    g.bench_function("fig1_noise_cell", |b| b.iter(|| figures::fig1_noise(pool(), &[(0.0, 1)])));
     g.bench_function("fig2_balance_cell", |b| {
         b.iter(|| figures::fig2_balance(pool(), &[(0.3, 1)]))
     });
     g.bench_function("fig3_preprocessing", |b| b.iter(|| figures::fig3_preprocessing(pool())));
-    g.bench_function("fig4_joins_cell", |b| {
-        b.iter(|| figures::fig4_joins(pool(), &[(0.3, 0.5)]))
-    });
+    g.bench_function("fig4_joins_cell", |b| b.iter(|| figures::fig4_joins(pool(), &[(0.3, 0.5)])));
     g.bench_function("fig5_validation", |b| {
         // Validation queries in the low-balance regime time out by design;
         // keep the per-scheme budget tiny so one iteration stays bounded.

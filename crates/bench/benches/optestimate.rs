@@ -2,10 +2,10 @@
 //! stopping rule and the full iteration plan scales with the (unknown)
 //! mean — the inverse dependence that explains every trend in Figures 1–2.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa_common::Mt64;
 use cqa_core::{plan_iterations, stopping_rule, Budget, NaturalSampler};
 use cqa_synopsis::AdmissiblePair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A single-image pair whose ratio is `4^{-depth}`.
 fn pair_with_ratio(depth: usize) -> AdmissiblePair {

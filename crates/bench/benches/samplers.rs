@@ -5,10 +5,10 @@
 //! (cheap when the drawn index is small), and `SampleKLM` always scans
 //! every image — the reason KL catches up with KLM at many joins.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa_common::Mt64;
 use cqa_core::{KlSampler, KlmSampler, NaturalSampler, Sampler};
 use cqa_synopsis::AdmissiblePair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A synthetic pair with `n` images over `n + span` blocks of size 4,
 /// each image covering `span` consecutive blocks (overlapping chains).

@@ -6,10 +6,10 @@
 //! * a **balanced** pair — a single image and a small ratio (the symbolic
 //!   schemes should dominate).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa_common::Mt64;
 use cqa_core::{approx_relative_frequency, Budget, ALL_SCHEMES};
 use cqa_synopsis::AdmissiblePair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Many single-atom images covering most of one block: R close to 1.
 fn boolean_like() -> AdmissiblePair {
@@ -34,27 +34,22 @@ fn bench_schemes(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(5));
     group.warm_up_time(std::time::Duration::from_secs(1));
-    for (regime, pair) in [("boolean_like", boolean_like()), ("balanced_like", balanced_like())]
-    {
+    for (regime, pair) in [("boolean_like", boolean_like()), ("balanced_like", balanced_like())] {
         for scheme in ALL_SCHEMES {
-            group.bench_with_input(
-                BenchmarkId::new(scheme.name(), regime),
-                &pair,
-                |b, pair| {
-                    b.iter(|| {
-                        let mut rng = Mt64::new(42);
-                        approx_relative_frequency(
-                            pair,
-                            scheme,
-                            0.1,
-                            0.25,
-                            &Budget::unbounded(),
-                            &mut rng,
-                        )
-                        .expect("no budget")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(scheme.name(), regime), &pair, |b, pair| {
+                b.iter(|| {
+                    let mut rng = Mt64::new(42);
+                    approx_relative_frequency(
+                        pair,
+                        scheme,
+                        0.1,
+                        0.25,
+                        &Budget::unbounded(),
+                        &mut rng,
+                    )
+                    .expect("no budget")
+                })
+            });
         }
     }
     group.finish();

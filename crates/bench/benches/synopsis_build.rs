@@ -2,7 +2,6 @@
 //! construction over TPC-H-like data for queries of increasing join count
 //! on increasingly noisy databases.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa_common::Mt64;
 use cqa_noise::{add_query_aware_noise, NoiseSpec};
 use cqa_qgen::{sqg, SqgSpec};
@@ -10,6 +9,7 @@ use cqa_query::answers;
 use cqa_storage::Database;
 use cqa_synopsis::{build_synopses, BuildOptions};
 use cqa_tpch::{generate, TpchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn workload() -> Vec<(String, Database, cqa_query::ConjunctiveQuery)> {
     let base = generate(TpchConfig { scale: 0.0005, seed: 99 });
@@ -18,8 +18,7 @@ fn workload() -> Vec<(String, Database, cqa_query::ConjunctiveQuery)> {
     for joins in [1usize, 3, 5] {
         // Draw until non-empty, as the pool builder does.
         let q = loop {
-            let Ok(q) =
-                sqg(&base, SqgSpec { joins, constants: 2, proj_fraction: 1.0 }, &mut rng)
+            let Ok(q) = sqg(&base, SqgSpec { joins, constants: 2, proj_fraction: 1.0 }, &mut rng)
             else {
                 continue;
             };

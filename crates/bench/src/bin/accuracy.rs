@@ -15,9 +15,7 @@ use cqa_synopsis::{exact_ratio_enumerate, exact_ratio_inclusion_exclusion, Admis
 const REPS: usize = 12;
 
 fn exact(pair: &AdmissiblePair) -> Option<f64> {
-    exact_ratio_enumerate(pair, 1_000_000)
-        .or_else(|_| exact_ratio_inclusion_exclusion(pair))
-        .ok()
+    exact_ratio_enumerate(pair, 1_000_000).or_else(|_| exact_ratio_inclusion_exclusion(pair)).ok()
 }
 
 fn main() {

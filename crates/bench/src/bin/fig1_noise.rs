@@ -7,8 +7,12 @@ use cqa_scenarios::{figures, BenchConfig, Pool};
 fn main() {
     let cfg = BenchConfig::from_env();
     let selections = fig1_selections(&cfg);
-    eprintln!("[fig1] {} Noise[q, j] plots over grids {:?} × {:?}", selections.len(),
-        cfg.balance_levels, cfg.joins);
+    eprintln!(
+        "[fig1] {} Noise[q, j] plots over grids {:?} × {:?}",
+        selections.len(),
+        cfg.balance_levels,
+        cfg.joins
+    );
     let pool = Pool::build(cfg).expect("pool build");
     let figs = figures::fig1_noise(&pool, &selections);
     emit(&figs);

@@ -24,12 +24,8 @@ fn main() {
          orders(ok, ck, st, tp, od, pr, cl)",
     )
     .expect("query parses");
-    let base_homs =
-        build_synopses(&db, &q, BuildOptions::default()).expect("builds").hom_size;
-    println!(
-        "base: {} facts, query homomorphic size {base_homs}\n",
-        db.fact_count()
-    );
+    let base_homs = build_synopses(&db, &q, BuildOptions::default()).expect("builds").hom_size;
+    println!("base: {} facts, query homomorphic size {base_homs}\n", db.fact_count());
     println!(
         "{:>8} {:>12} {:>12} {:>14} {:>14} {:>12}",
         "noise", "aware+facts", "obliv+facts", "aware+homs", "obliv+homs", "aware adv."

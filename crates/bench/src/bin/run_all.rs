@@ -11,8 +11,10 @@ use cqa_scenarios::{figures, BenchConfig, Figure, Pool};
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    eprintln!("[run_all] profile: scale={} timeout={}s threads={}", cfg.scale,
-        cfg.timeout_secs, cfg.threads);
+    eprintln!(
+        "[run_all] profile: scale={} timeout={}s threads={}",
+        cfg.scale, cfg.timeout_secs, cfg.threads
+    );
     let pool = Pool::build(cfg.clone()).expect("pool build");
 
     println!("════════ Figure 1: noise scenarios ════════");

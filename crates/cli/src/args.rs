@@ -83,6 +83,43 @@ pub enum Command {
         /// Input dump path.
         db: PathBuf,
     },
+    /// Run the approximate-CQA daemon.
+    Serve {
+        /// Input dump path.
+        db: PathBuf,
+        /// Address to bind (port 0 picks a free port).
+        addr: String,
+        /// Worker threads (0 = one per CPU).
+        workers: usize,
+        /// Admission-queue depth.
+        queue_depth: usize,
+        /// Synopsis-cache capacity (entries).
+        cache_capacity: usize,
+        /// Default per-request deadline in ms (None = unbounded).
+        timeout_ms: Option<u64>,
+    },
+    /// Closed-loop load generator against a running daemon.
+    BenchServe {
+        /// Server address.
+        addr: String,
+        /// The query (datalog syntax).
+        query: String,
+        /// Which approximation scheme.
+        scheme: Scheme,
+        /// Relative error ε.
+        eps: f64,
+        /// Uncertainty δ.
+        delta: f64,
+        /// Concurrent client connections.
+        clients: usize,
+        /// Requests per client.
+        requests: usize,
+        /// Base RNG seed (request i of client c uses a distinct derived
+        /// seed).
+        seed: u64,
+        /// Per-request deadline in ms (None = server default).
+        timeout_ms: Option<u64>,
+    },
     /// Print usage.
     Help,
 }
@@ -100,8 +137,14 @@ USAGE:
   cqa-cli stats  --db FILE --query CQ
   cqa-cli certain --db FILE --query CQ
   cqa-cli schema --db FILE
+  cqa-cli serve  --db FILE [--addr HOST:PORT] [--workers N] [--queue N]
+                 [--cache N] [--timeout-ms N]
+  cqa-cli bench-serve --addr HOST:PORT --query CQ [--scheme S] [--eps F]
+                 [--delta F] [--clients N] [--requests N] [--seed N]
+                 [--timeout-ms N]
 
 Queries use the datalog-style syntax, e.g. 'Q(n) :- employee(x, n, d)'.
+`serve` speaks line-delimited JSON; see the README's Serving section.
 ";
 
 struct Flags {
@@ -128,11 +171,12 @@ impl Flags {
 
     fn take<T: std::str::FromStr>(&mut self, key: &str, default: Option<T>) -> Result<T> {
         match self.map.remove(key) {
-            Some(v) => v.parse().map_err(|_| {
-                CqaError::InvalidParameter(format!("--{key}: cannot parse '{v}'"))
-            }),
-            None => default
-                .ok_or_else(|| CqaError::InvalidParameter(format!("--{key} is required"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CqaError::InvalidParameter(format!("--{key}: cannot parse '{v}'"))),
+            None => {
+                default.ok_or_else(|| CqaError::InvalidParameter(format!("--{key} is required")))
+            }
         }
     }
 
@@ -145,15 +189,8 @@ impl Flags {
 }
 
 fn parse_scheme(name: &str) -> Result<Scheme> {
-    match name.to_ascii_lowercase().as_str() {
-        "natural" => Ok(Scheme::Natural),
-        "kl" => Ok(Scheme::Kl),
-        "klm" => Ok(Scheme::Klm),
-        "cover" => Ok(Scheme::Cover),
-        other => Err(CqaError::InvalidParameter(format!(
-            "unknown scheme '{other}' (expected natural, kl, klm, or cover)"
-        ))),
-    }
+    // `Scheme` implements `FromStr` (shared with the server protocol).
+    name.parse()
 }
 
 /// Parses the arguments after the program name.
@@ -245,6 +282,36 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             f.finish()?;
             Ok(out)
         }
+        "serve" => {
+            let mut f = Flags::parse(&args[1..])?;
+            let out = Command::Serve {
+                db: f.take::<String>("db", None)?.into(),
+                addr: f.take("addr", Some("127.0.0.1:7171".to_owned()))?,
+                workers: f.take("workers", Some(0))?,
+                queue_depth: f.take("queue", Some(64))?,
+                cache_capacity: f.take("cache", Some(128))?,
+                timeout_ms: f.take("timeout-ms", Some(30_000u64)).map(|t| (t > 0).then_some(t))?,
+            };
+            f.finish()?;
+            Ok(out)
+        }
+        "bench-serve" => {
+            let mut f = Flags::parse(&args[1..])?;
+            let scheme = parse_scheme(&f.take::<String>("scheme", Some("klm".into()))?)?;
+            let out = Command::BenchServe {
+                addr: f.take("addr", None)?,
+                query: f.take("query", None)?,
+                scheme,
+                eps: f.take("eps", Some(0.1))?,
+                delta: f.take("delta", Some(0.25))?,
+                clients: f.take("clients", Some(4))?,
+                requests: f.take("requests", Some(100))?,
+                seed: f.take("seed", Some(42))?,
+                timeout_ms: f.take("timeout-ms", Some(0u64)).map(|t| (t > 0).then_some(t))?,
+            };
+            f.finish()?;
+            Ok(out)
+        }
         other => Err(CqaError::InvalidParameter(format!("unknown command '{other}'"))),
     }
 }
@@ -262,12 +329,7 @@ mod tests {
         let c = parse_args(&argv("generate tpch --scale 0.01 --seed 7 --out wh.db")).unwrap();
         assert_eq!(
             c,
-            Command::Generate {
-                bench: "tpch".into(),
-                scale: 0.01,
-                seed: 7,
-                out: "wh.db".into()
-            }
+            Command::Generate { bench: "tpch".into(), scale: 0.01, seed: 7, out: "wh.db".into() }
         );
     }
 
@@ -337,10 +399,52 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve() {
+        let c =
+            parse_args(&argv("serve --db x.db --addr 127.0.0.1:0 --workers 2 --queue 8")).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                db: "x.db".into(),
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_depth: 8,
+                cache_capacity: 128,
+                timeout_ms: Some(30_000),
+            }
+        );
+        // --timeout-ms 0 disables the default deadline.
+        match parse_args(&argv("serve --db x.db --timeout-ms 0")).unwrap() {
+            Command::Serve { timeout_ms, .. } => assert_eq!(timeout_ms, None),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_bench_serve() {
+        let mut a = argv("bench-serve --addr 127.0.0.1:7171 --clients 8 --requests 50");
+        a.extend(["--query".to_owned(), "Q(n) :- r(n)".to_owned()]);
+        match parse_args(&a).unwrap() {
+            Command::BenchServe { addr, clients, requests, scheme, timeout_ms, .. } => {
+                assert_eq!(addr, "127.0.0.1:7171");
+                assert_eq!(clients, 8);
+                assert_eq!(requests, 50);
+                assert_eq!(scheme, Scheme::Klm);
+                assert_eq!(timeout_ms, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&argv("bench-serve --query Q")).is_err()); // no --addr
+    }
+
+    #[test]
     fn scheme_names_are_case_insensitive() {
-        for (name, scheme) in
-            [("Natural", Scheme::Natural), ("KL", Scheme::Kl), ("KLM", Scheme::Klm), ("COVER", Scheme::Cover)]
-        {
+        for (name, scheme) in [
+            ("Natural", Scheme::Natural),
+            ("KL", Scheme::Kl),
+            ("KLM", Scheme::Klm),
+            ("COVER", Scheme::Cover),
+        ] {
             assert_eq!(parse_scheme(name).unwrap(), scheme);
         }
         assert!(parse_scheme("montecarlo").is_err());

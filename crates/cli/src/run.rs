@@ -1,11 +1,12 @@
 //! Command execution.
 
 use crate::args::{Command, USAGE};
-use cqa_common::{Mt64, Result};
+use cqa_common::{percentile, Mt64, Result, Stopwatch};
 use cqa_core::{apx_cqa_on_synopses, apx_cqa_parallel, Budget, Scheme};
 use cqa_noise::{add_query_aware_noise, NoiseSpec};
 use cqa_query::parse;
 use cqa_repair::consistent_answers_exact;
+use cqa_server::{Client, ErrorKind, QueryRequest, Response, Server, ServerConfig};
 use cqa_storage::{dump_to_file, is_consistent, load_from_file, schema_to_ddl, Database};
 use cqa_synopsis::{build_synopses, BuildOptions, SynopsisStats};
 use std::io::Write;
@@ -42,7 +43,10 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
                 add_query_aware_noise(&base, &q, NoiseSpec { p, lmin, umax }, &mut rng)?;
             dump_to_file(&noisy, &path)?;
             for (name, relevant, selected, added) in &report.per_relation {
-                w(out, format!("  {name}: {relevant} relevant, {selected} selected, {added} added"));
+                w(
+                    out,
+                    format!("  {name}: {relevant} relevant, {selected} selected, {added} added"),
+                );
             }
             w(
                 out,
@@ -84,7 +88,11 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
             for te in &ranked {
                 w(
                     out,
-                    format!("  {:<40} {:>7.2}%", database.fmt_tuple(&te.tuple), te.frequency * 100.0),
+                    format!(
+                        "  {:<40} {:>7.2}%",
+                        database.fmt_tuple(&te.tuple),
+                        te.frequency * 100.0
+                    ),
                 );
             }
             w(
@@ -120,14 +128,10 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
             w(out, format!("max |H|:          {}", stats.max_images));
             w(out, format!("max |db(B)|:      10^{:.1}", stats.max_log10_db_b));
             w(out, format!("preprocessing:    {:.3}s", stats.build_secs));
-            let pick: Scheme =
-                if stats.balance < 0.05 { Scheme::Natural } else { Scheme::Klm };
+            let pick: Scheme = if stats.balance < 0.05 { Scheme::Natural } else { Scheme::Klm };
             w(
                 out,
-                format!(
-                    "recommended scheme (per the paper's §7.2 decision rule): {}",
-                    pick.name()
-                ),
+                format!("recommended scheme (per the paper's §7.2 decision rule): {}", pick.name()),
             );
         }
         Command::Certain { db, query } => {
@@ -152,8 +156,157 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
                 ),
             );
         }
+        Command::Serve { db, addr, workers, queue_depth, cache_capacity, timeout_ms } => {
+            let database = load_from_file(&db)?;
+            let server = Server::bind(
+                database,
+                ServerConfig {
+                    addr,
+                    workers,
+                    queue_depth,
+                    cache_capacity,
+                    default_timeout_ms: timeout_ms,
+                    max_samples: u64::MAX,
+                },
+            )
+            .map_err(|e| cqa_common::CqaError::InvalidParameter(format!("bind: {e}")))?;
+            let bound = server
+                .local_addr()
+                .map_err(|e| cqa_common::CqaError::InvalidParameter(format!("bind: {e}")))?;
+            w(out, format!("cqa-server listening on {bound} (protocol v1, NDJSON)"));
+            server.run();
+        }
+        Command::BenchServe {
+            addr,
+            query,
+            scheme,
+            eps,
+            delta,
+            clients,
+            requests,
+            seed,
+            timeout_ms,
+        } => {
+            let report = bench_serve(
+                &addr, &query, scheme, eps, delta, clients, requests, seed, timeout_ms,
+            )?;
+            w(out, report);
+        }
     }
     Ok(())
+}
+
+/// Tallies from one load-generator client.
+#[derive(Default)]
+struct ClientTally {
+    latencies_ms: Vec<f64>,
+    ok: usize,
+    cached: usize,
+    overloaded: usize,
+    deadline: usize,
+    other_errors: usize,
+}
+
+/// Runs the closed-loop load generator and renders its report.
+#[allow(clippy::too_many_arguments)]
+fn bench_serve(
+    addr: &str,
+    query: &str,
+    scheme: Scheme,
+    eps: f64,
+    delta: f64,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+    timeout_ms: Option<u64>,
+) -> Result<String> {
+    let clients = clients.max(1);
+    let request_for =
+        |seed: u64| QueryRequest { query: query.to_owned(), scheme, eps, delta, timeout_ms, seed };
+    // Warm the synopsis cache outside the measured window, so the numbers
+    // reflect steady-state serving rather than one preprocessing run.
+    let mut warm = Client::connect(addr)?;
+    if let Response::Error { kind, message } = warm.query(request_for(seed))? {
+        return Err(cqa_common::CqaError::InvalidParameter(format!(
+            "warmup query failed: {} ({message})",
+            kind.name()
+        )));
+    }
+    let wall = Stopwatch::start();
+    let tallies: Vec<Result<ClientTally>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<ClientTally> {
+                    let mut client = Client::connect(addr)?;
+                    let mut tally = ClientTally::default();
+                    for i in 0..requests {
+                        let req_seed = seed ^ ((c * requests + i) as u64).wrapping_mul(0x9E37);
+                        let sw = Stopwatch::start();
+                        match client.query(request_for(req_seed))? {
+                            Response::Answers { cached, .. } => {
+                                tally.latencies_ms.push(sw.elapsed_secs() * 1000.0);
+                                tally.ok += 1;
+                                tally.cached += cached as usize;
+                            }
+                            Response::Error { kind: ErrorKind::Overloaded, .. } => {
+                                tally.overloaded += 1;
+                            }
+                            Response::Error { kind: ErrorKind::DeadlineExceeded, .. } => {
+                                tally.deadline += 1;
+                            }
+                            _ => tally.other_errors += 1,
+                        }
+                    }
+                    Ok(tally)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let elapsed = wall.elapsed_secs();
+    let mut all = ClientTally::default();
+    for tally in tallies {
+        let tally = tally?;
+        all.latencies_ms.extend(tally.latencies_ms);
+        all.ok += tally.ok;
+        all.cached += tally.cached;
+        all.overloaded += tally.overloaded;
+        all.deadline += tally.deadline;
+        all.other_errors += tally.other_errors;
+    }
+    all.latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let total = clients * requests;
+    let mut report = format!(
+        "bench-serve: {total} requests over {clients} clients in {elapsed:.2}s \
+         ({:.0} req/s)\n",
+        total as f64 / elapsed.max(1e-9),
+    );
+    report.push_str(&format!(
+        "  ok {} (cached {}), overloaded {}, deadline_exceeded {}, other {}\n",
+        all.ok, all.cached, all.overloaded, all.deadline, all.other_errors
+    ));
+    if !all.latencies_ms.is_empty() {
+        report.push_str(&format!(
+            "  client latency ms: p50 {:.2}, p95 {:.2}, p99 {:.2}\n",
+            percentile(&all.latencies_ms, 50.0),
+            percentile(&all.latencies_ms, 95.0),
+            percentile(&all.latencies_ms, 99.0),
+        ));
+    }
+    // The server's own view: cache hit rate and its latency histogram.
+    let stats = warm.stats()?;
+    report.push_str(&format!(
+        "  server: {} queries ok, cache hit rate {:.1}% ({} hits / {} misses), \
+         latency ms p50 {:.2}, p95 {:.2}, p99 {:.2}",
+        stats.queries_ok,
+        stats.cache_hit_rate() * 100.0,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.latency_p50_ms,
+        stats.latency_p95_ms,
+        stats.latency_p99_ms,
+    ));
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -231,19 +384,12 @@ mod tests {
     #[test]
     fn certain_command_lists_certain_tuples() {
         let base = tmp("certain.db");
-        run(Command::Generate {
-            bench: "tpch".into(),
-            scale: 0.0003,
-            seed: 9,
-            out: base.clone(),
-        })
-        .unwrap();
+        run(Command::Generate { bench: "tpch".into(), scale: 0.0003, seed: 9, out: base.clone() })
+            .unwrap();
         // On a consistent database, every answer is certain.
-        let out = run(Command::Certain {
-            db: base.clone(),
-            query: "Q(rn) :- region(rk, rn)".into(),
-        })
-        .unwrap();
+        let out =
+            run(Command::Certain { db: base.clone(), query: "Q(rn) :- region(rk, rn)".into() })
+                .unwrap();
         assert!(out.contains("5 certain answers"));
         std::fs::remove_file(base).ok();
     }
@@ -256,6 +402,38 @@ mod tests {
         let out = run(Command::Schema { db: base.clone() }).unwrap();
         assert!(out.contains("relation store_sales"));
         assert!(out.contains("key 2"));
+        std::fs::remove_file(base).ok();
+    }
+
+    #[test]
+    fn bench_serve_reports_throughput_and_percentiles() {
+        let base = tmp("serve.db");
+        run(Command::Generate { bench: "tpch".into(), scale: 0.0003, seed: 3, out: base.clone() })
+            .unwrap();
+        let database = cqa_storage::load_from_file(&base).unwrap();
+        let server = Server::bind(
+            database,
+            ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut handle = server.spawn().unwrap();
+        let report = bench_serve(
+            &handle.addr().to_string(),
+            "Q(rn) :- region(rk, rn)",
+            Scheme::Klm,
+            0.2,
+            0.25,
+            2,  // clients
+            5,  // requests each
+            11, // seed
+            None,
+        )
+        .unwrap();
+        assert!(report.contains("10 requests over 2 clients"), "{report}");
+        assert!(report.contains("ok 10"), "{report}");
+        assert!(report.contains("cache hit rate"), "{report}");
+        assert!(report.contains("p99"), "{report}");
+        handle.shutdown();
         std::fs::remove_file(base).ok();
     }
 

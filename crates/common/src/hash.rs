@@ -1,0 +1,57 @@
+//! FNV-1a 64-bit hashing for fingerprints and shard selection.
+//!
+//! FNV-1a is not collision-resistant; it is used here only to fingerprint
+//! database dumps and constraint sets for cache keys, where an adversarial
+//! collision is not part of the threat model and a stable, dependency-free
+//! hash that can be reproduced by any client matters more.
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a folded over several slices, as if they were concatenated with a
+/// `0xFF` separator (so `["ab", "c"]` and `["a", "bc"]` hash differently —
+/// `0xFF` never occurs inside UTF-8 text).
+pub fn fnv1a64_parts<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for part in parts {
+        for &b in part {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn parts_are_separator_sensitive() {
+        assert_ne!(
+            fnv1a64_parts([b"ab".as_slice(), b"c".as_slice()]),
+            fnv1a64_parts([b"a".as_slice(), b"bc".as_slice()]),
+        );
+        assert_ne!(fnv1a64_parts([b"ab".as_slice()]), fnv1a64(b"ab"));
+    }
+}

@@ -21,6 +21,8 @@
 
 pub mod alias;
 pub mod error;
+pub mod hash;
+pub mod json;
 pub mod logspace;
 pub mod mt;
 pub mod stats;
@@ -28,6 +30,8 @@ pub mod timer;
 
 pub use alias::AliasTable;
 pub use error::{CqaError, Result};
+pub use hash::{fnv1a64, fnv1a64_parts};
+pub use json::Json;
 pub use logspace::LogNum;
 pub use mt::Mt64;
 pub use stats::{percentile, RunningStats};

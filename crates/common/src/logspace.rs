@@ -68,6 +68,7 @@ impl LogNum {
     }
 
     /// Log-sum-exp addition.
+    #[allow(clippy::should_implement_trait)] // deliberate: `+` on log-space numbers reads as multiplication
     pub fn add(self, other: LogNum) -> LogNum {
         if self.is_zero() {
             return other;
@@ -157,8 +158,8 @@ mod tests {
     #[test]
     fn ratio_of_astronomical_numbers_is_finite() {
         let a: LogNum = (0..1000).map(|_| LogNum::from_count(4)).product();
-        let b: LogNum = (0..1000).map(|_| LogNum::from_count(4)).product::<LogNum>()
-            * LogNum::from_count(2);
+        let b: LogNum =
+            (0..1000).map(|_| LogNum::from_count(4)).product::<LogNum>() * LogNum::from_count(2);
         assert!((a.ratio(b) - 0.5).abs() < 1e-12);
     }
 

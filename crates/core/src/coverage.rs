@@ -71,7 +71,7 @@ pub fn self_adjusting_coverage(
         let _i = draw.draw(rng);
         loop {
             steps += 1;
-            if steps % crate::optest::POLL == 0 && budget.deadline.expired() {
+            if steps.is_multiple_of(crate::optest::POLL) && budget.deadline.expired() {
                 return Err(CqaError::TimedOut { phase: "coverage" });
             }
             if steps > n_budget && trials > 0 {
@@ -161,8 +161,7 @@ mod tests {
         for seed in 0..runs {
             let mut rng = Mt64::new(4000 + seed);
             let out =
-                self_adjusting_coverage(&pair, eps, 0.25, &Budget::unbounded(), &mut rng)
-                    .unwrap();
+                self_adjusting_coverage(&pair, eps, 0.25, &Budget::unbounded(), &mut rng).unwrap();
             if (out.ratio - exact).abs() > eps * exact {
                 failures += 1;
             }

@@ -49,11 +49,8 @@ pub fn apx_cqa(
     budget: &Budget,
     rng: &mut Mt64,
 ) -> Result<ApxCqaResult> {
-    let syn = build_synopses(
-        db,
-        q,
-        BuildOptions { deadline: Some(budget.deadline), max_homs: None },
-    )?;
+    let syn =
+        build_synopses(db, q, BuildOptions { deadline: Some(budget.deadline), max_homs: None })?;
     apx_cqa_on_synopses(&syn, scheme, eps, delta, budget, rng)
 }
 
@@ -179,8 +176,7 @@ mod tests {
         let q = parse(db.schema(), "Q() :- employee(1, n1, d), employee(2, n2, d)").unwrap();
         for (k, scheme) in ALL_SCHEMES.into_iter().enumerate() {
             let mut rng = Mt64::new(700 + k as u64);
-            let res =
-                apx_cqa(&db, &q, scheme, 0.1, 0.25, &Budget::unbounded(), &mut rng).unwrap();
+            let res = apx_cqa(&db, &q, scheme, 0.1, 0.25, &Budget::unbounded(), &mut rng).unwrap();
             assert_eq!(res.answers.len(), 1);
             assert!(res.answers[0].tuple.is_empty());
             let f = res.answers[0].frequency;
@@ -193,8 +189,7 @@ mod tests {
         let db = example_db();
         let q = parse(db.schema(), "Q(n) :- employee(x, n, d)").unwrap();
         let mut rng = Mt64::new(71);
-        let res =
-            apx_cqa(&db, &q, Scheme::Klm, 0.1, 0.25, &Budget::unbounded(), &mut rng).unwrap();
+        let res = apx_cqa(&db, &q, Scheme::Klm, 0.1, 0.25, &Budget::unbounded(), &mut rng).unwrap();
         // Bob certain (1.0); Alice and Tim each 0.5.
         assert_eq!(res.answers.len(), 3);
         for te in &res.answers {
@@ -215,8 +210,7 @@ mod tests {
         let q = parse(db.schema(), "Q(n) :- employee(9, n, d)").unwrap();
         let mut rng = Mt64::new(72);
         let res =
-            apx_cqa(&db, &q, Scheme::Natural, 0.1, 0.25, &Budget::unbounded(), &mut rng)
-                .unwrap();
+            apx_cqa(&db, &q, Scheme::Natural, 0.1, 0.25, &Budget::unbounded(), &mut rng).unwrap();
         assert!(res.answers.is_empty());
         assert_eq!(res.total_samples, 0);
     }
@@ -226,8 +220,7 @@ mod tests {
         let db = example_db();
         let q = parse(db.schema(), "Q(n) :- employee(x, n, d)").unwrap();
         let mut rng = Mt64::new(73);
-        let res =
-            apx_cqa(&db, &q, Scheme::Kl, 0.1, 0.25, &Budget::unbounded(), &mut rng).unwrap();
+        let res = apx_cqa(&db, &q, Scheme::Kl, 0.1, 0.25, &Budget::unbounded(), &mut rng).unwrap();
         assert!(res.scheme_time.as_nanos() > 0);
         // preprocess_time comes from the synopsis builder's stopwatch.
         assert!(res.preprocess_time.as_nanos() > 0);
@@ -245,15 +238,12 @@ mod parallel_tests {
     use cqa_synopsis::{build_synopses, BuildOptions};
 
     fn wide_db() -> Database {
-        let schema = Schema::builder()
-            .relation("r", &[("k", Int), ("v", Int)], Some(1))
-            .build();
+        let schema = Schema::builder().relation("r", &[("k", Int), ("v", Int)], Some(1)).build();
         let mut db = Database::new(schema);
         let mut rng = Mt64::new(1);
         for k in 0..30 {
             for _ in 0..2 {
-                db.insert_named("r", &[Value::Int(k), Value::Int(rng.below(6) as i64)])
-                    .unwrap();
+                db.insert_named("r", &[Value::Int(k), Value::Int(rng.below(6) as i64)]).unwrap();
             }
         }
         db
@@ -265,12 +255,11 @@ mod parallel_tests {
         let q = parse(db.schema(), "Q(v) :- r(k, v)").unwrap();
         let syn = build_synopses(&db, &q, BuildOptions::default()).unwrap();
         for scheme in ALL_SCHEMES {
-            let par = apx_cqa_parallel(&syn, scheme, 0.1, 0.25, &Budget::unbounded(), 9, 4)
-                .unwrap();
+            let par =
+                apx_cqa_parallel(&syn, scheme, 0.1, 0.25, &Budget::unbounded(), 9, 4).unwrap();
             let mut rng = Mt64::new(9);
-            let seq =
-                apx_cqa_on_synopses(&syn, scheme, 0.1, 0.25, &Budget::unbounded(), &mut rng)
-                    .unwrap();
+            let seq = apx_cqa_on_synopses(&syn, scheme, 0.1, 0.25, &Budget::unbounded(), &mut rng)
+                .unwrap();
             assert_eq!(par.answers.len(), seq.answers.len());
             for (p, s) in par.answers.iter().zip(&seq.answers) {
                 assert_eq!(p.tuple, s.tuple);
@@ -285,10 +274,8 @@ mod parallel_tests {
         let db = wide_db();
         let q = parse(db.schema(), "Q(v) :- r(k, v)").unwrap();
         let syn = build_synopses(&db, &q, BuildOptions::default()).unwrap();
-        let a = apx_cqa_parallel(&syn, Scheme::Klm, 0.1, 0.25, &Budget::unbounded(), 7, 4)
-            .unwrap();
-        let b = apx_cqa_parallel(&syn, Scheme::Klm, 0.1, 0.25, &Budget::unbounded(), 7, 2)
-            .unwrap();
+        let a = apx_cqa_parallel(&syn, Scheme::Klm, 0.1, 0.25, &Budget::unbounded(), 7, 4).unwrap();
+        let b = apx_cqa_parallel(&syn, Scheme::Klm, 0.1, 0.25, &Budget::unbounded(), 7, 2).unwrap();
         for (x, y) in a.answers.iter().zip(&b.answers) {
             assert_eq!(x.frequency, y.frequency, "thread count must not change results");
             assert_eq!(x.samples, y.samples);
@@ -300,8 +287,8 @@ mod parallel_tests {
         let db = wide_db();
         let q = parse(db.schema(), "Q(v) :- r(999, v)").unwrap();
         let syn = build_synopses(&db, &q, BuildOptions::default()).unwrap();
-        let res = apx_cqa_parallel(&syn, Scheme::Kl, 0.1, 0.25, &Budget::unbounded(), 1, 4)
-            .unwrap();
+        let res =
+            apx_cqa_parallel(&syn, Scheme::Kl, 0.1, 0.25, &Budget::unbounded(), 1, 4).unwrap();
         assert!(res.answers.is_empty());
     }
 }

@@ -28,7 +28,7 @@ pub mod optest;
 pub mod sampler;
 pub mod scheme;
 
-pub use coverage::{self_adjusting_coverage, coverage_iterations, CoverageOutcome};
+pub use coverage::{coverage_iterations, self_adjusting_coverage, CoverageOutcome};
 pub use driver::{apx_cqa, apx_cqa_on_synopses, apx_cqa_parallel, ApxCqaResult, TupleEstimate};
 pub use montecarlo::{monte_carlo, MonteCarloOutcome};
 pub use optest::{plan_iterations, stopping_rule, PlanOutcome, StoppingOutcome};

@@ -64,14 +64,9 @@ mod tests {
         let pair = overlap_pair();
         let exact = exact_ratio_enumerate(&pair, 100_000).unwrap();
         let mut rng = Mt64::new(21);
-        let out = monte_carlo(
-            &mut NaturalSampler::new(&pair),
-            0.1,
-            0.25,
-            &Budget::unbounded(),
-            &mut rng,
-        )
-        .unwrap();
+        let out =
+            monte_carlo(&mut NaturalSampler::new(&pair), 0.1, 0.25, &Budget::unbounded(), &mut rng)
+                .unwrap();
         assert!(
             (out.mean - exact).abs() <= 0.1 * exact * 1.5,
             "estimate {} vs exact {exact}",
@@ -129,14 +124,9 @@ mod tests {
     fn tighter_epsilon_costs_more_samples() {
         let pair = overlap_pair();
         let mut rng = Mt64::new(23);
-        let loose = monte_carlo(
-            &mut NaturalSampler::new(&pair),
-            0.3,
-            0.25,
-            &Budget::unbounded(),
-            &mut rng,
-        )
-        .unwrap();
+        let loose =
+            monte_carlo(&mut NaturalSampler::new(&pair), 0.3, 0.25, &Budget::unbounded(), &mut rng)
+                .unwrap();
         let tight = monte_carlo(
             &mut NaturalSampler::new(&pair),
             0.05,

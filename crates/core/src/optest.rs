@@ -72,7 +72,7 @@ pub(crate) fn budgeted_sample<S: Sampler>(
     phase: &'static str,
 ) -> Result<f64> {
     *count += 1;
-    if *count % POLL == 0 && budget.deadline.expired() {
+    if count.is_multiple_of(POLL) && budget.deadline.expired() {
         return Err(CqaError::TimedOut { phase });
     }
     if *count > budget.max_samples {
@@ -209,11 +209,7 @@ mod tests {
                 &mut count,
             )
             .unwrap();
-            assert!(
-                (out.mu - p).abs() <= 0.15 * p,
-                "stopping rule gave {} for mean {p}",
-                out.mu
-            );
+            assert!((out.mu - p).abs() <= 0.15 * p, "stopping rule gave {} for mean {p}", out.mu);
         }
     }
 
@@ -222,9 +218,8 @@ mod tests {
         let mut rng = Mt64::new(2);
         let mut count = 0;
         let budget = Budget::unbounded();
-        let hi =
-            stopping_rule(&mut Bernoulli { p: 0.5 }, 0.2, 0.25, &budget, &mut rng, &mut count)
-                .unwrap();
+        let hi = stopping_rule(&mut Bernoulli { p: 0.5 }, 0.2, 0.25, &budget, &mut rng, &mut count)
+            .unwrap();
         let lo =
             stopping_rule(&mut Bernoulli { p: 0.01 }, 0.2, 0.25, &budget, &mut rng, &mut count)
                 .unwrap();
@@ -243,25 +238,13 @@ mod tests {
         let mut rng = Mt64::new(3);
         let budget = Budget::unbounded();
         let mut count = 0;
-        let plan_const = plan_iterations(
-            &mut Constant { v: 0.5 },
-            0.1,
-            0.25,
-            &budget,
-            &mut rng,
-            &mut count,
-        )
-        .unwrap();
+        let plan_const =
+            plan_iterations(&mut Constant { v: 0.5 }, 0.1, 0.25, &budget, &mut rng, &mut count)
+                .unwrap();
         let mut count = 0;
-        let plan_bern = plan_iterations(
-            &mut Bernoulli { p: 0.5 },
-            0.1,
-            0.25,
-            &budget,
-            &mut rng,
-            &mut count,
-        )
-        .unwrap();
+        let plan_bern =
+            plan_iterations(&mut Bernoulli { p: 0.5 }, 0.1, 0.25, &budget, &mut rng, &mut count)
+                .unwrap();
         assert!(
             plan_bern.n > plan_const.n,
             "variance should increase iterations: {} vs {}",
@@ -275,34 +258,20 @@ mod tests {
         let mut rng = Mt64::new(4);
         let budget = Budget { max_samples: 500, ..Budget::unbounded() };
         let mut count = 0;
-        let res = stopping_rule(
-            &mut Bernoulli { p: 0.001 },
-            0.05,
-            0.1,
-            &budget,
-            &mut rng,
-            &mut count,
-        );
+        let res =
+            stopping_rule(&mut Bernoulli { p: 0.001 }, 0.05, 0.1, &budget, &mut rng, &mut count);
         assert!(matches!(res, Err(CqaError::TimedOut { .. })));
     }
 
     #[test]
     fn deadline_is_enforced() {
         let mut rng = Mt64::new(5);
-        let budget = Budget {
-            deadline: cqa_common::Deadline::after_secs(0.02),
-            max_samples: u64::MAX,
-        };
+        let budget =
+            Budget { deadline: cqa_common::Deadline::after_secs(0.02), max_samples: u64::MAX };
         let mut count = 0;
         // Mean 1e-9 would need ~1e10 samples; the deadline fires first.
-        let res = stopping_rule(
-            &mut Bernoulli { p: 1e-9 },
-            0.1,
-            0.25,
-            &budget,
-            &mut rng,
-            &mut count,
-        );
+        let res =
+            stopping_rule(&mut Bernoulli { p: 1e-9 }, 0.1, 0.25, &budget, &mut rng, &mut count);
         assert!(matches!(res, Err(CqaError::TimedOut { .. })));
     }
 
@@ -311,12 +280,15 @@ mod tests {
         let mut rng = Mt64::new(6);
         let mut count = 0;
         let b = Budget::unbounded();
-        assert!(stopping_rule(&mut Constant { v: 0.5 }, 0.0, 0.25, &b, &mut rng, &mut count)
-            .is_err());
-        assert!(stopping_rule(&mut Constant { v: 0.5 }, 0.1, 0.0, &b, &mut rng, &mut count)
-            .is_err());
-        assert!(stopping_rule(&mut Constant { v: 0.5 }, 0.1, 1.0, &b, &mut rng, &mut count)
-            .is_err());
+        assert!(
+            stopping_rule(&mut Constant { v: 0.5 }, 0.0, 0.25, &b, &mut rng, &mut count).is_err()
+        );
+        assert!(
+            stopping_rule(&mut Constant { v: 0.5 }, 0.1, 0.0, &b, &mut rng, &mut count).is_err()
+        );
+        assert!(
+            stopping_rule(&mut Constant { v: 0.5 }, 0.1, 1.0, &b, &mut rng, &mut count).is_err()
+        );
     }
 
     #[test]

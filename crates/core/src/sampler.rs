@@ -52,8 +52,7 @@ impl Sampler for NaturalSampler<'_> {
         for (b, slot) in self.chosen.iter_mut().enumerate() {
             *slot = rng.below(self.pair.block_size(b as u32) as u64) as u32;
         }
-        let hit =
-            (0..self.pair.num_images()).any(|i| self.pair.image_contained(i, &self.chosen));
+        let hit = (0..self.pair.num_images()).any(|i| self.pair.image_contained(i, &self.chosen));
         if hit {
             1.0
         } else {
@@ -192,8 +191,7 @@ mod tests {
     use cqa_synopsis::exact_ratio_enumerate;
 
     fn example_pair() -> AdmissiblePair {
-        AdmissiblePair::new(vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]], vec![2, 2])
-            .unwrap()
+        AdmissiblePair::new(vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]], vec![2, 2]).unwrap()
     }
 
     fn overlap_pair() -> AdmissiblePair {

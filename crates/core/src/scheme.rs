@@ -78,6 +78,23 @@ impl fmt::Display for Scheme {
     }
 }
 
+impl std::str::FromStr for Scheme {
+    type Err = cqa_common::CqaError;
+
+    /// Parses a scheme name, case-insensitively (CLI flags, wire protocol).
+    fn from_str(s: &str) -> Result<Scheme> {
+        match s.to_ascii_lowercase().as_str() {
+            "natural" => Ok(Scheme::Natural),
+            "kl" => Ok(Scheme::Kl),
+            "klm" => Ok(Scheme::Klm),
+            "cover" => Ok(Scheme::Cover),
+            other => Err(cqa_common::CqaError::InvalidParameter(format!(
+                "unknown scheme '{other}' (expected natural, kl, klm, or cover)"
+            ))),
+        }
+    }
+}
+
 /// Outcome of one `ApxRelativeFreq` run.
 #[derive(Debug, Clone, Copy)]
 pub struct ApproxOutcome {
@@ -167,15 +184,9 @@ mod tests {
         let exact = exact_ratio_enumerate(&pair, 100_000).unwrap();
         for (k, scheme) in ALL_SCHEMES.into_iter().enumerate() {
             let mut rng = Mt64::new(500 + k as u64);
-            let out = approx_relative_frequency(
-                &pair,
-                scheme,
-                0.1,
-                0.25,
-                &Budget::unbounded(),
-                &mut rng,
-            )
-            .unwrap();
+            let out =
+                approx_relative_frequency(&pair, scheme, 0.1, 0.25, &Budget::unbounded(), &mut rng)
+                    .unwrap();
             assert!(
                 (out.estimate - exact).abs() <= 0.1 * exact * 1.5,
                 "{scheme}: estimate {} vs exact {exact}",
@@ -190,15 +201,9 @@ mod tests {
         let pair = AdmissiblePair::new(vec![vec![(0, 0)], vec![(0, 1)]], vec![2]).unwrap();
         for scheme in ALL_SCHEMES {
             let mut rng = Mt64::new(60);
-            let out = approx_relative_frequency(
-                &pair,
-                scheme,
-                0.1,
-                0.25,
-                &Budget::unbounded(),
-                &mut rng,
-            )
-            .unwrap();
+            let out =
+                approx_relative_frequency(&pair, scheme, 0.1, 0.25, &Budget::unbounded(), &mut rng)
+                    .unwrap();
             assert!(
                 (out.estimate - 1.0).abs() <= 0.12,
                 "{scheme}: estimate {} for R=1",
@@ -210,23 +215,15 @@ mod tests {
     #[test]
     fn all_schemes_handle_low_frequency_pairs() {
         // Single image over four blocks of size 4: R = 1/256.
-        let pair = AdmissiblePair::new(
-            vec![vec![(0, 0), (1, 0), (2, 0), (3, 0)]],
-            vec![4, 4, 4, 4],
-        )
-        .unwrap();
+        let pair =
+            AdmissiblePair::new(vec![vec![(0, 0), (1, 0), (2, 0), (3, 0)]], vec![4, 4, 4, 4])
+                .unwrap();
         let exact = 1.0 / 256.0;
         for scheme in ALL_SCHEMES {
             let mut rng = Mt64::new(61);
-            let out = approx_relative_frequency(
-                &pair,
-                scheme,
-                0.2,
-                0.25,
-                &Budget::unbounded(),
-                &mut rng,
-            )
-            .unwrap();
+            let out =
+                approx_relative_frequency(&pair, scheme, 0.2, 0.25, &Budget::unbounded(), &mut rng)
+                    .unwrap();
             assert!(
                 (out.estimate - exact).abs() <= 0.25 * exact + 1e-6,
                 "{scheme}: estimate {} vs {exact}",
@@ -248,11 +245,9 @@ mod tests {
     fn symbolic_schemes_are_cheaper_when_frequency_is_low() {
         // The motivating property of the symbolic space (§1): for small R,
         // the natural scheme needs far more samples than KL.
-        let pair = AdmissiblePair::new(
-            vec![vec![(0, 0), (1, 0), (2, 0), (3, 0)]],
-            vec![4, 4, 4, 4],
-        )
-        .unwrap();
+        let pair =
+            AdmissiblePair::new(vec![vec![(0, 0), (1, 0), (2, 0), (3, 0)]], vec![4, 4, 4, 4])
+                .unwrap();
         let mut rng = Mt64::new(62);
         let nat = approx_relative_frequency(
             &pair,
@@ -263,15 +258,9 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let kl = approx_relative_frequency(
-            &pair,
-            Scheme::Kl,
-            0.2,
-            0.25,
-            &Budget::unbounded(),
-            &mut rng,
-        )
-        .unwrap();
+        let kl =
+            approx_relative_frequency(&pair, Scheme::Kl, 0.2, 0.25, &Budget::unbounded(), &mut rng)
+                .unwrap();
         assert!(
             nat.samples > 10 * kl.samples,
             "natural {} samples vs KL {}",

@@ -55,8 +55,7 @@ fn hr_database() -> Database {
         (3, "Eve", "Sales"),
         (4, "Dan", "Sales"),
     ] {
-        db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)])
-            .unwrap();
+        db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)]).unwrap();
     }
     for (dname, floor) in [("HR", 1), ("HR", 3), ("IT", 2), ("Sales", 2)] {
         db.insert_named("dept", &[Value::str(dname), Value::Int(floor)]).unwrap();

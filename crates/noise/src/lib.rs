@@ -246,11 +246,8 @@ mod tests {
         // The injected facts copy non-key values from real facts, so the
         // query keeps (at least) its original answers in the noisy data.
         let db = base();
-        let q = parse(
-            db.schema(),
-            "Q(nn) :- supplier(sk, sn, nk, bal), nation(nk, nn, rk)",
-        )
-        .unwrap();
+        let q =
+            parse(db.schema(), "Q(nn) :- supplier(sk, sn, nk, bal), nation(nk, nn, rk)").unwrap();
         let before = answers(&db, &q).unwrap().len();
         let mut rng = Mt64::new(6);
         let (noisy, _) = add_query_aware_noise(&db, &q, NoiseSpec::with_p(0.5), &mut rng).unwrap();

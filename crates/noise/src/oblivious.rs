@@ -82,8 +82,7 @@ mod tests {
     fn oblivious_noise_makes_the_database_inconsistent() {
         let db = generate(TpchConfig::tiny());
         let mut rng = Mt64::new(1);
-        let (noisy, report) =
-            add_oblivious_noise(&db, NoiseSpec::with_p(0.3), &mut rng).unwrap();
+        let (noisy, report) = add_oblivious_noise(&db, NoiseSpec::with_p(0.3), &mut rng).unwrap();
         assert!(report.total_added > 0);
         assert!(!is_consistent(&noisy));
     }
@@ -131,10 +130,8 @@ mod tests {
     fn invalid_parameters_are_rejected() {
         let db = generate(TpchConfig::tiny());
         let mut rng = Mt64::new(2);
-        assert!(add_oblivious_noise(&db, NoiseSpec { p: 0.0, lmin: 2, umax: 5 }, &mut rng)
-            .is_err());
-        let (noisy, _) =
-            add_oblivious_noise(&db, NoiseSpec::with_p(0.2), &mut rng).unwrap();
+        assert!(add_oblivious_noise(&db, NoiseSpec { p: 0.0, lmin: 2, umax: 5 }, &mut rng).is_err());
+        let (noisy, _) = add_oblivious_noise(&db, NoiseSpec::with_p(0.2), &mut rng).unwrap();
         assert!(add_oblivious_noise(&noisy, NoiseSpec::with_p(0.2), &mut rng).is_err());
     }
 }

@@ -56,9 +56,8 @@ fn evaluate_once(db: &Database, q: &ConjunctiveQuery) -> Result<EvalCache> {
             .collect();
         image.sort_unstable();
         image.dedup();
-        let consistent = image
-            .windows(2)
-            .all(|w| !(w[0].0 == w[1].0 && w[0].1 == w[1].1 && w[0].2 != w[1].2));
+        let consistent =
+            image.windows(2).all(|w| !(w[0].0 == w[1].0 && w[0].1 == w[1].1 && w[0].2 != w[1].2));
         if consistent {
             bindings.insert(binding.to_vec());
             images.insert(image.into_boxed_slice());
@@ -157,16 +156,15 @@ pub fn dqg(
 mod tests {
     use super::*;
     use cqa_query::parse;
-    use cqa_storage::{Schema, Value};
     use cqa_storage::ColumnType::*;
+    use cqa_storage::{Schema, Value};
     use cqa_synopsis::{build_synopses, BuildOptions};
 
     /// A database engineered to offer a range of balances: r(k, a, b) where
     /// `a` is highly selective and `b` nearly constant.
     fn graded_db() -> Database {
-        let schema = Schema::builder()
-            .relation("r", &[("k", Int), ("a", Int), ("b", Int)], Some(1))
-            .build();
+        let schema =
+            Schema::builder().relation("r", &[("k", Int), ("a", Int), ("b", Int)], Some(1)).build();
         let mut db = Database::new(schema);
         for k in 0..40 {
             db.insert_named("r", &[Value::Int(k), Value::Int(k), Value::Int(k % 2)]).unwrap();
@@ -242,9 +240,7 @@ mod tests {
     fn inconsistent_homs_are_excluded_from_the_cache() {
         // Join that forces two facts from one block: only consistent homs
         // count toward balance.
-        let schema = Schema::builder()
-            .relation("r", &[("k", Int), ("a", Int)], Some(1))
-            .build();
+        let schema = Schema::builder().relation("r", &[("k", Int), ("a", Int)], Some(1)).build();
         let mut db = Database::new(schema);
         db.insert_named("r", &[Value::Int(1), Value::Int(10)]).unwrap();
         db.insert_named("r", &[Value::Int(1), Value::Int(20)]).unwrap();

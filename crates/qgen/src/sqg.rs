@@ -87,9 +87,9 @@ pub fn sqg(db: &Database, spec: SqgSpec, rng: &mut Mt64) -> Result<ConjunctiveQu
     let mut in_query: Vec<RelId> = Vec::new();
 
     let add_relation = |rel: RelId,
-                            uf: &mut UnionFind,
-                            slots: &mut BTreeMap<(RelId, usize), usize>,
-                            in_query: &mut Vec<RelId>| {
+                        uf: &mut UnionFind,
+                        slots: &mut BTreeMap<(RelId, usize), usize>,
+                        in_query: &mut Vec<RelId>| {
         if in_query.contains(&rel) {
             return;
         }
@@ -214,12 +214,7 @@ pub fn sqg(db: &Database, spec: SqgSpec, rng: &mut Mt64) -> Result<ConjunctiveQu
     }
     head.sort();
 
-    ConjunctiveQuery::new(
-        format!("Q_j{}_c{}", spec.joins, spec.constants),
-        head,
-        atoms,
-        var_names,
-    )
+    ConjunctiveQuery::new(format!("Q_j{}_c{}", spec.joins, spec.constants), head, atoms, var_names)
 }
 
 #[cfg(test)]
@@ -236,8 +231,8 @@ mod tests {
         let db = db();
         let mut rng = Mt64::new(1);
         for j in 0..=5 {
-            let q = sqg(&db, SqgSpec { joins: j, constants: 0, proj_fraction: 1.0 }, &mut rng)
-                .unwrap();
+            let q =
+                sqg(&db, SqgSpec { joins: j, constants: 0, proj_fraction: 1.0 }, &mut rng).unwrap();
             assert_eq!(q.join_count(), j, "query {}", q.display(db.schema()));
         }
     }
@@ -247,8 +242,8 @@ mod tests {
         let db = db();
         let mut rng = Mt64::new(2);
         for c in 0..=3 {
-            let q = sqg(&db, SqgSpec { joins: 2, constants: c, proj_fraction: 1.0 }, &mut rng)
-                .unwrap();
+            let q =
+                sqg(&db, SqgSpec { joins: 2, constants: c, proj_fraction: 1.0 }, &mut rng).unwrap();
             assert_eq!(q.constant_count(), c);
         }
     }
@@ -258,8 +253,8 @@ mod tests {
         let db = db();
         let mut rng = Mt64::new(3);
         for _ in 0..10 {
-            let q = sqg(&db, SqgSpec { joins: 1, constants: 2, proj_fraction: 1.0 }, &mut rng)
-                .unwrap();
+            let q =
+                sqg(&db, SqgSpec { joins: 1, constants: 2, proj_fraction: 1.0 }, &mut rng).unwrap();
             for atom in &q.atoms {
                 for (pos, t) in atom.terms.iter().enumerate() {
                     if let Term::Const(v) = t {
@@ -278,8 +273,8 @@ mod tests {
         let db = db();
         let mut rng = Mt64::new(4);
         for _ in 0..20 {
-            let q = sqg(&db, SqgSpec { joins: 4, constants: 2, proj_fraction: 0.5 }, &mut rng)
-                .unwrap();
+            let q =
+                sqg(&db, SqgSpec { joins: 4, constants: 2, proj_fraction: 0.5 }, &mut rng).unwrap();
             // Connectivity: the atom-sharing graph over variables has one
             // component.
             let n = q.atoms.len();
@@ -314,8 +309,7 @@ mod tests {
     fn zero_projection_gives_boolean_query() {
         let db = db();
         let mut rng = Mt64::new(5);
-        let q = sqg(&db, SqgSpec { joins: 2, constants: 1, proj_fraction: 0.0 }, &mut rng)
-            .unwrap();
+        let q = sqg(&db, SqgSpec { joins: 2, constants: 1, proj_fraction: 0.0 }, &mut rng).unwrap();
         assert!(q.is_boolean());
     }
 
@@ -323,8 +317,7 @@ mod tests {
     fn full_projection_covers_all_variable_classes() {
         let db = db();
         let mut rng = Mt64::new(6);
-        let q =
-            sqg(&db, SqgSpec { joins: 1, constants: 0, proj_fraction: 1.0 }, &mut rng).unwrap();
+        let q = sqg(&db, SqgSpec { joins: 1, constants: 0, proj_fraction: 1.0 }, &mut rng).unwrap();
         let body: std::collections::BTreeSet<_> = q.body_vars();
         let head: std::collections::BTreeSet<_> = q.head.iter().copied().collect();
         assert_eq!(body, head);
@@ -334,8 +327,7 @@ mod tests {
     fn invalid_fraction_is_rejected() {
         let db = db();
         let mut rng = Mt64::new(7);
-        assert!(sqg(&db, SqgSpec { joins: 1, constants: 0, proj_fraction: 1.5 }, &mut rng)
-            .is_err());
+        assert!(sqg(&db, SqgSpec { joins: 1, constants: 0, proj_fraction: 1.5 }, &mut rng).is_err());
     }
 
     #[test]

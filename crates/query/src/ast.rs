@@ -127,11 +127,7 @@ impl ConjunctiveQuery {
     pub fn join_count(&self) -> usize {
         let mut total = 0;
         for v in 0..self.num_vars() as u32 {
-            let occ = self
-                .atoms
-                .iter()
-                .filter(|a| a.vars().any(|w| w == VarId(v)))
-                .count();
+            let occ = self.atoms.iter().filter(|a| a.vars().any(|w| w == VarId(v))).count();
             if occ > 1 {
                 total += occ - 1;
             }
@@ -228,7 +224,10 @@ mod tests {
             vec![VarId(0)],
             vec![
                 Atom { rel: rid(&s, "r"), terms: vec![Term::Var(VarId(0)), Term::Var(VarId(1))] },
-                Atom { rel: rid(&s, "s"), terms: vec![Term::Var(VarId(1)), Term::Const(Value::Int(5))] },
+                Atom {
+                    rel: rid(&s, "s"),
+                    terms: vec![Term::Var(VarId(1)), Term::Const(Value::Int(5))],
+                },
             ],
             vec!["x".into(), "y".into()],
         )

@@ -167,7 +167,7 @@ impl<'a> Engine<'a> {
 
     fn poll(&mut self) -> Result<()> {
         self.work += 1;
-        if self.work % POLL_INTERVAL == 0 && self.opts.deadline.expired() {
+        if self.work.is_multiple_of(POLL_INTERVAL) && self.opts.deadline.expired() {
             return Err(CqaError::TimedOut { phase: "query evaluation" });
         }
         Ok(())
@@ -188,11 +188,8 @@ impl<'a> Engine<'a> {
             self.emitted += 1;
             // All variables of the body are bound here; head vars are a
             // subset by safety.
-            let binding: Vec<Datum> = self
-                .binding
-                .iter()
-                .map(|b| b.unwrap_or(Datum::Int(0)))
-                .collect();
+            let binding: Vec<Datum> =
+                self.binding.iter().map(|b| b.unwrap_or(Datum::Int(0))).collect();
             // Re-order rows into atom order for the provenance.
             let mut facts = vec![0u32; self.order.len()];
             for (step, &ai) in self.order.iter().enumerate() {
@@ -293,7 +290,12 @@ impl Iterator for CandidateIter {
 /// The callback receives the full variable binding (indexed by [`VarId`])
 /// and the per-atom fact rows; returning `ControlFlow::Break` stops the
 /// enumeration early.
-pub fn for_each_hom<F>(db: &Database, q: &ConjunctiveQuery, opts: EvalOptions, mut f: F) -> Result<()>
+pub fn for_each_hom<F>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    opts: EvalOptions,
+    mut f: F,
+) -> Result<()>
 where
     F: FnMut(&[Datum], &[u32]) -> ControlFlow<()>,
 {
@@ -464,11 +466,7 @@ mod tests {
         // The paper's Example 1.1 query: do employees 1 and 2 work in the
         // same department? True in the full (inconsistent) database.
         let db = db();
-        let q = parse(
-            db.schema(),
-            "Q() :- employee(1, n1, d), employee(2, n2, d)",
-        )
-        .unwrap();
+        let q = parse(db.schema(), "Q() :- employee(1, n1, d), employee(2, n2, d)").unwrap();
         let homs = homomorphisms(&db, &q, EvalOptions::default()).unwrap();
         // (1,Bob,IT) joins with (2,Alice,IT) and (2,Tim,IT).
         assert_eq!(homs.len(), 2);
@@ -481,7 +479,7 @@ mod tests {
         let it = db.lookup_value(&Value::str("IT")).unwrap();
         let hr = db.lookup_value(&Value::str("HR")).unwrap();
         assert!(is_answer(&db, &q, &[Datum::Int(1), it]).unwrap());
-        assert!(is_answer(&db, &q, &[Datum::Int(2), hr]).unwrap() == false);
+        assert!(!is_answer(&db, &q, &[Datum::Int(2), hr]).unwrap());
     }
 
     #[test]
@@ -496,9 +494,8 @@ mod tests {
     fn max_homs_limits_enumeration() {
         let db = db();
         let q = parse(db.schema(), "Q(x) :- employee(x, n, d)").unwrap();
-        let homs =
-            homomorphisms(&db, &q, EvalOptions { max_homs: Some(2), ..Default::default() })
-                .unwrap();
+        let homs = homomorphisms(&db, &q, EvalOptions { max_homs: Some(2), ..Default::default() })
+            .unwrap();
         assert_eq!(homs.len(), 2);
     }
 

@@ -77,9 +77,8 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                         break;
                     }
                 }
-                let n: i64 = s
-                    .parse()
-                    .map_err(|_| CqaError::Parse(format!("bad integer literal '{s}'")))?;
+                let n: i64 =
+                    s.parse().map_err(|_| CqaError::Parse(format!("bad integer literal '{s}'")))?;
                 toks.push(Tok::Int(n));
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -320,10 +319,7 @@ mod tests {
     #[test]
     fn arity_mismatch_is_an_error() {
         let s = schema();
-        assert!(matches!(
-            parse(&s, "Q() :- employee(x, y)"),
-            Err(CqaError::ArityMismatch { .. })
-        ));
+        assert!(matches!(parse(&s, "Q() :- employee(x, y)"), Err(CqaError::ArityMismatch { .. })));
     }
 
     #[test]

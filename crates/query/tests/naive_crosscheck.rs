@@ -71,11 +71,8 @@ fn random_db(rng: &mut Mt64) -> Database {
     let mut db = Database::new(schema);
     let n = 2 + rng.index(8);
     for _ in 0..n {
-        db.insert_named(
-            "r",
-            &[Value::Int(rng.below(4) as i64), Value::Int(rng.below(4) as i64)],
-        )
-        .unwrap();
+        db.insert_named("r", &[Value::Int(rng.below(4) as i64), Value::Int(rng.below(4) as i64)])
+            .unwrap();
         db.insert_named(
             "s",
             &[
@@ -141,12 +138,11 @@ fn optimized_engine_matches_naive_reference() {
         if used.len() != q.num_vars() {
             continue;
         }
-        let fast: BTreeSet<(Vec<Datum>, Vec<u32>)> =
-            homomorphisms(&db, &q, EvalOptions::default())
-                .unwrap()
-                .into_iter()
-                .map(|h| (h.binding, h.facts))
-                .collect();
+        let fast: BTreeSet<(Vec<Datum>, Vec<u32>)> = homomorphisms(&db, &q, EvalOptions::default())
+            .unwrap()
+            .into_iter()
+            .map(|h| (h.binding, h.facts))
+            .collect();
         let slow = naive_homs(&db, &q);
         assert_eq!(
             fast,
@@ -170,8 +166,7 @@ fn engine_agrees_on_answers_too() {
         if used.len() != q.num_vars() || q.head.is_empty() {
             continue;
         }
-        let fast: BTreeSet<Vec<Datum>> =
-            cqa_query::answers(&db, &q).unwrap().into_iter().collect();
+        let fast: BTreeSet<Vec<Datum>> = cqa_query::answers(&db, &q).unwrap().into_iter().collect();
         let slow: BTreeSet<Vec<Datum>> = naive_homs(&db, &q)
             .into_iter()
             .map(|(b, _)| q.head.iter().map(|v| b[v.idx()]).collect())

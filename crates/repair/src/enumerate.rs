@@ -66,12 +66,12 @@ impl RepairIter {
 
     fn advance(&mut self) {
         let Some(counters) = self.counters.as_mut() else { return };
-        for i in 0..counters.len() {
-            counters[i] += 1;
-            if counters[i] < self.blocks[i].1.len() {
+        for (c, (_, rows)) in counters.iter_mut().zip(&self.blocks) {
+            *c += 1;
+            if *c < rows.len() {
                 return;
             }
-            counters[i] = 0;
+            *c = 0;
         }
         self.counters = None;
     }

@@ -18,5 +18,5 @@ pub mod exact;
 pub mod sample;
 
 pub use enumerate::{repair_count_checked, repair_to_database, RepairIter};
-pub use exact::{consistent_answers_exact, relative_frequency_exact, certain_answer_exact};
+pub use exact::{certain_answer_exact, consistent_answers_exact, relative_frequency_exact};
 pub use sample::sample_repair;

@@ -15,6 +15,9 @@ use cqa_query::ConjunctiveQuery;
 use cqa_storage::Database;
 use cqa_synopsis::{build_synopses, BuildOptions};
 
+/// A named database plus its named validation queries.
+type Workload = (String, Database, Vec<(String, ConjunctiveQuery)>);
+
 /// Aggregated per-scheme timing at one x value.
 struct Cell {
     avg_secs: [f64; 4],
@@ -25,10 +28,7 @@ struct Cell {
 /// Runs every `(db, query, seed)` job and aggregates per scheme.
 /// A pair whose preprocessing fails (deadline) counts as a timeout for
 /// every scheme.
-fn run_cell(
-    jobs: Vec<(&Database, &ConjunctiveQuery, u64)>,
-    cfg: &BenchConfig,
-) -> Cell {
+fn run_cell(jobs: Vec<(&Database, &ConjunctiveQuery, u64)>, cfg: &BenchConfig) -> Cell {
     let total = jobs.len();
     let outcomes: Vec<Result<PairOutcome>> =
         run_jobs(jobs, cfg.threads, |(db, q, seed)| run_pair(db, q, cfg, seed));
@@ -83,9 +83,7 @@ fn balance_index(cfg: &BenchConfig, q: f64) -> usize {
     cfg.balance_levels
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            (*a - q).abs().partial_cmp(&(*b - q).abs()).expect("finite")
-        })
+        .min_by(|(_, a), (_, b)| (*a - q).abs().partial_cmp(&(*b - q).abs()).expect("finite"))
         .map(|(i, _)| i)
         .expect("non-empty balance grid")
 }
@@ -230,11 +228,7 @@ pub fn fig4_joins(pool: &Pool, selections: &[(f64, f64)]) -> Vec<Figure> {
     let cfg = &pool.config;
     let mut figures = Vec::new();
     for &(p_target, q_target) in selections {
-        let pi = cfg
-            .noise_levels
-            .iter()
-            .position(|&p| (p - p_target).abs() < 1e-9)
-            .unwrap_or(0);
+        let pi = cfg.noise_levels.iter().position(|&p| (p - p_target).abs() < 1e-9).unwrap_or(0);
         let bi = balance_index(cfg, q_target);
         let mut points = Vec::new();
         for &j in &cfg.joins {
@@ -285,20 +279,16 @@ pub fn fig5_validation(cfg: &BenchConfig) -> Result<(Vec<Figure>, Vec<String>)> 
         cfg.noise_levels.iter().copied().filter(|&p| p <= 0.8).collect()
     };
 
-    let mut workloads: Vec<(String, Database, Vec<(String, ConjunctiveQuery)>)> = Vec::new();
+    let mut workloads: Vec<Workload> = Vec::new();
     {
-        let db = cqa_tpch::generate(cqa_tpch::TpchConfig {
-            scale: cfg.scale,
-            seed: rng.next_u64(),
-        });
+        let db =
+            cqa_tpch::generate(cqa_tpch::TpchConfig { scale: cfg.scale, seed: rng.next_u64() });
         let qs = cqa_tpch::validation_queries(db.schema())?;
         workloads.push(("tpch".into(), db, qs));
     }
     {
-        let db = cqa_tpcds::generate(cqa_tpcds::TpcdsConfig {
-            scale: cfg.scale,
-            seed: rng.next_u64(),
-        });
+        let db =
+            cqa_tpcds::generate(cqa_tpcds::TpcdsConfig { scale: cfg.scale, seed: rng.next_u64() });
         let qs = cqa_tpcds::validation_queries(db.schema())?;
         workloads.push(("tpcds".into(), db, qs));
     }
@@ -353,19 +343,14 @@ pub fn fig5_validation(cfg: &BenchConfig) -> Result<(Vec<Figure>, Vec<String>)> 
                 let cell = match outcome {
                     Ok(out) => {
                         balance_stats.push(out.stats.balance);
-                        let mut cell =
-                            Cell { avg_secs: [0.0; 4], timeouts: [0; 4], total: 1 };
+                        let mut cell = Cell { avg_secs: [0.0; 4], timeouts: [0; 4], total: 1 };
                         for (k, run) in out.runs.iter().enumerate() {
                             cell.avg_secs[k] = run.secs;
                             cell.timeouts[k] = run.timed_out as usize;
                         }
                         cell
                     }
-                    Err(_) => Cell {
-                        avg_secs: [cfg.timeout_secs; 4],
-                        timeouts: [1; 4],
-                        total: 1,
-                    },
+                    Err(_) => Cell { avg_secs: [cfg.timeout_secs; 4], timeouts: [1; 4], total: 1 },
                 };
                 points.push((p * 100.0, cell));
             }

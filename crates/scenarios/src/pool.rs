@@ -64,10 +64,7 @@ impl Pool {
     /// take the bulk of a benchmark run's setup time.
     pub fn build(config: BenchConfig) -> Result<Pool> {
         let mut rng = Mt64::new(config.seed);
-        eprintln!(
-            "[pool] generating D_H at scale {} (seed {}) ...",
-            config.scale, config.seed
-        );
+        eprintln!("[pool] generating D_H at scale {} (seed {}) ...", config.scale, config.seed);
         let base_db = generate(TpchConfig { scale: config.scale, seed: rng.next_u64() });
         eprintln!("[pool] D_H has {} facts", base_db.fact_count());
 
@@ -122,12 +119,8 @@ impl Pool {
                 let spec = NoiseSpec { p, lmin: config.block_min, umax: config.block_max };
                 let (noisy, _) = add_query_aware_noise(&base_db, &pq.base, spec, &mut rng)?;
                 // Balanced variants on this noisy database.
-                let positive: Vec<f64> = config
-                    .balance_levels
-                    .iter()
-                    .copied()
-                    .filter(|&b| b > 0.0)
-                    .collect();
+                let positive: Vec<f64> =
+                    config.balance_levels.iter().copied().filter(|&b| b > 0.0).collect();
                 let dqg_results = if positive.is_empty() {
                     Vec::new()
                 } else {
@@ -169,12 +162,7 @@ impl Pool {
 
     /// Indices of the pool queries at a join level.
     pub fn queries_at_join(&self, j: usize) -> Vec<usize> {
-        self.queries
-            .iter()
-            .enumerate()
-            .filter(|(_, q)| q.join_level == j)
-            .map(|(i, _)| i)
-            .collect()
+        self.queries.iter().enumerate().filter(|(_, q)| q.join_level == j).map(|(i, _)| i).collect()
     }
 
     /// The pair `(D_Q[p], Q_p[b])` by indices.
@@ -220,7 +208,8 @@ mod tests {
                 assert_eq!(pool.balanced[q][pi].len(), cfg.balance_levels.len());
             }
         }
-        assert_eq!(pool.pair_count(), 2 * 1 * 2 * 2);
+        // 2 queries × 2 noise levels × 2 balance levels (one join level).
+        assert_eq!(pool.pair_count(), 8);
     }
 
     #[test]

@@ -5,13 +5,12 @@
 //! figure renders as an ASCII table for the terminal and as CSV for
 //! external plotting.
 
-use serde::Serialize;
 use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// One measured point of a series.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Point {
     /// The x coordinate (noise %, balance %, join count, …).
     pub x: f64,
@@ -25,7 +24,7 @@ pub struct Point {
 }
 
 /// One plotted line (a scheme, usually).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -34,7 +33,7 @@ pub struct Series {
 }
 
 /// A full figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Stable identifier, e.g. `noise_q00_j3`.
     pub id: String,
@@ -58,11 +57,8 @@ impl Figure {
             out.push_str(&format!(",{0},{0}_timeouts", s.label));
         }
         out.push('\n');
-        let xs: Vec<f64> = self
-            .series
-            .first()
-            .map(|s| s.points.iter().map(|p| p.x).collect())
-            .unwrap_or_default();
+        let xs: Vec<f64> =
+            self.series.first().map(|s| s.points.iter().map(|p| p.x).collect()).unwrap_or_default();
         for (i, x) in xs.iter().enumerate() {
             out.push_str(&format!("{x}"));
             for s in &self.series {
@@ -92,11 +88,8 @@ impl Figure {
     /// enough to eyeball trends in a terminal.
     pub fn plot(&self) -> String {
         const HEIGHT: usize = 12;
-        let letters: Vec<char> = self
-            .series
-            .iter()
-            .map(|s| s.label.chars().next().unwrap_or('?'))
-            .collect();
+        let letters: Vec<char> =
+            self.series.iter().map(|s| s.label.chars().next().unwrap_or('?')).collect();
         let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
         if n == 0 {
             return String::new();
@@ -120,7 +113,10 @@ impl Figure {
             }
         }
         let mut out = String::new();
-        out.push_str(&format!("{} — {} (max y = {:.3} {})\n", self.id, self.title, max_y, self.ylabel));
+        out.push_str(&format!(
+            "{} — {} (max y = {:.3} {})\n",
+            self.id, self.title, max_y, self.ylabel
+        ));
         for row in grid {
             out.push_str("  |");
             out.extend(row);
@@ -129,12 +125,8 @@ impl Figure {
         out.push_str("  +");
         out.push_str(&"-".repeat(n * 4));
         out.push('\n');
-        let legend: Vec<String> = self
-            .series
-            .iter()
-            .zip(&letters)
-            .map(|(s, c)| format!("{c}={}", s.label))
-            .collect();
+        let legend: Vec<String> =
+            self.series.iter().zip(&letters).map(|(s, c)| format!("{c}={}", s.label)).collect();
         out.push_str(&format!("   x: {} | {}\n", self.xlabel, legend.join("  ")));
         out
     }
@@ -157,9 +149,7 @@ impl fmt::Display for Figure {
             write!(f, "{x:>12.1}")?;
             for s in &self.series {
                 match s.points.get(i) {
-                    Some(p) if p.timeouts > 0 => {
-                        write!(f, "{:>11.3} ({}!)", p.y, p.timeouts)?
-                    }
+                    Some(p) if p.timeouts > 0 => write!(f, "{:>11.3} ({}!)", p.y, p.timeouts)?,
                     Some(p) => write!(f, "{:>16.3}", p.y)?,
                     None => write!(f, "{:>16}", "-")?,
                 }

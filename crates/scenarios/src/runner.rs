@@ -70,12 +70,9 @@ pub fn run_pair(
                 timed_out: false,
                 samples: res.total_samples,
             }),
-            Err(CqaError::TimedOut { .. }) => runs.push(SchemeRun {
-                scheme,
-                secs: cfg.timeout_secs,
-                timed_out: true,
-                samples: 0,
-            }),
+            Err(CqaError::TimedOut { .. }) => {
+                runs.push(SchemeRun { scheme, secs: cfg.timeout_secs, timed_out: true, samples: 0 })
+            }
             Err(e) => return Err(e),
         }
     }
@@ -177,20 +174,15 @@ mod tests {
         // demanding one specific fact from each: R = 4^-6, far too small
         // for the natural scheme to finish within a millisecond budget,
         // while the symbolic schemes sail through.
-        let schema = Schema::builder()
-            .relation("r", &[("k", Int), ("v", Int)], Some(1))
-            .build();
+        let schema = Schema::builder().relation("r", &[("k", Int), ("v", Int)], Some(1)).build();
         let mut db = Database::new(schema);
         for k in 0..6 {
             for v in 0..4 {
                 db.insert_named("r", &[Value::Int(k), Value::Int(v)]).unwrap();
             }
         }
-        let q = parse(
-            db.schema(),
-            "Q() :- r(0, 0), r(1, 0), r(2, 0), r(3, 0), r(4, 0), r(5, 0)",
-        )
-        .unwrap();
+        let q = parse(db.schema(), "Q() :- r(0, 0), r(1, 0), r(2, 0), r(3, 0), r(4, 0), r(5, 0)")
+            .unwrap();
         let mut cfg = BenchConfig::smoke();
         cfg.timeout_secs = 0.01;
         let out = run_pair(&db, &q, &cfg, 3).unwrap();

@@ -1,0 +1,269 @@
+//! The sharded synopsis cache.
+//!
+//! Synopsis construction is the expensive phase of `ApxCQA` (Fig. 3:
+//! preprocessing dominates end-to-end latency), and a synopsis depends only
+//! on the database, its constraints, and the query — not on the scheme or
+//! `(ε, δ)`. The server therefore caches built [`SynopsisSet`]s keyed by
+//! `(database fingerprint, constraint-set fingerprint, query text)`, so a
+//! repeat query under any scheme goes straight to
+//! `apx_cqa_on_synopses`.
+//!
+//! The map is split into shards, each behind its own `parking_lot::Mutex`,
+//! so concurrent workers rarely contend. Each shard evicts its
+//! least-recently-used entry when it reaches capacity; values are
+//! `Arc<SynopsisSet>`, so an evicted synopsis stays alive while a worker
+//! still holds it.
+
+use cqa_common::{fnv1a64, fnv1a64_parts};
+use cqa_storage::{dump_to_string, schema_to_ddl, Database};
+use cqa_synopsis::SynopsisSet;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cache key: both fingerprints plus the literal query text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a of the canonical database dump.
+    pub db_fingerprint: u64,
+    /// FNV-1a of the canonical DDL (which carries the key constraints).
+    pub constraint_fingerprint: u64,
+    /// The query, verbatim.
+    pub query: String,
+}
+
+impl CacheKey {
+    /// Builds a key for a query against a database. The fingerprints hash
+    /// the *canonical* dump/DDL text, so two structurally identical
+    /// databases share cache entries even if loaded from different files.
+    pub fn new(db: &Database, query: &str) -> CacheKey {
+        CacheKey {
+            db_fingerprint: fnv1a64(dump_to_string(db).as_bytes()),
+            constraint_fingerprint: fnv1a64(schema_to_ddl(db.schema()).as_bytes()),
+            query: query.to_owned(),
+        }
+    }
+
+    fn shard_hash(&self) -> u64 {
+        fnv1a64_parts([
+            self.db_fingerprint.to_le_bytes().as_slice(),
+            self.constraint_fingerprint.to_le_bytes().as_slice(),
+            self.query.as_bytes(),
+        ])
+    }
+}
+
+struct Entry {
+    value: Arc<SynopsisSet>,
+    /// Use stamp from the owning shard's clock; smallest = LRU victim.
+    stamp: u64,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+/// Point-in-time counters, reported by the `stats` protocol command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Maximum resident entries across all shards.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups, or 0 when the cache is untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded LRU map from [`CacheKey`] to `Arc<SynopsisSet>`.
+pub struct SynopsisCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default shard count; a small power of two well above typical worker
+/// counts, so two workers rarely hash to the same lock.
+pub const DEFAULT_SHARDS: usize = 8;
+
+impl SynopsisCache {
+    /// A cache holding at most `capacity` synopsis sets across `shards`
+    /// shards. Capacity is rounded up to a multiple of the shard count
+    /// (each shard gets an equal slice, and a shard never exceeds its own
+    /// slice even if others sit empty).
+    pub fn new(capacity: usize, shards: usize) -> SynopsisCache {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        SynopsisCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), clock: 0 }))
+                .collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with the default shard count.
+    pub fn with_capacity(capacity: usize) -> SynopsisCache {
+        SynopsisCache::new(capacity, DEFAULT_SHARDS)
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a synopsis, refreshing its LRU stamp on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<SynopsisSet>> {
+        let mut shard = self.shard(key).lock();
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a synopsis, evicting the shard's LRU entry if it is full.
+    /// Returns the evicted value, mostly for tests.
+    pub fn insert(&self, key: CacheKey, value: Arc<SynopsisSet>) -> Option<Arc<SynopsisSet>> {
+        let mut shard = self.shard(&key).lock();
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let mut evicted = None;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+            // Linear scan for the LRU victim: per-shard capacity is small
+            // (a handful of synopsis sets), so a scan beats the bookkeeping
+            // of an intrusive list.
+            if let Some(victim) =
+                shard.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone())
+            {
+                evicted = shard.map.remove(&victim).map(|e| e.value);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, Entry { value, stamp });
+        evicted
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.per_shard_capacity * self.shards.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn key(q: &str) -> CacheKey {
+        CacheKey { db_fingerprint: 1, constraint_fingerprint: 2, query: q.to_owned() }
+    }
+
+    fn empty_set() -> Arc<SynopsisSet> {
+        Arc::new(SynopsisSet {
+            entries: vec![],
+            hom_size: 0,
+            total_homs: 0,
+            build_time: Duration::ZERO,
+        })
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let cache = SynopsisCache::with_capacity(4);
+        assert!(cache.get(&key("Q1")).is_none());
+        cache.insert(key("Q1"), empty_set());
+        assert!(cache.get(&key("Q1")).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn single_shard_evicts_lru() {
+        let cache = SynopsisCache::new(2, 1);
+        cache.insert(key("a"), empty_set());
+        cache.insert(key("b"), empty_set());
+        assert!(cache.get(&key("a")).is_some()); // refresh "a": "b" is now LRU
+        cache.insert(key("c"), empty_set());
+        assert!(cache.get(&key("a")).is_some());
+        assert!(cache.get(&key("b")).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(&key("c")).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let cache = SynopsisCache::new(1, 1);
+        cache.insert(key("a"), empty_set());
+        assert!(cache.insert(key("a"), empty_set()).is_none());
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn distinct_fingerprints_are_distinct_keys() {
+        let cache = SynopsisCache::with_capacity(8);
+        cache.insert(key("Q"), empty_set());
+        let other_db = CacheKey { db_fingerprint: 99, ..key("Q") };
+        assert!(cache.get(&other_db).is_none());
+        let other_sigma = CacheKey { constraint_fingerprint: 99, ..key("Q") };
+        assert!(cache.get(&other_sigma).is_none());
+    }
+
+    #[test]
+    fn concurrent_access_keeps_counts_consistent() {
+        let cache = Arc::new(SynopsisCache::with_capacity(64));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let k = key(&format!("Q{}", (t * 50 + i) % 20));
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, empty_set());
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 200);
+        assert!(stats.entries <= 20);
+    }
+}

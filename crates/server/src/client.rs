@@ -1,0 +1,81 @@
+//! A blocking client for the line-delimited JSON protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests strictly in
+//! sequence (the protocol has no request IDs — responses arrive in order).
+//! The CLI's `serve`-facing subcommands and the integration tests both sit
+//! on top of this type; it is deliberately the only place in the workspace
+//! that knows how to talk to a socket.
+
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{QueryRequest, Request, Response};
+use cqa_common::{CqaError, Result};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a `cqa-server`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn io_err(e: std::io::Error) -> CqaError {
+    CqaError::Parse(format!("server connection: {e}"))
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone().map_err(io_err)?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sets (or clears) the socket read timeout, to bound how long a call
+    /// may block if the server stalls.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout).map_err(io_err)
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response> {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).map_err(io_err)?;
+        self.writer.flush().map_err(io_err)?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).map_err(io_err)?;
+        if n == 0 {
+            return Err(CqaError::Parse("server closed the connection".into()));
+        }
+        Response::from_line(&reply)
+    }
+
+    /// Runs one approximate-CQA query.
+    pub fn query(&mut self, request: QueryRequest) -> Result<Response> {
+        self.roundtrip(&Request::Query(request))
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(v) => MetricsSnapshot::from_json(&v),
+            Response::Error { kind, message } => {
+                Err(CqaError::Parse(format!("stats failed: {} ({message})", kind.name())))
+            }
+            other => Err(CqaError::Parse(format!("unexpected stats response {other:?}"))),
+        }
+    }
+
+    /// Checks liveness; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<u64> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong { version } => Ok(version),
+            Response::Error { kind, message } => {
+                Err(CqaError::Parse(format!("ping failed: {} ({message})", kind.name())))
+            }
+            other => Err(CqaError::Parse(format!("unexpected ping response {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! `cqa-server` — a long-lived approximate-CQA service.
+//!
+//! The batch binaries rebuild every synopsis from scratch per invocation;
+//! preprocessing dominates their cost (Fig. 3 of the paper). This crate
+//! amortizes it: a TCP daemon loads a database dump once, caches built
+//! synopses keyed by `(database fingerprint, constraint set, query text)`,
+//! and answers approximate-CQA requests over a versioned line-delimited
+//! JSON protocol. Components:
+//!
+//! * [`protocol`] — request/response types and their wire encoding.
+//! * [`cache`] — the sharded LRU synopsis cache with hit/miss accounting.
+//! * [`pool`] — the worker pool with bounded-queue admission control and
+//!   per-request deadlines.
+//! * [`metrics`] — atomic counters and a log-scale latency histogram,
+//!   served by the protocol's `stats` command.
+//! * [`server`] — the TCP daemon.
+//! * [`client`] — the blocking client library the CLI subcommands use.
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, CacheStats, SynopsisCache};
+pub use client::Client;
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use pool::{PoolConfig, QueueFull, WorkerPool};
+pub use protocol::{ErrorKind, QueryRequest, Request, Response, WireAnswer, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,273 @@
+//! Live server metrics: atomic counters and a log-scale latency histogram.
+//!
+//! Everything here is updated with relaxed atomics on the hot path — no
+//! locks, no allocation — and read by the `stats` protocol command. The
+//! histogram buckets latencies by power of two microseconds (bucket `i`
+//! covers `[2^i, 2^{i+1})` µs), which spans 1 µs to over an hour in 32
+//! buckets with ≤ 2× relative error on reported percentiles — the same
+//! trade Prometheus-style exponential histograms make.
+
+use cqa_common::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 32;
+
+/// A fixed-bucket log₂ histogram of microsecond latencies.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (micros.max(1).ilog2() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_micros.load(Ordering::Relaxed) as f64 / count as f64 / 1000.0
+    }
+
+    /// Approximate `q`-quantile (`0 < q ≤ 1`) in milliseconds: the upper
+    /// edge of the bucket containing the `⌈q·n⌉`-th observation, i.e. an
+    /// overestimate by at most 2×.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (i + 1)) as f64 / 1000.0;
+            }
+        }
+        (1u64 << BUCKETS) as f64 / 1000.0
+    }
+}
+
+/// Counters for one server instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Protocol requests accepted for processing (all commands).
+    pub requests: AtomicU64,
+    /// `query` requests answered successfully.
+    pub queries_ok: AtomicU64,
+    /// Requests rejected because the admission queue was full.
+    pub rejected_overloaded: AtomicU64,
+    /// Requests that ran out of deadline.
+    pub rejected_deadline: AtomicU64,
+    /// Malformed requests.
+    pub rejected_bad_request: AtomicU64,
+    /// Unexpected server-side failures.
+    pub errors_internal: AtomicU64,
+    /// Connections accepted over the listener's lifetime.
+    pub connections: AtomicU64,
+    /// End-to-end latency of successful `query` requests, admission to
+    /// response.
+    pub query_latency: LatencyHistogram,
+}
+
+/// A plain-data copy of [`Metrics`] plus the cache counters, as reported
+/// to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Protocol requests accepted for processing.
+    pub requests: u64,
+    /// Successful `query` requests.
+    pub queries_ok: u64,
+    /// `overloaded` rejections.
+    pub rejected_overloaded: u64,
+    /// `deadline_exceeded` rejections.
+    pub rejected_deadline: u64,
+    /// `bad_request` rejections.
+    pub rejected_bad_request: u64,
+    /// `internal` errors.
+    pub errors_internal: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Successful-query latency count.
+    pub latency_count: u64,
+    /// Mean latency, milliseconds.
+    pub latency_mean_ms: f64,
+    /// Median latency, milliseconds (log-bucket upper edge).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub latency_p99_ms: f64,
+    /// Synopsis-cache hits.
+    pub cache_hits: u64,
+    /// Synopsis-cache misses.
+    pub cache_misses: u64,
+    /// Synopsis-cache resident entries.
+    pub cache_entries: usize,
+    /// Synopsis-cache evictions.
+    pub cache_evictions: u64,
+}
+
+impl Metrics {
+    /// A fresh, zeroed metrics block.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Captures a snapshot, merging in the cache's counters.
+    pub fn snapshot(&self, cache: &crate::cache::CacheStats) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_bad_request: self.rejected_bad_request.load(Ordering::Relaxed),
+            errors_internal: self.errors_internal.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            latency_count: self.query_latency.count(),
+            latency_mean_ms: self.query_latency.mean_ms(),
+            latency_p50_ms: self.query_latency.quantile_ms(0.50),
+            latency_p95_ms: self.query_latency.quantile_ms(0.95),
+            latency_p99_ms: self.query_latency.quantile_ms(0.99),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: cache.entries,
+            cache_evictions: cache.evictions,
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// The `stats` payload.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::from(self.requests)),
+            ("queries_ok", Json::from(self.queries_ok)),
+            ("rejected_overloaded", Json::from(self.rejected_overloaded)),
+            ("rejected_deadline", Json::from(self.rejected_deadline)),
+            ("rejected_bad_request", Json::from(self.rejected_bad_request)),
+            ("errors_internal", Json::from(self.errors_internal)),
+            ("connections", Json::from(self.connections)),
+            ("latency_count", Json::from(self.latency_count)),
+            ("latency_mean_ms", Json::from(self.latency_mean_ms)),
+            ("latency_p50_ms", Json::from(self.latency_p50_ms)),
+            ("latency_p95_ms", Json::from(self.latency_p95_ms)),
+            ("latency_p99_ms", Json::from(self.latency_p99_ms)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("cache_misses", Json::from(self.cache_misses)),
+            ("cache_entries", Json::from(self.cache_entries)),
+            ("cache_evictions", Json::from(self.cache_evictions)),
+        ])
+    }
+
+    /// Parses a `stats` payload received from a server.
+    pub fn from_json(v: &Json) -> cqa_common::Result<MetricsSnapshot> {
+        let int = |key: &str| -> cqa_common::Result<u64> {
+            v.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                cqa_common::CqaError::Parse(format!("stats missing integer field '{key}'"))
+            })
+        };
+        Ok(MetricsSnapshot {
+            requests: int("requests")?,
+            queries_ok: int("queries_ok")?,
+            rejected_overloaded: int("rejected_overloaded")?,
+            rejected_deadline: int("rejected_deadline")?,
+            rejected_bad_request: int("rejected_bad_request")?,
+            errors_internal: int("errors_internal")?,
+            connections: int("connections")?,
+            latency_count: int("latency_count")?,
+            latency_mean_ms: v.req_f64("latency_mean_ms")?,
+            latency_p50_ms: v.req_f64("latency_p50_ms")?,
+            latency_p95_ms: v.req_f64("latency_p95_ms")?,
+            latency_p99_ms: v.req_f64("latency_p99_ms")?,
+            cache_hits: int("cache_hits")?,
+            cache_misses: int("cache_misses")?,
+            cache_entries: int("cache_entries")? as usize,
+            cache_evictions: int("cache_evictions")?,
+        })
+    }
+
+    /// Cache hit rate over lookups, 0 when untouched.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStats;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = LatencyHistogram::new();
+        for micros in [1u64, 3, 100, 1000, 100_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 5);
+        // p100 falls in the 100 ms decade: bucket ⌊log2(100000)⌋ = 16,
+        // upper edge 2^17 µs = 131.072 ms.
+        assert_eq!(h.quantile_ms(1.0), 131.072);
+        // The median observation (100 µs) lands in [64, 128) µs.
+        assert_eq!(h.quantile_ms(0.5), 0.128);
+    }
+
+    #[test]
+    fn histogram_quantiles_overestimate_by_at_most_2x() {
+        let h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let p95 = h.quantile_ms(0.95) * 1000.0; // back to µs
+        assert!((950.0..=2.0 * 950.0).contains(&p95), "p95 estimate {p95} µs");
+        assert!((h.mean_ms() - 0.5005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = Metrics::new();
+        m.requests.fetch_add(7, Ordering::Relaxed);
+        m.queries_ok.fetch_add(5, Ordering::Relaxed);
+        m.query_latency.record(Duration::from_millis(3));
+        let cache = CacheStats { hits: 4, misses: 1, entries: 1, evictions: 0, capacity: 8 };
+        let snap = m.snapshot(&cache);
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.cache_hit_rate(), 0.8);
+    }
+}

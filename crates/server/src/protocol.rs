@@ -1,0 +1,485 @@
+//! The wire protocol: versioned, line-delimited JSON.
+//!
+//! Every request and response is one JSON object on one line. Requests
+//! carry `"v": 1` (the protocol version) and `"cmd"`; unknown versions and
+//! commands are rejected with a structured `bad_request` error rather than
+//! a dropped connection. The full grammar:
+//!
+//! ```text
+//! → {"v":1,"cmd":"query","query":"Q(n) :- r(k, n)","scheme":"klm",
+//!    "eps":0.1,"delta":0.25,"timeout_ms":5000,"seed":42}
+//! ← {"ok":true,"cached":false,"preprocess_ms":12.5,"scheme_ms":3.1,
+//!    "total_samples":18000,"answers":[{"tuple":["Bob"],"frequency":0.5,
+//!    "samples":9000}]}
+//!
+//! → {"v":1,"cmd":"stats"}
+//! ← {"ok":true,"stats":{...cache/pool/latency counters...}}
+//!
+//! → {"v":1,"cmd":"ping"}
+//! ← {"ok":true,"pong":true,"version":1}
+//!
+//! ← {"ok":false,"error":"overloaded","message":"queue full (depth 64)"}
+//! ```
+//!
+//! Integers ride as JSON strings never — tuples carry ints as numbers and
+//! strings as strings, so clients recover typed values without the schema.
+
+use cqa_common::{CqaError, Json, Result};
+use cqa_core::Scheme;
+use cqa_storage::Value;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Parameters of a `query` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The conjunctive query, datalog syntax.
+    pub query: String,
+    /// Which approximation scheme to run.
+    pub scheme: Scheme,
+    /// Relative error ε.
+    pub eps: f64,
+    /// Uncertainty δ.
+    pub delta: f64,
+    /// Per-request deadline; `None` uses the server default.
+    pub timeout_ms: Option<u64>,
+    /// RNG seed; fixed seeds give identical answers regardless of the
+    /// server's worker-pool size.
+    pub seed: u64,
+}
+
+impl Default for QueryRequest {
+    fn default() -> Self {
+        QueryRequest {
+            query: String::new(),
+            scheme: Scheme::Klm,
+            eps: 0.1,
+            delta: 0.25,
+            timeout_ms: None,
+            seed: 42,
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run approximate CQA.
+    Query(QueryRequest),
+    /// Fetch server metrics.
+    Stats,
+    /// Liveness check.
+    Ping,
+}
+
+impl Request {
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Request::Query(q) => {
+                let mut pairs = vec![
+                    ("v", Json::from(PROTOCOL_VERSION)),
+                    ("cmd", Json::str("query")),
+                    ("query", Json::str(&q.query)),
+                    ("scheme", Json::str(q.scheme.name().to_ascii_lowercase())),
+                    ("eps", Json::from(q.eps)),
+                    ("delta", Json::from(q.delta)),
+                    ("seed", Json::from(q.seed)),
+                ];
+                if let Some(ms) = q.timeout_ms {
+                    pairs.push(("timeout_ms", Json::from(ms)));
+                }
+                Json::obj(pairs)
+            }
+            Request::Stats => {
+                Json::obj([("v", Json::from(PROTOCOL_VERSION)), ("cmd", Json::str("stats"))])
+            }
+            Request::Ping => {
+                Json::obj([("v", Json::from(PROTOCOL_VERSION)), ("cmd", Json::str("ping"))])
+            }
+        };
+        v.to_string_compact()
+    }
+
+    /// Parses one protocol line.
+    pub fn from_line(line: &str) -> Result<Request> {
+        let v = Json::parse(line.trim())?;
+        let version = v
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| CqaError::Parse("missing protocol version 'v'".into()))?;
+        if version != PROTOCOL_VERSION {
+            return Err(CqaError::Parse(format!(
+                "unsupported protocol version {version} (this server speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        match v.req_str("cmd")? {
+            "query" => {
+                let scheme: Scheme = match v.get("scheme") {
+                    Some(s) => s
+                        .as_str()
+                        .ok_or_else(|| CqaError::Parse("non-string 'scheme'".into()))?
+                        .parse()
+                        .map_err(|e: CqaError| CqaError::Parse(e.to_string()))?,
+                    None => Scheme::Klm,
+                };
+                let num = |key: &str, default: f64| -> Result<f64> {
+                    match v.get(key) {
+                        Some(n) => n
+                            .as_f64()
+                            .ok_or_else(|| CqaError::Parse(format!("non-numeric '{key}'"))),
+                        None => Ok(default),
+                    }
+                };
+                let eps = num("eps", 0.1)?;
+                let delta = num("delta", 0.25)?;
+                if !(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0) {
+                    return Err(CqaError::Parse(format!(
+                        "eps and delta must lie in (0, 1); got eps={eps}, delta={delta}"
+                    )));
+                }
+                let timeout_ms = match v.get("timeout_ms") {
+                    Some(t) => Some(
+                        t.as_u64()
+                            .ok_or_else(|| CqaError::Parse("non-integer 'timeout_ms'".into()))?,
+                    ),
+                    None => None,
+                };
+                let seed = match v.get("seed") {
+                    Some(s) => {
+                        s.as_u64().ok_or_else(|| CqaError::Parse("non-integer 'seed'".into()))?
+                    }
+                    None => 42,
+                };
+                Ok(Request::Query(QueryRequest {
+                    query: v.req_str("query")?.to_owned(),
+                    scheme,
+                    eps,
+                    delta,
+                    timeout_ms,
+                    seed,
+                }))
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            other => Err(CqaError::Parse(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+/// Structured error categories a client can branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The admission queue is full; retry later.
+    Overloaded,
+    /// The request's deadline expired before the answer was ready.
+    DeadlineExceeded,
+    /// The request was malformed (bad JSON, unknown query relation, …).
+    BadRequest,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<ErrorKind> {
+        match name {
+            "overloaded" => Some(ErrorKind::Overloaded),
+            "deadline_exceeded" => Some(ErrorKind::DeadlineExceeded),
+            "bad_request" => Some(ErrorKind::BadRequest),
+            "internal" => Some(ErrorKind::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One estimated answer on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAnswer {
+    /// The candidate tuple, as typed values.
+    pub tuple: Vec<Value>,
+    /// The approximated relative frequency.
+    pub frequency: f64,
+    /// Samples spent on this tuple.
+    pub samples: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful `query`.
+    Answers {
+        /// Whether the synopsis came from the cache.
+        cached: bool,
+        /// Preprocessing wall milliseconds (0 on a cache hit).
+        preprocess_ms: f64,
+        /// Approximation wall milliseconds.
+        scheme_ms: f64,
+        /// Total samples across all tuples.
+        total_samples: u64,
+        /// The estimated answers, ordered by tuple.
+        answers: Vec<WireAnswer>,
+    },
+    /// A successful `stats` (an opaque metrics object).
+    Stats(Json),
+    /// A successful `ping`.
+    Pong {
+        /// The server's protocol version.
+        version: u64,
+    },
+    /// A structured failure.
+    Error {
+        /// The category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Num(*i as f64),
+        Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn json_to_value(j: &Json) -> Result<Value> {
+    match j {
+        Json::Num(n) if n.fract() == 0.0 => Ok(Value::Int(*n as i64)),
+        Json::Str(s) => Ok(Value::Str(s.clone())),
+        other => Err(CqaError::Parse(format!("bad tuple cell {other:?}"))),
+    }
+}
+
+impl Response {
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Response::Answers { cached, preprocess_ms, scheme_ms, total_samples, answers } => {
+                let rows: Vec<Json> = answers
+                    .iter()
+                    .map(|a| {
+                        Json::obj([
+                            ("tuple", Json::Arr(a.tuple.iter().map(value_to_json).collect())),
+                            ("frequency", Json::from(a.frequency)),
+                            ("samples", Json::from(a.samples)),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("ok", Json::from(true)),
+                    ("cached", Json::from(*cached)),
+                    ("preprocess_ms", Json::from(*preprocess_ms)),
+                    ("scheme_ms", Json::from(*scheme_ms)),
+                    ("total_samples", Json::from(*total_samples)),
+                    ("answers", Json::Arr(rows)),
+                ])
+            }
+            Response::Stats(stats) => {
+                Json::obj([("ok", Json::from(true)), ("stats", stats.clone())])
+            }
+            Response::Pong { version } => Json::obj([
+                ("ok", Json::from(true)),
+                ("pong", Json::from(true)),
+                ("version", Json::from(*version)),
+            ]),
+            Response::Error { kind, message } => Json::obj([
+                ("ok", Json::from(false)),
+                ("error", Json::str(kind.name())),
+                ("message", Json::str(message.clone())),
+            ]),
+        };
+        v.to_string_compact()
+    }
+
+    /// Parses one protocol line.
+    pub fn from_line(line: &str) -> Result<Response> {
+        let v = Json::parse(line.trim())?;
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| CqaError::Parse("response missing 'ok'".into()))?;
+        if !ok {
+            let kind = ErrorKind::from_name(v.req_str("error")?)
+                .ok_or_else(|| CqaError::Parse("unknown error kind".into()))?;
+            return Ok(Response::Error {
+                kind,
+                message: v.req_str("message").unwrap_or("").to_owned(),
+            });
+        }
+        if v.get("pong").is_some() {
+            let version = v
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CqaError::Parse("pong missing 'version'".into()))?;
+            return Ok(Response::Pong { version });
+        }
+        if let Some(stats) = v.get("stats") {
+            return Ok(Response::Stats(stats.clone()));
+        }
+        let rows = v
+            .get("answers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| CqaError::Parse("response missing 'answers'".into()))?;
+        let mut answers = Vec::with_capacity(rows.len());
+        for row in rows {
+            let cells = row
+                .get("tuple")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| CqaError::Parse("answer missing 'tuple'".into()))?;
+            let tuple = cells.iter().map(json_to_value).collect::<Result<Vec<_>>>()?;
+            answers.push(WireAnswer {
+                tuple,
+                frequency: row.req_f64("frequency")?,
+                samples: row
+                    .get("samples")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| CqaError::Parse("answer missing 'samples'".into()))?,
+            });
+        }
+        Ok(Response::Answers {
+            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            preprocess_ms: v.req_f64("preprocess_ms")?,
+            scheme_ms: v.req_f64("scheme_ms")?,
+            total_samples: v
+                .get("total_samples")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CqaError::Parse("response missing 'total_samples'".into()))?,
+            answers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_request_roundtrips() {
+        let req = Request::Query(QueryRequest {
+            query: "Q(n) :- employee(x, n, d)".into(),
+            scheme: Scheme::Natural,
+            eps: 0.2,
+            delta: 0.1,
+            timeout_ms: Some(750),
+            seed: 7,
+        });
+        let line = req.to_line();
+        assert!(line.contains("\"v\":1"), "{line}");
+        assert_eq!(Request::from_line(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn request_defaults_apply() {
+        let req = Request::from_line(r#"{"v":1,"cmd":"query","query":"Q() :- r(x)"}"#).unwrap();
+        match req {
+            Request::Query(q) => {
+                assert_eq!(q.scheme, Scheme::Klm);
+                assert_eq!(q.eps, 0.1);
+                assert_eq!(q.delta, 0.25);
+                assert_eq!(q.timeout_ms, None);
+                assert_eq!(q.seed, 42);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_and_ping_roundtrip() {
+        for req in [Request::Stats, Request::Ping] {
+            assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        for line in [
+            "",
+            "not json",
+            r#"{"cmd":"query"}"#,            // no version
+            r#"{"v":2,"cmd":"ping"}"#,       // wrong version
+            r#"{"v":1,"cmd":"frobnicate"}"#, // unknown command
+            r#"{"v":1,"cmd":"query"}"#,      // no query text
+            r#"{"v":1,"cmd":"query","query":"Q() :- r(x)","eps":7}"#, // eps out of range
+            r#"{"v":1,"cmd":"query","query":"Q() :- r(x)","scheme":"fast"}"#,
+            r#"{"v":1,"cmd":"query","query":"Q() :- r(x)","timeout_ms":-5}"#,
+        ] {
+            assert!(Request::from_line(line).is_err(), "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn answers_response_roundtrips() {
+        let resp = Response::Answers {
+            cached: true,
+            preprocess_ms: 0.0,
+            scheme_ms: 12.25,
+            total_samples: 4096,
+            answers: vec![
+                WireAnswer {
+                    tuple: vec![Value::Int(3), Value::str("Bob")],
+                    frequency: 0.5,
+                    samples: 2048,
+                },
+                WireAnswer { tuple: vec![], frequency: 1.0, samples: 2048 },
+            ],
+        };
+        assert_eq!(Response::from_line(&resp.to_line()).unwrap(), resp);
+    }
+
+    #[test]
+    fn error_response_roundtrips() {
+        for kind in [
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::BadRequest,
+            ErrorKind::Internal,
+        ] {
+            let resp = Response::Error { kind, message: "detail".into() };
+            let line = resp.to_line();
+            assert!(line.contains(kind.name()));
+            assert_eq!(Response::from_line(&line).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn pong_and_stats_roundtrip() {
+        let pong = Response::Pong { version: PROTOCOL_VERSION };
+        assert_eq!(Response::from_line(&pong.to_line()).unwrap(), pong);
+        let stats = Response::Stats(Json::obj([("requests", Json::from(3u64))]));
+        assert_eq!(Response::from_line(&stats.to_line()).unwrap(), stats);
+    }
+
+    #[test]
+    fn tuples_preserve_types() {
+        let resp = Response::Answers {
+            cached: false,
+            preprocess_ms: 1.0,
+            scheme_ms: 1.0,
+            total_samples: 1,
+            answers: vec![WireAnswer {
+                tuple: vec![Value::Int(-42), Value::str("42")],
+                frequency: 0.25,
+                samples: 1,
+            }],
+        };
+        match Response::from_line(&resp.to_line()).unwrap() {
+            Response::Answers { answers, .. } => {
+                assert_eq!(answers[0].tuple[0], Value::Int(-42));
+                assert_eq!(answers[0].tuple[1], Value::str("42"));
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+}

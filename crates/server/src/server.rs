@@ -1,0 +1,338 @@
+//! The TCP daemon.
+//!
+//! One thread per connection does the line-oriented I/O; `query` requests
+//! are handed to the shared [`WorkerPool`] so a slow synopsis build on one
+//! connection cannot starve another, and so total concurrent query work is
+//! bounded regardless of how many clients connect. `ping` and `stats` are
+//! answered inline — they must stay responsive precisely when the pool is
+//! saturated.
+//!
+//! Determinism: each request carries a seed, and exactly one worker runs
+//! the whole request with `Mt64::new(seed)` — the same generator the
+//! offline driver uses — so answers are byte-identical to a local
+//! `apx_cqa` run with that seed, whatever the pool size.
+
+use crate::cache::{CacheKey, SynopsisCache};
+use crate::metrics::Metrics;
+use crate::pool::{PoolConfig, WorkerPool};
+use crate::protocol::{ErrorKind, QueryRequest, Request, Response, WireAnswer, PROTOCOL_VERSION};
+use cqa_common::{fnv1a64, CqaError, Deadline, Mt64, Stopwatch};
+use cqa_core::{apx_cqa_on_synopses, Budget};
+use cqa_storage::{dump_to_string, schema_to_ddl, Database};
+use cqa_synopsis::{build_synopses, BuildOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7171` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads for query execution (0 = one per CPU).
+    pub workers: usize,
+    /// Admission-queue depth before `overloaded` rejections start.
+    pub queue_depth: usize,
+    /// Maximum cached synopsis sets.
+    pub cache_capacity: usize,
+    /// Deadline for requests that do not set `timeout_ms` (None = no
+    /// default deadline).
+    pub default_timeout_ms: Option<u64>,
+    /// Sample budget per request.
+    pub max_samples: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            workers: 0,
+            queue_depth: 64,
+            cache_capacity: 128,
+            default_timeout_ms: Some(30_000),
+            max_samples: u64::MAX,
+        }
+    }
+}
+
+/// Everything the connection and worker threads share.
+struct Shared {
+    db: Database,
+    /// Fingerprints are computed once at startup; `CacheKey::new` would
+    /// re-serialize the whole database per request.
+    db_fingerprint: u64,
+    constraint_fingerprint: u64,
+    cache: SynopsisCache,
+    metrics: Metrics,
+    pool: WorkerPool,
+    default_timeout_ms: Option<u64>,
+    max_samples: u64,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool. The database is
+    /// fingerprinted here, once.
+    pub fn bind(db: Database, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            config.workers
+        };
+        let db_fingerprint = fnv1a64(dump_to_string(&db).as_bytes());
+        let constraint_fingerprint = fnv1a64(schema_to_ddl(db.schema()).as_bytes());
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                db,
+                db_fingerprint,
+                constraint_fingerprint,
+                cache: SynopsisCache::with_capacity(config.cache_capacity.max(1)),
+                metrics: Metrics::new(),
+                pool: WorkerPool::new(PoolConfig { workers, queue_depth: config.queue_depth }),
+                default_timeout_ms: config.default_timeout_ms,
+                max_samples: config.max_samples,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread until shut down.
+    pub fn run(self) {
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            self.shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("cqa-conn".to_owned())
+                .spawn(move || serve_connection(&shared, stream))
+                .expect("spawn connection thread");
+        }
+    }
+
+    /// Runs the accept loop on a background thread; the returned handle
+    /// shuts the server down when asked (or when dropped).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let thread =
+            std::thread::Builder::new().name("cqa-accept".to_owned()).spawn(move || self.run())?;
+        Ok(ServerHandle { addr, shared, thread: Some(thread) })
+    }
+}
+
+/// Controls a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. Open
+    /// connections are not torn down; they end when their clients hang up.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            // The accept loop only observes the flag on its next
+            // iteration; poke it with a throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // The protocol is request/response; Nagle only adds latency.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client hung up mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(shared, &line);
+        let mut payload = response.to_line();
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() {
+            break;
+        }
+        let _ = writer.flush();
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str) -> Response {
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match Request::from_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.rejected_bad_request.fetch_add(1, Ordering::Relaxed);
+            return Response::Error { kind: ErrorKind::BadRequest, message: e.to_string() };
+        }
+    };
+    match request {
+        Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
+        Request::Stats => Response::Stats(shared.metrics.snapshot(&shared.cache.stats()).to_json()),
+        Request::Query(q) => dispatch_query(shared, q),
+    }
+}
+
+/// Admits a query to the pool and waits for its worker's answer.
+fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
+    let admitted = Stopwatch::start();
+    // The deadline starts at admission: time spent queued counts.
+    let deadline = match q.timeout_ms.or(shared.default_timeout_ms) {
+        Some(ms) => Deadline::after(Duration::from_millis(ms)),
+        None => Deadline::none(),
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+    let submitted = shared.pool.try_submit({
+        let shared = Arc::clone(shared);
+        move || {
+            let response = run_query(&shared, &q, deadline);
+            if matches!(response, Response::Answers { .. }) {
+                shared.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.query_latency.record(admitted.elapsed());
+            }
+            let _ = reply_tx.send(response);
+        }
+    });
+    if let Err(full) = submitted {
+        shared.metrics.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+        return Response::Error {
+            kind: ErrorKind::Overloaded,
+            message: format!("admission queue full (depth {})", full.depth),
+        };
+    }
+    match reply_rx.recv() {
+        Ok(response) => {
+            match &response {
+                Response::Error { kind: ErrorKind::DeadlineExceeded, .. } => {
+                    shared.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                }
+                Response::Error { kind: ErrorKind::BadRequest, .. } => {
+                    shared.metrics.rejected_bad_request.fetch_add(1, Ordering::Relaxed);
+                }
+                Response::Error { kind: ErrorKind::Internal, .. } => {
+                    shared.metrics.errors_internal.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            response
+        }
+        Err(_) => {
+            shared.metrics.errors_internal.fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                kind: ErrorKind::Internal,
+                message: "worker dropped the request".to_owned(),
+            }
+        }
+    }
+}
+
+/// Executes one admitted query on a worker thread.
+fn run_query(shared: &Shared, q: &QueryRequest, deadline: Deadline) -> Response {
+    if deadline.expired() {
+        return Response::Error {
+            kind: ErrorKind::DeadlineExceeded,
+            message: "deadline expired while queued".to_owned(),
+        };
+    }
+    let cq = match cqa_query::parse(shared.db.schema(), &q.query) {
+        Ok(cq) => cq,
+        Err(e) => return Response::Error { kind: ErrorKind::BadRequest, message: e.to_string() },
+    };
+    let key = CacheKey {
+        db_fingerprint: shared.db_fingerprint,
+        constraint_fingerprint: shared.constraint_fingerprint,
+        query: q.query.clone(),
+    };
+    let (syn, cached) = match shared.cache.get(&key) {
+        Some(syn) => (syn, true),
+        None => {
+            let options = BuildOptions { deadline: Some(deadline), max_homs: None };
+            match build_synopses(&shared.db, &cq, options) {
+                Ok(syn) => {
+                    let syn = Arc::new(syn);
+                    shared.cache.insert(key, Arc::clone(&syn));
+                    (syn, false)
+                }
+                Err(e) => return error_response(e),
+            }
+        }
+    };
+    let budget = Budget { deadline, max_samples: shared.max_samples };
+    // Same generator construction as the offline driver: answers for a
+    // fixed seed match `apx_cqa` exactly, independent of pool size.
+    let mut rng = Mt64::new(q.seed);
+    match apx_cqa_on_synopses(&syn, q.scheme, q.eps, q.delta, &budget, &mut rng) {
+        Ok(result) => Response::Answers {
+            cached,
+            preprocess_ms: if cached { 0.0 } else { result.preprocess_time.as_secs_f64() * 1000.0 },
+            scheme_ms: result.scheme_time.as_secs_f64() * 1000.0,
+            total_samples: result.total_samples,
+            answers: result
+                .answers
+                .iter()
+                .map(|te| WireAnswer {
+                    tuple: te.tuple.iter().map(|&d| shared.db.resolve(d)).collect(),
+                    frequency: te.frequency,
+                    samples: te.samples,
+                })
+                .collect(),
+        },
+        Err(e) => error_response(e),
+    }
+}
+
+/// Maps engine errors to protocol error kinds.
+fn error_response(e: CqaError) -> Response {
+    let kind = match &e {
+        CqaError::TimedOut { .. } => ErrorKind::DeadlineExceeded,
+        CqaError::Parse(_)
+        | CqaError::UnknownName(_)
+        | CqaError::InvalidParameter(_)
+        | CqaError::ArityMismatch { .. }
+        | CqaError::TypeMismatch { .. } => ErrorKind::BadRequest,
+        CqaError::InvalidSynopsis(_) | CqaError::TooLarge(_) => ErrorKind::Internal,
+    };
+    Response::Error { kind, message: e.to_string() }
+}

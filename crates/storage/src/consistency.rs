@@ -18,9 +18,9 @@ pub struct Violation {
 
 /// True iff the database satisfies every primary key.
 pub fn is_consistent(db: &Database) -> bool {
-    db.schema().iter().all(|(rel, def)| {
-        def.key_len.is_none() || db.blocks(rel).non_singleton_count() == 0
-    })
+    db.schema()
+        .iter()
+        .all(|(rel, def)| def.key_len.is_none() || db.blocks(rel).non_singleton_count() == 0)
 }
 
 /// All violations, one per conflicting block.
@@ -61,9 +61,7 @@ mod tests {
     use crate::value::Value;
 
     fn db_with(rows: &[(i64, &str)]) -> Database {
-        let schema = Schema::builder()
-            .relation("r", &[("k", Int), ("v", Str)], Some(1))
-            .build();
+        let schema = Schema::builder().relation("r", &[("k", Int), ("v", Str)], Some(1)).build();
         let mut db = Database::new(schema);
         let r = db.schema().rel_id("r").unwrap();
         for &(k, v) in rows {

@@ -248,8 +248,7 @@ impl Database {
     /// Pretty-prints a fact.
     pub fn fmt_fact(&self, f: FactRef) -> String {
         let def = self.schema.relation(f.rel);
-        let vals: Vec<String> =
-            self.fact(f).iter().map(|&d| self.resolve(d).to_string()).collect();
+        let vals: Vec<String> = self.fact(f).iter().map(|&d| self.resolve(d).to_string()).collect();
         format!("{}({})", def.name, vals.join(", "))
     }
 
@@ -289,8 +288,7 @@ mod tests {
     fn duplicate_insert_is_noop() {
         let mut db = employee_db();
         let e = db.schema().rel_id("employee").unwrap();
-        let added =
-            db.insert(e, &[Value::Int(1), Value::str("Bob"), Value::str("HR")]).unwrap();
+        let added = db.insert(e, &[Value::Int(1), Value::str("Bob"), Value::str("HR")]).unwrap();
         assert!(!added);
         assert_eq!(db.fact_count(), 4);
     }

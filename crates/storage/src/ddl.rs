@@ -46,9 +46,8 @@ fn split_rel_spec(rest: &str, line_no: usize) -> Result<(String, String, String)
     let open = rest.find('(').ok_or_else(|| {
         CqaError::Parse(format!("line {line_no}: expected '(' after relation name"))
     })?;
-    let close = rest.rfind(')').ok_or_else(|| {
-        CqaError::Parse(format!("line {line_no}: missing ')'"))
-    })?;
+    let close =
+        rest.rfind(')').ok_or_else(|| CqaError::Parse(format!("line {line_no}: missing ')'")))?;
     if close < open {
         return Err(CqaError::Parse(format!("line {line_no}: mismatched parentheses")));
     }
@@ -95,9 +94,9 @@ pub fn parse_schema(text: &str) -> Result<Schema> {
                 cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
             builder = builder.relation(&name, &col_refs, key_len);
         } else if let Some(rest) = line.strip_prefix("fk ") {
-            let (from_part, to_part) = rest.split_once("->").ok_or_else(|| {
-                CqaError::Parse(format!("line {line_no}: fk needs '->'"))
-            })?;
+            let (from_part, to_part) = rest
+                .split_once("->")
+                .ok_or_else(|| CqaError::Parse(format!("line {line_no}: fk needs '->'")))?;
             let parse_side = |side: &str| -> Result<(String, Vec<String>)> {
                 let (name, inner, trailer) = split_rel_spec(side.trim(), line_no)?;
                 if !trailer.is_empty() {
@@ -105,8 +104,7 @@ pub fn parse_schema(text: &str) -> Result<Schema> {
                         "line {line_no}: unexpected '{trailer}' in fk"
                     )));
                 }
-                let cols =
-                    inner.split(',').map(|c| c.trim().to_owned()).filter(|c| !c.is_empty());
+                let cols = inner.split(',').map(|c| c.trim().to_owned()).filter(|c| !c.is_empty());
                 Ok((name, cols.collect()))
             };
             let (from, from_cols) = parse_side(from_part)?;

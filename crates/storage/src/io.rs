@@ -12,9 +12,11 @@
 //! 1\tBob\tHR
 //! ```
 //!
-//! String cells are escaped (`\t`, `\n`, `\\`); integer/string typing is
-//! recovered from the column types. Used by the CLI to persist generated
-//! and noisy databases between commands.
+//! String cells are escaped (`\t`, `\n`, `\\`), and an empty string cell
+//! is written as `\e` — otherwise a single-column row holding `""` would
+//! serialize to a blank line, which the loader treats as padding.
+//! Integer/string typing is recovered from the column types. Used by the
+//! CLI to persist generated and noisy databases between commands.
 
 use crate::database::Database;
 use crate::ddl::{parse_schema, schema_to_ddl};
@@ -25,6 +27,9 @@ use cqa_common::{CqaError, Result};
 const HEADER: &str = "#cqa-db v1";
 
 fn escape(s: &str) -> String {
+    if s.is_empty() {
+        return "\\e".to_owned();
+    }
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -51,6 +56,7 @@ fn unescape(s: &str) -> Result<String> {
             Some('t') => out.push('\t'),
             Some('n') => out.push('\n'),
             Some('r') => out.push('\r'),
+            Some('e') => {} // the empty-string marker contributes nothing
             other => {
                 return Err(CqaError::Parse(format!("bad escape '\\{:?}'", other)));
             }
@@ -130,9 +136,10 @@ pub fn load_from_str(text: &str) -> Result<Database> {
         let mut values = Vec::with_capacity(cells.len());
         for (cell, ty) in cells.iter().zip(types) {
             let v = match ty {
-                ColumnType::Int => Value::Int(cell.parse().map_err(|_| {
-                    CqaError::Parse(format!("bad integer cell '{cell}'"))
-                })?),
+                ColumnType::Int => Value::Int(
+                    cell.parse()
+                        .map_err(|_| CqaError::Parse(format!("bad integer cell '{cell}'")))?,
+                ),
                 ColumnType::Str => Value::Str(unescape(cell)?),
             };
             values.push(v);
@@ -204,9 +211,22 @@ mod tests {
 
     #[test]
     fn escaping_handles_special_characters() {
-        for s in ["tab\there", "newline\nhere", "back\\slash", "plain"] {
+        for s in ["tab\there", "newline\nhere", "back\\slash", "plain", ""] {
             assert_eq!(unescape(&escape(s)).unwrap(), s);
         }
+        assert_eq!(escape(""), "\\e");
+    }
+
+    #[test]
+    fn empty_string_in_single_column_relation_survives() {
+        // Regression: this fact used to dump as a blank line, which the
+        // loader skipped as padding.
+        let schema = Schema::builder().relation("tag", &[("name", Str)], None).build();
+        let mut db = Database::new(schema);
+        db.insert_named("tag", &[Value::str("")]).unwrap();
+        db.insert_named("tag", &[Value::str("x")]).unwrap();
+        let loaded = load_from_str(&dump_to_string(&db)).unwrap();
+        assert_eq!(loaded.fact_count(), 2);
     }
 
     #[test]

@@ -303,9 +303,7 @@ mod tests {
 
     #[test]
     fn keyless_relation_has_no_key_positions() {
-        let s = Schema::builder()
-            .relation("r", &[("a", ColumnType::Int)], None)
-            .build();
+        let s = Schema::builder().relation("r", &[("a", ColumnType::Int)], None).build();
         let r = s.rel_id("r").unwrap();
         assert!(!s.relation(r).is_key_position(0));
     }

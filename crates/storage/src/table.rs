@@ -64,11 +64,7 @@ impl Table {
     /// The index of `row`, if present.
     pub fn find(&self, row: &[Datum]) -> Option<u32> {
         debug_assert_eq!(row.len(), self.arity);
-        self.row_set
-            .get(&hash_row(row))?
-            .iter()
-            .copied()
-            .find(|&i| self.row(i) == row)
+        self.row_set.get(&hash_row(row))?.iter().copied().find(|&i| self.row(i) == row)
     }
 
     /// Inserts a row; returns its index, or `None` if it was already

@@ -2,8 +2,7 @@
 //! and random databases round-trip through the dump format.
 
 use cqa_storage::{
-    dump_to_string, load_from_str, parse_schema, schema_to_ddl, ColumnType, Database, Schema,
-    Value,
+    dump_to_string, load_from_str, parse_schema, schema_to_ddl, ColumnType, Database, Schema, Value,
 };
 use proptest::prelude::*;
 

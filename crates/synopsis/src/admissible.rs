@@ -53,7 +53,7 @@ impl AdmissiblePair {
         if block_sizes.is_empty() {
             return Err(CqaError::InvalidSynopsis("B must be non-empty".into()));
         }
-        if block_sizes.iter().any(|&s| s == 0) {
+        if block_sizes.contains(&0) {
             return Err(CqaError::InvalidSynopsis("blocks must be non-empty".into()));
         }
         let mut canon: Vec<Box<[ImageAtom]>> = Vec::with_capacity(images.len());
@@ -183,11 +183,7 @@ mod tests {
     /// size 2; the query is witnessed by two images (Bob-IT with Alice-IT,
     /// Bob-IT with Tim-IT).
     pub(crate) fn example_pair() -> AdmissiblePair {
-        AdmissiblePair::new(
-            vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]],
-            vec![2, 2],
-        )
-        .unwrap()
+        AdmissiblePair::new(vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]], vec![2, 2]).unwrap()
     }
 
     #[test]
@@ -266,11 +262,8 @@ mod tests {
         // Two single-atom images in a block of size 2, plus a second block:
         // weights 1/2 + 1/2 + ... make the symbolic space comparable to the
         // natural one; with three images it exceeds it.
-        let p = AdmissiblePair::new(
-            vec![vec![(0, 0)], vec![(0, 1)], vec![(1, 0)]],
-            vec![2, 2],
-        )
-        .unwrap();
+        let p = AdmissiblePair::new(vec![vec![(0, 0)], vec![(0, 1)], vec![(1, 0)]], vec![2, 2])
+            .unwrap();
         assert!(p.s_ratio() > 1.0);
     }
 }

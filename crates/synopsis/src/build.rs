@@ -125,9 +125,8 @@ pub fn build_synopses(
         }
         image.sort_unstable();
         image.dedup();
-        let consistent = image
-            .windows(2)
-            .all(|w| !(w[0].0 == w[1].0 && w[0].1 == w[1].1 && w[0].2 != w[1].2));
+        let consistent =
+            image.windows(2).all(|w| !(w[0].0 == w[1].0 && w[0].1 == w[1].1 && w[0].2 != w[1].2));
         if consistent {
             let tuple: Vec<Datum> = q.head.iter().map(|v| binding[v.idx()]).collect();
             let boxed: Box<[GlobalAtom]> = image.into_boxed_slice();
@@ -149,15 +148,10 @@ pub fn build_synopses(
             }
         }
         let global_blocks: Vec<GlobalBlock> = block_set.into_iter().collect();
-        let local: HashMap<GlobalBlock, u32> = global_blocks
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b, i as u32))
-            .collect();
-        let block_sizes: Vec<u32> = global_blocks
-            .iter()
-            .map(|&(rel, bid)| rel_blocks[&rel].block_size(bid))
-            .collect();
+        let local: HashMap<GlobalBlock, u32> =
+            global_blocks.iter().enumerate().map(|(i, &b)| (b, i as u32)).collect();
+        let block_sizes: Vec<u32> =
+            global_blocks.iter().map(|&(rel, bid)| rel_blocks[&rel].block_size(bid)).collect();
         // Deterministic image order for reproducible encoding.
         let mut images: Vec<Box<[GlobalAtom]>> = images.into_iter().collect();
         images.sort();
@@ -231,11 +225,8 @@ mod tests {
         // employee(2, n1, d1), employee(2, n2, d2) with n1≠n2 would need two
         // facts from the same block → only the diagonal (same fact twice)
         // homomorphisms survive the consistency check.
-        let q = parse(
-            db.schema(),
-            "Q(n1, n2) :- employee(2, n1, d1), employee(2, n2, d2)",
-        )
-        .unwrap();
+        let q =
+            parse(db.schema(), "Q(n1, n2) :- employee(2, n1, d1), employee(2, n2, d2)").unwrap();
         let syn = build_synopses(&db, &q, BuildOptions::default()).unwrap();
         // 4 homomorphisms total, only (Alice,Alice) and (Tim,Tim) are
         // consistent.

@@ -98,8 +98,7 @@ mod tests {
         // Bob is employee 1's name in every repair; Alice/Tim are not.
         let q = parse(db.schema(), "Q(n) :- employee(x, n, d)").unwrap();
         let certain = certain_answers(&db, &q).unwrap();
-        let names: Vec<String> =
-            certain.iter().map(|t| db.resolve(t[0]).to_string()).collect();
+        let names: Vec<String> = certain.iter().map(|t| db.resolve(t[0]).to_string()).collect();
         assert_eq!(names, vec!["'Bob'"]);
     }
 
@@ -132,11 +131,9 @@ mod tests {
         assert_eq!(is_certain(&pair).unwrap(), (true, CertaintyEvidence::Exact));
         // Overlapping but not covering: s_ratio = 3/4 + 1/4... construct a
         // non-covering pair with s_ratio ≥ 1.
-        let pair = AdmissiblePair::new(
-            vec![vec![(0, 0)], vec![(0, 0), (1, 0)], vec![(1, 1)]],
-            vec![2, 2],
-        )
-        .unwrap();
+        let pair =
+            AdmissiblePair::new(vec![vec![(0, 0)], vec![(0, 0), (1, 0)], vec![(1, 1)]], vec![2, 2])
+                .unwrap();
         // s_ratio = 1/2 + 1/4 + 1/2 = 1.25 ≥ 1, but (tid0=1, tid1... I =
         // {(0,1),(1,0)} contains no image → not certain.
         let (certain, ev) = is_certain(&pair).unwrap();
@@ -149,9 +146,8 @@ mod tests {
         use cqa_common::Mt64;
         let mut rng = Mt64::new(31337);
         for _ in 0..20 {
-            let schema = Schema::builder()
-                .relation("r", &[("k", Int), ("v", Int)], Some(1))
-                .build();
+            let schema =
+                Schema::builder().relation("r", &[("k", Int), ("v", Int)], Some(1)).build();
             let mut db = Database::new(schema);
             for _ in 0..6 {
                 db.insert_named(

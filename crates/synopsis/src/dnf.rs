@@ -84,12 +84,12 @@ impl BlockDnf {
             if self.satisfied_by(&chosen) {
                 hits += 1;
             }
-            for b in 0..self.blocks.len() {
-                chosen[b] += 1;
-                if (chosen[b] as usize) < self.blocks[b].len() {
+            for (c, block) in chosen.iter_mut().zip(&self.blocks) {
+                *c += 1;
+                if (*c as usize) < block.len() {
                     break;
                 }
-                chosen[b] = 0;
+                *c = 0;
             }
         }
         hits as f64 / total as f64
@@ -144,8 +144,7 @@ mod tests {
     use cqa_common::Mt64;
 
     fn example_pair() -> AdmissiblePair {
-        AdmissiblePair::new(vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]], vec![2, 2])
-            .unwrap()
+        AdmissiblePair::new(vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]], vec![2, 2]).unwrap()
     }
 
     #[test]

@@ -40,12 +40,12 @@ pub fn exact_ratio_enumerate(pair: &AdmissiblePair, limit: u64) -> Result<f64> {
             break;
         }
         // Odometer increment.
-        for b in 0..nblocks {
-            chosen[b] += 1;
-            if chosen[b] < pair.block_size(b as u32) {
+        for (b, c) in chosen.iter_mut().enumerate() {
+            *c += 1;
+            if *c < pair.block_size(b as u32) {
                 break;
             }
-            chosen[b] = 0;
+            *c = 0;
         }
     }
     Ok(hits as f64 / total as f64)
@@ -102,8 +102,7 @@ mod tests {
     use cqa_common::Mt64;
 
     fn example_pair() -> AdmissiblePair {
-        AdmissiblePair::new(vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]], vec![2, 2])
-            .unwrap()
+        AdmissiblePair::new(vec![vec![(0, 1), (1, 0)], vec![(0, 1), (1, 1)]], vec![2, 2]).unwrap()
     }
 
     #[test]
@@ -138,7 +137,11 @@ mod tests {
     }
 
     /// Generates a random admissible pair for cross-validation.
-    pub(crate) fn random_pair(rng: &mut Mt64, max_blocks: usize, max_images: usize) -> AdmissiblePair {
+    pub(crate) fn random_pair(
+        rng: &mut Mt64,
+        max_blocks: usize,
+        max_images: usize,
+    ) -> AdmissiblePair {
         let nblocks = 1 + rng.index(max_blocks);
         let sizes: Vec<u32> = (0..nblocks).map(|_| 1 + rng.below(4) as u32).collect();
         let nimages = 1 + rng.index(max_images);
@@ -146,10 +149,7 @@ mod tests {
             .map(|_| {
                 let natoms = 1 + rng.index(nblocks.min(3));
                 let blocks = rng.sample_indices(nblocks, natoms);
-                blocks
-                    .into_iter()
-                    .map(|b| (b as u32, rng.below(sizes[b] as u64) as u32))
-                    .collect()
+                blocks.into_iter().map(|b| (b as u32, rng.below(sizes[b] as u64) as u32)).collect()
             })
             .collect();
         AdmissiblePair::new(images, sizes).unwrap()

@@ -88,9 +88,8 @@ pub fn fold_rows(rows: &[RewriteRow]) -> Result<SynopsisSet> {
         }
         image.sort_unstable();
         image.dedup();
-        let consistent = image
-            .windows(2)
-            .all(|w| !(w[0].0 == w[1].0 && w[0].1 == w[1].1 && w[0].2 != w[1].2));
+        let consistent =
+            image.windows(2).all(|w| !(w[0].0 == w[1].0 && w[0].1 == w[1].1 && w[0].2 != w[1].2));
         if consistent {
             let boxed: Box<[GlobalAtom]> = image.into_boxed_slice();
             all_images.insert(boxed.clone());
@@ -119,12 +118,7 @@ pub fn fold_rows(rows: &[RewriteRow]) -> Result<SynopsisSet> {
         let pair = AdmissiblePair::new(encoded, block_sizes)?;
         entries.push(SynopsisEntry { tuple, pair, global_blocks });
     }
-    Ok(SynopsisSet {
-        entries,
-        hom_size,
-        total_homs: rows.len(),
-        build_time: sw.elapsed(),
-    })
+    Ok(SynopsisSet { entries, hom_size, total_homs: rows.len(), build_time: sw.elapsed() })
 }
 
 #[cfg(test)]

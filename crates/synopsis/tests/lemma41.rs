@@ -8,7 +8,7 @@
 
 use cqa_common::Mt64;
 use cqa_query::parse;
-use cqa_repair::{consistent_answers_exact, relative_frequency_exact};
+use cqa_repair::consistent_answers_exact;
 use cqa_storage::ColumnType::*;
 use cqa_storage::{Database, Schema, Value};
 use cqa_synopsis::{build_synopses, exact_ratio_enumerate, BuildOptions};
@@ -19,15 +19,10 @@ fn example_db() -> Database {
         .relation("dept", &[("dname", Str), ("floor", Int)], Some(1))
         .build();
     let mut db = Database::new(schema);
-    for (id, name, dept) in [
-        (1, "Bob", "HR"),
-        (1, "Bob", "IT"),
-        (2, "Alice", "IT"),
-        (2, "Tim", "IT"),
-        (3, "Eve", "HR"),
-    ] {
-        db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)])
-            .unwrap();
+    for (id, name, dept) in
+        [(1, "Bob", "HR"), (1, "Bob", "IT"), (2, "Alice", "IT"), (2, "Tim", "IT"), (3, "Eve", "HR")]
+    {
+        db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)]).unwrap();
     }
     for (dname, floor) in [("HR", 1), ("HR", 2), ("IT", 2)] {
         db.insert_named("dept", &[Value::str(dname), Value::Int(floor)]).unwrap();

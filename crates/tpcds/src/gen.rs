@@ -28,8 +28,16 @@ impl TpcdsConfig {
 }
 
 const CITIES: [&str; 10] = [
-    "Fairview", "Midway", "Oakland", "Salem", "Georgetown", "Clinton", "Greenville", "Bethel",
-    "Liberty", "Riverside",
+    "Fairview",
+    "Midway",
+    "Oakland",
+    "Salem",
+    "Georgetown",
+    "Clinton",
+    "Greenville",
+    "Bethel",
+    "Liberty",
+    "Riverside",
 ];
 const STATES: [&str; 8] = ["TN", "GA", "OH", "TX", "CA", "WA", "NC", "VA"];
 const CATEGORIES: [&str; 8] =
@@ -169,8 +177,7 @@ pub fn generate(config: TpcdsConfig) -> Database {
         .unwrap();
     }
     for w in 1..=n_sites {
-        db.insert_named("web_site", &[Value::Int(w), Value::str(format!("site_{w}"))])
-            .unwrap();
+        db.insert_named("web_site", &[Value::Int(w), Value::str(format!("site_{w}"))]).unwrap();
     }
 
     // Fact tables. Each sales channel scales like the dimensions do in
@@ -258,8 +265,11 @@ pub fn generate(config: TpcdsConfig) -> Database {
     // colliding draws so the base data stays consistent.
     let mut inv_seen: std::collections::HashSet<(i64, i64, i64)> = std::collections::HashSet::new();
     for _ in 0..n_inventory {
-        let triple =
-            (rand_key(&mut rng, n_dates), rand_key(&mut rng, n_items), rand_key(&mut rng, n_warehouses));
+        let triple = (
+            rand_key(&mut rng, n_dates),
+            rand_key(&mut rng, n_items),
+            rand_key(&mut rng, n_warehouses),
+        );
         if !inv_seen.insert(triple) {
             continue;
         }

@@ -60,9 +60,8 @@ const NATIONS: [(&str, i64); 25] = [
 const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
-const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR",
-];
+const CONTAINERS: [&str; 8] =
+    ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR"];
 const TYPE_ADJ: [&str; 5] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY"];
 const TYPE_MAT: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const PART_NOUNS: [&str; 8] =
@@ -93,11 +92,8 @@ pub fn generate(config: TpchConfig) -> Database {
     }
     // nation
     for (i, (name, region)) in NATIONS.iter().enumerate() {
-        db.insert_named(
-            "nation",
-            &[Value::Int(i as i64), Value::str(*name), Value::Int(*region)],
-        )
-        .unwrap();
+        db.insert_named("nation", &[Value::Int(i as i64), Value::str(*name), Value::Int(*region)])
+            .unwrap();
     }
     // supplier
     for k in 1..=n_supplier {
@@ -114,8 +110,7 @@ pub fn generate(config: TpchConfig) -> Database {
     }
     // part
     for k in 1..=n_part {
-        let name =
-            format!("{} {}", pick(&mut rng, &PART_NOUNS), pick(&mut rng, &PART_NOUNS));
+        let name = format!("{} {}", pick(&mut rng, &PART_NOUNS), pick(&mut rng, &PART_NOUNS));
         let brand = format!("Brand#{}{}", 1 + rng.below(5), 1 + rng.below(5));
         let ptype = format!("{} {}", pick(&mut rng, &TYPE_ADJ), pick(&mut rng, &TYPE_MAT));
         db.insert_named(
@@ -284,8 +279,10 @@ mod tests {
         let s = db.schema();
         for (rid, rel) in s.iter() {
             for fk in &rel.foreign_keys {
-                let target_ix =
-                    db.index(fk.target, &fk.target_columns.iter().map(|&c| c as u16).collect::<Vec<_>>());
+                let target_ix = db.index(
+                    fk.target,
+                    &fk.target_columns.iter().map(|&c| c as u16).collect::<Vec<_>>(),
+                );
                 for (_, row) in db.table(rid).iter() {
                     let key: Vec<_> = fk.columns.iter().map(|&c| row[c]).collect();
                     assert!(

@@ -17,10 +17,7 @@ use cqa_storage::Schema;
 pub fn validation_queries(schema: &Schema) -> Result<Vec<(String, ConjunctiveQuery)>> {
     let specs: &[(&str, &str)] = &[
         // Q1: pricing summary — lineitem scan, categorical output.
-        (
-            "Q1H",
-            "Q1H(rf, ls) :- lineitem(ok, ln, pk, sk, qty, ep, di, rf, ls, sd, 'MAIL')",
-        ),
+        ("Q1H", "Q1H(rf, ls) :- lineitem(ok, ln, pk, sk, qty, ep, di, rf, ls, sd, 'MAIL')"),
         // Q4: order priority checking — orders ⋈ lineitem, categorical output.
         (
             "Q4H",

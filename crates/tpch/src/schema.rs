@@ -12,19 +12,10 @@ use cqa_storage::{ColumnType::*, Schema};
 pub fn tpch_schema() -> Schema {
     Schema::builder()
         .relation("region", &[("r_regionkey", Int), ("r_name", Str)], Some(1))
-        .relation(
-            "nation",
-            &[("n_nationkey", Int), ("n_name", Str), ("n_regionkey", Int)],
-            Some(1),
-        )
+        .relation("nation", &[("n_nationkey", Int), ("n_name", Str), ("n_regionkey", Int)], Some(1))
         .relation(
             "supplier",
-            &[
-                ("s_suppkey", Int),
-                ("s_name", Str),
-                ("s_nationkey", Int),
-                ("s_acctbal", Int),
-            ],
+            &[("s_suppkey", Int), ("s_name", Str), ("s_nationkey", Int), ("s_acctbal", Int)],
             Some(1),
         )
         .relation(
@@ -143,11 +134,8 @@ mod tests {
         assert_eq!(pairs.len(), 22);
         // lineitem joins with orders, part, supplier, partsupp.
         let li = s.rel_id("lineitem").unwrap();
-        let partners: std::collections::HashSet<_> = pairs
-            .iter()
-            .filter(|((r, _), _)| *r == li)
-            .map(|(_, (p, _))| *p)
-            .collect();
+        let partners: std::collections::HashSet<_> =
+            pairs.iter().filter(|((r, _), _)| *r == li).map(|(_, (p, _))| *p).collect();
         assert_eq!(partners.len(), 4);
     }
 }

@@ -41,11 +41,11 @@ fn main() -> Result<()> {
     ];
     // Source B: a stale payroll export — same ids, some different values.
     let source_b: &[(i64, &str, &str, i64)] = &[
-        (1, "Ada", "Research", 120),      // dept conflict
-        (2, "Grace", "Engineering", 125), // salary conflict
-        (3, "Edsger", "Research", 110),   // agrees
+        (1, "Ada", "Research", 120),        // dept conflict
+        (2, "Grace", "Engineering", 125),   // salary conflict
+        (3, "Edsger", "Research", 110),     // agrees
         (4, "Barbara", "Engineering", 115), // dept conflict
-        (5, "Donald", "Publishing", 95),  // agrees
+        (5, "Donald", "Publishing", 95),    // agrees
     ];
     for src in [source_a, source_b] {
         for &(id, name, dept, salary) in src {
@@ -66,10 +66,7 @@ fn main() -> Result<()> {
 
     // Which employees work in a department headed by Grace, and how likely
     // is each answer across the repairs?
-    let q = parse(
-        db.schema(),
-        "Q(n) :- employee(id, n, d, s), dept(d, 'Grace', b)",
-    )?;
+    let q = parse(db.schema(), "Q(n) :- employee(id, n, d, s), dept(d, 'Grace', b)")?;
     println!("\nquery: {}", q.display(db.schema()));
 
     let mut rng = Mt64::new(7);

@@ -50,10 +50,8 @@ fn analyze(db: &Database, q: &ConjunctiveQuery, label: &str) -> Result<()> {
     let pick = recommend(&stats);
     println!("   recommendation: {pick}");
     let timings = time_all(&syn)?;
-    let best = timings
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-        .expect("non-empty");
+    let best =
+        timings.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("non-empty");
     for (scheme, secs) in &timings {
         let marker = if *scheme == pick { "  <- recommended" } else { "" };
         println!("   {:>8}: {secs:>8.4}s{marker}", scheme.name());
@@ -69,11 +67,7 @@ fn analyze(db: &Database, q: &ConjunctiveQuery, label: &str) -> Result<()> {
 fn main() -> Result<()> {
     // A database with wide blocks so the contrast is visible.
     let schema = Schema::builder()
-        .relation(
-            "reading",
-            &[("sensor", ColumnType::Int), ("value", ColumnType::Int)],
-            Some(1),
-        )
+        .relation("reading", &[("sensor", ColumnType::Int), ("value", ColumnType::Int)], Some(1))
         .relation(
             "alarm",
             &[("aid", ColumnType::Int), ("sensor", ColumnType::Int), ("level", ColumnType::Int)],
@@ -100,10 +94,7 @@ fn main() -> Result<()> {
     }
 
     // Boolean workload: is any sensor reading 7 while alarmed at level 3?
-    let boolean = parse(
-        db.schema(),
-        "Q() :- reading(s, 7), alarm(a, s, 3)",
-    )?;
+    let boolean = parse(db.schema(), "Q() :- reading(s, 7), alarm(a, s, 3)")?;
     analyze(&db, &boolean, "Boolean monitoring check")?;
 
     // Non-Boolean workload: per-alarm sensor values (high balance).

@@ -69,13 +69,7 @@ fn main() -> Result<()> {
                 })
                 .fold(0.0f64, f64::max),
         };
-        println!(
-            "{:>8} {:>10.3} {:>14} {:>12.4}",
-            scheme.name(),
-            secs,
-            res.total_samples,
-            max_dev
-        );
+        println!("{:>8} {:>10.3} {:>14} {:>12.4}", scheme.name(), secs, res.total_samples, max_dev);
     }
 
     // The five most and least reliable answers under KLM.

@@ -1,0 +1,10 @@
+//! Offline shim for the [`crossbeam`](https://docs.rs/crossbeam) channel
+//! API, backed by `std::sync::{Mutex, Condvar}`.
+//!
+//! The build container has no crates-io mirror, so the workspace vendors
+//! the subset it uses: multi-producer multi-consumer channels, bounded and
+//! unbounded, with blocking, non-blocking, and timed receives. Performance
+//! is adequate for the workloads here (coarse work items, not per-message
+//! microbenchmarks); semantics match crossbeam where exercised.
+
+pub mod channel;

@@ -1,0 +1,282 @@
+//! Offline shim for the [`proptest`](https://docs.rs/proptest) API subset
+//! this workspace uses.
+//!
+//! The build container has no crates-io mirror, so the workspace vendors a
+//! minimal property-testing core: the [`proptest!`] macro, the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, integer/float
+//! ranges, `Just`, booleans, options, vectors, 2-tuples, and a tiny
+//! character-class string generator. Differences from real proptest:
+//!
+//! * **No shrinking.** A failing case reports its deterministic seed; fix
+//!   the bug or replay with `PROPTEST_SEED`.
+//! * Case seeds are derived from the test name and case index, so runs
+//!   are reproducible by construction.
+//! * `PROPTEST_CASES` overrides the configured case count.
+
+use std::fmt;
+
+mod rng;
+mod strategies;
+
+pub use rng::TestRng;
+pub use strategies::{BoolAny, FlatMap, IntAny, Just, Map, OptionStrategy, SizeRange, VecStrategy};
+
+/// A value generator: the core abstraction of property testing.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed property assertion (carried out of the case body).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic seed of one test case, overridable via
+/// `PROPTEST_SEED` for replay.
+pub fn seed_for(test_name: &str, case: u32) -> u64 {
+    if let Ok(v) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = v.parse() {
+            return seed;
+        }
+    }
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15)
+}
+
+/// Runs properties: `proptest! { #![proptest_config(cfg)] fn name(x in strategy, ...) { body } ... }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; ) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::ProptestConfig::resolved_cases(&$cfg);
+            for case in 0..cases {
+                let seed = $crate::seed_for(stringify!($name), case);
+                let mut rng = $crate::TestRng::new(seed);
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property '{}' failed at case {case} (replay with PROPTEST_SEED={seed}): {e}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Asserts within a property body; failure fails the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+}
+
+/// Strategies for booleans.
+pub mod bool {
+    /// Generates `true` or `false` uniformly.
+    pub const ANY: crate::BoolAny = crate::BoolAny;
+}
+
+/// Strategies for numeric types, named like real proptest's modules.
+pub mod num {
+    /// Strategies for `u64`.
+    pub mod u64 {
+        /// Any `u64`, uniformly.
+        pub const ANY: crate::IntAny<u64> = crate::IntAny(std::marker::PhantomData);
+    }
+    /// Strategies for `u32`.
+    pub mod u32 {
+        /// Any `u32`, uniformly.
+        pub const ANY: crate::IntAny<u32> = crate::IntAny(std::marker::PhantomData);
+    }
+    /// Strategies for `i64`.
+    pub mod i64 {
+        /// Any `i64`, uniformly.
+        pub const ANY: crate::IntAny<i64> = crate::IntAny(std::marker::PhantomData);
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::{SizeRange, Strategy, VecStrategy};
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::{OptionStrategy, Strategy};
+
+    /// `Some` from `inner` about three quarters of the time, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        assert_eq!(crate::seed_for("a", 0), crate::seed_for("a", 0));
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("a", 1));
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("b", 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..=7, y in -5i64..5, z in 1e-3f64..1e3) {
+            prop_assert!((3..=7).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((1e-3..1e3).contains(&z));
+        }
+
+        #[test]
+        fn combinators_compose(v in prop::collection::vec((0i64..3, 0i64..3), 1..8),
+                               opt in prop::option::of(1usize..=4),
+                               flag in prop::bool::ANY,
+                               s in "[a-c\\t]{0,6}") {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for (a, b) in &v {
+                prop_assert!((0..3).contains(a) && (0..3).contains(b));
+            }
+            if let Some(k) = opt {
+                prop_assert!((1..=4).contains(&k));
+            }
+            let _ = flag;
+            prop_assert!(s.len() <= 6);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == '\t'));
+        }
+
+        #[test]
+        fn map_and_flat_map(n in (1usize..4).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0u32..10, n))
+        }).prop_map(|(n, v)| (n, v))) {
+            let (n, v) = n;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The strategy implementations: ranges, `Just`, booleans, options,
+//! vectors, tuples, combinators, and a character-class string generator.
+
+use crate::{Strategy, TestRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Strategy yielding any value of an integer type (see [`crate::num`]).
+#[derive(Debug, Clone, Copy)]
+pub struct IntAny<T>(pub PhantomData<T>);
+
+/// Strategy yielding `true`/`false` uniformly (see [`crate::bool::ANY`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty strategy range");
+                let width = (e as i128 - s as i128) as u128 + 1;
+                if width > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (s as i128 + rng.below(width as u64) as i128) as $t
+            }
+        }
+        impl Strategy for IntAny<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A length specification for [`crate::collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length, inclusive.
+    pub min: usize,
+    /// Maximum length, inclusive.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// The result of [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) elem: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64 + 1;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// The result of [`crate::option::of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) < 3 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// String patterns: a `&str` is a strategy generating strings matching a
+/// small regex subset — concatenations of literal characters, escapes
+/// (`\t`, `\n`, `\r`, `\\`), and character classes `[...]` (with ranges
+/// and the same escapes), each optionally repeated `{m,n}` or `{m}`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+enum PatternItem {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut out = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => unescape(chars.next(), pattern),
+            Some(c) => c,
+            None => panic!("unterminated '[' in pattern '{pattern}'"),
+        };
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            let hi = match chars.next() {
+                Some('\\') => unescape(chars.next(), pattern),
+                Some(']') => panic!("dangling '-' in class in pattern '{pattern}'"),
+                Some(hi) => hi,
+                None => panic!("unterminated '[' in pattern '{pattern}'"),
+            };
+            out.push((c, hi));
+        } else {
+            out.push((c, c));
+        }
+    }
+    assert!(!out.is_empty(), "empty character class in pattern '{pattern}'");
+    out
+}
+
+fn unescape(c: Option<char>, pattern: &str) -> char {
+    match c {
+        Some('t') => '\t',
+        Some('n') => '\n',
+        Some('r') => '\r',
+        Some('\\') => '\\',
+        Some(c) => c,
+        None => panic!("dangling escape in pattern '{pattern}'"),
+    }
+}
+
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().unwrap_or_else(|_| panic!("bad repetition in '{pattern}'")),
+                    hi.parse().unwrap_or_else(|_| panic!("bad repetition in '{pattern}'")),
+                ),
+                None => {
+                    let n =
+                        spec.parse().unwrap_or_else(|_| panic!("bad repetition in '{pattern}'"));
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "bad repetition bounds in '{pattern}'");
+            return (lo, hi);
+        }
+        spec.push(c);
+    }
+    panic!("unterminated '{{' in pattern '{pattern}'");
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '[' => PatternItem::Class(parse_class(&mut chars, pattern)),
+            '\\' => PatternItem::Literal(unescape(chars.next(), pattern)),
+            c => PatternItem::Literal(c),
+        };
+        let (lo, hi) = parse_repetition(&mut chars, pattern);
+        let count = lo + rng.below((hi - lo) as u64 + 1) as usize;
+        for _ in 0..count {
+            match &item {
+                PatternItem::Literal(c) => out.push(*c),
+                PatternItem::Class(ranges) => {
+                    let (a, b) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = b as u32 - a as u32 + 1;
+                    let code = a as u32 + rng.below(span as u64) as u32;
+                    out.push(char::from_u32(code).expect("valid class character"));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_their_bounds() {
+        let mut rng = TestRng::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert((1u32..=4).generate(&mut rng));
+        }
+        assert_eq!(seen, (1..=4).collect());
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..50 {
+            let v = (1u64..=u64::MAX).generate(&mut rng);
+            assert!(v >= 1);
+        }
+    }
+
+    #[test]
+    fn negative_int_ranges_work() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            let v = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_spec() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..50 {
+            let v = crate::collection::vec(0u32..10, 2..=5).generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            let exact = crate::collection::vec(0u32..10, 3).generate(&mut rng);
+            assert_eq!(exact.len(), 3);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_class() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..100 {
+            let s = "[a-z\\t\\\\]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '\t' || c == '\\'));
+        }
+    }
+
+    #[test]
+    fn literal_patterns_and_exact_repeats() {
+        let mut rng = TestRng::new(8);
+        assert_eq!("abc".generate(&mut rng), "abc");
+        assert_eq!("x{3}".generate(&mut rng), "xxx");
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = TestRng::new(9);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match crate::option::of(0u32..10).generate(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

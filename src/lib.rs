@@ -56,6 +56,7 @@
 //! | [`noise`] | `cqa-noise` | the query-aware noise generator |
 //! | [`qgen`] | `cqa-qgen` | static + dynamic query generators |
 //! | [`scenarios`] | `cqa-scenarios` | scenario families and figure pipelines |
+//! | [`server`] | `cqa-server` | TCP daemon: synopsis cache, worker pool, metrics |
 
 pub use cqa_common as common;
 pub use cqa_core as core;
@@ -64,6 +65,7 @@ pub use cqa_qgen as qgen;
 pub use cqa_query as query;
 pub use cqa_repair as repair;
 pub use cqa_scenarios as scenarios;
+pub use cqa_server as server;
 pub use cqa_storage as storage;
 pub use cqa_synopsis as synopsis;
 pub use cqa_tpcds as tpcds;
@@ -72,13 +74,10 @@ pub use cqa_tpch as tpch;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use cqa_common::{CqaError, LogNum, Mt64, Result};
-    pub use cqa_core::{
-        approx_relative_frequency, apx_cqa, Budget, Scheme, ALL_SCHEMES,
-    };
+    pub use cqa_core::{approx_relative_frequency, apx_cqa, Budget, Scheme, ALL_SCHEMES};
     pub use cqa_query::{answers, parse, ConjunctiveQuery};
     pub use cqa_repair::{consistent_answers_exact, relative_frequency_exact};
-    pub use cqa_storage::{
-        is_consistent, ColumnType, Database, Datum, Schema, Value,
-    };
+    pub use cqa_server::{Client, QueryRequest, Server, ServerConfig};
+    pub use cqa_storage::{is_consistent, ColumnType, Database, Datum, Schema, Value};
     pub use cqa_synopsis::{build_synopses, BuildOptions, SynopsisStats};
 }

@@ -89,8 +89,7 @@ fn certain_answers_match_frequency_one() {
     let certain = cqa::synopsis::certain_answers(&db, &q).unwrap();
     assert_eq!(certain, vec![vec![Datum::Int(10)]]);
     let mut rng = Mt64::new(5);
-    let res = apx_cqa(&db, &q, Scheme::Natural, 0.05, 0.1, &Budget::unbounded(), &mut rng)
-        .unwrap();
+    let res = apx_cqa(&db, &q, Scheme::Natural, 0.05, 0.1, &Budget::unbounded(), &mut rng).unwrap();
     for te in &res.answers {
         let is_certain = certain.contains(&te.tuple);
         if is_certain {

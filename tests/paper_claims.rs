@@ -18,8 +18,7 @@ fn example_1_1_fifty_percent() {
     for (id, name, dept) in
         [(1, "Bob", "HR"), (1, "Bob", "IT"), (2, "Alice", "IT"), (2, "Tim", "IT")]
     {
-        db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)])
-            .unwrap();
+        db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)]).unwrap();
     }
     assert!((db.repair_count().value() - 4.0).abs() < 1e-12, "four repairs in total");
     let q = parse(db.schema(), "Q() :- employee(1, n1, d), employee(2, n2, d)").unwrap();

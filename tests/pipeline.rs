@@ -39,8 +39,8 @@ fn full_pipeline_runs_and_agrees_with_ground_truth() {
     // Exact per-tuple frequencies on the synopsis (small enough), compared
     // with what each scheme reports.
     for entry in syn.entries.iter().take(5) {
-        let exact = cqa::synopsis::exact_ratio_enumerate(&entry.pair, 10_000_000)
-            .expect("small pair");
+        let exact =
+            cqa::synopsis::exact_ratio_enumerate(&entry.pair, 10_000_000).expect("small pair");
         for scheme in ALL_SCHEMES {
             let mut srng = Mt64::new(5);
             let out = approx_relative_frequency(
@@ -94,11 +94,7 @@ fn boolean_and_projected_queries_share_candidate_answers() {
     // has some answer — Lemma 4.1(4) seen through the driver.
     let base = generate(TpchConfig { scale: 0.0005, seed: 55 });
     let mut rng = Mt64::new(3);
-    let q = parse(
-        base.schema(),
-        "Q(nn) :- supplier(sk, sn, nk, bal), nation(nk, nn, rk)",
-    )
-    .unwrap();
+    let q = parse(base.schema(), "Q(nn) :- supplier(sk, sn, nk, bal), nation(nk, nn, rk)").unwrap();
     let (noisy, _) =
         add_query_aware_noise(&base, &q, NoiseSpec::with_p(0.5), &mut rng).expect("noise");
     let syn_q = build_synopses(&noisy, &q, BuildOptions::default()).unwrap();

@@ -8,25 +8,21 @@ use proptest::prelude::*;
 /// Strategy: a random admissible pair with small blocks.
 fn admissible_pair() -> impl Strategy<Value = AdmissiblePair> {
     // Block sizes 1..=4, 1..=5 blocks; 1..=5 images of 1..=3 atoms.
-    (
-        prop::collection::vec(1u32..=4, 1..=5),
-        proptest::num::u64::ANY,
-    )
-        .prop_map(|(sizes, seed)| {
-            let mut rng = Mt64::new(seed);
-            let nblocks = sizes.len();
-            let nimages = 1 + rng.index(5);
-            let images: Vec<Vec<(u32, u32)>> = (0..nimages)
-                .map(|_| {
-                    let natoms = 1 + rng.index(nblocks.min(3));
-                    rng.sample_indices(nblocks, natoms)
-                        .into_iter()
-                        .map(|b| (b as u32, rng.below(sizes[b] as u64) as u32))
-                        .collect()
-                })
-                .collect();
-            AdmissiblePair::new(images, sizes).expect("construction is valid by design")
-        })
+    (prop::collection::vec(1u32..=4, 1..=5), proptest::num::u64::ANY).prop_map(|(sizes, seed)| {
+        let mut rng = Mt64::new(seed);
+        let nblocks = sizes.len();
+        let nimages = 1 + rng.index(5);
+        let images: Vec<Vec<(u32, u32)>> = (0..nimages)
+            .map(|_| {
+                let natoms = 1 + rng.index(nblocks.min(3));
+                rng.sample_indices(nblocks, natoms)
+                    .into_iter()
+                    .map(|b| (b as u32, rng.below(sizes[b] as u64) as u32))
+                    .collect()
+            })
+            .collect();
+        AdmissiblePair::new(images, sizes).expect("construction is valid by design")
+    })
 }
 
 proptest! {

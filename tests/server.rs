@@ -1,0 +1,150 @@
+//! Cross-crate integration tests for the `cqa-server` daemon: a real
+//! TCP round-trip on a loopback port, checked against the offline driver.
+
+use cqa::prelude::*;
+use cqa::server::{ErrorKind, Response};
+use cqa_noise::{add_query_aware_noise, NoiseSpec};
+
+const QUERY: &str = "Q(rn) :- region(rk, rn)";
+
+/// A small inconsistent TPC-H-like instance; deterministic in `seed`.
+fn noisy_db(seed: u64) -> Database {
+    let base = cqa_tpch::generate(cqa_tpch::TpchConfig { scale: 0.0003, seed });
+    let q = parse(base.schema(), QUERY).unwrap();
+    let mut rng = Mt64::new(seed);
+    let (noisy, _) =
+        add_query_aware_noise(&base, &q, NoiseSpec { p: 1.0, lmin: 2, umax: 3 }, &mut rng).unwrap();
+    noisy
+}
+
+/// The offline driver's answers for one (scheme, seed), with tuples
+/// resolved to concrete values for comparison against the wire format.
+fn offline_answers(db: &Database, scheme: Scheme, seed: u64) -> Vec<(Vec<Value>, f64, u64)> {
+    let q = parse(db.schema(), QUERY).unwrap();
+    let mut rng = Mt64::new(seed);
+    let res = apx_cqa(db, &q, scheme, 0.2, 0.25, &Budget::unbounded(), &mut rng).unwrap();
+    res.answers
+        .iter()
+        .map(|te| (te.tuple.iter().map(|&d| db.resolve(d)).collect(), te.frequency, te.samples))
+        .collect()
+}
+
+fn spawn_server(db: Database, workers: usize) -> cqa::server::ServerHandle {
+    Server::bind(
+        db,
+        ServerConfig { addr: "127.0.0.1:0".into(), workers, ..ServerConfig::default() },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap()
+}
+
+fn query_with_seed(client: &mut Client, seed: u64) -> Response {
+    client
+        .query(QueryRequest {
+            query: QUERY.into(),
+            eps: 0.2,
+            delta: 0.25,
+            seed,
+            ..QueryRequest::default()
+        })
+        .unwrap()
+}
+
+#[test]
+fn concurrent_clients_match_the_offline_driver() {
+    let db = noisy_db(7);
+    let expected: Vec<_> = (0..4u64).map(|s| offline_answers(&db, Scheme::Klm, s)).collect();
+    assert!(
+        expected[0].iter().any(|(_, f, _)| *f < 0.999),
+        "noise should make some answers uncertain"
+    );
+    let handle = spawn_server(db, 3);
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        for (seed, want) in expected.iter().enumerate() {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                match query_with_seed(&mut client, seed as u64) {
+                    Response::Answers { answers, .. } => {
+                        assert_eq!(answers.len(), want.len());
+                        for (got, (tuple, freq, samples)) in answers.iter().zip(want) {
+                            assert_eq!(&got.tuple, tuple);
+                            assert_eq!(got.frequency, *freq, "bitwise-equal frequencies");
+                            assert_eq!(got.samples, *samples);
+                        }
+                    }
+                    other => panic!("expected answers, got {other:?}"),
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn answers_are_independent_of_worker_pool_size() {
+    let collect = |workers: usize| -> Vec<(Vec<Value>, f64)> {
+        let handle = spawn_server(noisy_db(11), workers);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        match query_with_seed(&mut client, 99) {
+            Response::Answers { answers, .. } => {
+                answers.into_iter().map(|a| (a.tuple, a.frequency)).collect()
+            }
+            other => panic!("expected answers, got {other:?}"),
+        }
+    };
+    assert_eq!(collect(1), collect(4));
+}
+
+#[test]
+fn repeat_query_hits_the_synopsis_cache() {
+    let handle = spawn_server(noisy_db(13), 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match query_with_seed(&mut client, 1) {
+        Response::Answers { cached, .. } => assert!(!cached, "first query must build"),
+        other => panic!("expected answers, got {other:?}"),
+    }
+    match query_with_seed(&mut client, 2) {
+        Response::Answers { cached, preprocess_ms, .. } => {
+            assert!(cached, "second identical query must hit the cache");
+            assert_eq!(preprocess_ms, 0.0);
+        }
+        other => panic!("expected answers, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_entries, 1);
+    assert_eq!(stats.queries_ok, 2);
+    assert!(stats.latency_p50_ms > 0.0);
+}
+
+#[test]
+fn tiny_deadline_yields_a_structured_error() {
+    let handle = spawn_server(noisy_db(17), 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let response = client
+        .query(QueryRequest { query: QUERY.into(), timeout_ms: Some(0), ..QueryRequest::default() })
+        .unwrap();
+    match response {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::DeadlineExceeded),
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.rejected_deadline, 1);
+}
+
+#[test]
+fn malformed_requests_get_bad_request_not_a_hangup() {
+    let handle = spawn_server(noisy_db(19), 1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client
+        .query(QueryRequest { query: "Q() :- no_such_relation(x)".into(), ..Default::default() })
+        .unwrap();
+    match resp {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    // The connection survives and the server still answers.
+    assert_eq!(client.ping().unwrap(), cqa::server::PROTOCOL_VERSION);
+}
