@@ -1,0 +1,36 @@
+//! Runs one tiny noise scenario end to end with tracing enabled and
+//! exports the result: a Chrome `trace_event` JSON file (open it in
+//! chrome://tracing or Perfetto) plus a flat per-span profile on stdout.
+//!
+//! Usage: `trace_scenario [TRACE_PATH]` (default `results/trace.json`).
+//! The scenario size follows `CQA_PROFILE`/`CQA_*` like the figure
+//! binaries, defaulting to the smoke profile so a run takes seconds.
+
+use cqa_scenarios::{figures, BenchConfig, Pool};
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| cqa_bench::results_dir().join("trace.json"));
+
+    let cfg = match std::env::var_os("CQA_PROFILE") {
+        Some(_) => BenchConfig::from_env(),
+        None => BenchConfig::smoke(),
+    };
+    cqa_obs::set_enabled(true);
+    let pool = Pool::build(cfg).expect("pool build");
+    let figs = figures::fig1_noise(&pool, &[(0.0, 1)]);
+    cqa_obs::set_enabled(false);
+    for fig in &figs {
+        println!("{fig}");
+    }
+
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create trace output directory");
+    }
+    let events = cqa_obs::write_chrome_trace(&out).expect("write trace file");
+    println!("{}", cqa_obs::flat_profile_string());
+    println!("trace: {events} events -> {}", out.display());
+}

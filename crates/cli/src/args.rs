@@ -54,6 +54,10 @@ pub enum Command {
         seed: u64,
         /// Worker threads (>1 uses the parallel driver).
         threads: usize,
+        /// Write a Chrome `trace_event` JSON file of the run here.
+        trace: Option<PathBuf>,
+        /// Print a flat per-span profile after the run.
+        profile: bool,
     },
     /// Run exact CQA by repair enumeration (small inputs).
     Exact {
@@ -97,6 +101,8 @@ pub enum Command {
         cache_capacity: usize,
         /// Default per-request deadline in ms (None = unbounded).
         timeout_ms: Option<u64>,
+        /// Enable tracing so the `trace` protocol command returns events.
+        trace: bool,
     },
     /// Closed-loop load generator against a running daemon.
     BenchServe {
@@ -133,12 +139,13 @@ USAGE:
   cqa-cli noise  --db FILE --query CQ [--p F] [--lmin N] [--umax N] [--seed N] --out FILE
   cqa-cli query  --db FILE --query CQ [--scheme natural|kl|klm|cover]
                  [--eps F] [--delta F] [--timeout SECS] [--seed N] [--threads N]
+                 [--trace FILE] [--profile]
   cqa-cli exact  --db FILE --query CQ [--limit N]
   cqa-cli stats  --db FILE --query CQ
   cqa-cli certain --db FILE --query CQ
   cqa-cli schema --db FILE
   cqa-cli serve  --db FILE [--addr HOST:PORT] [--workers N] [--queue N]
-                 [--cache N] [--timeout-ms N]
+                 [--cache N] [--timeout-ms N] [--trace]
   cqa-cli bench-serve --addr HOST:PORT --query CQ [--scheme S] [--eps F]
                  [--delta F] [--clients N] [--requests N] [--seed N]
                  [--timeout-ms N]
@@ -149,16 +156,30 @@ Queries use the datalog-style syntax, e.g. 'Q(n) :- employee(x, n, d)'.
 
 struct Flags {
     map: HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
 }
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags> {
+        Flags::parse_with_switches(args, &[])
+    }
+
+    /// Parses `--key value` pairs, treating any key in `switch_names` as a
+    /// valueless boolean switch.
+    fn parse_with_switches(args: &[String], switch_names: &[&str]) -> Result<Flags> {
         let mut map = HashMap::new();
+        let mut switches = std::collections::HashSet::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let key = a
                 .strip_prefix("--")
                 .ok_or_else(|| CqaError::InvalidParameter(format!("unexpected argument '{a}'")))?;
+            if switch_names.contains(&key) {
+                if !switches.insert(key.to_owned()) {
+                    return Err(CqaError::InvalidParameter(format!("--{key} given twice")));
+                }
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CqaError::InvalidParameter(format!("--{key} needs a value")))?;
@@ -166,7 +187,7 @@ impl Flags {
                 return Err(CqaError::InvalidParameter(format!("--{key} given twice")));
             }
         }
-        Ok(Flags { map })
+        Ok(Flags { map, switches })
     }
 
     fn take<T: std::str::FromStr>(&mut self, key: &str, default: Option<T>) -> Result<T> {
@@ -180,8 +201,24 @@ impl Flags {
         }
     }
 
+    /// Takes an optional valued flag; absent means `None`.
+    fn take_opt<T: std::str::FromStr>(&mut self, key: &str) -> Result<Option<T>> {
+        match self.map.remove(key) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CqaError::InvalidParameter(format!("--{key}: cannot parse '{v}'"))),
+            None => Ok(None),
+        }
+    }
+
+    /// Consumes a boolean switch, returning whether it was given.
+    fn has(&mut self, key: &str) -> bool {
+        self.switches.remove(key)
+    }
+
     fn finish(self) -> Result<()> {
-        if let Some(key) = self.map.keys().next() {
+        if let Some(key) = self.map.keys().chain(self.switches.iter()).next() {
             return Err(CqaError::InvalidParameter(format!("unknown flag --{key}")));
         }
         Ok(())
@@ -233,7 +270,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             Ok(out)
         }
         "query" => {
-            let mut f = Flags::parse(&args[1..])?;
+            let mut f = Flags::parse_with_switches(&args[1..], &["profile"])?;
             let scheme = parse_scheme(&f.take::<String>("scheme", Some("klm".into()))?)?;
             let out = Command::Query {
                 db: f.take::<String>("db", None)?.into(),
@@ -244,6 +281,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 timeout: f.take("timeout", Some(-1.0)).map(|t: f64| (t > 0.0).then_some(t))?,
                 seed: f.take("seed", Some(42))?,
                 threads: f.take("threads", Some(1))?,
+                trace: f.take_opt::<String>("trace")?.map(PathBuf::from),
+                profile: f.has("profile"),
             };
             f.finish()?;
             Ok(out)
@@ -283,7 +322,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             Ok(out)
         }
         "serve" => {
-            let mut f = Flags::parse(&args[1..])?;
+            let mut f = Flags::parse_with_switches(&args[1..], &["trace"])?;
             let out = Command::Serve {
                 db: f.take::<String>("db", None)?.into(),
                 addr: f.take("addr", Some("127.0.0.1:7171".to_owned()))?,
@@ -291,6 +330,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 queue_depth: f.take("queue", Some(64))?,
                 cache_capacity: f.take("cache", Some(128))?,
                 timeout_ms: f.take("timeout-ms", Some(30_000u64)).map(|t| (t > 0).then_some(t))?,
+                trace: f.has("trace"),
             };
             f.finish()?;
             Ok(out)
@@ -352,12 +392,37 @@ mod tests {
         a.extend(["--query".to_owned(), "Q(n) :- r(n)".to_owned()]);
         let c = parse_args(&a).unwrap();
         match c {
-            Command::Query { scheme, eps, delta, timeout, threads, .. } => {
+            Command::Query { scheme, eps, delta, timeout, threads, trace, profile, .. } => {
                 assert_eq!(scheme, Scheme::Natural);
                 assert_eq!(eps, 0.2);
                 assert_eq!(delta, 0.25);
                 assert_eq!(timeout, None);
                 assert_eq!(threads, 1);
+                assert_eq!(trace, None);
+                assert!(!profile);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_query_trace_and_profile() {
+        let mut a = argv("query --db x.db --trace out.json --profile");
+        a.extend(["--query".to_owned(), "Q(n) :- r(n)".to_owned()]);
+        match parse_args(&a).unwrap() {
+            Command::Query { trace, profile, .. } => {
+                assert_eq!(trace, Some("out.json".into()));
+                assert!(profile);
+            }
+            _ => panic!("wrong command"),
+        }
+        // --profile is a switch: it must not swallow the next flag.
+        let mut b = argv("query --db x.db --profile --seed 7");
+        b.extend(["--query".to_owned(), "Q(n) :- r(n)".to_owned()]);
+        match parse_args(&b).unwrap() {
+            Command::Query { profile, seed, .. } => {
+                assert!(profile);
+                assert_eq!(seed, 7);
             }
             _ => panic!("wrong command"),
         }
@@ -411,11 +476,20 @@ mod tests {
                 queue_depth: 8,
                 cache_capacity: 128,
                 timeout_ms: Some(30_000),
+                trace: false,
             }
         );
         // --timeout-ms 0 disables the default deadline.
         match parse_args(&argv("serve --db x.db --timeout-ms 0")).unwrap() {
             Command::Serve { timeout_ms, .. } => assert_eq!(timeout_ms, None),
+            _ => panic!("wrong command"),
+        }
+        // --trace is a valueless switch.
+        match parse_args(&argv("serve --db x.db --trace --workers 2")).unwrap() {
+            Command::Serve { trace, workers, .. } => {
+                assert!(trace);
+                assert_eq!(workers, 2);
+            }
             _ => panic!("wrong command"),
         }
     }

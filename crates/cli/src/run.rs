@@ -59,7 +59,23 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
                 ),
             );
         }
-        Command::Query { db, query, scheme, eps, delta, timeout, seed, threads } => {
+        Command::Query {
+            db,
+            query,
+            scheme,
+            eps,
+            delta,
+            timeout,
+            seed,
+            threads,
+            trace,
+            profile,
+        } => {
+            let tracing = trace.is_some() || profile;
+            if tracing {
+                cqa_obs::trace::clear();
+                cqa_obs::set_enabled(true);
+            }
             let database = load_from_file(&db)?;
             let q = parse(database.schema(), &query)?;
             let budget = match timeout {
@@ -105,6 +121,21 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
                     res.total_samples
                 ),
             );
+            if tracing {
+                cqa_obs::set_enabled(false);
+                if let Some(path) = &trace {
+                    let n = cqa_obs::write_chrome_trace(path).map_err(|e| {
+                        cqa_common::CqaError::InvalidParameter(format!(
+                            "--trace {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                    w(out, format!("trace: {n} events -> {}", path.display()));
+                }
+                if profile {
+                    w(out, cqa_obs::flat_profile_string());
+                }
+            }
         }
         Command::Exact { db, query, limit } => {
             let database = load_from_file(&db)?;
@@ -156,7 +187,10 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
                 ),
             );
         }
-        Command::Serve { db, addr, workers, queue_depth, cache_capacity, timeout_ms } => {
+        Command::Serve { db, addr, workers, queue_depth, cache_capacity, timeout_ms, trace } => {
+            if trace {
+                cqa_obs::set_enabled(true);
+            }
             let database = load_from_file(&db)?;
             let server = Server::bind(
                 database,
@@ -173,7 +207,8 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
             let bound = server
                 .local_addr()
                 .map_err(|e| cqa_common::CqaError::InvalidParameter(format!("bind: {e}")))?;
-            w(out, format!("cqa-server listening on {bound} (protocol v1, NDJSON)"));
+            let trace_note = if trace { ", tracing on" } else { "" };
+            w(out, format!("cqa-server listening on {bound} (protocol v1, NDJSON{trace_note})"));
             server.run();
         }
         Command::BenchServe {
@@ -366,6 +401,8 @@ mod tests {
             timeout: None,
             seed: 1,
             threads: 2,
+            trace: None,
+            profile: false,
         })
         .unwrap();
         assert!(approx.contains('%'));
@@ -435,6 +472,39 @@ mod tests {
         assert!(report.contains("p99"), "{report}");
         handle.shutdown();
         std::fs::remove_file(base).ok();
+    }
+
+    #[test]
+    fn query_writes_trace_and_prints_profile() {
+        let base = tmp("trace.db");
+        let trace_path = tmp("trace.json");
+        run(Command::Generate { bench: "tpch".into(), scale: 0.0003, seed: 4, out: base.clone() })
+            .unwrap();
+        let out = run(Command::Query {
+            db: base.clone(),
+            query: "Q(rn) :- region(rk, rn)".into(),
+            scheme: Scheme::Klm,
+            eps: 0.2,
+            delta: 0.25,
+            timeout: None,
+            seed: 1,
+            threads: 1,
+            trace: Some(trace_path.clone()),
+            profile: true,
+        })
+        .unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("flat profile"), "{out}");
+        assert!(out.contains("scheme/KLM"), "{out}");
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        match cqa_common::Json::parse(text.trim()).unwrap() {
+            cqa_common::Json::Arr(events) => {
+                assert!(!events.is_empty(), "trace file has no events")
+            }
+            other => panic!("trace file is not a JSON array: {other:?}"),
+        }
+        std::fs::remove_file(base).ok();
+        std::fs::remove_file(trace_path).ok();
     }
 
     #[test]

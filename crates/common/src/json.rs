@@ -10,6 +10,7 @@
 use crate::error::{CqaError, Result};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io;
 
 /// A JSON value. Objects use a `BTreeMap`, so serialization is
 /// deterministic — important for cache keys and test assertions.
@@ -147,65 +148,63 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
+fn write_escaped<W: io::Write>(out: &mut W, s: &str) -> io::Result<()> {
+    out.write_all(b"\"")?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
         }
     }
-    out.push('"');
+    out.write_all(b"\"")
 }
 
-fn write_value(out: &mut String, v: &Json) {
+fn write_value<W: io::Write>(out: &mut W, v: &Json) -> io::Result<()> {
     match v {
-        Json::Null => out.push_str("null"),
-        Json::Bool(true) => out.push_str("true"),
-        Json::Bool(false) => out.push_str("false"),
+        Json::Null => out.write_all(b"null"),
+        Json::Bool(true) => out.write_all(b"true"),
+        Json::Bool(false) => out.write_all(b"false"),
         Json::Num(n) => {
             if n.is_finite() {
                 // Integers print without a trailing ".0" (16 digits of
                 // integer precision is beyond the 2^53 exactness bound).
                 if n.fract() == 0.0 && n.abs() < 1e16 {
-                    out.push_str(&format!("{}", *n as i64));
+                    write!(out, "{}", *n as i64)
                 } else {
-                    out.push_str(&format!("{n}"));
+                    write!(out, "{n}")
                 }
             } else {
                 // JSON has no Infinity/NaN; emit null like JavaScript does.
-                out.push_str("null");
+                out.write_all(b"null")
             }
         }
         Json::Str(s) => write_escaped(out, s),
         Json::Arr(items) => {
-            out.push('[');
+            out.write_all(b"[")?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",")?;
                 }
-                write_value(out, item);
+                write_value(out, item)?;
             }
-            out.push(']');
+            out.write_all(b"]")
         }
         Json::Obj(map) => {
-            out.push('{');
+            out.write_all(b"{")?;
             for (i, (k, val)) in map.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",")?;
                 }
-                write_escaped(out, k);
-                out.push(':');
-                write_value(out, val);
+                write_escaped(out, k)?;
+                out.write_all(b":")?;
+                write_value(out, val)?;
             }
-            out.push('}');
+            out.write_all(b"}")
         }
     }
 }
@@ -219,9 +218,16 @@ impl fmt::Display for Json {
 impl Json {
     /// Serializes to a single line of JSON (no whitespace).
     pub fn to_string_compact(&self) -> String {
-        let mut out = String::new();
-        write_value(&mut out, self);
-        out
+        let mut out = Vec::new();
+        write_value(&mut out, self).expect("writing JSON to a Vec cannot fail");
+        String::from_utf8(out).expect("serialized JSON is UTF-8")
+    }
+
+    /// Streams compact JSON into `w` without materializing the text —
+    /// large documents (trace exports run to megabytes) go straight to
+    /// the file. Callers should hand in a buffered writer.
+    pub fn write_compact<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_value(w, self)
     }
 
     /// Parses one JSON document, requiring it to span the whole input.
@@ -450,6 +456,15 @@ mod tests {
     }
 
     #[test]
+    fn write_compact_streams_the_same_bytes() {
+        let text = r#"{"a":[1,2,{"b":"x \" \\ \n"}],"c":null,"d":3.5}"#;
+        let v = Json::parse(text).unwrap();
+        let mut buf = Vec::new();
+        v.write_compact(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), v.to_string_compact());
+    }
+
+    #[test]
     fn object_keys_serialize_sorted() {
         let v = Json::obj([("zebra", Json::from(1u64)), ("alpha", Json::from(2u64))]);
         assert_eq!(v.to_string_compact(), r#"{"alpha":2,"zebra":1}"#);
@@ -458,9 +473,9 @@ mod tests {
     #[test]
     fn string_escapes_roundtrip() {
         let ugly = "tab\there \"quoted\" back\\slash\nnewline \u{1}ctrl é λ 🦀";
-        let mut out = String::new();
-        write_escaped(&mut out, ugly);
-        let parsed = Json::parse(&out).unwrap();
+        let mut out = Vec::new();
+        write_escaped(&mut out, ugly).unwrap();
+        let parsed = Json::parse(std::str::from_utf8(&out).unwrap()).unwrap();
         assert_eq!(parsed.as_str().unwrap(), ugly);
     }
 

@@ -59,6 +59,7 @@ pub fn self_adjusting_coverage(
     if n_budget > budget.max_samples {
         return Err(CqaError::TimedOut { phase: "coverage planning" });
     }
+    let mut span = cqa_obs::span_args("core/coverage_loop", n_budget, 0);
     let mut draw = SymbolicDraw::new(pair);
     let mut steps: u64 = 0;
     let mut total: u64 = 0;
@@ -72,6 +73,10 @@ pub fn self_adjusting_coverage(
         loop {
             steps += 1;
             if steps.is_multiple_of(crate::optest::POLL) && budget.deadline.expired() {
+                if cqa_obs::enabled() {
+                    crate::telemetry::budget_exhausted_total().inc();
+                    cqa_obs::instant_args("core/deadline_expired", steps, 0);
+                }
                 return Err(CqaError::TimedOut { phase: "coverage" });
             }
             if steps > n_budget && trials > 0 {
@@ -87,6 +92,7 @@ pub fn self_adjusting_coverage(
     }
     // p := total·|S•| / (|H|·trials), reported relative to |db(B)|.
     let ratio = total as f64 * pair.s_ratio() / (h as f64 * trials as f64);
+    span.set_args(steps, trials);
     Ok(CoverageOutcome { ratio, planned_steps: n_budget, steps, trials })
 }
 

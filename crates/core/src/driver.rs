@@ -66,6 +66,7 @@ pub fn apx_cqa_on_synopses(
     rng: &mut Mt64,
 ) -> Result<ApxCqaResult> {
     let sw = Stopwatch::start();
+    let mut span = cqa_obs::span_args("driver/apx_cqa", syn.entries.len() as u64, 0);
     let mut answers = Vec::with_capacity(syn.entries.len());
     let mut total_samples = 0u64;
     for entry in &syn.entries {
@@ -77,6 +78,7 @@ pub fn apx_cqa_on_synopses(
             samples: out.samples,
         });
     }
+    span.set_args(syn.entries.len() as u64, total_samples);
     Ok(ApxCqaResult {
         answers,
         preprocess_time: syn.build_time,

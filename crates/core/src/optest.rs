@@ -17,6 +17,7 @@
 
 use crate::sampler::Sampler;
 use crate::scheme::Budget;
+use crate::telemetry;
 use cqa_common::{CqaError, Mt64, Result};
 
 /// Outcome of the stopping-rule algorithm.
@@ -73,9 +74,17 @@ pub(crate) fn budgeted_sample<S: Sampler>(
 ) -> Result<f64> {
     *count += 1;
     if count.is_multiple_of(POLL) && budget.deadline.expired() {
+        if cqa_obs::enabled() {
+            telemetry::budget_exhausted_total().inc();
+            cqa_obs::instant_args("core/deadline_expired", *count, 0);
+        }
         return Err(CqaError::TimedOut { phase });
     }
     if *count > budget.max_samples {
+        if cqa_obs::enabled() {
+            telemetry::budget_exhausted_total().inc();
+            cqa_obs::instant_args("core/sample_cap_hit", *count, 0);
+        }
         return Err(CqaError::TimedOut { phase });
     }
     Ok(sampler.sample(rng))
@@ -93,6 +102,7 @@ pub fn stopping_rule<S: Sampler>(
     count: &mut u64,
 ) -> Result<StoppingOutcome> {
     check_params(eps, delta)?;
+    let mut span = cqa_obs::span("dklr/stopping_rule");
     let upsilon1 = 1.0 + (1.0 + eps) * upsilon(eps, delta);
     let mut s = 0.0f64;
     let mut n: u64 = 0;
@@ -100,6 +110,7 @@ pub fn stopping_rule<S: Sampler>(
         s += budgeted_sample(sampler, rng, budget, count, "stopping rule")?;
         n += 1;
     }
+    span.set_args(n, 0);
     Ok(StoppingOutcome { mu: upsilon1 / n as f64, samples: n })
 }
 
@@ -135,6 +146,7 @@ pub fn plan_iterations<S: Sampler>(
         * upsilon(eps, delta / 3.0);
 
     let n2 = (upsilon2 * eps / mu_hat).ceil().max(1.0) as u64;
+    let mut var_span = cqa_obs::span_args("dklr/variance_estimation", n2, 0);
     let mut s = 0.0f64;
     for _ in 0..n2 {
         let a = budgeted_sample(sampler, rng, budget, &mut samples, "variance estimation")?;
@@ -142,11 +154,14 @@ pub fn plan_iterations<S: Sampler>(
         let d = a - b;
         s += d * d / 2.0;
     }
+    var_span.set_args(n2, samples - step.samples);
+    drop(var_span);
     let rho_hat = (s / n2 as f64).max(eps * mu_hat);
     let n = (upsilon2 * rho_hat / (mu_hat * mu_hat)).ceil().max(1.0);
     if !n.is_finite() || n >= budget.max_samples as f64 {
         return Err(CqaError::TimedOut { phase: "iteration planning" });
     }
+    cqa_obs::instant_args("dklr/planned", n as u64, samples);
     *count = samples.max(*count);
     Ok(PlanOutcome { n: n as u64, mu_hat, rho_hat, samples })
 }

@@ -32,18 +32,27 @@ pub trait Sampler {
 
     /// Display name.
     fn name(&self) -> &'static str;
+
+    /// Zero-contribution draws so far: natural-space misses and KL draws
+    /// discarded because an earlier image was contained. Feeds the
+    /// `core_samples_rejected_total` observability counter; samplers
+    /// without a rejection notion report 0.
+    fn rejected(&self) -> u64 {
+        0
+    }
 }
 
 /// Sampler 1: uniform over the natural space `db(B)`.
 pub struct NaturalSampler<'a> {
     pair: &'a AdmissiblePair,
     chosen: Vec<u32>,
+    rejected: u64,
 }
 
 impl<'a> NaturalSampler<'a> {
     /// Prepares a sampler for `pair`.
     pub fn new(pair: &'a AdmissiblePair) -> Self {
-        NaturalSampler { pair, chosen: vec![0; pair.num_blocks()] }
+        NaturalSampler { pair, chosen: vec![0; pair.num_blocks()], rejected: 0 }
     }
 }
 
@@ -56,6 +65,7 @@ impl Sampler for NaturalSampler<'_> {
         if hit {
             1.0
         } else {
+            self.rejected += 1;
             0.0
         }
     }
@@ -66,6 +76,10 @@ impl Sampler for NaturalSampler<'_> {
 
     fn name(&self) -> &'static str {
         "SampleNatural"
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected
     }
 }
 
@@ -116,12 +130,13 @@ impl<'a> SymbolicDraw<'a> {
 pub struct KlSampler<'a> {
     draw: SymbolicDraw<'a>,
     r: f64,
+    rejected: u64,
 }
 
 impl<'a> KlSampler<'a> {
     /// Prepares a sampler for `pair`.
     pub fn new(pair: &'a AdmissiblePair) -> Self {
-        KlSampler { draw: SymbolicDraw::new(pair), r: 1.0 / pair.s_ratio() }
+        KlSampler { draw: SymbolicDraw::new(pair), r: 1.0 / pair.s_ratio(), rejected: 0 }
     }
 }
 
@@ -132,6 +147,7 @@ impl Sampler for KlSampler<'_> {
         let chosen = &self.draw.chosen;
         for j in 0..i {
             if pair.image_contained(j, chosen) {
+                self.rejected += 1;
                 return 0.0;
             }
         }
@@ -144,6 +160,10 @@ impl Sampler for KlSampler<'_> {
 
     fn name(&self) -> &'static str {
         "SampleKL"
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected
     }
 }
 

@@ -12,6 +12,7 @@
 use crate::coverage::self_adjusting_coverage;
 use crate::montecarlo::monte_carlo;
 use crate::sampler::{KlSampler, KlmSampler, NaturalSampler, Sampler};
+use crate::telemetry;
 use cqa_common::{Deadline, Mt64, Result};
 use cqa_synopsis::AdmissiblePair;
 use std::fmt;
@@ -70,6 +71,16 @@ impl Scheme {
             Scheme::Cover => "Cover",
         }
     }
+
+    /// The trace-span name of one `ApxRelativeFreq` run of this scheme.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Scheme::Natural => "scheme/Natural",
+            Scheme::Kl => "scheme/KL",
+            Scheme::Klm => "scheme/KLM",
+            Scheme::Cover => "scheme/Cover",
+        }
+    }
 }
 
 impl fmt::Display for Scheme {
@@ -124,45 +135,66 @@ pub fn approx_relative_frequency(
     budget: &Budget,
     rng: &mut Mt64,
 ) -> Result<ApproxOutcome> {
-    match scheme {
+    let mut span = cqa_obs::span(scheme.span_name());
+    let out = match scheme {
         Scheme::Natural => {
             let mut s = NaturalSampler::new(pair);
-            let out = monte_carlo(&mut s, eps, delta, budget, rng)?;
-            Ok(ApproxOutcome {
-                estimate: out.mean.clamp(0.0, 1.0),
-                samples: out.samples,
-                planned_n: out.planned_n,
-            })
+            run_monte_carlo(&mut s, 1.0, eps, delta, budget, rng)
         }
         Scheme::Kl => {
             let mut s = KlSampler::new(pair);
             let r = s.r_factor();
-            let out = monte_carlo(&mut s, eps, delta, budget, rng)?;
-            Ok(ApproxOutcome {
-                estimate: (out.mean / r).clamp(0.0, 1.0),
-                samples: out.samples,
-                planned_n: out.planned_n,
-            })
+            run_monte_carlo(&mut s, r, eps, delta, budget, rng)
         }
         Scheme::Klm => {
             let mut s = KlmSampler::new(pair);
             let r = s.r_factor();
-            let out = monte_carlo(&mut s, eps, delta, budget, rng)?;
-            Ok(ApproxOutcome {
-                estimate: (out.mean / r).clamp(0.0, 1.0),
-                samples: out.samples,
-                planned_n: out.planned_n,
-            })
+            run_monte_carlo(&mut s, r, eps, delta, budget, rng)
         }
         Scheme::Cover => {
-            let out = self_adjusting_coverage(pair, eps, delta, budget, rng)?;
+            let res = self_adjusting_coverage(pair, eps, delta, budget, rng);
+            if cqa_obs::enabled() {
+                if let Ok(out) = &res {
+                    telemetry::samples_total().add(out.steps);
+                    telemetry::scheme_runs_total().inc();
+                }
+            }
+            let out = res?;
             Ok(ApproxOutcome {
                 estimate: out.ratio.clamp(0.0, 1.0),
                 samples: out.steps,
                 planned_n: out.planned_steps,
             })
         }
+    }?;
+    span.set_args(out.samples, out.planned_n);
+    Ok(out)
+}
+
+/// Runs `MonteCarlo[sampler]`, divides by the r-factor, and feeds the
+/// observability counters (sample totals, rejections) when tracing is on.
+fn run_monte_carlo<S: Sampler>(
+    sampler: &mut S,
+    r: f64,
+    eps: f64,
+    delta: f64,
+    budget: &Budget,
+    rng: &mut Mt64,
+) -> Result<ApproxOutcome> {
+    let res = monte_carlo(sampler, eps, delta, budget, rng);
+    if cqa_obs::enabled() {
+        telemetry::samples_rejected_total().add(sampler.rejected());
+        if let Ok(out) = &res {
+            telemetry::samples_total().add(out.samples);
+            telemetry::scheme_runs_total().inc();
+        }
     }
+    let out = res?;
+    Ok(ApproxOutcome {
+        estimate: (out.mean / r).clamp(0.0, 1.0),
+        samples: out.samples,
+        planned_n: out.planned_n,
+    })
 }
 
 #[cfg(test)]

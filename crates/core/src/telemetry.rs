@@ -1,0 +1,35 @@
+//! Library-level counters on the process-wide [`cqa_obs`] registry.
+//!
+//! Handles are cached in `OnceLock`s so the hot paths never touch the
+//! registry lock; every increment site is additionally gated behind
+//! [`cqa_obs::enabled`], so with tracing off a scheme run pays a single
+//! relaxed atomic load here.
+
+use cqa_obs::Counter;
+use std::sync::OnceLock;
+
+macro_rules! counter {
+    ($fn_name:ident, $name:literal, $help:literal) => {
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static C: OnceLock<Counter> = OnceLock::new();
+            C.get_or_init(|| cqa_obs::metrics::global().counter($name, $help))
+        }
+    };
+}
+
+counter!(
+    samples_total,
+    "core_samples_total",
+    "Samples drawn across all scheme runs (planning + final loops)."
+);
+counter!(
+    samples_rejected_total,
+    "core_samples_rejected_total",
+    "Zero-contribution draws: natural-space misses and KL earlier-image hits."
+);
+counter!(scheme_runs_total, "core_scheme_runs_total", "Completed ApxRelativeFreq runs.");
+counter!(
+    budget_exhausted_total,
+    "core_budget_exhausted_total",
+    "Scheme runs aborted by the wall-clock deadline or the sample cap."
+);

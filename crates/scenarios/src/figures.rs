@@ -106,7 +106,12 @@ pub fn fig1_noise(pool: &Pool, selections: &[(f64, usize)]) -> Vec<Figure> {
                     (db, query, pool.pair_seed(qi, pi, bi))
                 })
                 .collect();
-            points.push((p * 100.0, run_cell(jobs, cfg)));
+            let mut cell_span =
+                cqa_obs::span_args("scenario/cell_noise", (p * 100.0).round() as u64, j as u64);
+            let cell = run_cell(jobs, cfg);
+            cell_span.set_args((p * 100.0).round() as u64, cell.total as u64);
+            drop(cell_span);
+            points.push((p * 100.0, cell));
         }
         figures.push(Figure {
             id: format!("noise_q{:02}_j{j}", (q_target * 10.0).round() as u32),
@@ -144,7 +149,12 @@ pub fn fig2_balance(pool: &Pool, selections: &[(f64, usize)]) -> Vec<Figure> {
                     (db, query, pool.pair_seed(qi, pi, bi))
                 })
                 .collect();
-            points.push((b * 100.0, run_cell(jobs, cfg)));
+            let mut cell_span =
+                cqa_obs::span_args("scenario/cell_balance", (b * 100.0).round() as u64, j as u64);
+            let cell = run_cell(jobs, cfg);
+            cell_span.set_args((b * 100.0).round() as u64, cell.total as u64);
+            drop(cell_span);
+            points.push((b * 100.0, cell));
         }
         figures.push(Figure {
             id: format!("balance_p{:02}_j{j}", (p_target * 10.0).round() as u32),

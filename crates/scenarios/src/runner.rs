@@ -49,6 +49,7 @@ pub fn run_pair(
     cfg: &BenchConfig,
     seed: u64,
 ) -> Result<PairOutcome> {
+    let mut pair_span = cqa_obs::span_args("scenario/run_pair", seed, 0);
     let syn = build_synopses(
         db,
         q,
@@ -62,21 +63,37 @@ pub fn run_pair(
     for (k, scheme) in ALL_SCHEMES.into_iter().enumerate() {
         let mut rng = Mt64::from_key(&[seed, k as u64, 0xC0FFEE]);
         let budget = Budget::with_timeout_secs(cfg.timeout_secs);
+        let mut scheme_span = cqa_obs::span_args(run_span_name(scheme), seed, 0);
         let sw = cqa_common::Stopwatch::start();
         match apx_cqa_on_synopses(&syn, scheme, cfg.eps, cfg.delta, &budget, &mut rng) {
-            Ok(res) => runs.push(SchemeRun {
-                scheme,
-                secs: sw.elapsed_secs(),
-                timed_out: false,
-                samples: res.total_samples,
-            }),
+            Ok(res) => {
+                scheme_span.set_args(seed, res.total_samples);
+                runs.push(SchemeRun {
+                    scheme,
+                    secs: sw.elapsed_secs(),
+                    timed_out: false,
+                    samples: res.total_samples,
+                });
+            }
             Err(CqaError::TimedOut { .. }) => {
                 runs.push(SchemeRun { scheme, secs: cfg.timeout_secs, timed_out: true, samples: 0 })
             }
             Err(e) => return Err(e),
         }
     }
+    pair_span.set_args(seed, syn.entries.len() as u64);
     Ok(PairOutcome { stats, runs })
+}
+
+/// The trace-span name of one scheme's full run over a pair's synopses
+/// (one level above the per-tuple `scheme/*` spans).
+fn run_span_name(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Natural => "run/Natural",
+        Scheme::Kl => "run/KL",
+        Scheme::Klm => "run/KLM",
+        Scheme::Cover => "run/Cover",
+    }
 }
 
 /// Runs `f` over `jobs` on `threads` workers, preserving order.

@@ -7,8 +7,8 @@
 //! that knows how to talk to a socket.
 
 use crate::metrics::MetricsSnapshot;
-use crate::protocol::{QueryRequest, Request, Response};
-use cqa_common::{CqaError, Result};
+use crate::protocol::{QueryRequest, Request, Response, StatsFormat};
+use cqa_common::{CqaError, Json, Result};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -59,12 +59,47 @@ impl Client {
 
     /// Fetches the server's metrics snapshot.
     pub fn stats(&mut self) -> Result<MetricsSnapshot> {
-        match self.roundtrip(&Request::Stats)? {
+        match self.roundtrip(&Request::Stats { format: StatsFormat::Json })? {
             Response::Stats(v) => MetricsSnapshot::from_json(&v),
             Response::Error { kind, message } => {
                 Err(CqaError::Parse(format!("stats failed: {} ({message})", kind.name())))
             }
             other => Err(CqaError::Parse(format!("unexpected stats response {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's full metrics registry as raw `stats` JSON
+    /// (flat snapshot fields plus the nested `registry` object).
+    pub fn stats_json(&mut self) -> Result<Json> {
+        match self.roundtrip(&Request::Stats { format: StatsFormat::Json })? {
+            Response::Stats(v) => Ok(v),
+            Response::Error { kind, message } => {
+                Err(CqaError::Parse(format!("stats failed: {} ({message})", kind.name())))
+            }
+            other => Err(CqaError::Parse(format!("unexpected stats response {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's metrics in Prometheus text exposition format.
+    pub fn stats_prometheus(&mut self) -> Result<String> {
+        match self.roundtrip(&Request::Stats { format: StatsFormat::Prometheus })? {
+            Response::StatsText(text) => Ok(text),
+            Response::Error { kind, message } => {
+                Err(CqaError::Parse(format!("stats failed: {} ({message})", kind.name())))
+            }
+            other => Err(CqaError::Parse(format!("unexpected stats response {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's recorded trace as a Chrome `trace_event` JSON
+    /// array (empty unless the server process has tracing enabled).
+    pub fn trace(&mut self) -> Result<Json> {
+        match self.roundtrip(&Request::Trace)? {
+            Response::Trace(events) => Ok(events),
+            Response::Error { kind, message } => {
+                Err(CqaError::Parse(format!("trace failed: {} ({message})", kind.name())))
+            }
+            other => Err(CqaError::Parse(format!("unexpected trace response {other:?}"))),
         }
     }
 

@@ -13,8 +13,9 @@
 //! * [`cache`] — the sharded LRU synopsis cache with hit/miss accounting.
 //! * [`pool`] — the worker pool with bounded-queue admission control and
 //!   per-request deadlines.
-//! * [`metrics`] — atomic counters and a log-scale latency histogram,
-//!   served by the protocol's `stats` command.
+//! * [`metrics`] — a per-instance [`cqa_obs`] metrics registry (counters
+//!   and log-scale latency histograms), served by the protocol's `stats`
+//!   command as JSON or Prometheus text.
 //! * [`server`] — the TCP daemon.
 //! * [`client`] — the blocking client library the CLI subcommands use.
 
@@ -29,5 +30,7 @@ pub use cache::{CacheKey, CacheStats, SynopsisCache};
 pub use client::Client;
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pool::{PoolConfig, QueueFull, WorkerPool};
-pub use protocol::{ErrorKind, QueryRequest, Request, Response, WireAnswer, PROTOCOL_VERSION};
+pub use protocol::{
+    ErrorKind, QueryRequest, Request, Response, StatsFormat, WireAnswer, PROTOCOL_VERSION,
+};
 pub use server::{Server, ServerConfig, ServerHandle};

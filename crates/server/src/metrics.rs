@@ -1,96 +1,58 @@
-//! Live server metrics: atomic counters and a log-scale latency histogram.
+//! Live server metrics on top of the shared [`cqa_obs`] registry.
 //!
 //! Everything here is updated with relaxed atomics on the hot path — no
-//! locks, no allocation — and read by the `stats` protocol command. The
-//! histogram buckets latencies by power of two microseconds (bucket `i`
-//! covers `[2^i, 2^{i+1})` µs), which spans 1 µs to over an hour in 32
-//! buckets with ≤ 2× relative error on reported percentiles — the same
-//! trade Prometheus-style exponential histograms make.
+//! locks, no allocation — and read by the `stats` protocol command. Each
+//! server instance owns its own [`Registry`] so embedded and test
+//! deployments stay isolated from each other and from the process-global
+//! registry the library crates record into. The same handles render to
+//! both the JSON snapshot (the wire format clients parse) and Prometheus
+//! text exposition.
 
 use cqa_common::Json;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use cqa_obs::{Counter, Gauge, Histogram, Registry};
 
-const BUCKETS: usize = 32;
+/// The server's latency histogram: a log₂-bucketed [`cqa_obs::Histogram`]
+/// (bucket `i` covers `[2^i, 2^{i+1})` µs). Kept as an alias so existing
+/// call sites and tests keep reading naturally.
+pub type LatencyHistogram = Histogram;
 
-/// A fixed-bucket log₂ histogram of microsecond latencies.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// A fresh, empty histogram.
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram::default()
-    }
-
-    /// Records one observation.
-    pub fn record(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
-        let idx = (micros.max(1).ilog2() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in milliseconds.
-    pub fn mean_ms(&self) -> f64 {
-        let count = self.count.load(Ordering::Relaxed);
-        if count == 0 {
-            return 0.0;
-        }
-        self.sum_micros.load(Ordering::Relaxed) as f64 / count as f64 / 1000.0
-    }
-
-    /// Approximate `q`-quantile (`0 < q ≤ 1`) in milliseconds: the upper
-    /// edge of the bucket containing the `⌈q·n⌉`-th observation, i.e. an
-    /// overestimate by at most 2×.
-    pub fn quantile_ms(&self, q: f64) -> f64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return (1u64 << (i + 1)) as f64 / 1000.0;
-            }
-        }
-        (1u64 << BUCKETS) as f64 / 1000.0
-    }
-}
-
-/// Counters for one server instance.
-#[derive(Debug, Default)]
+/// Counters for one server instance, registered in a per-instance
+/// [`Registry`].
+#[derive(Debug)]
 pub struct Metrics {
+    registry: Registry,
     /// Protocol requests accepted for processing (all commands).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// `query` requests answered successfully.
-    pub queries_ok: AtomicU64,
+    pub queries_ok: Counter,
     /// Requests rejected because the admission queue was full.
-    pub rejected_overloaded: AtomicU64,
+    pub rejected_overloaded: Counter,
     /// Requests that ran out of deadline.
-    pub rejected_deadline: AtomicU64,
+    pub rejected_deadline: Counter,
     /// Malformed requests.
-    pub rejected_bad_request: AtomicU64,
+    pub rejected_bad_request: Counter,
     /// Unexpected server-side failures.
-    pub errors_internal: AtomicU64,
+    pub errors_internal: Counter,
     /// Connections accepted over the listener's lifetime.
-    pub connections: AtomicU64,
+    pub connections: Counter,
     /// End-to-end latency of successful `query` requests, admission to
     /// response.
     pub query_latency: LatencyHistogram,
+    /// Time a `query` request spent in the admission queue before a worker
+    /// picked it up.
+    pub queue_wait: LatencyHistogram,
+    /// Synopsis-cache counters, mirrored from [`crate::cache::CacheStats`]
+    /// at render time (the cache keeps its own atomics).
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_entries: Gauge,
+    cache_evictions: Counter,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
 }
 
 /// A plain-data copy of [`Metrics`] plus the cache counters, as reported
@@ -132,21 +94,78 @@ pub struct MetricsSnapshot {
 }
 
 impl Metrics {
-    /// A fresh, zeroed metrics block.
+    /// A fresh, zeroed metrics block with its own registry.
     pub fn new() -> Metrics {
-        Metrics::default()
+        let registry = Registry::new();
+        let requests = registry.counter(
+            "server_requests_total",
+            "Protocol requests accepted for processing (all commands).",
+        );
+        let queries_ok =
+            registry.counter("server_queries_ok_total", "Query requests answered successfully.");
+        let rejected_overloaded = registry.counter(
+            "server_rejected_overloaded_total",
+            "Requests rejected because the admission queue was full.",
+        );
+        let rejected_deadline = registry
+            .counter("server_rejected_deadline_total", "Requests that ran out of deadline.");
+        let rejected_bad_request =
+            registry.counter("server_rejected_bad_request_total", "Malformed requests.");
+        let errors_internal =
+            registry.counter("server_errors_internal_total", "Unexpected server-side failures.");
+        let connections = registry.counter(
+            "server_connections_total",
+            "Connections accepted over the listener's lifetime.",
+        );
+        let query_latency = registry.histogram(
+            "server_query_latency",
+            "End-to-end latency of successful query requests, admission to response.",
+        );
+        let queue_wait = registry
+            .histogram("server_queue_wait", "Time a query request spent in the admission queue.");
+        let cache_hits = registry.counter("server_cache_hits_total", "Synopsis-cache hits.");
+        let cache_misses = registry.counter("server_cache_misses_total", "Synopsis-cache misses.");
+        let cache_entries =
+            registry.gauge("server_cache_entries", "Synopsis-cache resident entries.");
+        let cache_evictions =
+            registry.counter("server_cache_evictions_total", "Synopsis-cache evictions.");
+        Metrics {
+            registry,
+            requests,
+            queries_ok,
+            rejected_overloaded,
+            rejected_deadline,
+            rejected_bad_request,
+            errors_internal,
+            connections,
+            query_latency,
+            queue_wait,
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            cache_evictions,
+        }
+    }
+
+    /// Mirrors the cache's own counters into the registry so a render sees
+    /// current values.
+    fn sync_cache(&self, cache: &crate::cache::CacheStats) {
+        self.cache_hits.set(cache.hits);
+        self.cache_misses.set(cache.misses);
+        self.cache_entries.set(cache.entries as i64);
+        self.cache_evictions.set(cache.evictions);
     }
 
     /// Captures a snapshot, merging in the cache's counters.
     pub fn snapshot(&self, cache: &crate::cache::CacheStats) -> MetricsSnapshot {
         MetricsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            queries_ok: self.queries_ok.load(Ordering::Relaxed),
-            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
-            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
-            rejected_bad_request: self.rejected_bad_request.load(Ordering::Relaxed),
-            errors_internal: self.errors_internal.load(Ordering::Relaxed),
-            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            queries_ok: self.queries_ok.get(),
+            rejected_overloaded: self.rejected_overloaded.get(),
+            rejected_deadline: self.rejected_deadline.get(),
+            rejected_bad_request: self.rejected_bad_request.get(),
+            errors_internal: self.errors_internal.get(),
+            connections: self.connections.get(),
             latency_count: self.query_latency.count(),
             latency_mean_ms: self.query_latency.mean_ms(),
             latency_p50_ms: self.query_latency.quantile_ms(0.50),
@@ -158,10 +177,28 @@ impl Metrics {
             cache_evictions: cache.evictions,
         }
     }
+
+    /// The `stats` JSON payload: the flat snapshot fields (the stable wire
+    /// format) plus the full registry render under `"registry"`.
+    pub fn stats_json(&self, cache: &crate::cache::CacheStats) -> Json {
+        self.sync_cache(cache);
+        let mut obj = match self.snapshot(cache).to_json() {
+            Json::Obj(m) => m,
+            _ => unreachable!("snapshot JSON is an object"),
+        };
+        obj.insert("registry".to_owned(), self.registry.to_json());
+        Json::Obj(obj)
+    }
+
+    /// The full registry in Prometheus text exposition format.
+    pub fn to_prometheus(&self, cache: &crate::cache::CacheStats) -> String {
+        self.sync_cache(cache);
+        self.registry.to_prometheus()
+    }
 }
 
 impl MetricsSnapshot {
-    /// The `stats` payload.
+    /// The flat `stats` payload.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("requests", Json::from(self.requests)),
@@ -183,7 +220,8 @@ impl MetricsSnapshot {
         ])
     }
 
-    /// Parses a `stats` payload received from a server.
+    /// Parses a `stats` payload received from a server. Unknown keys (such
+    /// as the nested `registry` object) are ignored.
     pub fn from_json(v: &Json) -> cqa_common::Result<MetricsSnapshot> {
         let int = |key: &str| -> cqa_common::Result<u64> {
             v.get(key).and_then(Json::as_u64).ok_or_else(|| {
@@ -225,6 +263,7 @@ impl MetricsSnapshot {
 mod tests {
     use super::*;
     use crate::cache::CacheStats;
+    use std::time::Duration;
 
     #[test]
     fn histogram_buckets_by_log2() {
@@ -261,13 +300,49 @@ mod tests {
     #[test]
     fn snapshot_roundtrips_through_json() {
         let m = Metrics::new();
-        m.requests.fetch_add(7, Ordering::Relaxed);
-        m.queries_ok.fetch_add(5, Ordering::Relaxed);
+        m.requests.add(7);
+        m.queries_ok.add(5);
         m.query_latency.record(Duration::from_millis(3));
         let cache = CacheStats { hits: 4, misses: 1, entries: 1, evictions: 0, capacity: 8 };
         let snap = m.snapshot(&cache);
         let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed, snap);
         assert_eq!(parsed.cache_hit_rate(), 0.8);
+    }
+
+    #[test]
+    fn stats_json_nests_the_registry_and_stays_parseable() {
+        let m = Metrics::new();
+        m.requests.add(3);
+        m.queries_ok.add(2);
+        m.query_latency.record(Duration::from_micros(500));
+        let cache = CacheStats { hits: 1, misses: 2, entries: 2, evictions: 0, capacity: 8 };
+        let v = m.stats_json(&cache);
+        // The flat wire fields survive unchanged…
+        let parsed = MetricsSnapshot::from_json(&v).unwrap();
+        assert_eq!(parsed.requests, 3);
+        // …and the registry render agrees with them.
+        let reg = v.get("registry").expect("registry key");
+        assert_eq!(reg.get("server_requests_total").and_then(Json::as_u64), Some(3));
+        assert_eq!(reg.get("server_cache_misses_total").and_then(Json::as_u64), Some(2));
+        let lat = reg.get("server_query_latency").expect("latency histogram");
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn prometheus_text_reflects_the_counters() {
+        let m = Metrics::new();
+        m.requests.add(9);
+        m.connections.inc();
+        m.query_latency.record(Duration::from_micros(100));
+        let cache = CacheStats { hits: 5, misses: 3, entries: 3, evictions: 1, capacity: 8 };
+        let text = m.to_prometheus(&cache);
+        assert!(text.contains("# TYPE server_requests_total counter"), "{text}");
+        assert!(text.contains("server_requests_total 9"), "{text}");
+        assert!(text.contains("server_cache_hits_total 5"), "{text}");
+        assert!(text.contains("server_cache_entries 3"), "{text}");
+        assert!(text.contains("# TYPE server_query_latency histogram"), "{text}");
+        assert!(text.contains("server_query_latency_count 1"), "{text}");
+        assert!(text.contains("server_query_latency_bucket{le=\"+Inf\"} 1"), "{text}");
     }
 }

@@ -15,6 +15,12 @@
 //! → {"v":1,"cmd":"stats"}
 //! ← {"ok":true,"stats":{...cache/pool/latency counters...}}
 //!
+//! → {"v":1,"cmd":"stats","format":"prometheus"}
+//! ← {"ok":true,"stats_text":"# TYPE server_requests_total counter\n..."}
+//!
+//! → {"v":1,"cmd":"trace"}
+//! ← {"ok":true,"trace":[...Chrome trace_event objects...]}
+//!
 //! → {"v":1,"cmd":"ping"}
 //! ← {"ok":true,"pong":true,"version":1}
 //!
@@ -62,13 +68,29 @@ impl Default for QueryRequest {
     }
 }
 
+/// How a `stats` response should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsFormat {
+    /// The structured JSON snapshot (the default).
+    #[default]
+    Json,
+    /// Prometheus text exposition, for scrape-style collection.
+    Prometheus,
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run approximate CQA.
     Query(QueryRequest),
     /// Fetch server metrics.
-    Stats,
+    Stats {
+        /// Rendering of the metrics payload.
+        format: StatsFormat,
+    },
+    /// Dump the server's recorded trace events (Chrome `trace_event`
+    /// objects); empty unless the server runs with tracing enabled.
+    Trace,
     /// Liveness check.
     Ping,
 }
@@ -92,8 +114,16 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
-            Request::Stats => {
-                Json::obj([("v", Json::from(PROTOCOL_VERSION)), ("cmd", Json::str("stats"))])
+            Request::Stats { format } => {
+                let mut pairs =
+                    vec![("v", Json::from(PROTOCOL_VERSION)), ("cmd", Json::str("stats"))];
+                if *format == StatsFormat::Prometheus {
+                    pairs.push(("format", Json::str("prometheus")));
+                }
+                Json::obj(pairs)
+            }
+            Request::Trace => {
+                Json::obj([("v", Json::from(PROTOCOL_VERSION)), ("cmd", Json::str("trace"))])
             }
             Request::Ping => {
                 Json::obj([("v", Json::from(PROTOCOL_VERSION)), ("cmd", Json::str("ping"))])
@@ -161,7 +191,22 @@ impl Request {
                     seed,
                 }))
             }
-            "stats" => Ok(Request::Stats),
+            "stats" => {
+                let format = match v.get("format") {
+                    None => StatsFormat::Json,
+                    Some(f) => match f.as_str() {
+                        Some("json") => StatsFormat::Json,
+                        Some("prometheus") => StatsFormat::Prometheus,
+                        _ => {
+                            return Err(CqaError::Parse(format!(
+                                "unknown stats format {f:?} (expected json or prometheus)"
+                            )))
+                        }
+                    },
+                };
+                Ok(Request::Stats { format })
+            }
+            "trace" => Ok(Request::Trace),
             "ping" => Ok(Request::Ping),
             other => Err(CqaError::Parse(format!("unknown command '{other}'"))),
         }
@@ -233,6 +278,10 @@ pub enum Response {
     },
     /// A successful `stats` (an opaque metrics object).
     Stats(Json),
+    /// A successful `stats` in a text rendering (Prometheus exposition).
+    StatsText(String),
+    /// A successful `trace`: an array of Chrome `trace_event` objects.
+    Trace(Json),
     /// A successful `ping`.
     Pong {
         /// The server's protocol version.
@@ -289,6 +338,12 @@ impl Response {
             Response::Stats(stats) => {
                 Json::obj([("ok", Json::from(true)), ("stats", stats.clone())])
             }
+            Response::StatsText(text) => {
+                Json::obj([("ok", Json::from(true)), ("stats_text", Json::str(text.clone()))])
+            }
+            Response::Trace(events) => {
+                Json::obj([("ok", Json::from(true)), ("trace", events.clone())])
+            }
             Response::Pong { version } => Json::obj([
                 ("ok", Json::from(true)),
                 ("pong", Json::from(true)),
@@ -325,8 +380,16 @@ impl Response {
                 .ok_or_else(|| CqaError::Parse("pong missing 'version'".into()))?;
             return Ok(Response::Pong { version });
         }
+        if let Some(text) = v.get("stats_text") {
+            let text =
+                text.as_str().ok_or_else(|| CqaError::Parse("non-string 'stats_text'".into()))?;
+            return Ok(Response::StatsText(text.to_owned()));
+        }
         if let Some(stats) = v.get("stats") {
             return Ok(Response::Stats(stats.clone()));
+        }
+        if let Some(events) = v.get("trace") {
+            return Ok(Response::Trace(events.clone()));
         }
         let rows = v
             .get("answers")
@@ -396,10 +459,21 @@ mod tests {
     }
 
     #[test]
-    fn stats_and_ping_roundtrip() {
-        for req in [Request::Stats, Request::Ping] {
+    fn stats_ping_and_trace_roundtrip() {
+        for req in [
+            Request::Stats { format: StatsFormat::Json },
+            Request::Stats { format: StatsFormat::Prometheus },
+            Request::Trace,
+            Request::Ping,
+        ] {
             assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
         }
+        // A format-less stats request defaults to JSON.
+        assert_eq!(
+            Request::from_line(r#"{"v":1,"cmd":"stats"}"#).unwrap(),
+            Request::Stats { format: StatsFormat::Json }
+        );
+        assert!(Request::from_line(r#"{"v":1,"cmd":"stats","format":"xml"}"#).is_err());
     }
 
     #[test]
@@ -459,6 +533,17 @@ mod tests {
         assert_eq!(Response::from_line(&pong.to_line()).unwrap(), pong);
         let stats = Response::Stats(Json::obj([("requests", Json::from(3u64))]));
         assert_eq!(Response::from_line(&stats.to_line()).unwrap(), stats);
+    }
+
+    #[test]
+    fn stats_text_and_trace_roundtrip() {
+        let text = Response::StatsText("# TYPE x counter\nx 3\n".to_owned());
+        assert_eq!(Response::from_line(&text.to_line()).unwrap(), text);
+        let trace = Response::Trace(Json::Arr(vec![Json::obj([
+            ("name", Json::str("synopsis/build")),
+            ("ph", Json::str("X")),
+        ])]));
+        assert_eq!(Response::from_line(&trace.to_line()).unwrap(), trace);
     }
 
     #[test]

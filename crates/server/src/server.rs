@@ -15,7 +15,9 @@
 use crate::cache::{CacheKey, SynopsisCache};
 use crate::metrics::Metrics;
 use crate::pool::{PoolConfig, WorkerPool};
-use crate::protocol::{ErrorKind, QueryRequest, Request, Response, WireAnswer, PROTOCOL_VERSION};
+use crate::protocol::{
+    ErrorKind, QueryRequest, Request, Response, StatsFormat, WireAnswer, PROTOCOL_VERSION,
+};
 use cqa_common::{fnv1a64, CqaError, Deadline, Mt64, Stopwatch};
 use cqa_core::{apx_cqa_on_synopses, Budget};
 use cqa_storage::{dump_to_string, schema_to_ddl, Database};
@@ -121,7 +123,7 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            self.shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.connections.inc();
             let shared = Arc::clone(&self.shared);
             std::thread::Builder::new()
                 .name("cqa-conn".to_owned())
@@ -200,17 +202,26 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
 }
 
 fn handle_line(shared: &Arc<Shared>, line: &str) -> Response {
-    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.requests.inc();
     let request = match Request::from_line(line) {
         Ok(r) => r,
         Err(e) => {
-            shared.metrics.rejected_bad_request.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejected_bad_request.inc();
             return Response::Error { kind: ErrorKind::BadRequest, message: e.to_string() };
         }
     };
     match request {
         Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
-        Request::Stats => Response::Stats(shared.metrics.snapshot(&shared.cache.stats()).to_json()),
+        Request::Stats { format: StatsFormat::Json } => {
+            Response::Stats(shared.metrics.stats_json(&shared.cache.stats()))
+        }
+        Request::Stats { format: StatsFormat::Prometheus } => {
+            Response::StatsText(shared.metrics.to_prometheus(&shared.cache.stats()))
+        }
+        Request::Trace => {
+            let (events, _dropped) = cqa_obs::trace::snapshot();
+            Response::Trace(cqa_obs::export::chrome_trace(&events))
+        }
         Request::Query(q) => dispatch_query(shared, q),
     }
 }
@@ -218,6 +229,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> Response {
 /// Admits a query to the pool and waits for its worker's answer.
 fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
     let admitted = Stopwatch::start();
+    let admitted_micros = cqa_obs::now_micros();
     // The deadline starts at admission: time spent queued counts.
     let deadline = match q.timeout_ms.or(shared.default_timeout_ms) {
         Some(ms) => Deadline::after(Duration::from_millis(ms)),
@@ -227,16 +239,21 @@ fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
     let submitted = shared.pool.try_submit({
         let shared = Arc::clone(shared);
         move || {
+            // Queue wait straddles threads: record it from the explicit
+            // admission timestamp rather than a span stack.
+            let wait = cqa_obs::now_micros().saturating_sub(admitted_micros);
+            shared.metrics.queue_wait.record_micros(wait);
+            cqa_obs::record_span("server/queue_wait", admitted_micros, q.seed, 0);
             let response = run_query(&shared, &q, deadline);
             if matches!(response, Response::Answers { .. }) {
-                shared.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.queries_ok.inc();
                 shared.metrics.query_latency.record(admitted.elapsed());
             }
             let _ = reply_tx.send(response);
         }
     });
     if let Err(full) = submitted {
-        shared.metrics.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.rejected_overloaded.inc();
         return Response::Error {
             kind: ErrorKind::Overloaded,
             message: format!("admission queue full (depth {})", full.depth),
@@ -246,20 +263,20 @@ fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
         Ok(response) => {
             match &response {
                 Response::Error { kind: ErrorKind::DeadlineExceeded, .. } => {
-                    shared.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.rejected_deadline.inc();
                 }
                 Response::Error { kind: ErrorKind::BadRequest, .. } => {
-                    shared.metrics.rejected_bad_request.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.rejected_bad_request.inc();
                 }
                 Response::Error { kind: ErrorKind::Internal, .. } => {
-                    shared.metrics.errors_internal.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.errors_internal.inc();
                 }
                 _ => {}
             }
             response
         }
         Err(_) => {
-            shared.metrics.errors_internal.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.errors_internal.inc();
             Response::Error {
                 kind: ErrorKind::Internal,
                 message: "worker dropped the request".to_owned(),
@@ -270,6 +287,7 @@ fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
 
 /// Executes one admitted query on a worker thread.
 fn run_query(shared: &Shared, q: &QueryRequest, deadline: Deadline) -> Response {
+    let mut req_span = cqa_obs::span_args("server/request", q.seed, 0);
     if deadline.expired() {
         return Response::Error {
             kind: ErrorKind::DeadlineExceeded,
@@ -285,11 +303,17 @@ fn run_query(shared: &Shared, q: &QueryRequest, deadline: Deadline) -> Response 
         constraint_fingerprint: shared.constraint_fingerprint,
         query: q.query.clone(),
     };
-    let (syn, cached) = match shared.cache.get(&key) {
+    let lookup_span = cqa_obs::span("server/cache_lookup");
+    let looked_up = shared.cache.get(&key);
+    drop(lookup_span);
+    let (syn, cached) = match looked_up {
         Some(syn) => (syn, true),
         None => {
             let options = BuildOptions { deadline: Some(deadline), max_homs: None };
-            match build_synopses(&shared.db, &cq, options) {
+            let build_span = cqa_obs::span("server/synopsis_build");
+            let built = build_synopses(&shared.db, &cq, options);
+            drop(build_span);
+            match built {
                 Ok(syn) => {
                     let syn = Arc::new(syn);
                     shared.cache.insert(key, Arc::clone(&syn));
@@ -303,7 +327,14 @@ fn run_query(shared: &Shared, q: &QueryRequest, deadline: Deadline) -> Response 
     // Same generator construction as the offline driver: answers for a
     // fixed seed match `apx_cqa` exactly, independent of pool size.
     let mut rng = Mt64::new(q.seed);
-    match apx_cqa_on_synopses(&syn, q.scheme, q.eps, q.delta, &budget, &mut rng) {
+    let mut sample_span = cqa_obs::span("server/sampling");
+    let outcome = apx_cqa_on_synopses(&syn, q.scheme, q.eps, q.delta, &budget, &mut rng);
+    if let Ok(result) = &outcome {
+        sample_span.set_args(result.total_samples, syn.entries.len() as u64);
+        req_span.set_args(q.seed, result.total_samples);
+    }
+    drop(sample_span);
+    match outcome {
         Ok(result) => Response::Answers {
             cached,
             preprocess_ms: if cached { 0.0 } else { result.preprocess_time.as_secs_f64() * 1000.0 },

@@ -94,6 +94,7 @@ pub fn build_synopses(
     opts: BuildOptions,
 ) -> Result<SynopsisSet> {
     let sw = Stopwatch::start();
+    let mut build_span = cqa_obs::span("synopsis/build");
 
     // Per-relation block metadata, fetched once per distinct relation.
     let mut rel_blocks: HashMap<RelId, std::sync::Arc<cqa_storage::RelationBlocks>> =
@@ -113,6 +114,8 @@ pub fn build_synopses(
         deadline: opts.deadline.unwrap_or_else(Deadline::none),
     };
 
+    // Phase 1: homomorphism enumeration + consistency check + image dedup.
+    let mut enum_span = cqa_obs::span("synopsis/enumerate_homs");
     for_each_hom(db, q, eval_opts, |binding, facts| {
         total_homs += 1;
         // Encode the image and check h(Q) |= Σ: atoms that share a block
@@ -135,10 +138,13 @@ pub fn build_synopses(
         }
         ControlFlow::Continue(())
     })?;
+    enum_span.set_args(total_homs as u64, all_images.len() as u64);
+    drop(enum_span);
 
     let hom_size = all_images.len();
 
-    // Encode each group as an admissible pair with local block indices.
+    // Phase 2: per-tuple block grouping and integer encoding.
+    let mut encode_span = cqa_obs::span_args("synopsis/encode_groups", groups.len() as u64, 0);
     let mut entries = Vec::with_capacity(groups.len());
     for (tuple, images) in groups {
         let mut block_set: BTreeSet<GlobalBlock> = BTreeSet::new();
@@ -162,6 +168,9 @@ pub fn build_synopses(
         let pair = AdmissiblePair::new(encoded, block_sizes)?;
         entries.push(SynopsisEntry { tuple, pair, global_blocks });
     }
+    encode_span.set_args(entries.len() as u64, hom_size as u64);
+    drop(encode_span);
+    build_span.set_args(total_homs as u64, entries.len() as u64);
 
     Ok(SynopsisSet { entries, hom_size, total_homs, build_time: sw.elapsed() })
 }

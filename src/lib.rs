@@ -57,10 +57,12 @@
 //! | [`qgen`] | `cqa-qgen` | static + dynamic query generators |
 //! | [`scenarios`] | `cqa-scenarios` | scenario families and figure pipelines |
 //! | [`server`] | `cqa-server` | TCP daemon: synopsis cache, worker pool, metrics |
+//! | [`obs`] | `cqa-obs` | span tracing, Chrome trace export, metrics registry |
 
 pub use cqa_common as common;
 pub use cqa_core as core;
 pub use cqa_noise as noise;
+pub use cqa_obs as obs;
 pub use cqa_qgen as qgen;
 pub use cqa_query as query;
 pub use cqa_repair as repair;

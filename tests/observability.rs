@@ -1,0 +1,123 @@
+//! Cross-crate observability tests: a traced scenario run must export a
+//! valid, non-empty Chrome trace covering synopsis builds and every
+//! scheme's sampling loop, and the server's `stats` command must render
+//! the same metrics registry consistently as JSON and Prometheus text.
+
+use cqa::common::Json;
+use cqa::prelude::*;
+use cqa::scenarios::{figures, BenchConfig, Pool};
+use cqa::server::Response;
+use cqa_noise::{add_query_aware_noise, NoiseSpec};
+
+/// Walks a parsed Chrome trace array and collects the event names.
+fn event_names(trace: &Json) -> Vec<String> {
+    let Json::Arr(events) = trace else { panic!("chrome trace must be a JSON array") };
+    events
+        .iter()
+        .map(|e| {
+            let Json::Obj(fields) = e else { panic!("trace event must be an object") };
+            match fields.get("name") {
+                Some(Json::Str(name)) => name.clone(),
+                other => panic!("trace event needs a string name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn get_num(obj: &Json, key: &str) -> f64 {
+    let Json::Obj(fields) = obj else { panic!("expected a JSON object") };
+    match fields.get(key) {
+        Some(Json::Num(n)) => *n,
+        other => panic!("expected number at {key:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn traced_scenario_run_exports_a_complete_chrome_trace() {
+    cqa::obs::trace::clear();
+    cqa::obs::set_enabled(true);
+    let pool = Pool::build(BenchConfig::smoke()).unwrap();
+    let figs = figures::fig1_noise(&pool, &[(0.0, 1)]);
+    cqa::obs::set_enabled(false);
+    assert!(!figs.is_empty(), "smoke scenario must produce a figure");
+
+    let text = cqa::obs::chrome_trace_string();
+    let trace = Json::parse(&text).expect("exported trace must be valid JSON");
+    let names = event_names(&trace);
+    assert!(!names.is_empty(), "trace must be non-empty");
+    assert!(
+        names.iter().any(|n| n == "synopsis/build"),
+        "trace must cover synopsis construction; saw {names:?}"
+    );
+    for scheme in ["Natural", "KL", "KLM", "Cover"] {
+        assert!(
+            names.iter().any(|n| n == &format!("scheme/{scheme}")),
+            "trace must cover the {scheme} sampling loop; saw {names:?}"
+        );
+    }
+    assert!(
+        names.iter().any(|n| n == "scenario/run_pair"),
+        "trace must cover the scenario driver; saw {names:?}"
+    );
+}
+
+#[test]
+fn server_stats_agree_between_json_registry_and_prometheus_text() {
+    let base = cqa_tpch::generate(cqa_tpch::TpchConfig { scale: 0.0003, seed: 23 });
+    let q = parse(base.schema(), "Q(rn) :- region(rk, rn)").unwrap();
+    let mut rng = Mt64::new(23);
+    let (db, _) =
+        add_query_aware_noise(&base, &q, NoiseSpec { p: 1.0, lmin: 2, umax: 3 }, &mut rng).unwrap();
+
+    let handle = Server::bind(
+        db,
+        ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let queries = 3u64;
+    for seed in 0..queries {
+        let resp = client
+            .query(QueryRequest {
+                query: "Q(rn) :- region(rk, rn)".into(),
+                eps: 0.2,
+                delta: 0.25,
+                seed,
+                ..QueryRequest::default()
+            })
+            .unwrap();
+        assert!(matches!(resp, Response::Answers { .. }), "expected answers, got {resp:?}");
+    }
+
+    let stats = client.stats_json().unwrap();
+    assert_eq!(get_num(&stats, "queries_ok") as u64, queries);
+    let Json::Obj(fields) = &stats else { panic!("stats must be a JSON object") };
+    let registry = fields.get("registry").expect("stats must nest the metrics registry");
+    assert_eq!(get_num(registry, "server_queries_ok_total") as u64, queries);
+    assert_eq!(get_num(registry, "server_requests_total"), get_num(&stats, "requests"));
+    assert_eq!(get_num(registry, "server_cache_hits_total"), get_num(&stats, "cache_hits"));
+    let latency = {
+        let Json::Obj(reg) = registry else { panic!("registry must be a JSON object") };
+        reg.get("server_query_latency").expect("registry must carry the latency histogram")
+    };
+    assert_eq!(get_num(latency, "count") as u64, queries);
+
+    let text = client.stats_prometheus().unwrap();
+    assert!(
+        text.contains(&format!("server_queries_ok_total {queries}")),
+        "prometheus text must report the query count:\n{text}"
+    );
+    assert!(text.contains("# TYPE server_query_latency histogram"), "missing histogram:\n{text}");
+    assert!(
+        text.contains(&format!("server_query_latency_count {queries}")),
+        "histogram count must match:\n{text}"
+    );
+    assert!(text.contains("le=\"+Inf\""), "histogram must close with +Inf:\n{text}");
+
+    // The trace command always answers with a (possibly empty) event array.
+    let trace = client.trace().unwrap();
+    assert!(matches!(trace, Json::Arr(_)), "trace response must be a JSON array");
+}
