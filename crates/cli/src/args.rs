@@ -125,6 +125,9 @@ pub enum Command {
         seed: u64,
         /// Per-request deadline in ms (None = server default).
         timeout_ms: Option<u64>,
+        /// Rewrite each issued query with shuffled atom order and fresh
+        /// variable names (α-equivalent, different text).
+        permute: bool,
     },
     /// Print usage.
     Help,
@@ -148,7 +151,7 @@ USAGE:
                  [--cache N] [--timeout-ms N] [--trace]
   cqa-cli bench-serve --addr HOST:PORT --query CQ [--scheme S] [--eps F]
                  [--delta F] [--clients N] [--requests N] [--seed N]
-                 [--timeout-ms N]
+                 [--timeout-ms N] [--permute-queries]
 
 Queries use the datalog-style syntax, e.g. 'Q(n) :- employee(x, n, d)'.
 `serve` speaks line-delimited JSON; see the README's Serving section.
@@ -336,7 +339,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             Ok(out)
         }
         "bench-serve" => {
-            let mut f = Flags::parse(&args[1..])?;
+            let mut f = Flags::parse_with_switches(&args[1..], &["permute-queries"])?;
             let scheme = parse_scheme(&f.take::<String>("scheme", Some("klm".into()))?)?;
             let out = Command::BenchServe {
                 addr: f.take("addr", None)?,
@@ -348,6 +351,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 requests: f.take("requests", Some(100))?,
                 seed: f.take("seed", Some(42))?,
                 timeout_ms: f.take("timeout-ms", Some(0u64)).map(|t| (t > 0).then_some(t))?,
+                permute: f.has("permute-queries"),
             };
             f.finish()?;
             Ok(out)
@@ -499,16 +503,29 @@ mod tests {
         let mut a = argv("bench-serve --addr 127.0.0.1:7171 --clients 8 --requests 50");
         a.extend(["--query".to_owned(), "Q(n) :- r(n)".to_owned()]);
         match parse_args(&a).unwrap() {
-            Command::BenchServe { addr, clients, requests, scheme, timeout_ms, .. } => {
+            Command::BenchServe {
+                addr, clients, requests, scheme, timeout_ms, permute, ..
+            } => {
                 assert_eq!(addr, "127.0.0.1:7171");
                 assert_eq!(clients, 8);
                 assert_eq!(requests, 50);
                 assert_eq!(scheme, Scheme::Klm);
                 assert_eq!(timeout_ms, None);
+                assert!(!permute);
             }
             _ => panic!("wrong command"),
         }
         assert!(parse_args(&argv("bench-serve --query Q")).is_err()); // no --addr
+                                                                      // --permute-queries is a valueless switch.
+        let mut b = argv("bench-serve --addr 127.0.0.1:7171 --permute-queries --seed 9");
+        b.extend(["--query".to_owned(), "Q(n) :- r(n)".to_owned()]);
+        match parse_args(&b).unwrap() {
+            Command::BenchServe { permute, seed, .. } => {
+                assert!(permute);
+                assert_eq!(seed, 9);
+            }
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]

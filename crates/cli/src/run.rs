@@ -221,9 +221,10 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
             requests,
             seed,
             timeout_ms,
+            permute,
         } => {
             let report = bench_serve(
-                &addr, &query, scheme, eps, delta, clients, requests, seed, timeout_ms,
+                &addr, &query, scheme, eps, delta, clients, requests, seed, timeout_ms, permute,
             )?;
             w(out, report);
         }
@@ -254,14 +255,32 @@ fn bench_serve(
     requests: usize,
     seed: u64,
     timeout_ms: Option<u64>,
+    permute: bool,
 ) -> Result<String> {
     let clients = clients.max(1);
-    let request_for =
-        |seed: u64| QueryRequest { query: query.to_owned(), scheme, eps, delta, timeout_ms, seed };
+    let request_for = |text: &str, seed: u64| QueryRequest {
+        query: text.to_owned(),
+        scheme,
+        eps,
+        delta,
+        timeout_ms,
+        seed,
+    };
+    // With --permute-queries, every issued request rewrites the query with
+    // shuffled atom order and fresh variable names: α-equivalent, so the
+    // answers are identical, but the literal text never repeats — any cache
+    // hits are hits the canonical key earned.
+    let spelled = |req_seed: u64| -> Result<String> {
+        if permute {
+            cqa_query::permute_query_text(query, &mut cqa_common::Mt64::new(req_seed))
+        } else {
+            Ok(query.to_owned())
+        }
+    };
     // Warm the synopsis cache outside the measured window, so the numbers
     // reflect steady-state serving rather than one preprocessing run.
     let mut warm = Client::connect(addr)?;
-    if let Response::Error { kind, message } = warm.query(request_for(seed))? {
+    if let Response::Error { kind, message } = warm.query(request_for(query, seed))? {
         return Err(cqa_common::CqaError::InvalidParameter(format!(
             "warmup query failed: {} ({message})",
             kind.name()
@@ -276,8 +295,9 @@ fn bench_serve(
                     let mut tally = ClientTally::default();
                     for i in 0..requests {
                         let req_seed = seed ^ ((c * requests + i) as u64).wrapping_mul(0x9E37);
+                        let text = spelled(req_seed)?;
                         let sw = Stopwatch::start();
-                        match client.query(request_for(req_seed))? {
+                        match client.query(request_for(&text, req_seed))? {
                             Response::Answers { cached, .. } => {
                                 tally.latencies_ms.push(sw.elapsed_secs() * 1000.0);
                                 tally.ok += 1;
@@ -331,12 +351,13 @@ fn bench_serve(
     // The server's own view: cache hit rate and its latency histogram.
     let stats = warm.stats()?;
     report.push_str(&format!(
-        "  server: {} queries ok, cache hit rate {:.1}% ({} hits / {} misses), \
-         latency ms p50 {:.2}, p95 {:.2}, p99 {:.2}",
+        "  server: {} queries ok, cache hit rate {:.1}% ({} hits / {} misses, \
+         {} canonical rekeys), latency ms p50 {:.2}, p95 {:.2}, p99 {:.2}",
         stats.queries_ok,
         stats.cache_hit_rate() * 100.0,
         stats.cache_hits,
         stats.cache_misses,
+        stats.cache_canonical_rekeys,
         stats.latency_p50_ms,
         stats.latency_p95_ms,
         stats.latency_p99_ms,
@@ -464,6 +485,7 @@ mod tests {
             5,  // requests each
             11, // seed
             None,
+            false,
         )
         .unwrap();
         assert!(report.contains("10 requests over 2 clients"), "{report}");

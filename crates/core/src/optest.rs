@@ -2,7 +2,7 @@
 //!
 //! Reference: P. Dagum, R. M. Karp, M. Luby, S. M. Ross, *An Optimal
 //! Algorithm for Monte Carlo Estimation*, SIAM J. Comput. 29(5), 2000 —
-//! the paper's citation [8]. Given sampling access to a random variable
+//! the paper's citation \[8\]. Given sampling access to a random variable
 //! `Z ∈ [0,1]` with unknown mean `µ > 0`, the `AA` algorithm estimates `µ`
 //! within relative error `ε` with confidence `1 − δ`, using an expected
 //! number of samples that is optimal up to constants: proportional to

@@ -3,11 +3,11 @@
 //! Query generators: the *static* query generator (SQG, Appendix D) and
 //! the *dynamic* query generator (DQG, §6.1).
 //!
-//! * [`sqg`] tunes the static parameters of a CQ — number of joins,
+//! * [`sqg()`] tunes the static parameters of a CQ — number of joins,
 //!   number of constant occurrences, fraction of projected attributes —
 //!   by sampling join conditions from the schema's foreign-key joinable
 //!   pairs and constants from the values actually occurring in the data.
-//! * [`dqg`] tunes the central *dynamic* parameter, the **balance**
+//! * [`dqg()`] tunes the central *dynamic* parameter, the **balance**
 //!   (output size / homomorphic size), by searching over random
 //!   projections of a starting query. Because the set of consistent
 //!   homomorphisms and the homomorphic size are independent of the
@@ -20,4 +20,4 @@ pub mod dqg;
 pub mod sqg;
 
 pub use dqg::{dqg, DqgResult};
-pub use sqg::{sqg, SqgSpec};
+pub use sqg::{sqg, sqg_distinct, SqgSpec};

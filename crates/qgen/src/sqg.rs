@@ -217,6 +217,38 @@ pub fn sqg(db: &Database, spec: SqgSpec, rng: &mut Mt64) -> Result<ConjunctiveQu
     ConjunctiveQuery::new(format!("Q_j{}_c{}", spec.joins, spec.constants), head, atoms, var_names)
 }
 
+/// Draws `n` SQG queries that are pairwise distinct **up to
+/// α-equivalence**, judged by their canonical fingerprints
+/// (`canonical_fingerprint`). Plain [`sqg`] resamples
+/// the same join tree under different variable orders surprisingly often
+/// at low join counts; deduplicating on the canonical form keeps a
+/// workload from silently repeating one structural query.
+///
+/// Draws failing `spec` or duplicating an earlier draw are discarded;
+/// after `max_attempts` total draws the queries found so far are returned
+/// (possibly fewer than `n` — small schemas genuinely exhaust their
+/// distinct shapes).
+pub fn sqg_distinct(
+    db: &Database,
+    spec: SqgSpec,
+    n: usize,
+    max_attempts: usize,
+    rng: &mut Mt64,
+) -> Vec<ConjunctiveQuery> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..max_attempts {
+        if out.len() == n {
+            break;
+        }
+        let Ok(q) = sqg(db, spec, rng) else { continue };
+        if seen.insert(q.canonical_fingerprint()) {
+            out.push(q);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +267,30 @@ mod tests {
                 sqg(&db, SqgSpec { joins: j, constants: 0, proj_fraction: 1.0 }, &mut rng).unwrap();
             assert_eq!(q.join_count(), j, "query {}", q.display(db.schema()));
         }
+    }
+
+    #[test]
+    fn sqg_distinct_yields_canonically_distinct_queries() {
+        let db = db();
+        let mut rng = Mt64::new(8);
+        let spec = SqgSpec { joins: 1, constants: 0, proj_fraction: 1.0 };
+        let qs = sqg_distinct(&db, spec, 10, 2_000, &mut rng);
+        assert!(qs.len() >= 2, "tiny TPC-H has several 1-join shapes");
+        let fps: std::collections::HashSet<u64> =
+            qs.iter().map(|q| q.canonical_fingerprint()).collect();
+        assert_eq!(fps.len(), qs.len(), "fingerprints must be pairwise distinct");
+        // Plain sqg over the same number of draws does repeat shapes —
+        // that's the redundancy sqg_distinct removes.
+        let mut rng = Mt64::new(8);
+        let mut plain = std::collections::HashSet::new();
+        let mut draws = 0;
+        for _ in 0..2_000 {
+            if let Ok(q) = sqg(&db, spec, &mut rng) {
+                plain.insert(q.canonical_fingerprint());
+                draws += 1;
+            }
+        }
+        assert!(plain.len() < draws, "expected α-equivalent repeats among {draws} draws");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use cqa_storage::{ColumnType, Schema, Value};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, PartialEq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     Int(i64),
     Str(String),
@@ -26,7 +26,7 @@ enum Tok {
     ColonDash,
 }
 
-fn lex(input: &str) -> Result<Vec<Tok>> {
+pub(crate) fn lex(input: &str) -> Result<Vec<Tok>> {
     let mut toks = Vec::new();
     let mut chars = input.chars().peekable();
     while let Some(&c) = chars.peek() {

@@ -69,6 +69,9 @@ impl Pool {
         eprintln!("[pool] D_H has {} facts", base_db.fact_count());
 
         let mut queries = Vec::new();
+        // Canonical fingerprints of every kept query, across join levels:
+        // two α-equivalent SQG draws would measure the same thing twice.
+        let mut kept_fingerprints = std::collections::HashSet::new();
         for &j in &config.joins {
             let mut kept = 0;
             let mut attempts = 0;
@@ -88,6 +91,9 @@ impl Pool {
                     continue;
                 };
                 if q.join_count() != j {
+                    continue;
+                }
+                if !kept_fingerprints.insert(q.canonical_fingerprint()) {
                     continue;
                 }
                 // Keep queries that are non-empty and tractable on D_H.

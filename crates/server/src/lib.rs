@@ -5,9 +5,10 @@
 //! The batch binaries rebuild every synopsis from scratch per invocation;
 //! preprocessing dominates their cost (Fig. 3 of the paper). This crate
 //! amortizes it: a TCP daemon loads a database dump once, caches built
-//! synopses keyed by `(database fingerprint, constraint set, query text)`,
-//! and answers approximate-CQA requests over a versioned line-delimited
-//! JSON protocol. Components:
+//! synopses keyed by `(database fingerprint, constraint-set fingerprint,
+//! canonical query fingerprint)` — so α-equivalent spellings of a query
+//! share one entry — and answers approximate-CQA requests over a versioned
+//! line-delimited JSON protocol (see `docs/PROTOCOL.md`). Components:
 //!
 //! * [`protocol`] — request/response types and their wire encoding.
 //! * [`cache`] — the sharded LRU synopsis cache with hit/miss accounting.

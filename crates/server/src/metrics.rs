@@ -45,6 +45,7 @@ pub struct Metrics {
     /// at render time (the cache keeps its own atomics).
     cache_hits: Counter,
     cache_misses: Counter,
+    cache_canonical_rekeys: Counter,
     cache_entries: Gauge,
     cache_evictions: Counter,
 }
@@ -87,6 +88,9 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Synopsis-cache misses.
     pub cache_misses: u64,
+    /// Cache hits whose literal query text differed from the inserting
+    /// request's — hits only canonicalization made possible.
+    pub cache_canonical_rekeys: u64,
     /// Synopsis-cache resident entries.
     pub cache_entries: usize,
     /// Synopsis-cache evictions.
@@ -125,6 +129,10 @@ impl Metrics {
             .histogram("server_queue_wait", "Time a query request spent in the admission queue.");
         let cache_hits = registry.counter("server_cache_hits_total", "Synopsis-cache hits.");
         let cache_misses = registry.counter("server_cache_misses_total", "Synopsis-cache misses.");
+        let cache_canonical_rekeys = registry.counter(
+            "server_cache_canonical_rekeys_total",
+            "Cache hits under a different literal query text than the inserting request's.",
+        );
         let cache_entries =
             registry.gauge("server_cache_entries", "Synopsis-cache resident entries.");
         let cache_evictions =
@@ -142,6 +150,7 @@ impl Metrics {
             queue_wait,
             cache_hits,
             cache_misses,
+            cache_canonical_rekeys,
             cache_entries,
             cache_evictions,
         }
@@ -152,6 +161,7 @@ impl Metrics {
     fn sync_cache(&self, cache: &crate::cache::CacheStats) {
         self.cache_hits.set(cache.hits);
         self.cache_misses.set(cache.misses);
+        self.cache_canonical_rekeys.set(cache.canonical_rekeys);
         self.cache_entries.set(cache.entries as i64);
         self.cache_evictions.set(cache.evictions);
     }
@@ -173,6 +183,7 @@ impl Metrics {
             latency_p99_ms: self.query_latency.quantile_ms(0.99),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            cache_canonical_rekeys: cache.canonical_rekeys,
             cache_entries: cache.entries,
             cache_evictions: cache.evictions,
         }
@@ -215,6 +226,7 @@ impl MetricsSnapshot {
             ("latency_p99_ms", Json::from(self.latency_p99_ms)),
             ("cache_hits", Json::from(self.cache_hits)),
             ("cache_misses", Json::from(self.cache_misses)),
+            ("cache_canonical_rekeys", Json::from(self.cache_canonical_rekeys)),
             ("cache_entries", Json::from(self.cache_entries)),
             ("cache_evictions", Json::from(self.cache_evictions)),
         ])
@@ -243,6 +255,11 @@ impl MetricsSnapshot {
             latency_p99_ms: v.req_f64("latency_p99_ms")?,
             cache_hits: int("cache_hits")?,
             cache_misses: int("cache_misses")?,
+            // Absent in payloads from servers predating canonicalization.
+            cache_canonical_rekeys: v
+                .get("cache_canonical_rekeys")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
             cache_entries: int("cache_entries")? as usize,
             cache_evictions: int("cache_evictions")?,
         })
@@ -303,11 +320,27 @@ mod tests {
         m.requests.add(7);
         m.queries_ok.add(5);
         m.query_latency.record(Duration::from_millis(3));
-        let cache = CacheStats { hits: 4, misses: 1, entries: 1, evictions: 0, capacity: 8 };
+        let cache = CacheStats {
+            hits: 4,
+            misses: 1,
+            canonical_rekeys: 2,
+            entries: 1,
+            evictions: 0,
+            capacity: 8,
+        };
         let snap = m.snapshot(&cache);
         let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed, snap);
+        assert_eq!(parsed.cache_canonical_rekeys, 2);
         assert_eq!(parsed.cache_hit_rate(), 0.8);
+        // Payloads from servers that predate the rekey counter still parse.
+        let mut legacy = match snap.to_json() {
+            Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        legacy.remove("cache_canonical_rekeys");
+        let parsed = MetricsSnapshot::from_json(&Json::Obj(legacy)).unwrap();
+        assert_eq!(parsed.cache_canonical_rekeys, 0);
     }
 
     #[test]
@@ -316,7 +349,14 @@ mod tests {
         m.requests.add(3);
         m.queries_ok.add(2);
         m.query_latency.record(Duration::from_micros(500));
-        let cache = CacheStats { hits: 1, misses: 2, entries: 2, evictions: 0, capacity: 8 };
+        let cache = CacheStats {
+            hits: 1,
+            misses: 2,
+            canonical_rekeys: 0,
+            entries: 2,
+            evictions: 0,
+            capacity: 8,
+        };
         let v = m.stats_json(&cache);
         // The flat wire fields survive unchanged…
         let parsed = MetricsSnapshot::from_json(&v).unwrap();
@@ -335,11 +375,19 @@ mod tests {
         m.requests.add(9);
         m.connections.inc();
         m.query_latency.record(Duration::from_micros(100));
-        let cache = CacheStats { hits: 5, misses: 3, entries: 3, evictions: 1, capacity: 8 };
+        let cache = CacheStats {
+            hits: 5,
+            misses: 3,
+            canonical_rekeys: 2,
+            entries: 3,
+            evictions: 1,
+            capacity: 8,
+        };
         let text = m.to_prometheus(&cache);
         assert!(text.contains("# TYPE server_requests_total counter"), "{text}");
         assert!(text.contains("server_requests_total 9"), "{text}");
         assert!(text.contains("server_cache_hits_total 5"), "{text}");
+        assert!(text.contains("server_cache_canonical_rekeys_total 2"), "{text}");
         assert!(text.contains("server_cache_entries 3"), "{text}");
         assert!(text.contains("# TYPE server_query_latency histogram"), "{text}");
         assert!(text.contains("server_query_latency_count 1"), "{text}");

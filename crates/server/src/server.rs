@@ -301,10 +301,11 @@ fn run_query(shared: &Shared, q: &QueryRequest, deadline: Deadline) -> Response 
     let key = CacheKey {
         db_fingerprint: shared.db_fingerprint,
         constraint_fingerprint: shared.constraint_fingerprint,
-        query: q.query.clone(),
+        query_fingerprint: cq.canonical_fingerprint(),
     };
+    let literal_fp = CacheKey::literal_fingerprint(&q.query);
     let lookup_span = cqa_obs::span("server/cache_lookup");
-    let looked_up = shared.cache.get(&key);
+    let looked_up = shared.cache.get(&key, literal_fp);
     drop(lookup_span);
     let (syn, cached) = match looked_up {
         Some(syn) => (syn, true),
@@ -316,7 +317,7 @@ fn run_query(shared: &Shared, q: &QueryRequest, deadline: Deadline) -> Response 
             match built {
                 Ok(syn) => {
                     let syn = Arc::new(syn);
-                    shared.cache.insert(key, Arc::clone(&syn));
+                    shared.cache.insert(key, literal_fp, Arc::clone(&syn));
                     (syn, false)
                 }
                 Err(e) => return error_response(e),

@@ -20,6 +20,47 @@
 //!   experiments).
 //! * [`stats`] — the dynamic query parameters of §6.1: homomorphic size,
 //!   output size, and **balance**.
+//!
+//! # Example
+//!
+//! The paper's Example 1.1: `employee` is keyed on `id`, and employee 1
+//! has two conflicting facts, so the database has two repairs. Building
+//! the synopses and evaluating `R(H, B)` exactly recovers each answer's
+//! relative frequency:
+//!
+//! ```
+//! use cqa_query::parse;
+//! use cqa_storage::{ColumnType, Database, Schema, Value};
+//! use cqa_synopsis::{build_synopses, exact_ratio_enumerate, BuildOptions};
+//!
+//! let schema = Schema::builder()
+//!     .relation(
+//!         "employee",
+//!         &[("id", ColumnType::Int), ("name", ColumnType::Str), ("dept", ColumnType::Str)],
+//!         Some(1),
+//!     )
+//!     .build();
+//! let mut db = Database::new(schema);
+//! for (id, name, dept) in [(1, "Bob", "HR"), (1, "Bob", "IT"), (2, "Alice", "IT")] {
+//!     db.insert_named("employee", &[Value::Int(id), Value::str(name), Value::str(dept)])?;
+//! }
+//!
+//! // Who works in IT? Two candidate answers, one synopsis each.
+//! let q = parse(db.schema(), "Q(n) :- employee(i, n, 'IT')")?;
+//! let syn = build_synopses(&db, &q, BuildOptions::default())?;
+//! assert_eq!(syn.output_size(), 2);
+//!
+//! // Alice's fact is conflict-free: she answers in both repairs.
+//! let alice = db.lookup_value(&Value::str("Alice")).unwrap();
+//! let pair = &syn.get(&[alice]).unwrap().pair;
+//! assert_eq!(exact_ratio_enumerate(pair, 1_000)?, 1.0);
+//!
+//! // Bob is in IT only in the repair that picks (1, Bob, IT).
+//! let bob = db.lookup_value(&Value::str("Bob")).unwrap();
+//! let pair = &syn.get(&[bob]).unwrap().pair;
+//! assert_eq!(exact_ratio_enumerate(pair, 1_000)?, 0.5);
+//! # Ok::<(), cqa_common::CqaError>(())
+//! ```
 
 pub mod admissible;
 pub mod build;

@@ -158,3 +158,102 @@ proptest! {
         }
     }
 }
+
+/// An α-renaming plus atom shuffle of `q`: semantically the same CQ,
+/// structurally rearranged.
+fn alpha_variant(q: &ConjunctiveQuery, rng: &mut Mt64) -> ConjunctiveQuery {
+    use cqa::query::{Atom, Term, VarId};
+    let n = q.num_vars();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut perm);
+    let map = |v: VarId| VarId(perm[v.idx()]);
+    let mut atoms: Vec<Atom> = q
+        .atoms
+        .iter()
+        .map(|a| Atom {
+            rel: a.rel,
+            terms: a
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => Term::Var(map(*v)),
+                    Term::Const(c) => Term::Const(c.clone()),
+                })
+                .collect(),
+        })
+        .collect();
+    rng.shuffle(&mut atoms);
+    let head = q.head.iter().map(|&v| map(v)).collect();
+    // Fresh display names (they are not part of the canonical form).
+    let names = (0..n).map(|i| format!("w{i}_{}", rng.below(100))).collect();
+    ConjunctiveQuery::new("Q_variant", head, atoms, names).expect("renaming preserves safety")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Canonicalization is invariant under variable renaming and atom
+    /// reordering, both at the AST level and through the text permuter.
+    #[test]
+    fn canonical_form_is_alpha_invariant(
+        joins in 0usize..=3,
+        constants in 0usize..=2,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let db = cqa::tpch::generate(cqa::tpch::TpchConfig::tiny());
+        let mut rng = Mt64::new(seed);
+        let spec = cqa::qgen::SqgSpec { joins, constants, proj_fraction: 1.0 };
+        let Ok(q) = cqa::qgen::sqg(&db, spec, &mut rng) else {
+            return Ok(()); // this draw had no valid query; other cases cover it
+        };
+        let form = q.canonical_form();
+        for _ in 0..4 {
+            let variant = alpha_variant(&q, &mut rng);
+            prop_assert_eq!(variant.canonical_form(), form.clone());
+            prop_assert_eq!(variant.canonical_fingerprint(), form.fingerprint());
+        }
+        // The text-level permuter (what `bench-serve --permute-queries`
+        // issues) round-trips to the same fingerprint.
+        let text = q.display(db.schema()).to_string();
+        let permuted = cqa::query::permute_query_text(&text, &mut rng).unwrap();
+        let reparsed = parse(db.schema(), &permuted).unwrap();
+        prop_assert_eq!(reparsed.canonical_fingerprint(), form.fingerprint());
+    }
+}
+
+/// No spurious fingerprint collisions across a corpus of SQG queries:
+/// equal fingerprints always mean equal canonical forms.
+#[test]
+fn canonical_fingerprints_are_injective_on_an_sqg_corpus() {
+    use std::collections::hash_map::Entry;
+    use std::collections::HashMap;
+    let db = cqa::tpch::generate(cqa::tpch::TpchConfig::tiny());
+    let mut rng = Mt64::new(20210621);
+    let mut by_fp: HashMap<u64, cqa::query::CanonicalQuery> = HashMap::new();
+    let mut corpus = 0usize;
+    for joins in 0..=3usize {
+        for constants in 0..=2usize {
+            for _ in 0..30 {
+                let spec = cqa::qgen::SqgSpec { joins, constants, proj_fraction: 1.0 };
+                let Ok(q) = cqa::qgen::sqg(&db, spec, &mut rng) else { continue };
+                corpus += 1;
+                let form = q.canonical_form();
+                match by_fp.entry(form.fingerprint()) {
+                    Entry::Occupied(e) => assert_eq!(
+                        e.get(),
+                        &form,
+                        "fingerprint {:#x} collides across distinct canonical forms:\n  {}\n  {}",
+                        form.fingerprint(),
+                        e.get().text(),
+                        form.text(),
+                    ),
+                    Entry::Vacant(e) => {
+                        e.insert(form);
+                    }
+                }
+            }
+        }
+    }
+    assert!(corpus >= 200, "corpus too small: {corpus}");
+    assert!(by_fp.len() >= 50, "too few distinct shapes: {}", by_fp.len());
+}

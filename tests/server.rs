@@ -114,9 +114,45 @@ fn repeat_query_hits_the_synopsis_cache() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.cache_hits, 1);
     assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_canonical_rekeys, 0, "same literal text is not a rekey");
     assert_eq!(stats.cache_entries, 1);
     assert_eq!(stats.queries_ok, 2);
     assert!(stats.latency_p50_ms > 0.0);
+}
+
+#[test]
+fn alpha_equivalent_spellings_share_one_cache_entry() {
+    let handle = spawn_server(noisy_db(23), 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Three spellings of QUERY: renamed variables, and (for the third) the
+    // same atom written twice — all one canonical form.
+    let spellings = [QUERY, "P(name) :- region(key, name)", "Q(b) :- region(a, b), region(a, b)"];
+    let mut answers = Vec::new();
+    for (i, text) in spellings.iter().enumerate() {
+        let response = client
+            .query(QueryRequest {
+                query: (*text).into(),
+                eps: 0.2,
+                delta: 0.25,
+                seed: 5,
+                ..QueryRequest::default()
+            })
+            .unwrap();
+        match response {
+            Response::Answers { cached, answers: a, .. } => {
+                assert_eq!(cached, i > 0, "only the first spelling builds: {text}");
+                answers.push(a.into_iter().map(|w| (w.tuple, w.frequency)).collect::<Vec<_>>());
+            }
+            other => panic!("expected answers for {text}, got {other:?}"),
+        }
+    }
+    assert_eq!(answers[0], answers[1], "same seed + same canonical query = same answers");
+    assert_eq!(answers[0], answers[2]);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, 1, "one synopsis build serves all spellings");
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.cache_canonical_rekeys, 2, "both re-spelled hits were rekeys");
+    assert_eq!(stats.cache_entries, 1);
 }
 
 #[test]
