@@ -7,6 +7,8 @@
 //! enumeration or inclusion–exclusion), each scheme runs repeatedly and
 //! the observed relative errors are compared against ε and δ.
 
+#![forbid(unsafe_code)]
+
 use cqa_common::Mt64;
 use cqa_core::{approx_relative_frequency, Budget, ALL_SCHEMES};
 use cqa_scenarios::{BenchConfig, Pool};

@@ -1,6 +1,8 @@
 //! Regenerates Figure 1 (noise scenarios `Noise[balance, joins]`) — and,
 //! with `CQA_APPENDIX=1`, the full grids of appendix Figures 6–7.
 
+#![forbid(unsafe_code)]
+
 use cqa_bench::{emit, fig1_selections};
 use cqa_scenarios::{figures, BenchConfig, Pool};
 

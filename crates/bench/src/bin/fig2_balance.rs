@@ -1,6 +1,8 @@
 //! Regenerates Figure 2 (balance scenarios `Balance[noise, joins]`) — and,
 //! with `CQA_APPENDIX=1`, the full grids of appendix Figures 8–9.
 
+#![forbid(unsafe_code)]
+
 use cqa_bench::{emit, fig2_selections};
 use cqa_scenarios::{figures, BenchConfig, Pool};
 

@@ -2,6 +2,8 @@
 //! running time over every database–query pair of `P_H`, plus the CDF
 //! claims of §7.1.
 
+#![forbid(unsafe_code)]
+
 use cqa_bench::emit;
 use cqa_scenarios::{figures, BenchConfig, Pool};
 

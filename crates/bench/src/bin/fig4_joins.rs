@@ -2,6 +2,8 @@
 //! running time per scheme) — and, with `CQA_APPENDIX=1`, the full grids
 //! of appendix Figures 10–13.
 
+#![forbid(unsafe_code)]
+
 use cqa_bench::{emit, fig4_selections};
 use cqa_scenarios::{figures, BenchConfig, Pool};
 

@@ -2,6 +2,8 @@
 //! scenarios on the TPC-H and TPC-DS workload queries, execution time vs
 //! noise with measured balance statistics.
 
+#![forbid(unsafe_code)]
+
 use cqa_bench::emit;
 use cqa_scenarios::{figures, BenchConfig};
 

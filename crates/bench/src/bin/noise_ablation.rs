@@ -8,6 +8,8 @@
 //! oblivious baseline wastes its injections on facts the query never
 //! reads; the table makes that quantitative.
 
+#![forbid(unsafe_code)]
+
 use cqa_common::Mt64;
 use cqa_noise::{add_oblivious_noise, add_query_aware_noise, NoiseSpec};
 use cqa_query::parse;

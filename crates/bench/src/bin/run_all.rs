@@ -6,6 +6,8 @@
 //!    worst.
 //! 3. Feasibility: preprocessing concentrated, best-scheme times modest.
 
+#![forbid(unsafe_code)]
+
 use cqa_bench::{emit, fig1_selections, fig2_selections, fig4_selections};
 use cqa_scenarios::{figures, BenchConfig, Figure, Pool};
 

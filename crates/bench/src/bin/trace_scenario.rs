@@ -6,6 +6,8 @@
 //! The scenario size follows `CQA_PROFILE`/`CQA_*` like the figure
 //! binaries, defaulting to the smoke profile so a run takes seconds.
 
+#![forbid(unsafe_code)]
+
 use cqa_scenarios::{figures, BenchConfig, Pool};
 use std::path::PathBuf;
 

@@ -5,6 +5,8 @@
 //! corresponding pipeline, prints the ASCII tables, and writes CSVs under
 //! `results/`.
 
+#![forbid(unsafe_code)]
+
 use cqa_scenarios::{BenchConfig, Figure};
 use std::path::PathBuf;
 

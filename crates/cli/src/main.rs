@@ -1,5 +1,7 @@
 //! `cqa-cli` entry point.
 
+#![forbid(unsafe_code)]
+
 use cqa_cli::{execute, parse_args};
 
 fn main() {

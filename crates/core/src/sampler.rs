@@ -57,6 +57,7 @@ impl<'a> NaturalSampler<'a> {
 }
 
 impl Sampler for NaturalSampler<'_> {
+    // cqa-lint: hot-path begin — one call per Monte-Carlo sample
     fn sample(&mut self, rng: &mut Mt64) -> f64 {
         for (b, slot) in self.chosen.iter_mut().enumerate() {
             *slot = rng.below(self.pair.block_size(b as u32) as u64) as u32;
@@ -69,6 +70,7 @@ impl Sampler for NaturalSampler<'_> {
             0.0
         }
     }
+    // cqa-lint: hot-path end
 
     fn r_factor(&self) -> f64 {
         1.0
@@ -104,6 +106,7 @@ impl<'a> SymbolicDraw<'a> {
 
     /// Draws `(i, I)`: the image index is returned, the database `I` is
     /// left in the internal `chosen` buffer.
+    // cqa-lint: hot-path begin — one call per KL/KLM sample
     #[inline]
     pub fn draw(&mut self, rng: &mut Mt64) -> usize {
         let i = self.alias.sample(rng);
@@ -117,6 +120,7 @@ impl<'a> SymbolicDraw<'a> {
         }
         i
     }
+    // cqa-lint: hot-path end
 
     /// The chosen database from the last [`Self::draw`].
     #[inline]
@@ -141,6 +145,7 @@ impl<'a> KlSampler<'a> {
 }
 
 impl Sampler for KlSampler<'_> {
+    // cqa-lint: hot-path begin — one call per Monte-Carlo sample
     fn sample(&mut self, rng: &mut Mt64) -> f64 {
         let i = self.draw.draw(rng);
         let pair = self.draw.pair;
@@ -153,6 +158,7 @@ impl Sampler for KlSampler<'_> {
         }
         1.0
     }
+    // cqa-lint: hot-path end
 
     fn r_factor(&self) -> f64 {
         self.r
@@ -181,6 +187,7 @@ impl<'a> KlmSampler<'a> {
 }
 
 impl Sampler for KlmSampler<'_> {
+    // cqa-lint: hot-path begin — one call per Monte-Carlo sample
     fn sample(&mut self, rng: &mut Mt64) -> f64 {
         let _ = self.draw.draw(rng);
         let pair = self.draw.pair;
@@ -194,6 +201,7 @@ impl Sampler for KlmSampler<'_> {
         debug_assert!(k >= 1, "the drawn image must be contained");
         1.0 / k as f64
     }
+    // cqa-lint: hot-path end
 
     fn r_factor(&self) -> f64 {
         self.r

@@ -202,6 +202,20 @@ mod tests {
     use super::*;
     use cqa_synopsis::exact_ratio_enumerate;
 
+    /// `span_name` builds its names in match arms, which the cqa-lint
+    /// token scan cannot tie to a call site — this cross-check keeps them
+    /// in the central registry instead.
+    #[test]
+    fn scheme_span_names_are_registered() {
+        for scheme in ALL_SCHEMES {
+            assert!(
+                cqa_obs::names::SPANS.contains(&scheme.span_name()),
+                "{} missing from crates/obs/src/names.rs",
+                scheme.span_name()
+            );
+        }
+    }
+
     fn overlap_pair() -> AdmissiblePair {
         AdmissiblePair::new(
             vec![vec![(0, 0)], vec![(0, 0), (1, 1)], vec![(1, 1), (2, 2)], vec![(2, 0)]],

@@ -28,8 +28,11 @@
 //! cqa_obs::set_enabled(false);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod export;
 pub mod metrics;
+pub mod names;
 pub mod trace;
 
 pub use export::{chrome_trace_string, flat_profile_string, write_chrome_trace};

@@ -1,0 +1,101 @@
+//! Central registry of every span and metric name in the workspace.
+//!
+//! Dashboards, trace post-processing, and the metrics exposition all key
+//! on these literal strings; a name used at an instrumentation site but
+//! absent here is almost always a typo, and it fails nowhere — the data
+//! just silently lands under a label nothing reads. `cqa-lint`'s
+//! `obs-name-registry` rule checks every span/metric literal in the
+//! workspace against these arrays, so adding an instrumentation point
+//! means adding its name here first (see `docs/ANALYSIS.md`).
+//!
+//! Naming scheme: spans are `area/operation` (slash-separated, the area
+//! matching the crate or subsystem); metrics are `area_noun_unit`
+//! (underscore-separated, Prometheus-style, `_total` for counters).
+
+/// Every span name passed to [`crate::span`], [`crate::span_args`],
+/// [`crate::record_span`], or [`crate::instant_args`].
+pub const SPANS: &[&str] = &[
+    // crates/server — request lifecycle
+    "server/request",
+    "server/queue_wait",
+    "server/cache_lookup",
+    "server/synopsis_build",
+    "server/sampling",
+    // crates/synopsis — preprocessing
+    "synopsis/build",
+    "synopsis/enumerate_homs",
+    "synopsis/encode_groups",
+    // crates/scenarios — benchmark harness
+    "scenario/cell_noise",
+    "scenario/cell_balance",
+    "scenario/run_pair",
+    "run/Natural",
+    "run/KL",
+    "run/KLM",
+    "run/Cover",
+    "driver/apx_cqa",
+    // crates/core — sampling schemes and stopping rules
+    "scheme/Natural",
+    "scheme/KL",
+    "scheme/KLM",
+    "scheme/Cover",
+    "dklr/stopping_rule",
+    "dklr/variance_estimation",
+    "dklr/planned",
+    "core/coverage_loop",
+    "core/mc_final_loop",
+    "core/deadline_expired",
+    "core/sample_cap_hit",
+];
+
+/// Every metric name registered with the global
+/// [`crate::metrics::Registry`] (counters, gauges, and histograms).
+pub const METRICS: &[&str] = &[
+    // crates/server
+    "server_requests_total",
+    "server_queries_ok_total",
+    "server_rejected_overloaded_total",
+    "server_rejected_deadline_total",
+    "server_rejected_bad_request_total",
+    "server_errors_internal_total",
+    "server_connections_total",
+    "server_query_latency",
+    "server_queue_wait",
+    "server_cache_hits_total",
+    "server_cache_misses_total",
+    "server_cache_canonical_rekeys_total",
+    "server_cache_entries",
+    "server_cache_evictions_total",
+    // crates/core
+    "core_samples_total",
+    "core_samples_rejected_total",
+    "core_scheme_runs_total",
+    "core_budget_exhausted_total",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registries_have_no_duplicates() {
+        let spans: BTreeSet<_> = SPANS.iter().collect();
+        assert_eq!(spans.len(), SPANS.len(), "duplicate span name in registry");
+        let metrics: BTreeSet<_> = METRICS.iter().collect();
+        assert_eq!(metrics.len(), METRICS.len(), "duplicate metric name in registry");
+    }
+
+    #[test]
+    fn names_follow_the_scheme() {
+        for s in SPANS {
+            assert!(s.contains('/') && !s.contains(' '), "span {s:?} must be area/operation");
+        }
+        for m in METRICS {
+            assert!(
+                m.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "metric {m:?} must be snake_case"
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Exhaustive interleaving checks for the trace ring's seqlock protocol.
+//!
+//! `cqa_obs::trace` publishes ring slots with a per-slot sequence word:
+//! the writer stores an odd value, writes the payload fields, then stores
+//! the next even value; a reader snapshots by reading the sequence, the
+//! fields, and the sequence again, keeping the slot only if both reads saw
+//! the same even, nonzero value. These tests model exactly that discipline
+//! (compare `Slot::push`/`snapshot` in `crates/obs/src/trace.rs`) over
+//! `loom` (the vendored interleaving explorer in `shims/loom`) and assert
+//! that **no** sequentially-consistent interleaving lets a reader accept a
+//! torn payload. A negative control drops the odd "writing" phase — the
+//! shortcut a refactor might take — and asserts the explorer finds the
+//! torn read it permits, which is the evidence that the passing tests
+//! actually constrain the protocol.
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One modeled ring slot: generation word plus a two-word payload whose
+/// halves must always be observed together (the model writes `(v, v)`, so
+/// a torn read is any snapshot with `a != b`).
+struct Slot {
+    seq: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot { seq: AtomicU64::new(0), a: AtomicU64::new(0), b: AtomicU64::new(0) }
+    }
+
+    /// The real protocol: odd marks "write in progress", even publishes.
+    fn push(&self, generation: u64, value: u64) {
+        self.seq.store(2 * generation - 1, Ordering::Release);
+        self.a.store(value, Ordering::Relaxed);
+        self.b.store(value, Ordering::Relaxed);
+        self.seq.store(2 * generation, Ordering::Release);
+    }
+
+    /// The broken protocol the negative control exercises: payload first,
+    /// no in-progress marker.
+    fn push_unguarded(&self, generation: u64, value: u64) {
+        self.a.store(value, Ordering::Relaxed);
+        self.b.store(value, Ordering::Relaxed);
+        self.seq.store(2 * generation, Ordering::Release);
+    }
+
+    /// One snapshot attempt, mirroring `snapshot()`: reject unpublished
+    /// (zero), in-progress (odd), and concurrently-rewritten (sequence
+    /// changed) slots.
+    fn try_read(&self) -> Option<(u64, u64)> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 % 2 == 1 {
+            return None;
+        }
+        let a = self.a.load(Ordering::Relaxed);
+        let b = self.b.load(Ordering::Relaxed);
+        let s2 = self.seq.load(Ordering::Acquire);
+        if s1 != s2 {
+            return None;
+        }
+        Some((a, b))
+    }
+}
+
+/// A reader with bounded retries (exploration requires bounded loops; the
+/// real `snapshot()` visits each slot once per call).
+fn read_with_retries(slot: &Slot, attempts: usize) -> Option<(u64, u64)> {
+    for _ in 0..attempts {
+        if let Some(pair) = slot.try_read() {
+            return Some(pair);
+        }
+    }
+    None
+}
+
+/// A reader races a writer re-publishing a live slot. In every
+/// interleaving the reader either skips the slot or sees one of the two
+/// published payloads intact — never a mix.
+#[test]
+fn reader_never_accepts_a_torn_payload() {
+    loom::model(|| {
+        let slot = Arc::new(Slot::new());
+        // Generation 1 is already published before the race begins, as in
+        // a warm ring.
+        slot.push(1, 10);
+        let s2 = Arc::clone(&slot);
+        let writer = loom::thread::spawn(move || {
+            s2.push(2, 20); // wrap-around: overwrite the live slot
+        });
+        if let Some((a, b)) = read_with_retries(&slot, 2) {
+            assert_eq!(a, b, "torn read: halves from different generations");
+            assert!(a == 10 || a == 20, "payload from a generation never published");
+        }
+        writer.join().unwrap();
+        // After the writer quiesces the slot must read clean.
+        let (a, b) = slot.try_read().expect("published slot must be readable");
+        assert_eq!((a, b), (20, 20));
+    });
+}
+
+/// An in-progress write (odd sequence) is always skipped, so a reader can
+/// never block on or observe a half-written slot even if the writer is
+/// preempted mid-write forever.
+#[test]
+fn in_progress_slots_are_skipped() {
+    loom::model(|| {
+        let slot = Arc::new(Slot::new());
+        let s2 = Arc::clone(&slot);
+        let writer = loom::thread::spawn(move || {
+            s2.push(1, 7);
+        });
+        // The slot starts unpublished; whatever the schedule does, each
+        // attempt yields either nothing or the complete payload.
+        if let Some((a, b)) = read_with_retries(&slot, 2) {
+            assert_eq!((a, b), (7, 7));
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// Negative control: without the odd in-progress phase, some interleaving
+/// hands the reader half of each generation under a stable even sequence.
+/// The explorer must find it.
+#[test]
+fn unguarded_writer_torn_read_is_caught() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let slot = Arc::new(Slot::new());
+            slot.push_unguarded(1, 10);
+            let s2 = Arc::clone(&slot);
+            let writer = loom::thread::spawn(move || {
+                s2.push_unguarded(2, 20);
+            });
+            if let Some((a, b)) = read_with_retries(&slot, 2) {
+                assert_eq!(a, b, "torn read admitted");
+            }
+            writer.join().unwrap();
+        })
+    }));
+    let msg = match outcome {
+        Ok(report) => panic!(
+            "unguarded writer survived {} interleavings — the model is not exploring enough",
+            report.iterations
+        ),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".to_owned()),
+    };
+    assert!(msg.contains("torn read admitted"), "unexpected failure: {msg}");
+}

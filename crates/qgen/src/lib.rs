@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Query generators: the *static* query generator (SQG, Appendix D) and

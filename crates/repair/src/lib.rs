@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Repairs of an inconsistent database w.r.t. primary keys.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The benchmark proper: test scenarios and the experiment pipelines that

@@ -144,6 +144,20 @@ mod tests {
     use cqa_storage::ColumnType::*;
     use cqa_storage::{Schema, Value};
 
+    /// `run_span_name` builds its names in match arms, which the cqa-lint
+    /// token scan cannot tie to a call site — this cross-check keeps them
+    /// in the central registry instead.
+    #[test]
+    fn run_span_names_are_registered() {
+        for scheme in cqa_core::ALL_SCHEMES {
+            assert!(
+                cqa_obs::names::SPANS.contains(&run_span_name(scheme)),
+                "{} missing from crates/obs/src/names.rs",
+                run_span_name(scheme)
+            );
+        }
+    }
+
     fn example_db() -> Database {
         let schema = Schema::builder()
             .relation("employee", &[("id", Int), ("name", Str), ("dept", Str)], Some(1))

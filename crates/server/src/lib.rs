@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `cqa-server` — a long-lived approximate-CQA service.
@@ -30,7 +31,7 @@ pub mod server;
 pub use cache::{CacheKey, CacheStats, SynopsisCache};
 pub use client::Client;
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
-pub use pool::{PoolConfig, QueueFull, WorkerPool};
+pub use pool::{PoolConfig, SubmitError, WorkerPool};
 pub use protocol::{
     ErrorKind, QueryRequest, Request, Response, StatsFormat, WireAnswer, PROTOCOL_VERSION,
 };

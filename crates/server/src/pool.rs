@@ -32,11 +32,19 @@ impl Default for PoolConfig {
     }
 }
 
-/// The queue was full; the request should be rejected as `overloaded`.
+/// Why a submission was refused. Both variants are request-shedding
+/// outcomes the caller must answer with a structured protocol error —
+/// nothing on this path panics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct QueueFull {
-    /// The queue depth that was exceeded.
-    pub depth: usize,
+pub enum SubmitError {
+    /// The queue was full; reject as `overloaded`.
+    Full {
+        /// The queue depth that was exceeded.
+        depth: usize,
+    },
+    /// The pool was [`close`](WorkerPool::close)d, or every worker exited;
+    /// reject as `internal`.
+    Shutdown,
 }
 
 /// A fixed set of worker threads draining a bounded job queue.
@@ -47,42 +55,50 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns the worker threads.
-    pub fn new(config: PoolConfig) -> WorkerPool {
+    /// Spawns the worker threads. Fails cleanly (no partial pool is
+    /// leaked: already-spawned workers exit when `tx`/`rx` drop) if the OS
+    /// refuses a thread.
+    pub fn new(config: PoolConfig) -> std::io::Result<WorkerPool> {
         let workers = config.workers.max(1);
         let queue_depth = config.queue_depth.max(1);
         let (tx, rx) = channel::bounded::<Job>(queue_depth);
         let handles = (0..workers)
             .map(|i| {
                 let rx: Receiver<Job> = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("cqa-worker-{i}"))
-                    .spawn(move || {
-                        // Exits when every sender is gone (pool drop).
-                        for job in rx.iter() {
-                            job();
-                        }
-                    })
-                    .expect("spawn worker thread")
+                std::thread::Builder::new().name(format!("cqa-worker-{i}")).spawn(move || {
+                    // Exits when every sender is gone (pool drop).
+                    for job in rx.iter() {
+                        job();
+                    }
+                })
             })
-            .collect();
-        WorkerPool { tx: Some(tx), handles, queue_depth }
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(WorkerPool { tx: Some(tx), handles, queue_depth })
     }
 
-    /// Enqueues a job without blocking. `Err(QueueFull)` means the caller
-    /// should shed the request.
+    /// Enqueues a job without blocking. An `Err` means the caller should
+    /// shed the request with the corresponding protocol error.
     pub fn try_submit(
         &self,
         job: impl FnOnce() + Send + 'static,
-    ) -> std::result::Result<(), QueueFull> {
-        let tx = self.tx.as_ref().expect("pool alive while not dropped");
+    ) -> std::result::Result<(), SubmitError> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(SubmitError::Shutdown);
+        };
         match tx.try_send(Box::new(job)) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(QueueFull { depth: self.queue_depth }),
-            Err(TrySendError::Disconnected(_)) => {
-                unreachable!("workers hold receivers while the pool is alive")
-            }
+            Err(TrySendError::Full(_)) => Err(SubmitError::Full { depth: self.queue_depth }),
+            // Disconnected means every worker's receiver is gone — the
+            // workers all exited. Shed rather than panic.
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shutdown),
         }
+    }
+
+    /// Stops accepting jobs. Queued jobs still drain; workers are joined
+    /// on drop. Subsequent [`try_submit`](WorkerPool::try_submit) calls
+    /// return [`SubmitError::Shutdown`].
+    pub fn close(&mut self) {
+        drop(self.tx.take());
     }
 
     /// Jobs currently waiting (excludes jobs already being run).
@@ -115,7 +131,7 @@ mod tests {
 
     #[test]
     fn runs_submitted_jobs() {
-        let pool = WorkerPool::new(PoolConfig { workers: 3, queue_depth: 16 });
+        let pool = WorkerPool::new(PoolConfig { workers: 3, queue_depth: 16 }).unwrap();
         assert_eq!(pool.workers(), 3);
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..50 {
@@ -135,7 +151,7 @@ mod tests {
 
     #[test]
     fn rejects_when_queue_is_full() {
-        let pool = WorkerPool::new(PoolConfig { workers: 1, queue_depth: 1 });
+        let pool = WorkerPool::new(PoolConfig { workers: 1, queue_depth: 1 }).unwrap();
         // Wedge the single worker, then fill the queue.
         let (release_tx, release_rx) = mpsc::channel::<()>();
         pool.try_submit(move || {
@@ -150,13 +166,26 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(rejected, Some(QueueFull { depth: 1 }));
+        assert_eq!(rejected, Some(SubmitError::Full { depth: 1 }));
         release_tx.send(()).unwrap();
+    }
+
+    /// Regression for the `.expect("pool alive while not dropped")` /
+    /// `unreachable!` that used to live in `try_submit`: a closed pool
+    /// sheds submissions with `Shutdown` instead of panicking the request
+    /// thread.
+    #[test]
+    fn closed_pool_sheds_instead_of_panicking() {
+        let mut pool = WorkerPool::new(PoolConfig { workers: 1, queue_depth: 4 }).unwrap();
+        pool.try_submit(|| {}).unwrap();
+        pool.close();
+        assert_eq!(pool.try_submit(|| {}), Err(SubmitError::Shutdown));
+        assert_eq!(pool.queue_len(), 0, "a closed pool reports an empty queue");
     }
 
     #[test]
     fn drop_waits_for_in_flight_jobs() {
-        let pool = WorkerPool::new(PoolConfig { workers: 2, queue_depth: 8 });
+        let pool = WorkerPool::new(PoolConfig { workers: 2, queue_depth: 8 }).unwrap();
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..4 {
             let done = Arc::clone(&done);

@@ -14,7 +14,7 @@
 
 use crate::cache::{CacheKey, SynopsisCache};
 use crate::metrics::Metrics;
-use crate::pool::{PoolConfig, WorkerPool};
+use crate::pool::{PoolConfig, SubmitError, WorkerPool};
 use crate::protocol::{
     ErrorKind, QueryRequest, Request, Response, StatsFormat, WireAnswer, PROTOCOL_VERSION,
 };
@@ -92,6 +92,7 @@ impl Server {
         };
         let db_fingerprint = fnv1a64(dump_to_string(&db).as_bytes());
         let constraint_fingerprint = fnv1a64(schema_to_ddl(db.schema()).as_bytes());
+        let pool = WorkerPool::new(PoolConfig { workers, queue_depth: config.queue_depth })?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -100,7 +101,7 @@ impl Server {
                 constraint_fingerprint,
                 cache: SynopsisCache::with_capacity(config.cache_capacity.max(1)),
                 metrics: Metrics::new(),
-                pool: WorkerPool::new(PoolConfig { workers, queue_depth: config.queue_depth }),
+                pool,
                 default_timeout_ms: config.default_timeout_ms,
                 max_samples: config.max_samples,
                 shutdown: AtomicBool::new(false),
@@ -125,10 +126,19 @@ impl Server {
             };
             self.shared.metrics.connections.inc();
             let shared = Arc::clone(&self.shared);
-            std::thread::Builder::new()
+            // Clone the stream first so a failed spawn can still answer.
+            let reject_stream = stream.try_clone();
+            let spawned = std::thread::Builder::new()
                 .name("cqa-conn".to_owned())
-                .spawn(move || serve_connection(&shared, stream))
-                .expect("spawn connection thread");
+                .spawn(move || serve_connection(&shared, stream));
+            if spawned.is_err() {
+                // Thread exhaustion is load shedding, not a crash: answer
+                // with a structured `overloaded` error and hang up.
+                self.shared.metrics.rejected_overloaded.inc();
+                if let Ok(mut s) = reject_stream {
+                    let _ = s.write_all(connection_reject_line().as_bytes());
+                }
+            }
         }
     }
 
@@ -173,6 +183,18 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// The one-line answer sent when the accept loop cannot spawn a
+/// connection thread (same NDJSON shape every other error uses).
+fn connection_reject_line() -> String {
+    let response = Response::Error {
+        kind: ErrorKind::Overloaded,
+        message: "connection thread limit reached".to_owned(),
+    };
+    let mut line = response.to_line();
+    line.push('\n');
+    line
 }
 
 fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
@@ -252,12 +274,22 @@ fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
             let _ = reply_tx.send(response);
         }
     });
-    if let Err(full) = submitted {
-        shared.metrics.rejected_overloaded.inc();
-        return Response::Error {
-            kind: ErrorKind::Overloaded,
-            message: format!("admission queue full (depth {})", full.depth),
-        };
+    match submitted {
+        Ok(()) => {}
+        Err(SubmitError::Full { depth }) => {
+            shared.metrics.rejected_overloaded.inc();
+            return Response::Error {
+                kind: ErrorKind::Overloaded,
+                message: format!("admission queue full (depth {depth})"),
+            };
+        }
+        Err(SubmitError::Shutdown) => {
+            shared.metrics.errors_internal.inc();
+            return Response::Error {
+                kind: ErrorKind::Internal,
+                message: "worker pool is shut down".to_owned(),
+            };
+        }
     }
     match reply_rx.recv() {
         Ok(response) => {
@@ -367,4 +399,27 @@ fn error_response(e: CqaError) -> Response {
         CqaError::InvalidSynopsis(_) | CqaError::TooLarge(_) => ErrorKind::Internal,
     };
     Response::Error { kind, message: e.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the `.expect("spawn connection thread")` that used
+    /// to live in the accept loop: the spawn-failure path sheds the
+    /// connection with the same NDJSON error envelope every other
+    /// rejection uses, so clients can parse it.
+    #[test]
+    fn connection_reject_is_a_structured_overloaded_error() {
+        let line = connection_reject_line();
+        assert!(line.ends_with('\n'), "NDJSON: one response per line");
+        let parsed = Response::from_line(line.trim_end()).expect("reject line must parse");
+        match parsed {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::Overloaded);
+                assert!(message.contains("thread"), "message names the resource: {message}");
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    }
 }

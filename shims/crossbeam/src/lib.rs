@@ -7,4 +7,6 @@
 //! is adequate for the workloads here (coarse work items, not per-message
 //! microbenchmarks); semantics match crossbeam where exercised.
 
+#![forbid(unsafe_code)]
+
 pub mod channel;

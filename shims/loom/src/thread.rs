@@ -1,0 +1,98 @@
+//! Model threads: [`spawn`], [`JoinHandle`], and [`yield_now`].
+//!
+//! Each model thread is a real OS thread, but it only makes progress when
+//! the scheduler in the private `sched` module picks it, so executions are fully
+//! deterministic for a given schedule.
+
+use crate::sched;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a model thread; [`JoinHandle::join`] is a blocking operation
+/// in scheduler terms.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Registers the calling OS thread as logical thread `tid`, waits to be
+/// scheduled, runs `f`, and reports the outcome to the scheduler. Used for
+/// both spawned threads and the model's root closure.
+pub(crate) fn run_model_thread<T, F>(tid: usize, result: &Arc<Mutex<Option<T>>>, f: F)
+where
+    F: FnOnce() -> T,
+{
+    sched::set_tid(Some(tid));
+    // The scheduling wait must sit inside the catch: it aborts (via the
+    // sentinel panic) when the execution is torn down before this thread
+    // ever ran, and the scheduler still needs the finish_thread below.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        sched::wait_until_scheduled(tid);
+        f()
+    }));
+    match outcome {
+        Ok(value) => {
+            if let Ok(mut slot) = result.lock() {
+                *slot = Some(value);
+            }
+            sched::finish_thread(None);
+        }
+        Err(payload) => {
+            let is_abort =
+                payload.downcast_ref::<&'static str>().is_some_and(|s| *s == sched::ABORT_SENTINEL);
+            if is_abort {
+                sched::finish_thread(None);
+            } else {
+                let msg = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "model thread panicked".to_owned());
+                sched::finish_thread(Some(msg));
+            }
+        }
+    }
+    sched::set_tid(None);
+}
+
+/// Spawns a model thread. A scheduling point: the spawner yields right
+/// after registration, so "child runs first" interleavings are explored.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let tid = sched::register_thread();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-worker-{tid}"))
+        .spawn(move || run_model_thread(tid, &slot, f))
+        .expect("spawn loom worker thread");
+    sched::store_handle(handle);
+    sched::yield_point();
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (in scheduler terms) for the thread to finish and returns its
+    /// result. A panic on the joined thread aborts the whole execution
+    /// before a missing result could be observed.
+    pub fn join(self) -> std::thread::Result<T> {
+        sched::yield_point();
+        sched::join_thread(self.tid);
+        let value = self
+            .result
+            .lock()
+            .ok()
+            .and_then(|mut slot| slot.take())
+            .expect("joined thread finished without a result (panic aborts first)");
+        Ok(value)
+    }
+}
+
+/// An explicit scheduling point, for models that want extra preemption
+/// opportunities between operations.
+pub fn yield_now() {
+    sched::yield_point();
+}

@@ -13,6 +13,8 @@
 //!   are reproducible by construction.
 //! * `PROPTEST_CASES` overrides the configured case count.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 mod rng;

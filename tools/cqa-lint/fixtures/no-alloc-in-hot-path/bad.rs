@@ -1,0 +1,14 @@
+pub struct Sampler {
+    buf: Vec<u32>,
+}
+
+impl Sampler {
+    // cqa-lint: hot-path begin
+    pub fn sample(&mut self) -> usize {
+        let copy = self.buf.clone();
+        let label = format!("n={}", copy.len());
+        let extra: Vec<u32> = Vec::new();
+        label.len() + extra.len()
+    }
+    // cqa-lint: hot-path end
+}

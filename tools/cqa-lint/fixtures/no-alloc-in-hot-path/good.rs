@@ -1,0 +1,23 @@
+pub struct Sampler {
+    buf: Vec<u32>,
+    scratch: Vec<u32>,
+}
+
+impl Sampler {
+    // Allocation is fine outside the marked region…
+    pub fn new(n: usize) -> Sampler {
+        Sampler { buf: Vec::with_capacity(n), scratch: vec![0; n] }
+    }
+
+    // cqa-lint: hot-path begin
+    // …and the region itself only reuses preallocated buffers.
+    pub fn sample(&mut self) -> u32 {
+        let mut acc = 0;
+        for (slot, &v) in self.scratch.iter_mut().zip(self.buf.iter()) {
+            *slot = v;
+            acc += v;
+        }
+        acc
+    }
+    // cqa-lint: hot-path end
+}

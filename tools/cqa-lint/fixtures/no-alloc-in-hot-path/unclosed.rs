@@ -1,0 +1,7 @@
+// A begin marker with no matching end: the region boundary itself is the
+// finding (an accidentally unbounded region would otherwise swallow the
+// whole file).
+// cqa-lint: hot-path begin
+pub fn sample() -> u32 {
+    7
+}

@@ -1,0 +1,8 @@
+// Two request-path panics: an `.unwrap()` and a `panic!`.
+fn handle(x: Option<u32>) -> u32 {
+    let v = x.unwrap();
+    if v > 10 {
+        panic!("too big");
+    }
+    v
+}

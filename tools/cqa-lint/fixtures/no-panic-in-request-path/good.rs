@@ -1,0 +1,17 @@
+// The same logic shedding errors instead of panicking. The test-module
+// `.unwrap()` is fine: `#[cfg(test)]` items are outside the request path.
+fn handle(x: Option<u32>) -> Result<u32, String> {
+    match x {
+        Some(v) if v <= 10 => Ok(v),
+        Some(v) => Err(format!("too big: {v}")),
+        None => Err("missing".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn small_values_pass() {
+        assert_eq!(super::handle(Some(3)).unwrap(), 3);
+    }
+}

@@ -1,0 +1,5 @@
+// Both names are typos of registered ones.
+fn observe() {
+    let _guard = cqa_obs::span("serve/request_typo");
+    cqa_obs::metrics::global().counter("server_requets_total", "typo").inc();
+}

@@ -1,0 +1,7 @@
+fn observe() {
+    let _guard = cqa_obs::span("server/request");
+    cqa_obs::metrics::global().counter("server_requests_total", "Total requests").inc();
+    // Computed names cannot be checked statically and are not flagged.
+    let dynamic = "server/request";
+    let _other = cqa_obs::span(dynamic);
+}

@@ -1,0 +1,8 @@
+// A toy protocol module: writes ("key", value) pairs, reads via accessors.
+fn encode(q: &Query) -> Json {
+    Json::obj([("query", Json::str(&q.text)), ("seed", Json::num(q.seed as f64))])
+}
+
+fn decode(v: &Json) -> Result<Query, Error> {
+    Ok(Query { text: v.req_str("query")?.to_owned(), seed: v.get("seed").unwrap_or(0) })
+}

@@ -1,0 +1,3 @@
+// Miniature name registry the fixture tests lint against.
+pub const SPANS: &[&str] = &["server/request", "demo/work"];
+pub const METRICS: &[&str] = &["server_requests_total"];

@@ -1,0 +1,5 @@
+// An unsafe block with no proof obligation written down.
+fn first(v: &[u8]) -> u8 {
+    let p = v.as_ptr();
+    unsafe { *p }
+}

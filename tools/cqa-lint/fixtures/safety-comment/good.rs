@@ -1,0 +1,7 @@
+fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    let p = v.as_ptr();
+    // SAFETY: the assert above guarantees the slice is non-empty, so the
+    // pointer dereference reads within bounds.
+    unsafe { *p }
+}

@@ -1,0 +1,163 @@
+//! cqa-lint: the workspace invariant checker.
+//!
+//! Rust's type system cannot express several invariants this workspace
+//! relies on — "no panics on the server's request path", "no heap
+//! allocation in the per-sample loops", "every `unsafe` carries its proof",
+//! "observability names come from the registry", "the wire protocol and
+//! its document agree". `cqa-lint` enforces them with a hand-rolled lexer
+//! ([`lexer`]) and token-pattern rules ([`rules`]); it has **zero**
+//! dependencies beyond std, so it runs anywhere the workspace builds.
+//!
+//! Entry point: [`check_workspace`]. CLI: `cargo run -p cqa-lint -- check`.
+//! Rules, rationale, and the suppression syntax are documented in
+//! `docs/ANALYSIS.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{Finding, NameRegistry};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Repo-relative path of the central observability name registry. This
+/// file *defines* the allowed names, so the `obs-name-registry` rule does
+/// not run on it.
+pub const REGISTRY_FILE: &str = "crates/obs/src/names.rs";
+/// Repo-relative path of the wire-protocol implementation.
+pub const PROTOCOL_FILE: &str = "crates/server/src/protocol.rs";
+/// Repo-relative path of the wire-protocol document.
+pub const PROTOCOL_DOC: &str = "docs/PROTOCOL.md";
+/// Files on the server's request path, subject to `no-panic-in-request-path`.
+pub const REQUEST_PATH_FILES: [&str; 3] =
+    ["crates/server/src/server.rs", "crates/server/src/pool.rs", "crates/server/src/cache.rs"];
+/// Directory globs (relative to the workspace root) whose `src` trees are
+/// scanned. `tools/*/src` includes cqa-lint itself — the linter holds its
+/// own invariants; its *fixtures* live outside `src` and are not scanned.
+pub const SCAN_ROOTS: [&str; 3] = ["crates", "shims", "tools"];
+
+/// A fatal problem with the scan itself (unreadable file, missing
+/// registry) — distinct from findings, which are problems with the code.
+#[derive(Debug)]
+pub struct CheckError(pub String);
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cqa-lint: {}", self.0)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+fn read(path: &Path) -> Result<String, CheckError> {
+    fs::read_to_string(path).map_err(|e| CheckError(format!("cannot read {}: {e}", path.display())))
+}
+
+/// All `.rs` files under `<root>/<scan>/<member>/src`, sorted for
+/// deterministic output, as (absolute, repo-relative) pairs.
+fn source_files(root: &Path) -> Result<Vec<(PathBuf, String)>, CheckError> {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue, // a scan root may legitimately not exist yet
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| CheckError(format!("reading {}: {e}", dir.display())))?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .map_err(|_| CheckError(format!("{} escapes the workspace root", f.display())))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((f.clone(), rel));
+    }
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), CheckError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| CheckError(format!("reading {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| CheckError(format!("reading {}: {e}", dir.display())))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the workspace rooted at `root` and returns the
+/// surviving findings, sorted by file/line/rule.
+pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
+    let registry_src = read(&root.join(REGISTRY_FILE))?;
+    let registry = NameRegistry::parse(&registry_src);
+    if registry.spans.is_empty() || registry.metrics.is_empty() {
+        return Err(CheckError(format!(
+            "{REGISTRY_FILE} yielded an empty SPANS or METRICS registry — refusing to lint against it"
+        )));
+    }
+
+    let mut findings = Vec::new();
+    let mut lexed_by_rel: BTreeMap<String, lexer::Lexed> = BTreeMap::new();
+
+    for (abs, rel) in source_files(root)? {
+        let src = read(&abs)?;
+        let lexed = lexer::lex(&src);
+        let stripped = lexer::strip_cfg_test(&lexed.toks);
+
+        // safety-comment runs on the *full* stream: unsound tests count.
+        findings.extend(rules::safety(&lexed, &rel));
+        findings.extend(rules::no_alloc(&lexed, &stripped, &rel));
+        if rel != REGISTRY_FILE {
+            findings.extend(rules::obs_names(&lexed, &stripped, &rel, &registry));
+        }
+        if REQUEST_PATH_FILES.contains(&rel.as_str()) {
+            findings.extend(rules::no_panic(&lexed, &stripped, &rel));
+        }
+        lexed_by_rel.insert(rel, lexed);
+    }
+
+    if let Some(proto) = lexed_by_rel.get(PROTOCOL_FILE) {
+        let stripped = lexer::strip_cfg_test(&proto.toks);
+        let code_keys = rules::protocol_code_keys(&stripped);
+        let doc_keys = rules::protocol_doc_keys(&read(&root.join(PROTOCOL_DOC))?);
+        findings.extend(rules::protocol_sync(&code_keys, &doc_keys, PROTOCOL_FILE, PROTOCOL_DOC));
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Lints a single source string as if it were file `rel`, against the
+/// given registry. This is the entry point the fixture self-tests use; it
+/// applies every per-file rule (request-path rules only when `rel` matches
+/// [`REQUEST_PATH_FILES`]).
+pub fn check_source(rel: &str, src: &str, registry: &NameRegistry) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let stripped = lexer::strip_cfg_test(&lexed.toks);
+    let mut findings = rules::safety(&lexed, rel);
+    findings.extend(rules::no_alloc(&lexed, &stripped, rel));
+    if rel != REGISTRY_FILE {
+        findings.extend(rules::obs_names(&lexed, &stripped, rel, registry));
+    }
+    if REQUEST_PATH_FILES.contains(&rel) {
+        findings.extend(rules::no_panic(&lexed, &stripped, rel));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}

@@ -1,0 +1,63 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p cqa-lint -- check [--root <path>]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 when any rule fires, 2 on usage
+//! or I/O errors. See `docs/ANALYSIS.md` for the rules.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cqa-lint check [--root <workspace-root>]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if cmd != "check" {
+        eprintln!("cqa-lint: unknown command {cmd:?}\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    // Default to the workspace root this binary was built from, so
+    // `cargo run -p cqa-lint -- check` works from any directory.
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("cqa-lint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("cqa-lint: unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match cqa_lint::check_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("cqa-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("cqa-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! The five invariant rules.
+//!
+//! Every rule works on the token view from [`crate::lexer`] and returns
+//! [`Finding`]s. A finding on line `L` is dropped when line `L` or `L-1`
+//! carries a `// cqa-lint: allow(<rule>)` comment; each suppression is a
+//! reviewable artifact, which is the point of putting them in the source
+//! instead of a config file. Rationale for each rule lives in
+//! `docs/ANALYSIS.md`.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Rule identifiers, as used in `allow(...)` suppressions and CLI output.
+pub const NO_PANIC: &str = "no-panic-in-request-path";
+pub const NO_ALLOC: &str = "no-alloc-in-hot-path";
+pub const SAFETY: &str = "safety-comment";
+pub const OBS_NAMES: &str = "obs-name-registry";
+pub const PROTOCOL_SYNC: &str = "protocol-doc-sync";
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired (one of the `pub const` rule names).
+    pub rule: &'static str,
+    /// Repo-relative file the finding is in.
+    pub file: String,
+    /// 1-based line (0 for whole-file findings like a missing doc entry).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// True when line `line` (or the line above it) carries
+/// `cqa-lint: allow(<rule>)`.
+fn suppressed(lexed: &Lexed, line: u32, rule: &str) -> bool {
+    let marker = format!("cqa-lint: allow({rule})");
+    [line, line.saturating_sub(1)]
+        .iter()
+        .any(|l| lexed.comment_on(*l).is_some_and(|c| c.contains(&marker)))
+}
+
+fn push(
+    out: &mut Vec<Finding>,
+    lexed: &Lexed,
+    rule: &'static str,
+    file: &str,
+    line: u32,
+    message: String,
+) {
+    if !suppressed(lexed, line, rule) {
+        out.push(Finding { rule, file: file.to_owned(), line, message });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: no-panic-in-request-path
+// ---------------------------------------------------------------------------
+
+/// Flags `.unwrap()`, `.expect(…)`, and `panic!`-family macros. Applied to
+/// the request path of the server (`server.rs`, `pool.rs`, `cache.rs`):
+/// a panic there unwinds a worker or connection thread and silently drops
+/// the request, instead of producing the structured protocol error the
+/// client can act on.
+pub fn no_panic(lexed: &Lexed, toks: &[Tok], file: &str) -> Vec<Finding> {
+    const MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if prev_dot && (t.text == "unwrap" || t.text == "expect") {
+            push(
+                &mut out,
+                lexed,
+                NO_PANIC,
+                file,
+                t.line,
+                format!(
+                    ".{}() can panic a request thread; return a structured protocol error instead",
+                    t.text
+                ),
+            );
+        } else if next_bang && MACROS.contains(&t.text.as_str()) {
+            push(
+                &mut out,
+                lexed,
+                NO_PANIC,
+                file,
+                t.line,
+                format!(
+                    "{}! can panic a request thread; return a structured protocol error instead",
+                    t.text
+                ),
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: no-alloc-in-hot-path
+// ---------------------------------------------------------------------------
+
+/// Inclusive line ranges bracketed by `// cqa-lint: hot-path begin` /
+/// `// cqa-lint: hot-path end` comments. An unclosed `begin` extends to
+/// the end of the file (and is itself reported by the caller via
+/// [`hot_path_regions`]' second return value).
+pub fn hot_path_regions(lexed: &Lexed) -> (Vec<(u32, u32)>, Option<u32>) {
+    let mut regions = Vec::new();
+    let mut open: Option<u32> = None;
+    for (line, text) in &lexed.comments {
+        if text.contains("cqa-lint: hot-path begin") {
+            open = Some(*line);
+        } else if text.contains("cqa-lint: hot-path end") {
+            if let Some(start) = open.take() {
+                regions.push((start, *line));
+            }
+        }
+    }
+    (regions, open)
+}
+
+/// Flags heap allocation inside `hot-path` regions: the four scheme
+/// sampling loops run per *sample* (millions of iterations per query), so
+/// a stray `clone()` or `format!` is a silent orders-of-magnitude
+/// regression that no unit test fails on.
+pub fn no_alloc(lexed: &Lexed, toks: &[Tok], file: &str) -> Vec<Finding> {
+    const METHODS: [&str; 5] = ["clone", "to_string", "to_owned", "to_vec", "collect"];
+    const MACROS: [&str; 2] = ["format", "vec"];
+    const TYPES: [&str; 3] = ["Vec", "Box", "String"];
+    const CTORS: [&str; 3] = ["new", "from", "with_capacity"];
+
+    let (regions, unclosed) = hot_path_regions(lexed);
+    let mut out = Vec::new();
+    if let Some(line) = unclosed {
+        push(
+            &mut out,
+            lexed,
+            NO_ALLOC,
+            file,
+            line,
+            "hot-path region is never closed (missing `// cqa-lint: hot-path end`)".to_owned(),
+        );
+    }
+    if regions.is_empty() {
+        return out;
+    }
+    let in_region = |line: u32| regions.iter().any(|(a, b)| (*a..=*b).contains(&line));
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !in_region(t.line) {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        let path_ctor = TYPES.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|n| n.kind == TokKind::Ident && CTORS.contains(&n.text.as_str()));
+        if prev_dot && METHODS.contains(&t.text.as_str()) {
+            push(
+                &mut out,
+                lexed,
+                NO_ALLOC,
+                file,
+                t.line,
+                format!(".{}() allocates inside a hot-path region", t.text),
+            );
+        } else if next_bang && MACROS.contains(&t.text.as_str()) {
+            push(
+                &mut out,
+                lexed,
+                NO_ALLOC,
+                file,
+                t.line,
+                format!("{}! allocates inside a hot-path region", t.text),
+            );
+        } else if path_ctor {
+            push(
+                &mut out,
+                lexed,
+                NO_ALLOC,
+                file,
+                t.line,
+                format!("{}::{} allocates inside a hot-path region", t.text, toks[i + 3].text),
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: safety-comment
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` keyword must sit directly under a comment block that
+/// contains `SAFETY:` — the proof obligation travels with the code. Runs
+/// on the full token stream (tests included): an unsound test is still
+/// unsound.
+pub fn safety(lexed: &Lexed, file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // `unsafe` inside an attribute (e.g. `#[allow(unsafe_code)]`)
+        // never introduces an unsafe context; only the keyword position
+        // matters, so skip idents directly between brackets of an attr.
+        if i > 0 && lexed.toks[i - 1].is_punct('(') {
+            continue;
+        }
+        if has_safety_comment_above(lexed, t.line) {
+            continue;
+        }
+        push(
+            &mut out,
+            lexed,
+            SAFETY,
+            file,
+            t.line,
+            "`unsafe` without a `// SAFETY:` comment directly above".to_owned(),
+        );
+    }
+    out
+}
+
+/// Walks upward from `line - 1` through the contiguous comment block (no
+/// intervening code-token lines) looking for `SAFETY:`. Also accepts a
+/// `SAFETY:` comment on the `unsafe` line itself (trailing comment).
+fn has_safety_comment_above(lexed: &Lexed, line: u32) -> bool {
+    if lexed.comment_on(line).is_some_and(|c| c.contains("SAFETY:")) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l > 0 {
+        match lexed.comment_on(l) {
+            Some(c) if c.contains("SAFETY:") => return true,
+            Some(_) if !lexed.token_lines.contains(&l) => l -= 1,
+            _ => return false, // code or blank line: the block ended
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: obs-name-registry
+// ---------------------------------------------------------------------------
+
+/// The central span/metric name registry, parsed from
+/// `crates/obs/src/names.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct NameRegistry {
+    pub spans: BTreeSet<String>,
+    pub metrics: BTreeSet<String>,
+}
+
+impl NameRegistry {
+    /// Parses the registry source: the string literals of the `SPANS` and
+    /// `METRICS` const arrays.
+    pub fn parse(src: &str) -> NameRegistry {
+        let lexed = crate::lexer::lex(src);
+        NameRegistry {
+            spans: const_array_strings(&lexed.toks, "SPANS"),
+            metrics: const_array_strings(&lexed.toks, "METRICS"),
+        }
+    }
+}
+
+fn const_array_strings(toks: &[Tok], name: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident(name) {
+            // Scan past the `=` (skipping the `&[&str]` type annotation's
+            // brackets) to the array literal's opening `[`, then collect
+            // literals to the matching `]`.
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct('=') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            while j < toks.len() && !toks[j].is_punct('[') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Str => {
+                        out.insert(toks[j].text.clone());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Span-creating APIs whose first string-literal argument is a span name.
+const SPAN_APIS: [&str; 4] = ["span", "span_args", "record_span", "instant_args"];
+/// Metric-registering APIs (and the `counter!` declaration macro in
+/// cqa-core's telemetry) whose first string-literal argument is a metric
+/// name.
+const METRIC_APIS: [&str; 3] = ["counter", "gauge", "histogram"];
+
+/// Flags span/metric name literals not present in the registry. Dashboards,
+/// trace post-processing, and the Prometheus exposition all key on these
+/// strings; an unregistered (usually misspelled) name silently vanishes
+/// from every chart instead of failing anywhere.
+pub fn obs_names(lexed: &Lexed, toks: &[Tok], file: &str, reg: &NameRegistry) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_span_api = SPAN_APIS.contains(&t.text.as_str());
+        let is_metric_api = METRIC_APIS.contains(&t.text.as_str());
+        if !is_span_api && !is_metric_api {
+            continue;
+        }
+        // Accept both `name(…)` and `name!(…)` shapes.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is_punct('!')) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        // A definition site (`fn counter(&self, name: &str, …)`) has no
+        // literal; a call with a computed name has none either. Take the
+        // first string literal before the matching close paren.
+        let Some(name_tok) = first_literal_in_parens(toks, j) else { continue };
+        let (set, kind) = if is_span_api { (&reg.spans, "span") } else { (&reg.metrics, "metric") };
+        if !set.contains(&name_tok.text) {
+            push(
+                &mut out,
+                lexed,
+                OBS_NAMES,
+                file,
+                name_tok.line,
+                format!(
+                    "{kind} name {:?} is not in the registry (crates/obs/src/names.rs)",
+                    name_tok.text
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// The first string literal strictly inside the paren group opening at
+/// `open` (nested groups included), or `None`.
+fn first_literal_in_parens(toks: &[Tok], open: usize) -> Option<&Tok> {
+    let mut depth = 0usize;
+    for t in &toks[open..] {
+        match &t.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            }
+            TokKind::Str => return Some(t),
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: protocol-doc-sync
+// ---------------------------------------------------------------------------
+
+/// Wire keys nested payloads document but `protocol.rs` does not build:
+/// the flat stats fields assembled in `metrics.rs`. Their shape is covered
+/// by the server's metrics tests; listing them here keeps the reverse
+/// check exact instead of fuzzy.
+pub const DOC_ONLY_KEYS: [&str; 3] = ["cache_hits", "cache_misses", "cache_canonical_rekeys"];
+
+fn is_wire_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().next().is_some_and(|b| b.is_ascii_lowercase() || b == b'_')
+        && s.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// Extracts the wire field names `protocol.rs` reads or writes: literals
+/// in `("key", value)` serialization pairs and literals passed to the
+/// `get`/`req_*` accessors.
+pub fn protocol_code_keys(toks: &[Tok]) -> BTreeSet<String> {
+    const ACCESSORS: [&str; 5] = ["get", "req_str", "req_f64", "req_u64", "req_bool"];
+    let mut keys = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Str || !is_wire_key(&t.text) {
+            continue;
+        }
+        let prev_open = i > 0 && toks[i - 1].is_punct('(');
+        if !prev_open {
+            continue;
+        }
+        let pair_key = toks.get(i + 1).is_some_and(|n| n.is_punct(','));
+        let accessor_arg = i >= 2
+            && toks[i - 2].kind == TokKind::Ident
+            && ACCESSORS.contains(&toks[i - 2].text.as_str());
+        if pair_key || accessor_arg {
+            keys.insert(t.text.clone());
+        }
+    }
+    keys
+}
+
+/// Extracts the documented wire keys from `docs/PROTOCOL.md`: every
+/// `"key":` occurrence (JSON examples and inline code alike).
+pub fn protocol_doc_keys(doc: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    let bytes = doc.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len()
+                && (bytes[j].is_ascii_lowercase() || bytes[j].is_ascii_digit() || bytes[j] == b'_')
+            {
+                j += 1;
+            }
+            if j > start && bytes.get(j) == Some(&b'"') {
+                let mut k = j + 1;
+                while k < bytes.len() && (bytes[k] == b' ' || bytes[k] == b'\t') {
+                    k += 1;
+                }
+                if bytes.get(k) == Some(&b':') {
+                    keys.insert(doc[start..j].to_owned());
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    keys
+}
+
+/// Compares the code and doc key sets. `protocol.rs` and `PROTOCOL.md`
+/// must agree exactly (modulo [`DOC_ONLY_KEYS`]): a field the doc misses
+/// strands client authors; a field the code misses means the doc promises
+/// something the server will never send.
+pub fn protocol_sync(
+    code_keys: &BTreeSet<String>,
+    doc_keys: &BTreeSet<String>,
+    code_file: &str,
+    doc_file: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for key in code_keys {
+        if !doc_keys.contains(key) {
+            out.push(Finding {
+                rule: PROTOCOL_SYNC,
+                file: doc_file.to_owned(),
+                line: 0,
+                message: format!(
+                    "wire field {key:?} is used in {code_file} but never documented (expected a {:?} occurrence)",
+                    format!("\"{key}\":")
+                ),
+            });
+        }
+    }
+    for key in doc_keys {
+        if !code_keys.contains(key) && !DOC_ONLY_KEYS.contains(&key.as_str()) {
+            out.push(Finding {
+                rule: PROTOCOL_SYNC,
+                file: code_file.to_owned(),
+                line: 0,
+                message: format!(
+                    "documented wire field {key:?} does not appear in {code_file} (stale doc, or add it to DOC_ONLY_KEYS if it moved into a nested payload)"
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,146 @@
+//! Self-tests: every rule must fire on its bad fixture (with the right
+//! rule name) and stay silent on its good fixture, suppressions must be
+//! honored, and the real workspace must lint clean — which makes
+//! `cargo test --workspace` fail the moment an invariant regresses, even
+//! where CI forgets to run the CLI.
+
+use cqa_lint::rules::{self, NameRegistry};
+use std::path::{Path, PathBuf};
+
+fn fixture_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(rel)
+}
+
+fn fixture(rel: &str) -> String {
+    let path = fixture_path(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn registry() -> NameRegistry {
+    NameRegistry::parse(&fixture("registry.rs"))
+}
+
+/// Lints a fixture as if it were workspace file `rel` and returns the
+/// rule names that fired.
+fn fired(rel: &str, fixture_file: &str) -> Vec<&'static str> {
+    cqa_lint::check_source(rel, &fixture(fixture_file), &registry())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+const REQUEST_PATH: &str = "crates/server/src/pool.rs";
+const ANYWHERE: &str = "crates/core/src/sampler.rs";
+
+#[test]
+fn no_panic_fires_on_bad_fixture() {
+    let fired = fired(REQUEST_PATH, "no-panic-in-request-path/bad.rs");
+    assert_eq!(fired, vec![rules::NO_PANIC, rules::NO_PANIC], "unwrap + panic!");
+}
+
+#[test]
+fn no_panic_is_scoped_to_the_request_path() {
+    // The same source outside the request path is not no-panic's business.
+    assert!(fired(ANYWHERE, "no-panic-in-request-path/bad.rs").is_empty());
+}
+
+#[test]
+fn no_panic_passes_good_fixture_and_ignores_tests() {
+    assert!(fired(REQUEST_PATH, "no-panic-in-request-path/good.rs").is_empty());
+}
+
+#[test]
+fn suppression_comment_waives_a_finding() {
+    assert!(fired(REQUEST_PATH, "no-panic-in-request-path/suppressed.rs").is_empty());
+}
+
+#[test]
+fn no_alloc_fires_on_bad_fixture() {
+    let fired = fired(ANYWHERE, "no-alloc-in-hot-path/bad.rs");
+    assert_eq!(
+        fired,
+        vec![rules::NO_ALLOC, rules::NO_ALLOC, rules::NO_ALLOC],
+        "clone, format!, Vec::new"
+    );
+}
+
+#[test]
+fn no_alloc_passes_good_fixture() {
+    assert!(fired(ANYWHERE, "no-alloc-in-hot-path/good.rs").is_empty());
+}
+
+#[test]
+fn no_alloc_reports_unclosed_region() {
+    let findings =
+        cqa_lint::check_source(ANYWHERE, &fixture("no-alloc-in-hot-path/unclosed.rs"), &registry());
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, rules::NO_ALLOC);
+    assert!(findings[0].message.contains("never closed"), "{}", findings[0].message);
+}
+
+#[test]
+fn safety_comment_fires_on_bad_fixture() {
+    assert_eq!(fired(ANYWHERE, "safety-comment/bad.rs"), vec![rules::SAFETY]);
+}
+
+#[test]
+fn safety_comment_passes_good_fixture() {
+    assert!(fired(ANYWHERE, "safety-comment/good.rs").is_empty());
+}
+
+#[test]
+fn obs_names_fire_on_bad_fixture() {
+    let findings =
+        cqa_lint::check_source(ANYWHERE, &fixture("obs-name-registry/bad.rs"), &registry());
+    assert_eq!(findings.len(), 2, "one span typo, one metric typo: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == rules::OBS_NAMES));
+    assert!(findings.iter().any(|f| f.message.contains("serve/request_typo")));
+    assert!(findings.iter().any(|f| f.message.contains("server_requets_total")));
+}
+
+#[test]
+fn obs_names_pass_good_fixture() {
+    assert!(fired(ANYWHERE, "obs-name-registry/good.rs").is_empty());
+}
+
+#[test]
+fn protocol_sync_passes_matching_pair() {
+    let lexed = cqa_lint::lexer::lex(&fixture("protocol-doc-sync/good_protocol.rs"));
+    let code = rules::protocol_code_keys(&lexed.toks);
+    assert_eq!(code.iter().map(String::as_str).collect::<Vec<_>>(), vec!["query", "seed"]);
+    let doc = rules::protocol_doc_keys(&fixture("protocol-doc-sync/good_doc.md"));
+    assert!(rules::protocol_sync(&code, &doc, "protocol.rs", "doc.md").is_empty());
+}
+
+#[test]
+fn protocol_sync_fires_in_both_directions() {
+    let lexed = cqa_lint::lexer::lex(&fixture("protocol-doc-sync/good_protocol.rs"));
+    let code = rules::protocol_code_keys(&lexed.toks);
+    let doc = rules::protocol_doc_keys(&fixture("protocol-doc-sync/bad_doc.md"));
+    let findings = rules::protocol_sync(&code, &doc, "protocol.rs", "doc.md");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == rules::PROTOCOL_SYNC));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("\"seed\"") && f.message.contains("never documented")),
+        "undocumented code key: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("\"retries\"") && f.message.contains("stale doc")),
+        "doc-only key: {findings:?}"
+    );
+}
+
+/// The real workspace must stay clean: this is the same check CI runs via
+/// the CLI, embedded in the test suite so `cargo test --workspace` alone
+/// catches regressions.
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = cqa_lint::check_workspace(&root).expect("scan must succeed");
+    assert!(findings.is_empty(), "workspace findings:\n{findings:#?}");
+}
