@@ -18,9 +18,12 @@
 //!   benchmark harness.
 //! * [`timer`] — stopwatches and soft deadlines (the paper flags runs as
 //!   timed out after a budget; we do the same).
+//! * [`checked`] — explicit float→integer conversions for estimator math,
+//!   required by `cqa-lint`'s `checked-estimator-math` rule.
 //! * [`error`] — the shared error type.
 
 pub mod alias;
+pub mod checked;
 pub mod error;
 pub mod hash;
 pub mod json;

@@ -34,9 +34,9 @@ pub struct CoverageOutcome {
 
 /// The deterministic step budget of Algorithm 6.
 pub fn coverage_iterations(num_images: usize, eps: f64, delta: f64) -> u64 {
-    let n = 8.0 * (1.0 + eps) * num_images as f64 * (3.0 / delta).ln()
-        / ((1.0 - eps * eps / 8.0) * eps * eps);
-    n.ceil() as u64
+    let h = num_images as f64;
+    let n = 8.0 * (1.0 + eps) * h * (3.0 / delta).ln() / ((1.0 - eps * eps / 8.0) * eps * eps);
+    cqa_common::checked::f64_to_u64(n.ceil())
 }
 
 /// Runs `SelfAdjustingCoverage((H,B), ε, δ)` and converts the union-size
@@ -71,7 +71,7 @@ pub fn self_adjusting_coverage(
     'outer: loop {
         let _i = draw.draw(rng);
         loop {
-            steps += 1;
+            steps = steps.saturating_add(1);
             if steps.is_multiple_of(crate::optest::POLL) && budget.deadline.expired() {
                 if cqa_obs::enabled() {
                     crate::telemetry::budget_exhausted_total().inc();
@@ -88,10 +88,11 @@ pub fn self_adjusting_coverage(
             }
         }
         total = steps;
-        trials += 1;
+        trials = trials.saturating_add(1);
     }
     // p := total·|S•| / (|H|·trials), reported relative to |db(B)|.
-    let ratio = total as f64 * pair.s_ratio() / (h as f64 * trials as f64);
+    let (total_f, images_f, trials_f) = (total as f64, h as f64, trials as f64);
+    let ratio = total_f * pair.s_ratio() / (images_f * trials_f);
     span.set_args(steps, trials);
     Ok(CoverageOutcome { ratio, planned_steps: n_budget, steps, trials })
 }

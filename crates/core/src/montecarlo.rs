@@ -37,11 +37,9 @@ pub fn monte_carlo<S: Sampler>(
     let plan = plan_iterations(sampler, eps, delta, budget, rng, &mut count)?;
     let mut loop_span = cqa_obs::span_args("core/mc_final_loop", plan.n, 0);
     let mut s = 0.0f64;
-    let mut ctr: u64 = 0;
     // repeat … until ctr = N
-    while ctr < plan.n {
+    for _ in 0..plan.n {
         s += budgeted_sample(sampler, rng, budget, &mut count, "monte-carlo loop")?;
-        ctr += 1;
     }
     loop_span.set_args(plan.n, count);
     Ok(MonteCarloOutcome { mean: s / plan.n as f64, planned_n: plan.n, samples: count })

@@ -72,7 +72,7 @@ pub(crate) fn budgeted_sample<S: Sampler>(
     count: &mut u64,
     phase: &'static str,
 ) -> Result<f64> {
-    *count += 1;
+    *count = count.saturating_add(1);
     if count.is_multiple_of(POLL) && budget.deadline.expired() {
         if cqa_obs::enabled() {
             telemetry::budget_exhausted_total().inc();
@@ -108,7 +108,7 @@ pub fn stopping_rule<S: Sampler>(
     let mut n: u64 = 0;
     while s < upsilon1 {
         s += budgeted_sample(sampler, rng, budget, count, "stopping rule")?;
-        n += 1;
+        n = n.saturating_add(1);
     }
     span.set_args(n, 0);
     Ok(StoppingOutcome { mu: upsilon1 / n as f64, samples: n })
@@ -145,7 +145,7 @@ pub fn plan_iterations<S: Sampler>(
         * (1.0 + (1.5f64).ln() / (2.0 / (delta / 3.0)).ln())
         * upsilon(eps, delta / 3.0);
 
-    let n2 = (upsilon2 * eps / mu_hat).ceil().max(1.0) as u64;
+    let n2 = cqa_common::checked::f64_to_u64((upsilon2 * eps / mu_hat).ceil()).max(1);
     let mut var_span = cqa_obs::span_args("dklr/variance_estimation", n2, 0);
     let mut s = 0.0f64;
     for _ in 0..n2 {

@@ -12,7 +12,7 @@
 
 use cqa_common::Json;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 const BUCKETS: usize = 32;
@@ -218,7 +218,7 @@ pub struct Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let entries = self.entries.lock().unwrap();
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         f.debug_list().entries(entries.iter().map(|e| (&e.name, e.handle.kind()))).finish()
     }
 }
@@ -229,48 +229,49 @@ impl Registry {
         Registry::default()
     }
 
-    fn register(&self, name: &str, help: &str, make: impl FnOnce() -> Handle) -> Handle {
-        let mut entries = self.entries.lock().unwrap();
+    /// Registers `fresh` under `name`, or retrieves the existing handle.
+    /// (Takes the handle by value — constructing an unused one is two atomic
+    /// allocations at startup, and it keeps this call transparent to
+    /// cqa-lint's call graph, unlike a `make` closure.)
+    fn register(&self, name: &str, help: &str, fresh: Handle) -> Handle {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(e) = entries.iter().find(|e| e.name == name) {
             let handle = e.handle.clone();
-            let made = make();
             assert!(
-                std::mem::discriminant(&handle) == std::mem::discriminant(&made),
+                std::mem::discriminant(&handle) == std::mem::discriminant(&fresh),
                 "metric '{name}' already registered as a {}, requested as a {}",
                 handle.kind(),
-                made.kind()
+                fresh.kind()
             );
             return handle;
         }
-        let handle = make();
-        entries.push(Entry {
-            name: name.to_owned(),
-            help: help.to_owned(),
-            handle: handle.clone(),
-        });
-        handle
+        entries.push(Entry { name: name.to_owned(), help: help.to_owned(), handle: fresh.clone() });
+        fresh
     }
 
     /// Registers (or retrieves) a counter.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
-        match self.register(name, help, || Handle::Counter(Counter::new())) {
+        match self.register(name, help, Handle::Counter(Counter::new())) {
             Handle::Counter(c) => c,
+            // cqa-lint: allow(no-panic-in-request-path): register() asserts the stored discriminant matches the requested kind, so this arm is dead
             _ => unreachable!(),
         }
     }
 
     /// Registers (or retrieves) a gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        match self.register(name, help, || Handle::Gauge(Gauge::new())) {
+        match self.register(name, help, Handle::Gauge(Gauge::new())) {
             Handle::Gauge(g) => g,
+            // cqa-lint: allow(no-panic-in-request-path): register() asserts the stored discriminant matches the requested kind, so this arm is dead
             _ => unreachable!(),
         }
     }
 
     /// Registers (or retrieves) a histogram.
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
-        match self.register(name, help, || Handle::Histogram(Histogram::new())) {
+        match self.register(name, help, Handle::Histogram(Histogram::new())) {
             Handle::Histogram(h) => h,
+            // cqa-lint: allow(no-panic-in-request-path): register() asserts the stored discriminant matches the requested kind, so this arm is dead
             _ => unreachable!(),
         }
     }
@@ -279,7 +280,7 @@ impl Registry {
     /// plain numbers; histograms are nested objects with count, sum, mean,
     /// and the standard percentiles.
     pub fn to_json(&self) -> Json {
-        let entries = self.entries.lock().unwrap();
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         let mut obj = std::collections::BTreeMap::new();
         for e in entries.iter() {
             let v = match &e.handle {
@@ -302,7 +303,7 @@ impl Registry {
     /// Renders every metric in the Prometheus text exposition format.
     /// Histogram buckets are emitted cumulatively with `le` in seconds.
     pub fn to_prometheus(&self) -> String {
-        let entries = self.entries.lock().unwrap();
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out = String::new();
         for e in entries.iter() {
             let name = sanitize(&e.name);

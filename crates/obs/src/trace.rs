@@ -26,7 +26,7 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Default ring capacity in events (~4 MiB resident once touched).
@@ -70,7 +70,7 @@ fn names() -> &'static Mutex<Vec<&'static str>> {
 }
 
 fn intern(name: &'static str) -> u32 {
-    let mut table = names().lock().unwrap();
+    let mut table = names().lock().unwrap_or_else(PoisonError::into_inner);
     for (i, n) in table.iter().enumerate() {
         // Pointer equality first: the common case is the same literal site.
         if std::ptr::eq(*n as *const str, name as *const str) || *n == name {
@@ -82,7 +82,7 @@ fn intern(name: &'static str) -> u32 {
 }
 
 pub(crate) fn name_of(id: u32) -> &'static str {
-    names().lock().unwrap().get(id as usize).copied().unwrap_or("?")
+    names().lock().unwrap_or_else(PoisonError::into_inner).get(id as usize).copied().unwrap_or("?")
 }
 
 // ---------------------------------------------------------------------------
@@ -301,11 +301,11 @@ pub struct TraceEvent {
 /// Torn slots (a writer was mid-publish during the read) are skipped.
 /// Events are returned in timestamp order.
 pub fn snapshot() -> (Vec<TraceEvent>, u64) {
-    let ring = ring();
-    let head = ring.head.load(Ordering::Acquire);
-    let dropped = head.saturating_sub(ring.slots.len() as u64);
+    let rb = ring();
+    let head = rb.head.load(Ordering::Acquire);
+    let dropped = head.saturating_sub(rb.slots.len() as u64);
     let mut events = Vec::new();
-    for slot in &ring.slots {
+    for slot in &rb.slots {
         let seq = slot.seq.load(Ordering::Acquire);
         if seq == 0 || seq % 2 == 1 {
             continue;
@@ -340,9 +340,9 @@ pub fn snapshot() -> (Vec<TraceEvent>, u64) {
 /// recorded (fine for tests and CLI runs); events published during the
 /// clear may survive it.
 pub fn clear() {
-    let ring = ring();
-    ring.head.store(0, Ordering::Release);
-    for slot in &ring.slots {
+    let rb = ring();
+    rb.head.store(0, Ordering::Release);
+    for slot in &rb.slots {
         slot.seq.store(0, Ordering::Release);
     }
 }

@@ -68,6 +68,7 @@ impl WorkerPool {
                 std::thread::Builder::new().name(format!("cqa-worker-{i}")).spawn(move || {
                     // Exits when every sender is gone (pool drop).
                     for job in rx.iter() {
+                        // cqa-lint: allow(opaque-call): jobs are the boxed closures built in server.rs, which the request-path seeds already cover
                         job();
                     }
                 })

@@ -154,16 +154,18 @@ impl Request {
                         .map_err(|e: CqaError| CqaError::Parse(e.to_string()))?,
                     None => Scheme::Klm,
                 };
-                let num = |key: &str, default: f64| -> Result<f64> {
+                // A nested fn (not a closure) so cqa-lint's call graph can
+                // see through the call.
+                fn num(v: &Json, key: &str, default: f64) -> Result<f64> {
                     match v.get(key) {
                         Some(n) => n
                             .as_f64()
                             .ok_or_else(|| CqaError::Parse(format!("non-numeric '{key}'"))),
                         None => Ok(default),
                     }
-                };
-                let eps = num("eps", 0.1)?;
-                let delta = num("delta", 0.25)?;
+                }
+                let eps = num(&v, "eps", 0.1)?;
+                let delta = num(&v, "delta", 0.25)?;
                 if !(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0) {
                     return Err(CqaError::Parse(format!(
                         "eps and delta must lie in (0, 1); got eps={eps}, delta={delta}"

@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 struct State<T> {
@@ -124,14 +124,14 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
 impl<T> Sender<T> {
     /// Blocks until the message is enqueued or all receivers are gone.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut st = self.shared.state.lock().expect("channel lock");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if st.receivers == 0 {
                 return Err(SendError(value));
             }
             match self.shared.capacity {
                 Some(cap) if st.queue.len() >= cap => {
-                    st = self.shared.not_full.wait(st).expect("channel lock");
+                    st = self.shared.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
                 }
                 _ => {
                     st.queue.push_back(value);
@@ -145,7 +145,7 @@ impl<T> Sender<T> {
 
     /// Enqueues without blocking; fails when full or disconnected.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-        let mut st = self.shared.state.lock().expect("channel lock");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.receivers == 0 {
             return Err(TrySendError::Disconnected(value));
         }
@@ -162,7 +162,7 @@ impl<T> Sender<T> {
 
     /// Messages currently queued.
     pub fn len(&self) -> usize {
-        self.shared.state.lock().expect("channel lock").queue.len()
+        self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
     }
 
     /// True when no messages are queued.
@@ -174,7 +174,7 @@ impl<T> Sender<T> {
 impl<T> Receiver<T> {
     /// Blocks until a message arrives or all senders are gone.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut st = self.shared.state.lock().expect("channel lock");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(v) = st.queue.pop_front() {
                 drop(st);
@@ -184,13 +184,13 @@ impl<T> Receiver<T> {
             if st.senders == 0 {
                 return Err(RecvError);
             }
-            st = self.shared.not_empty.wait(st).expect("channel lock");
+            st = self.shared.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Receives without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut st = self.shared.state.lock().expect("channel lock");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(v) = st.queue.pop_front() {
             drop(st);
             self.shared.not_full.notify_one();
@@ -205,7 +205,7 @@ impl<T> Receiver<T> {
     /// Blocks up to `timeout` for a message.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.shared.state.lock().expect("channel lock");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(v) = st.queue.pop_front() {
                 drop(st);
@@ -219,15 +219,18 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, _timed_out) =
-                self.shared.not_empty.wait_timeout(st, deadline - now).expect("channel lock");
+            let (guard, _timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             st = guard;
         }
     }
 
     /// Messages currently queued.
     pub fn len(&self) -> usize {
-        self.shared.state.lock().expect("channel lock").queue.len()
+        self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
     }
 
     /// True when no messages are queued.
@@ -255,21 +258,21 @@ impl<T> Iterator for Iter<'_, T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().expect("channel lock").senders += 1;
+        self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).senders += 1;
         Sender { shared: Arc::clone(&self.shared) }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().expect("channel lock").receivers += 1;
+        self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).receivers += 1;
         Receiver { shared: Arc::clone(&self.shared) }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.shared.state.lock().expect("channel lock");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.senders -= 1;
         if st.senders == 0 {
             drop(st);
@@ -281,7 +284,7 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut st = self.shared.state.lock().expect("channel lock");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.receivers -= 1;
         if st.receivers == 0 {
             drop(st);

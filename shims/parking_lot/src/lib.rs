@@ -115,6 +115,7 @@ mod order {
                     continue; // edge already known (and known acyclic)
                 }
                 if reachable(&g, id, prior) {
+                    // cqa-lint: allow(no-panic-in-request-path): the deadlock detector is debug-assertions-only and a lock-order cycle must abort loudly, not limp on
                     panic!(
                         "parking_lot shim: lock-order cycle — this thread is acquiring \
                          lock #{id} while holding lock #{prior}, but the opposite order \

@@ -1,0 +1,8 @@
+// Three classic silent-corruption sites in estimator arithmetic.
+pub fn plan(k: u64, x: f64) -> u64 {
+    let mut n: u64 = 1;
+    n += k;
+    let truncated = (x * 3.0).ceil() as u64;
+    let small = k as u32;
+    n.wrapping_add(truncated).wrapping_add(small as u64)
+}

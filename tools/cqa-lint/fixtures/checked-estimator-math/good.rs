@@ -1,0 +1,8 @@
+// The same arithmetic with explicit overflow/truncation policy.
+pub fn plan(k: u64, x: f64) -> u64 {
+    let mut n: u64 = 1;
+    n = n.saturating_add(k);
+    let bounded = cqa_common::checked::f64_to_u64((x * 3.0).ceil());
+    let small = u32::try_from(k).unwrap_or(u32::MAX);
+    n.saturating_add(bounded).saturating_add(u64::from(small))
+}

@@ -1,5 +1,5 @@
 // A reviewed suppression: the finding on the next line is waived.
 fn startup_only(x: Option<u32>) -> u32 {
-    // cqa-lint: allow(no-panic-in-request-path) — runs before the listener binds
+    // cqa-lint: allow(no-panic-in-request-path): runs before the listener binds
     x.unwrap()
 }

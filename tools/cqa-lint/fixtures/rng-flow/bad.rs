@@ -1,0 +1,12 @@
+// Two randomness violations: ambient entropy, and a fresh root RNG
+// constructed inside a sampling-reachable fn instead of forked from the
+// seeded root.
+pub fn sample_loop() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn fresh_generator() -> u64 {
+    let mut rng = Mt64::new(42);
+    rng.next_u64()
+}

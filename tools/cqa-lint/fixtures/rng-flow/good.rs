@@ -1,0 +1,5 @@
+// All randomness forks from the caller's seeded root generator.
+pub fn sample_loop(root: &mut Mt64) -> u64 {
+    let mut local = root.fork();
+    local.next_u64()
+}

@@ -1,0 +1,13 @@
+// Three malformed suppressions: no reason, unknown rule, and an attempt
+// to suppress the hygiene rule itself.
+fn startup_only(x: Option<u32>) -> u32 {
+    // cqa-lint: allow(no-panic-in-request-path)
+    x.unwrap()
+}
+
+// cqa-lint: allow(made-up-rule): confidently wrong
+fn misspelled() {}
+
+fn meta() {
+    // cqa-lint: allow(suppression-needs-reason): nice try
+}

@@ -1,0 +1,5 @@
+// A well-formed suppression: rule plus a justification clause.
+fn startup_only(x: Option<u32>) -> u32 {
+    // cqa-lint: allow(no-panic-in-request-path): runs before the listener binds, so no request thread exists yet
+    x.unwrap()
+}

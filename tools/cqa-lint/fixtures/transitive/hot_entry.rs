@@ -1,0 +1,13 @@
+// A marked sampling region whose only allocation happens inside a
+// helper defined in another module.
+pub struct Sampler {
+    n: usize,
+}
+
+impl Sampler {
+    // cqa-lint: hot-path begin
+    pub fn sample(&mut self) -> usize {
+        tabulate(self.n)
+    }
+    // cqa-lint: hot-path end
+}

@@ -1,0 +1,6 @@
+// The helper allocates; the hot region that calls it lives in another
+// file entirely.
+pub fn tabulate(n: usize) -> usize {
+    let buf: Vec<usize> = Vec::with_capacity(n);
+    buf.capacity()
+}

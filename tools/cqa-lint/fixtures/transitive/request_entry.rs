@@ -1,0 +1,5 @@
+// Request-path entry point. The panic it reaches lives in another
+// module — only the call graph can connect the two.
+pub fn handle(x: Option<u32>) -> u32 {
+    decode(x)
+}

@@ -1,0 +1,9 @@
+// Helper module: clean at every token the old scanner looked at, but
+// two hops in, it panics.
+pub fn decode(x: Option<u32>) -> u32 {
+    finishing_move(x)
+}
+
+fn finishing_move(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,517 @@
+//! A conservative workspace call graph over [`crate::parser`] output.
+//!
+//! Resolution is name- and type-directed, never sound in the
+//! rustc sense but safe for linting because every ambiguity widens the
+//! graph instead of narrowing it:
+//!
+//! - A method call whose receiver type is known resolves to that type's
+//!   inherent methods; if the type is a trait (a generic bound or `dyn`),
+//!   to every workspace `impl` of the trait plus its default methods.
+//! - A method call whose receiver type is *unknown* resolves to the union
+//!   of all same-named workspace methods — unless the name is a std
+//!   panic/alloc method (`unwrap`, `clone`, …), which is taken as the std
+//!   effect directly. That keeps workspace methods that happen to share a
+//!   std name (`Parser::expect`, the JSON reader's `self.expect(b'"')`)
+//!   from being misread as `Option::expect`, while an `.unwrap()` on an
+//!   arbitrary expression still counts as a panic site.
+//! - A free call on a known *binding* (param, `let`, `for` pattern) is a
+//!   closure or fn-pointer invocation the graph cannot see through: an
+//!   **opaque call**, surfaced to the rules instead of silently dropped.
+//!
+//! The remaining blind spots are documented in `docs/ANALYSIS.md`:
+//! implicit calls (`Drop::drop`, operator overloads, `?`'s `From`
+//! conversion) and calls through closures *values* built elsewhere.
+
+use crate::parser::{Call, FnItem, ParsedFile, Receiver};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Identifies a function as (file index, fn index) into the parsed set.
+pub type FnId = (usize, usize);
+
+/// A reachability seed: a function, optionally restricted to inclusive
+/// line ranges (the marked hot-path regions).
+pub type Seed = (FnId, Option<Vec<(u32, u32)>>);
+
+/// Methods on std types that panic on bad input. Only consulted when the
+/// receiver does not resolve to a workspace method of the same name.
+const STD_PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Methods on std types that allocate. Same consultation rule.
+const STD_ALLOC_METHODS: [&str; 14] = [
+    "clone",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "push",
+    "push_str",
+    "insert",
+    "extend",
+    "reserve",
+    "repeat",
+    "join",
+    "concat",
+    "into_boxed_slice",
+];
+
+/// Method names so dominated by std containers/iterators that an
+/// *unknown*-receiver call is assumed to be the std one (pure) rather than
+/// unioned over same-named workspace methods. Without this, every
+/// `foo().iter()` in the workspace would edge into e.g. the criterion
+/// shim's `Bencher::iter`. Known-receiver calls still resolve to workspace
+/// methods of these names.
+const STD_PURE_METHODS: [&str; 20] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "next",
+    "first",
+    "last",
+    "contains",
+    "contains_key",
+    "keys",
+    "values",
+    "as_str",
+    "as_bytes",
+    "map",
+    "min",
+    "max",
+    "trim",
+];
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+
+/// Std owner types whose constructors allocate (`Vec::with_capacity`, …).
+const ALLOC_TYPES: [&str; 6] = ["Vec", "Box", "String", "BTreeMap", "HashMap", "VecDeque"];
+const ALLOC_CTORS: [&str; 4] = ["new", "from", "with_capacity", "from_iter"];
+
+/// The workspace's seeded RNG type and its root constructors. `fork` is
+/// the sanctioned derivation and is not listed.
+pub const RNG_TYPE: &str = "Mt64";
+pub const RNG_ROOT_CTORS: [&str; 2] = ["new", "from_key"];
+
+/// One effect site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub line: u32,
+    /// What the site does, e.g. "`.unwrap()`" or "`format!`".
+    pub what: String,
+}
+
+/// Per-function analysis facts.
+#[derive(Debug, Default)]
+pub struct FnFacts {
+    /// Workspace callees, with the call line (used to restrict seed
+    /// traversal to a marked region).
+    pub edges: Vec<(FnId, u32)>,
+    /// Sites that can panic (std methods and panic macros).
+    pub panics: Vec<Site>,
+    /// Sites that allocate (std methods, macros, constructors).
+    pub allocs: Vec<Site>,
+    /// Free calls through bindings — dynamic dispatch the graph cannot
+    /// resolve.
+    pub opaques: Vec<Site>,
+    /// Root-RNG constructions (`Mt64::new` / `Mt64::from_key`).
+    pub rng_ctors: Vec<Site>,
+}
+
+/// The workspace call graph plus per-function facts.
+pub struct Graph<'a> {
+    pub files: &'a [ParsedFile],
+    /// facts[file][fn], parallel to `files[_].fns`.
+    pub facts: Vec<Vec<FnFacts>>,
+    /// Merged struct field tables: type name → field → type.
+    structs: BTreeMap<&'a str, BTreeMap<&'a str, &'a str>>,
+    /// (self type, method name) → candidate fns.
+    methods: BTreeMap<(&'a str, &'a str), Vec<FnId>>,
+    /// method name → every fn with a self type of that name.
+    by_method_name: BTreeMap<&'a str, Vec<FnId>>,
+    /// free fn name → candidate fns.
+    free_fns: BTreeMap<&'a str, Vec<FnId>>,
+    /// trait name → self types implementing it.
+    trait_impls: BTreeMap<&'a str, Vec<&'a str>>,
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the graph and computes per-function facts.
+    pub fn build(files: &'a [ParsedFile]) -> Graph<'a> {
+        let mut g = Graph {
+            files,
+            facts: Vec::new(),
+            structs: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            by_method_name: BTreeMap::new(),
+            free_fns: BTreeMap::new(),
+            trait_impls: BTreeMap::new(),
+        };
+        for (fi, file) in files.iter().enumerate() {
+            for (name, fields) in &file.structs {
+                let slot = g.structs.entry(name).or_default();
+                for (fname, fty) in fields {
+                    slot.insert(fname, fty);
+                }
+            }
+            for (ni, f) in file.fns.iter().enumerate() {
+                let id = (fi, ni);
+                match &f.self_ty {
+                    Some(ty) => {
+                        g.methods.entry((ty, &f.name)).or_default().push(id);
+                        g.by_method_name.entry(&f.name).or_default().push(id);
+                    }
+                    None => g.free_fns.entry(&f.name).or_default().push(id),
+                }
+                if let (Some(tr), Some(ty)) = (&f.trait_name, &f.self_ty) {
+                    if tr != ty {
+                        let impls = g.trait_impls.entry(tr).or_default();
+                        if !impls.contains(&ty.as_str()) {
+                            impls.push(ty);
+                        }
+                    }
+                }
+            }
+        }
+        let facts: Vec<Vec<FnFacts>> = files
+            .iter()
+            .enumerate()
+            .map(|(fi, file)| file.fns.iter().map(|f| g.fn_facts(fi, f)).collect())
+            .collect();
+        g.facts = facts;
+        g
+    }
+
+    pub fn fn_item(&self, id: FnId) -> &'a FnItem {
+        &self.files[id.0].fns[id.1]
+    }
+
+    /// `Type::method` display name for messages.
+    pub fn display(&self, id: FnId) -> String {
+        let f = self.fn_item(id);
+        match &f.self_ty {
+            Some(ty) => format!("{ty}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+
+    /// Walks `start.f1.f2…` through the merged struct tables.
+    fn walk_fields(&self, start: &str, fields: &[String]) -> Option<&'a str> {
+        let mut ty: &str = self.structs.get(start).map(|_| start)?;
+        let mut out: Option<&'a str> = None;
+        for fld in fields {
+            let next = *self.structs.get(ty)?.get(fld.as_str())?;
+            out = Some(next);
+            ty = next;
+        }
+        out
+    }
+
+    /// The terminal type of a variable in `f`, if recoverable. Generic
+    /// params resolve to their first trait bound.
+    fn var_type(&self, f: &FnItem, name: &str) -> Option<String> {
+        let base = f.params.get(name).or_else(|| f.locals.get(name)).cloned().or_else(|| {
+            let chain = f.local_chains.get(name)?;
+            let ty = f.self_ty.as_deref()?;
+            self.walk_fields(ty, &chain[1..]).map(str::to_owned)
+        })?;
+        // `s: S` with `S: Sampler` → the bound is the usable type.
+        Some(f.generics.get(&base).cloned().unwrap_or(base))
+    }
+
+    /// The receiver's terminal type, if recoverable.
+    fn receiver_type(&self, f: &FnItem, recv: &Receiver) -> Option<String> {
+        match recv {
+            Receiver::SelfChain(fields) => {
+                let ty = f.self_ty.as_deref()?;
+                if fields.is_empty() {
+                    Some(ty.to_owned())
+                } else {
+                    self.walk_fields(ty, fields).map(str::to_owned)
+                }
+            }
+            Receiver::Var(v, fields) => {
+                let base = self.var_type(f, v)?;
+                if fields.is_empty() {
+                    Some(base)
+                } else {
+                    self.walk_fields(&base, fields).map(str::to_owned)
+                }
+            }
+            Receiver::Unknown => None,
+        }
+    }
+
+    /// Workspace candidates for `ty::name`: inherent methods, trait
+    /// defaults, and — when `ty` is a trait — every impl's method.
+    fn method_candidates(&self, ty: &str, name: &str) -> Vec<FnId> {
+        let mut out: Vec<FnId> = self.methods.get(&(ty, name)).cloned().unwrap_or_default();
+        if let Some(impls) = self.trait_impls.get(ty) {
+            for imp in impls {
+                if let Some(ids) = self.methods.get(&(imp, name)) {
+                    out.extend(ids.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes the facts for one function body.
+    fn fn_facts(&self, _fi: usize, f: &FnItem) -> FnFacts {
+        let mut facts = FnFacts::default();
+        for call in &f.calls {
+            match call {
+                Call::Macro { name, line } => {
+                    if PANIC_MACROS.contains(&name.as_str()) {
+                        facts.panics.push(Site { line: *line, what: format!("{name}!") });
+                    } else if ALLOC_MACROS.contains(&name.as_str()) {
+                        facts.allocs.push(Site { line: *line, what: format!("{name}!") });
+                    }
+                }
+                Call::Method { name, recv, line } => {
+                    let cands = match self.receiver_type(f, recv) {
+                        Some(ty) => self.method_candidates(&ty, name),
+                        // Unknown receiver: std effect/pure names win (see
+                        // the module docs), otherwise union over all
+                        // same-named workspace methods.
+                        None if STD_PANIC_METHODS.contains(&name.as_str())
+                            || STD_ALLOC_METHODS.contains(&name.as_str())
+                            || STD_PURE_METHODS.contains(&name.as_str()) =>
+                        {
+                            Vec::new()
+                        }
+                        None => self.by_method_name.get(name.as_str()).cloned().unwrap_or_default(),
+                    };
+                    if !cands.is_empty() {
+                        facts.edges.extend(cands.into_iter().map(|id| (id, *line)));
+                    } else if STD_PANIC_METHODS.contains(&name.as_str()) {
+                        facts.panics.push(Site { line: *line, what: format!(".{name}()") });
+                    } else if STD_ALLOC_METHODS.contains(&name.as_str()) {
+                        facts.allocs.push(Site { line: *line, what: format!(".{name}()") });
+                    }
+                }
+                Call::Path { qualifier, name, line } => {
+                    let q: &str = match qualifier.as_str() {
+                        "Self" => f.self_ty.as_deref().unwrap_or("Self"),
+                        q => q,
+                    };
+                    if q == RNG_TYPE
+                        && RNG_ROOT_CTORS.contains(&name.as_str())
+                        && f.self_ty.as_deref() != Some(RNG_TYPE)
+                    {
+                        facts.rng_ctors.push(Site { line: *line, what: format!("{q}::{name}") });
+                    }
+                    let cands = self.method_candidates(q, name);
+                    if !cands.is_empty() {
+                        facts.edges.extend(cands.into_iter().map(|id| (id, *line)));
+                    } else if ALLOC_TYPES.contains(&q) && ALLOC_CTORS.contains(&name.as_str()) {
+                        facts.allocs.push(Site { line: *line, what: format!("{q}::{name}") });
+                    } else if let Some(ids) = self.free_fns.get(name.as_str()) {
+                        // Module-qualified free fn (`cqa_query::parse(…)`).
+                        facts.edges.extend(ids.iter().map(|id| (*id, *line)));
+                    }
+                }
+                Call::Free { name, line } => {
+                    if f.bindings.contains(name.as_str()) {
+                        facts.opaques.push(Site { line: *line, what: format!("{name}(…)") });
+                    } else if let Some(ids) = self.free_fns.get(name.as_str()) {
+                        facts.edges.extend(ids.iter().map(|id| (*id, *line)));
+                    }
+                    // Anything else (`Some(…)`, `Ok(…)`, std free fns,
+                    // tuple-struct literals) is assumed effect-free.
+                }
+            }
+        }
+        facts
+    }
+
+    /// BFS over the graph from `seeds`. A seed may carry line ranges: its
+    /// own edges (and direct effects, which the caller checks) only count
+    /// when the call line falls inside one of the ranges; transitively
+    /// reached functions count in full. Returns reached fn → parent (seeds
+    /// map to themselves), for path reconstruction.
+    pub fn reach(&self, seeds: &[Seed]) -> BTreeMap<FnId, FnId> {
+        let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        let in_ranges = |ranges: &Option<Vec<(u32, u32)>>, line: u32| match ranges {
+            None => true,
+            Some(rs) => rs.iter().any(|(a, b)| (*a..=*b).contains(&line)),
+        };
+        for (id, ranges) in seeds {
+            parent.entry(*id).or_insert(*id);
+            for (callee, line) in &self.facts[id.0][id.1].edges {
+                if in_ranges(ranges, *line) && !parent.contains_key(callee) {
+                    parent.insert(*callee, *id);
+                    queue.push_back(*callee);
+                }
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            for (callee, _) in &self.facts[id.0][id.1].edges {
+                if !parent.contains_key(callee) {
+                    parent.insert(*callee, id);
+                    queue.push_back(*callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Human-readable call path from a seed to `id`, e.g.
+    /// "handle_line → run_query → resolve".
+    pub fn path_to(&self, parent: &BTreeMap<FnId, FnId>, id: FnId) -> String {
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+            if chain.len() > 24 {
+                break; // defensive: a cycle in the parent map
+            }
+        }
+        chain.reverse();
+        chain.iter().map(|&n| self.display(n)).collect::<Vec<_>>().join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser};
+
+    fn build(files: &[(&str, &str)]) -> Vec<ParsedFile> {
+        files
+            .iter()
+            .map(|(rel, src)| {
+                let lexed = lexer::lex(src);
+                parser::parse_file(rel, &lexer::strip_cfg_test(&lexed.toks))
+            })
+            .collect()
+    }
+
+    fn id_of(g: &Graph<'_>, name: &str) -> FnId {
+        for (fi, file) in g.files.iter().enumerate() {
+            for (ni, f) in file.fns.iter().enumerate() {
+                if f.name == name {
+                    return (fi, ni);
+                }
+            }
+        }
+        panic!("no fn {name}");
+    }
+
+    #[test]
+    fn cross_file_panic_is_reachable() {
+        let files = build(&[
+            ("a.rs", "pub fn entry(x: Option<u32>) -> u32 { helper(x) }"),
+            ("b.rs", "pub fn helper(x: Option<u32>) -> u32 { x.unwrap() }"),
+        ]);
+        let g = Graph::build(&files);
+        let seeds = vec![(id_of(&g, "entry"), None)];
+        let reached = g.reach(&seeds);
+        let h = id_of(&g, "helper");
+        assert!(reached.contains_key(&h));
+        assert_eq!(g.facts[h.0][h.1].panics.len(), 1);
+        assert_eq!(g.path_to(&reached, h), "entry → helper");
+    }
+
+    #[test]
+    fn field_typed_receiver_resolves_to_workspace_method() {
+        let files = build(&[(
+            "a.rs",
+            "struct Pair; impl Pair { fn go(&self) { other(); } } \
+             struct S { pair: Pair } \
+             impl S { fn run(&self) { self.pair.go(); } } \
+             fn other() {}",
+        )]);
+        let g = Graph::build(&files);
+        let reached = g.reach(&[(id_of(&g, "run"), None)]);
+        assert!(reached.contains_key(&id_of(&g, "go")));
+        assert!(reached.contains_key(&id_of(&g, "other")));
+    }
+
+    #[test]
+    fn workspace_expect_is_not_a_std_panic() {
+        // `self.expect(…)` resolves to the workspace method; the panic
+        // inside it is still found transitively, but the call site itself
+        // is an edge, not a panic effect.
+        let files = build(&[(
+            "a.rs",
+            "struct P; impl P { fn expect(&self, b: u8) {} fn parse(&self) { self.expect(1); } }",
+        )]);
+        let g = Graph::build(&files);
+        let p = id_of(&g, "parse");
+        assert!(g.facts[p.0][p.1].panics.is_empty());
+        assert_eq!(g.facts[p.0][p.1].edges.len(), 1);
+    }
+
+    #[test]
+    fn unknown_receiver_unwrap_is_a_panic_site() {
+        let files = build(&[("a.rs", "fn f() { foo().unwrap(); }")]);
+        let g = Graph::build(&files);
+        let f = id_of(&g, "f");
+        assert_eq!(g.facts[f.0][f.1].panics.len(), 1);
+    }
+
+    #[test]
+    fn generic_bound_resolves_to_all_impls() {
+        let files = build(&[(
+            "a.rs",
+            "trait Sampler { fn sample(&mut self); } \
+             struct A; impl Sampler for A { fn sample(&mut self) { alloc_it(); } } \
+             struct B; impl Sampler for B { fn sample(&mut self) {} } \
+             fn drive<S: Sampler>(s: &mut S) { s.sample(); } \
+             fn alloc_it() { let _v = Vec::with_capacity(8); }",
+        )]);
+        let g = Graph::build(&files);
+        let reached = g.reach(&[(id_of(&g, "drive"), None)]);
+        let a = id_of(&g, "alloc_it");
+        assert!(reached.contains_key(&a), "impl A's body must be reachable through the bound");
+        assert_eq!(g.facts[a.0][a.1].allocs.len(), 1);
+    }
+
+    #[test]
+    fn binding_call_is_opaque() {
+        let files = build(&[("a.rs", "fn pump(rx: Receiver) { for job in rx.iter() { job(); } }")]);
+        let g = Graph::build(&files);
+        let f = id_of(&g, "pump");
+        assert_eq!(g.facts[f.0][f.1].opaques.len(), 1);
+        assert!(g.facts[f.0][f.1].opaques[0].what.contains("job"));
+    }
+
+    #[test]
+    fn region_restricted_seed_only_follows_in_region_edges() {
+        let files = build(&[(
+            "a.rs",
+            "fn seed() {\n  cold();\n  hot();\n}\nfn cold() { x.unwrap(); }\nfn hot() {}",
+        )]);
+        let g = Graph::build(&files);
+        // Only line 3 (`hot()`) is inside the region.
+        let reached = g.reach(&[(id_of(&g, "seed"), Some(vec![(3, 3)]))]);
+        assert!(reached.contains_key(&id_of(&g, "hot")));
+        assert!(!reached.contains_key(&id_of(&g, "cold")));
+    }
+
+    #[test]
+    fn rng_root_ctor_is_recorded_outside_impl_mt64() {
+        let files = build(&[(
+            "a.rs",
+            "fn bad(seed: u64) { let _r = Mt64::new(seed); } \
+             struct Mt64; impl Mt64 { fn new(s: u64) -> Mt64 { Mt64 } \
+             fn fork(&mut self) -> Mt64 { Mt64::from_key(0) } fn from_key(k: u64) -> Mt64 { Mt64 } }",
+        )]);
+        let g = Graph::build(&files);
+        let b = id_of(&g, "bad");
+        assert_eq!(g.facts[b.0][b.1].rng_ctors.len(), 1);
+        let fork = id_of(&g, "fork");
+        assert!(g.facts[fork.0][fork.1].rng_ctors.is_empty(), "fork derivation is sanctioned");
+    }
+}

@@ -1,12 +1,16 @@
 //! cqa-lint: the workspace invariant checker.
 //!
 //! Rust's type system cannot express several invariants this workspace
-//! relies on — "no panics on the server's request path", "no heap
-//! allocation in the per-sample loops", "every `unsafe` carries its proof",
-//! "observability names come from the registry", "the wire protocol and
-//! its document agree". `cqa-lint` enforces them with a hand-rolled lexer
-//! ([`lexer`]) and token-pattern rules ([`rules`]); it has **zero**
-//! dependencies beyond std, so it runs anywhere the workspace builds.
+//! relies on — "no panics reachable from the server's request path", "no
+//! heap allocation reachable from the per-sample loops", "estimator math
+//! never wraps or truncates", "all randomness flows from the seeded root
+//! RNG", "every `unsafe` carries its proof", "observability names come
+//! from the registry", "the wire protocol and its document agree".
+//! `cqa-lint` enforces them with a hand-rolled lexer ([`lexer`]), an item
+//! parser ([`parser`]), and a conservative workspace call graph
+//! ([`callgraph`]) that turns the panic/alloc/RNG rules into transitive
+//! reachability queries; it has **zero** dependencies beyond std, so it
+//! runs anywhere the workspace builds.
 //!
 //! Entry point: [`check_workspace`]. CLI: `cargo run -p cqa-lint -- check`.
 //! Rules, rationale, and the suppression syntax are documented in
@@ -14,11 +18,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use rules::{Finding, NameRegistry};
-use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -37,6 +42,10 @@ pub const REQUEST_PATH_FILES: [&str; 3] =
 /// scanned. `tools/*/src` includes cqa-lint itself — the linter holds its
 /// own invariants; its *fixtures* live outside `src` and are not scanned.
 pub const SCAN_ROOTS: [&str; 3] = ["crates", "shims", "tools"];
+/// Files holding the DKLR planners and Monte-Carlo estimator loops,
+/// subject to `checked-estimator-math` and seeding `rng-flow`.
+pub const ESTIMATOR_FILES: [&str; 3] =
+    ["crates/core/src/coverage.rs", "crates/core/src/montecarlo.rs", "crates/core/src/optest.rs"];
 
 /// A fatal problem with the scan itself (unreadable file, missing
 /// registry) — distinct from findings, which are problems with the code.
@@ -101,6 +110,51 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), CheckError> {
     Ok(())
 }
 
+/// Runs every rule over a set of `(repo-relative path, source)` pairs:
+/// the per-file rules, then the call-graph rules over the whole set. This
+/// is the engine behind [`check_workspace`] and the fixture self-tests —
+/// a transitive finding needs the *set*, not a single file, so fixtures
+/// exercising cross-module reachability pass several files at once.
+pub fn check_sources(sources: &[(String, String)], registry: &NameRegistry) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut lexed_v: Vec<lexer::Lexed> = Vec::with_capacity(sources.len());
+    let mut stripped_v: Vec<Vec<lexer::Tok>> = Vec::with_capacity(sources.len());
+    let mut parsed_v: Vec<parser::ParsedFile> = Vec::with_capacity(sources.len());
+
+    for (rel, src) in sources {
+        let lexed = lexer::lex(src);
+        let stripped = lexer::strip_cfg_test(&lexed.toks);
+
+        // safety-comment runs on the *full* stream: unsound tests count.
+        findings.extend(rules::safety(&lexed, rel));
+        findings.extend(rules::suppression_hygiene(&lexed, rel));
+        if rel != REGISTRY_FILE {
+            findings.extend(rules::obs_names(&lexed, &stripped, rel, registry));
+        }
+        parsed_v.push(parser::parse_file(rel, &stripped));
+        lexed_v.push(lexed);
+        stripped_v.push(stripped);
+    }
+
+    let graph = callgraph::Graph::build(&parsed_v);
+    findings.extend(rules::no_panic(&graph, &lexed_v, &REQUEST_PATH_FILES));
+    findings.extend(rules::no_alloc(&graph, &lexed_v));
+    findings.extend(rules::checked_math(&graph, &lexed_v, &ESTIMATOR_FILES));
+    findings.extend(rules::rng_flow(&graph, &lexed_v, &stripped_v, &ESTIMATOR_FILES));
+
+    sort_dedup(&mut findings);
+    findings
+}
+
+/// Sorts findings by file/line/rule and keeps one finding per
+/// (file, line, rule): the same site can surface through several seeds
+/// (e.g. an opaque call reached from both the request path and a hot
+/// region) and one report with one path is enough to act on.
+fn sort_dedup(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+}
+
 /// Runs every rule over the workspace rooted at `root` and returns the
 /// surviving findings, sorted by file/line/rule.
 pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
@@ -112,52 +166,26 @@ pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
         )));
     }
 
-    let mut findings = Vec::new();
-    let mut lexed_by_rel: BTreeMap<String, lexer::Lexed> = BTreeMap::new();
-
+    let mut sources = Vec::new();
     for (abs, rel) in source_files(root)? {
-        let src = read(&abs)?;
-        let lexed = lexer::lex(&src);
-        let stripped = lexer::strip_cfg_test(&lexed.toks);
-
-        // safety-comment runs on the *full* stream: unsound tests count.
-        findings.extend(rules::safety(&lexed, &rel));
-        findings.extend(rules::no_alloc(&lexed, &stripped, &rel));
-        if rel != REGISTRY_FILE {
-            findings.extend(rules::obs_names(&lexed, &stripped, &rel, &registry));
-        }
-        if REQUEST_PATH_FILES.contains(&rel.as_str()) {
-            findings.extend(rules::no_panic(&lexed, &stripped, &rel));
-        }
-        lexed_by_rel.insert(rel, lexed);
+        sources.push((rel, read(&abs)?));
     }
+    let mut findings = check_sources(&sources, &registry);
 
-    if let Some(proto) = lexed_by_rel.get(PROTOCOL_FILE) {
-        let stripped = lexer::strip_cfg_test(&proto.toks);
+    if let Some((_, proto_src)) = sources.iter().find(|(rel, _)| rel == PROTOCOL_FILE) {
+        let stripped = lexer::strip_cfg_test(&lexer::lex(proto_src).toks);
         let code_keys = rules::protocol_code_keys(&stripped);
         let doc_keys = rules::protocol_doc_keys(&read(&root.join(PROTOCOL_DOC))?);
         findings.extend(rules::protocol_sync(&code_keys, &doc_keys, PROTOCOL_FILE, PROTOCOL_DOC));
     }
 
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    sort_dedup(&mut findings);
     Ok(findings)
 }
 
 /// Lints a single source string as if it were file `rel`, against the
-/// given registry. This is the entry point the fixture self-tests use; it
-/// applies every per-file rule (request-path rules only when `rel` matches
-/// [`REQUEST_PATH_FILES`]).
+/// given registry. Single-file view of [`check_sources`]; transitive rules
+/// see only this file's functions.
 pub fn check_source(rel: &str, src: &str, registry: &NameRegistry) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    let stripped = lexer::strip_cfg_test(&lexed.toks);
-    let mut findings = rules::safety(&lexed, rel);
-    findings.extend(rules::no_alloc(&lexed, &stripped, rel));
-    if rel != REGISTRY_FILE {
-        findings.extend(rules::obs_names(&lexed, &stripped, rel, registry));
-    }
-    if REQUEST_PATH_FILES.contains(&rel) {
-        findings.extend(rules::no_panic(&lexed, &stripped, rel));
-    }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    findings
+    check_sources(&[(rel.to_owned(), src.to_owned())], registry)
 }

@@ -1,18 +1,20 @@
 //! CLI for the workspace invariant checker.
 //!
 //! ```text
-//! cargo run -p cqa-lint -- check [--root <path>]
+//! cargo run -p cqa-lint -- check [--root <path>] [--out <findings-file>]
 //! ```
 //!
 //! Exits 0 when the workspace is clean, 1 when any rule fires, 2 on usage
-//! or I/O errors. See `docs/ANALYSIS.md` for the rules.
+//! or I/O errors. With `--out`, findings are also written one per line to
+//! the given file (CI uploads it as a build artifact on failure). See
+//! `docs/ANALYSIS.md` for the rules.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cqa-lint check [--root <workspace-root>]";
+const USAGE: &str = "usage: cqa-lint check [--root <workspace-root>] [--out <findings-file>]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -27,12 +29,20 @@ fn main() -> ExitCode {
     // Default to the workspace root this binary was built from, so
     // `cargo run -p cqa-lint -- check` works from any directory.
     let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut out_file: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => {
                     eprintln!("cqa-lint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_file = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("cqa-lint: --out needs a path\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -44,16 +54,28 @@ fn main() -> ExitCode {
     }
 
     match cqa_lint::check_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("cqa-lint: workspace clean");
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if let Some(path) = &out_file {
+                let mut body =
+                    findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+                if !body.is_empty() {
+                    body.push('\n');
+                }
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("cqa-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
             }
-            println!("cqa-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                println!("cqa-lint: workspace clean");
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("cqa-lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("{e}");

@@ -1,0 +1,1066 @@
+//! A hand-rolled item parser over the [`crate::lexer`] token stream.
+//!
+//! The call-graph rules need more structure than raw tokens: which function
+//! a token belongs to, what an `impl` block's self type is, what a call
+//! site's receiver is, and what types the receiver chain walks through.
+//! This module recovers exactly that much structure — fn items (including
+//! trait methods and functions nested in bodies), impl blocks with
+//! self-type and trait tracking, struct field types, parameter and `let`
+//! types, call sites (method / path / free / macro), slice-indexing sites,
+//! `as`-cast sites, and integer arithmetic sites — while deliberately *not*
+//! building a full AST. Anything it cannot classify it records
+//! conservatively (an unknown receiver, an opaque callee) rather than
+//! guessing; `rustc` has already accepted the code, so unparseable input is
+//! tolerated, never fatal.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Integer type names, for cast / arithmetic classification.
+pub const INT_TYPES: [&str; 12] =
+    ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// Integer types narrower than the 64-bit counters estimator math runs on.
+pub const NARROW_INT_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Methods that produce floats: a cast of their result to an integer is a
+/// silent truncation/saturation.
+const FLOAT_METHODS: [&str; 11] =
+    ["ceil", "floor", "round", "trunc", "sqrt", "ln", "log2", "log10", "exp", "powf", "powi"];
+
+/// Keywords that can directly precede `(` or `[` without being a call or
+/// an indexing expression.
+const KEYWORDS: [&str; 28] = [
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "fn", "impl", "struct", "enum", "trait", "mod", "use", "pub", "where", "move", "ref",
+    "mut", "unsafe", "dyn", "static", "const",
+];
+
+/// How a method call's receiver was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `self.f.g.m(…)` — the field chain after `self` (empty for `self.m()`).
+    SelfChain(Vec<String>),
+    /// `x.f.m(…)` — a variable, then a (possibly empty) field chain.
+    Var(String, Vec<String>),
+    /// Anything else (a chained call result, a literal, a parenthesized
+    /// expression): the receiver's type is not recoverable from tokens.
+    Unknown,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call {
+    /// `recv.name(…)`.
+    Method { name: String, recv: Receiver, line: u32 },
+    /// `Qualifier::name(…)` — `qualifier` is the last path segment before
+    /// the function name (a type, module, or `Self`).
+    Path { qualifier: String, name: String, line: u32 },
+    /// `name(…)` with no qualifier or receiver.
+    Free { name: String, line: u32 },
+    /// `name!(…)` / `name![…]` / `name!{…}`.
+    Macro { name: String, line: u32 },
+}
+
+impl Call {
+    /// The source line of the call.
+    pub fn line(&self) -> u32 {
+        match self {
+            Call::Method { line, .. }
+            | Call::Path { line, .. }
+            | Call::Free { line, .. }
+            | Call::Macro { line, .. } => *line,
+        }
+    }
+}
+
+/// An `expr as <int>` cast site.
+#[derive(Debug, Clone)]
+pub struct CastSite {
+    pub line: u32,
+    /// The target type name (always one of [`INT_TYPES`]).
+    pub target: String,
+    /// Target is one of [`NARROW_INT_TYPES`].
+    pub narrowing: bool,
+    /// The cast source is a call/paren result that looks float-valued
+    /// (`.ceil() as u64`, `.max(1.0) as u64`): a silent float→int
+    /// truncation.
+    pub float_source: bool,
+}
+
+/// An unchecked `+` / `*` (or `+=` / `*=`) on a known-integer operand.
+#[derive(Debug, Clone)]
+pub struct ArithSite {
+    pub line: u32,
+    pub op: char,
+    /// The integer-typed operand that triggered the classification.
+    pub operand: String,
+}
+
+/// One parsed function (free fn, inherent/trait method, or fn nested in a
+/// body).
+#[derive(Debug, Clone, Default)]
+pub struct FnItem {
+    /// The function's own name.
+    pub name: String,
+    /// Self type when defined inside `impl T` / `impl Tr for T` / `trait T`.
+    pub self_ty: Option<String>,
+    /// Trait name when defined inside `impl Tr for T` or `trait Tr`.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the body's closing brace (0 for bodyless declarations).
+    pub end_line: u32,
+    /// Parameter name → terminal type ident (see [`terminal_type`]).
+    pub params: BTreeMap<String, String>,
+    /// Generic parameter → first trait bound ident (`S: Sampler` → `Sampler`).
+    pub generics: BTreeMap<String, String>,
+    /// `let` locals with a directly annotated or ctor-inferred type.
+    pub locals: BTreeMap<String, String>,
+    /// `let x = self.f.g;` — locals bound to a field chain, resolved
+    /// against the struct table at graph-build time.
+    pub local_chains: BTreeMap<String, Vec<String>>,
+    /// Identifiers known to hold integers (typed params/locals, integer
+    /// literals).
+    pub int_idents: BTreeSet<String>,
+    /// Every binding name in scope (params, `let`s, `for` patterns) —
+    /// a free "call" on one of these is a closure/fn-pointer invocation,
+    /// not a named function.
+    pub bindings: BTreeSet<String>,
+    /// Every call site in the body, in source order.
+    pub calls: Vec<Call>,
+    /// Lines with a `[`-indexing expression.
+    pub index_sites: Vec<u32>,
+    /// Integer-target `as` casts.
+    pub cast_sites: Vec<CastSite>,
+    /// Unchecked integer `+`/`*` sites.
+    pub arith_sites: Vec<ArithSite>,
+}
+
+/// A parsed source file: functions plus the struct field-type table.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Repo-relative path.
+    pub rel: String,
+    pub fns: Vec<FnItem>,
+    /// struct name → field name → terminal type ident.
+    pub structs: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+/// Parses one (already `cfg(test)`-stripped) token stream.
+pub fn parse_file(rel: &str, toks: &[Tok]) -> ParsedFile {
+    let mut out = ParsedFile { rel: rel.to_owned(), ..ParsedFile::default() };
+    walk_items(toks, 0, toks.len(), None, None, &mut out);
+    out
+}
+
+fn is_keyword(name: &str) -> bool {
+    KEYWORDS.contains(&name)
+}
+
+/// Index just past the group opened by the bracket at `open` (`(`/`[`/`{`),
+/// treating the three bracket kinds as one nesting family. Never panics:
+/// an unbalanced stream returns `end`.
+fn skip_group(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        match toks[i].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Index just past a generic parameter list opening with `<` at `open`.
+/// Understands that `->` is an arrow (its `>` does not close angles) and
+/// that `>>` is two closers.
+fn skip_angles(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < end {
+        match toks[i].kind {
+            TokKind::Punct('<') => depth += 1,
+            // `->`: the `-` precedes the `>`; not an angle closer.
+            TokKind::Punct('>') if !(i > 0 && toks[i - 1].is_punct('-')) => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                i = skip_group(toks, i, end);
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// The "terminal type" of a type token sequence: the most informative
+/// single ident the rules can key resolution on. `&'a AdmissiblePair` →
+/// `AdmissiblePair`; `Vec<u32>` → `Vec`; `&mut Mt64` → `Mt64`;
+/// `impl FnOnce() + Send` → `FnOnce`; `Box<dyn Fn()>` → `Box`.
+pub fn terminal_type(toks: &[Tok]) -> Option<String> {
+    let mut i = 0;
+    let mut last_top: Option<&str> = None;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Ident => {
+                let t = toks[i].text.as_str();
+                if t == "impl" || t == "dyn" {
+                    // The first bound names the capability; later `+ Send`
+                    // bounds are auxiliary.
+                    for t2 in &toks[i + 1..] {
+                        if t2.kind == TokKind::Ident && !matches!(t2.text.as_str(), "mut" | "ref") {
+                            return Some(t2.text.clone());
+                        }
+                    }
+                    return None;
+                }
+                if !matches!(t, "mut" | "ref" | "const") {
+                    last_top = Some(t);
+                }
+            }
+            TokKind::Punct('<') => {
+                i = skip_angles(toks, i, toks.len());
+                continue;
+            }
+            TokKind::Punct('(') | TokKind::Punct('[') => {
+                i = skip_group(toks, i, toks.len());
+                continue;
+            }
+            TokKind::Punct('+') => break, // `A + Send`: keep the first bound
+            _ => {}
+        }
+        i += 1;
+    }
+    last_top.map(str::to_owned)
+}
+
+/// Walks a token range for item declarations, collecting fns and structs.
+/// `self_ty`/`trait_name` carry the enclosing impl/trait context.
+fn walk_items(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    self_ty: Option<&str>,
+    trait_name: Option<&str>,
+    out: &mut ParsedFile,
+) {
+    let mut i = start;
+    while i < end {
+        match &toks[i].kind {
+            // Skip attributes wholesale: their contents are not code.
+            TokKind::Punct('#') if toks.get(i + 1).is_some_and(|t| t.is_punct('[')) => {
+                i = skip_group(toks, i + 1, end);
+            }
+            TokKind::Ident if toks[i].text == "fn" => {
+                i = parse_fn(toks, i, end, self_ty, trait_name, out);
+            }
+            TokKind::Ident if toks[i].text == "impl" => {
+                i = parse_impl(toks, i, end, out);
+            }
+            TokKind::Ident if toks[i].text == "trait" => {
+                // Treat `trait X { … }` like `impl X`: default method bodies
+                // are real code, and `X` doubles as trait and self type.
+                let name = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident).map(|t| &t.text);
+                let Some(name) = name.cloned() else {
+                    i += 1;
+                    continue;
+                };
+                let mut j = i + 2;
+                while j < end && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    if toks[j].is_punct('<') {
+                        j = skip_angles(toks, j, end);
+                    } else {
+                        j += 1;
+                    }
+                }
+                if j < end && toks[j].is_punct('{') {
+                    let body_end = skip_group(toks, j, end);
+                    walk_items(toks, j + 1, body_end - 1, Some(&name), Some(&name), out);
+                    i = body_end;
+                } else {
+                    i = j + 1;
+                }
+            }
+            TokKind::Ident if toks[i].text == "struct" => {
+                i = parse_struct(toks, i, end, out);
+            }
+            // Enum/union payloads look like fields but are not; skip the
+            // whole item body.
+            TokKind::Ident if toks[i].text == "enum" || toks[i].text == "union" => {
+                let mut j = i + 1;
+                while j < end && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                i = if j < end && toks[j].is_punct('{') { skip_group(toks, j, end) } else { j + 1 };
+            }
+            TokKind::Punct('{') => {
+                // A plain block (e.g. a `mod m { … }` body reaches here via
+                // its brace): recurse with the same context.
+                let body_end = skip_group(toks, i, end);
+                walk_items(toks, i + 1, body_end - 1, self_ty, trait_name, out);
+                i = body_end;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses an `impl` block header and recurses into its body.
+fn parse_impl(toks: &[Tok], at: usize, end: usize, out: &mut ParsedFile) -> usize {
+    let mut i = at + 1;
+    if i < end && toks[i].is_punct('<') {
+        i = skip_angles(toks, i, end);
+    }
+    // First path: the trait when `for` follows, else the self type.
+    let mut first: Vec<Tok> = Vec::new();
+    let mut second: Vec<Tok> = Vec::new();
+    let mut saw_for = false;
+    while i < end && !toks[i].is_punct('{') && !toks[i].is_punct(';') {
+        if toks[i].is_ident("where") {
+            // The where clause adds nothing to name resolution.
+            while i < end && !toks[i].is_punct('{') && !toks[i].is_punct(';') {
+                i += 1;
+            }
+            break;
+        }
+        if toks[i].is_ident("for") {
+            saw_for = true;
+            i += 1;
+            continue;
+        }
+        if toks[i].is_punct('<') {
+            i = skip_angles(toks, i, end);
+            continue;
+        }
+        if saw_for { &mut second } else { &mut first }.push(toks[i].clone());
+        i += 1;
+    }
+    let (trait_toks, ty_toks) = if saw_for { (Some(&first), &second) } else { (None, &first) };
+    let self_ty = terminal_type(ty_toks);
+    let trait_name = trait_toks.and_then(|t| terminal_type(t));
+    if i < end && toks[i].is_punct('{') {
+        let body_end = skip_group(toks, i, end);
+        walk_items(toks, i + 1, body_end - 1, self_ty.as_deref(), trait_name.as_deref(), out);
+        body_end
+    } else {
+        i + 1
+    }
+}
+
+/// Parses `struct Name { field: Type, … }` into the field-type table.
+fn parse_struct(toks: &[Tok], at: usize, end: usize, out: &mut ParsedFile) -> usize {
+    let Some(name) = toks.get(at + 1).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone())
+    else {
+        return at + 1;
+    };
+    let mut i = at + 2;
+    if i < end && toks[i].is_punct('<') {
+        i = skip_angles(toks, i, end);
+    }
+    while i < end && toks[i].is_ident("where") {
+        while i < end && !toks[i].is_punct('{') && !toks[i].is_punct(';') {
+            i += 1;
+        }
+    }
+    // Tuple struct `struct X(…);` or unit struct `struct X;`: no named
+    // fields to record.
+    if i >= end || !toks[i].is_punct('{') {
+        return if i < end && toks[i].is_punct('(') { skip_group(toks, i, end) } else { i + 1 };
+    }
+    let body_end = skip_group(toks, i, end);
+    let mut fields = BTreeMap::new();
+    let mut j = i + 1;
+    while j < body_end - 1 {
+        // Field shape: [attrs] [pub[(…)]] name : Type ,|}
+        if toks[j].is_punct('#') && toks.get(j + 1).is_some_and(|t| t.is_punct('[')) {
+            j = skip_group(toks, j + 1, body_end);
+            continue;
+        }
+        if toks[j].is_ident("pub") {
+            j += 1;
+            if j < body_end && toks[j].is_punct('(') {
+                j = skip_group(toks, j, body_end);
+            }
+            continue;
+        }
+        if toks[j].kind == TokKind::Ident && toks.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+            let fname = toks[j].text.clone();
+            let ty_start = j + 2;
+            let mut k = ty_start;
+            while k < body_end - 1 {
+                match toks[k].kind {
+                    TokKind::Punct(',') => break,
+                    TokKind::Punct('<') => k = skip_angles(toks, k, body_end),
+                    TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                        k = skip_group(toks, k, body_end)
+                    }
+                    _ => k += 1,
+                }
+            }
+            if let Some(ty) = terminal_type(&toks[ty_start..k]) {
+                fields.insert(fname, ty);
+            }
+            j = k + 1;
+            continue;
+        }
+        j += 1;
+    }
+    out.structs.entry(name).or_default().extend(fields);
+    body_end
+}
+
+/// Parses one `fn` item starting at the `fn` keyword; returns the index
+/// just past it. Nested fns are parsed recursively as their own items and
+/// excluded from the outer body scan.
+fn parse_fn(
+    toks: &[Tok],
+    at: usize,
+    end: usize,
+    self_ty: Option<&str>,
+    trait_name: Option<&str>,
+    out: &mut ParsedFile,
+) -> usize {
+    let Some(name_tok) = toks.get(at + 1).filter(|t| t.kind == TokKind::Ident) else {
+        return at + 1;
+    };
+    let mut f = FnItem {
+        name: name_tok.text.clone(),
+        self_ty: self_ty.map(str::to_owned),
+        trait_name: trait_name.map(str::to_owned),
+        line: toks[at].line,
+        ..FnItem::default()
+    };
+    let mut i = at + 2;
+    if i < end && toks[i].is_punct('<') {
+        let close = skip_angles(toks, i, end);
+        parse_generics(&toks[i + 1..close.saturating_sub(1).max(i + 1)], &mut f);
+        i = close;
+    }
+    if i >= end || !toks[i].is_punct('(') {
+        out.fns.push(f);
+        return i;
+    }
+    let params_end = skip_group(toks, i, end);
+    parse_params(&toks[i + 1..params_end.saturating_sub(1).max(i + 1)], self_ty, &mut f);
+    i = params_end;
+    // Return type / where clause: skip to the body or a bodyless `;`.
+    while i < end && !toks[i].is_punct('{') && !toks[i].is_punct(';') {
+        match toks[i].kind {
+            TokKind::Punct('<') => i = skip_angles(toks, i, end),
+            TokKind::Punct('(') | TokKind::Punct('[') => i = skip_group(toks, i, end),
+            _ => i += 1,
+        }
+    }
+    if i >= end || toks[i].is_punct(';') {
+        out.fns.push(f);
+        return i + 1;
+    }
+    let body_end = skip_group(toks, i, end);
+    f.end_line = toks[body_end.saturating_sub(1).min(toks.len() - 1)].line;
+    scan_body(toks, i + 1, body_end - 1, end, &mut f, out);
+    out.fns.push(f);
+    body_end
+}
+
+/// Records `T: Bound` pairs from a generic parameter list (angle brackets
+/// already stripped).
+fn parse_generics(toks: &[Tok], f: &mut FnItem) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !is_keyword(&toks[i].text)
+        {
+            // First non-lifetime bound ident.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct(',') {
+                if toks[j].kind == TokKind::Ident {
+                    f.generics.insert(toks[i].text.clone(), toks[j].text.clone());
+                    break;
+                }
+                j += 1;
+            }
+        }
+        match toks[i].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                i = skip_group(toks, i, toks.len())
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Splits a parameter list at top-level commas and records `name → type`.
+fn parse_params(toks: &[Tok], self_ty: Option<&str>, f: &mut FnItem) {
+    let mut seg_start = 0;
+    let mut i = 0;
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct(',') => {
+                segments.push((seg_start, i));
+                seg_start = i + 1;
+                i += 1;
+            }
+            TokKind::Punct('<') => i = skip_angles(toks, i, toks.len()),
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                i = skip_group(toks, i, toks.len())
+            }
+            _ => i += 1,
+        }
+    }
+    segments.push((seg_start, toks.len()));
+    for (s, e) in segments {
+        let seg = &toks[s..e];
+        if seg.iter().any(|t| t.is_ident("self")) && !seg.iter().any(|t| t.is_punct(':')) {
+            // `self` / `&self` / `&mut self`: typed as the impl target.
+            if let Some(ty) = self_ty {
+                f.params.insert("self".to_owned(), ty.to_owned());
+            }
+            continue;
+        }
+        let Some(colon) = seg.iter().position(|t| t.is_punct(':')) else { continue };
+        // Binding name: the last ident before the colon (skips `mut`).
+        let name = seg[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+            .map(|t| t.text.clone());
+        let (Some(name), Some(ty)) = (name, terminal_type(&seg[colon + 1..])) else { continue };
+        if INT_TYPES.contains(&ty.as_str()) {
+            f.int_idents.insert(name.clone());
+        }
+        f.bindings.insert(name.clone());
+        f.params.insert(name, ty);
+    }
+}
+
+/// True when the token is an integer literal (no `.` and no float suffix).
+fn is_int_literal(t: &Tok) -> bool {
+    t.kind == TokKind::Num
+        && !t.text.contains('.')
+        && !t.text.contains("f3")
+        && !t.text.contains("f6")
+}
+
+/// Scans a fn body for lets, calls, indexing, casts, and integer
+/// arithmetic. `outer_end` bounds nested-item recursion.
+fn scan_body(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    outer_end: usize,
+    f: &mut FnItem,
+    out: &mut ParsedFile,
+) {
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Punct('#') if toks.get(i + 1).is_some_and(|t2| t2.is_punct('[')) => {
+                i = skip_group(toks, i + 1, end);
+                continue;
+            }
+            // A nested fn item: parse separately, exclude from this body.
+            TokKind::Ident if t.text == "fn" => {
+                i = parse_fn(toks, i, outer_end.min(end), None, None, out);
+                continue;
+            }
+            TokKind::Ident if t.text == "let" => {
+                scan_let(toks, i, end, f);
+            }
+            // `for x in …` binds `x`; a later `x()` is a closure call.
+            TokKind::Ident if t.text == "for" => {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t2| t2.is_ident("mut")) {
+                    j += 1;
+                }
+                if let (Some(name), Some(kw)) = (toks.get(j), toks.get(j + 1)) {
+                    if name.kind == TokKind::Ident && !is_keyword(&name.text) && kw.is_ident("in") {
+                        f.bindings.insert(name.text.clone());
+                    }
+                }
+            }
+            TokKind::Ident if t.text == "as" => {
+                scan_cast(toks, i, f);
+            }
+            TokKind::Ident if !is_keyword(&t.text) => {
+                let next = toks.get(i + 1);
+                if next.is_some_and(|n| n.is_punct('!')) {
+                    let after = toks.get(i + 2);
+                    if after.is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
+                    {
+                        f.calls.push(Call::Macro { name: t.text.clone(), line: t.line });
+                    }
+                } else if next.is_some_and(|n| n.is_punct('(')) {
+                    scan_call(toks, i, f);
+                } else if next.is_some_and(|n| n.is_punct('[')) {
+                    f.index_sites.push(t.line);
+                }
+            }
+            // Indexing a call/index result: `f()[i]`, `m[k][j]`.
+            TokKind::Punct(')') | TokKind::Punct(']')
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('[')) =>
+            {
+                f.index_sites.push(toks[i + 1].line);
+            }
+            TokKind::Punct('+') | TokKind::Punct('*') => {
+                scan_arith(toks, i, f);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Handles one `let` statement starting at the `let` keyword: records the
+/// binding's type (annotated, ctor-inferred, chain, or int literal).
+fn scan_let(toks: &[Tok], at: usize, end: usize, f: &mut FnItem) {
+    let mut i = at + 1;
+    if i < end && toks[i].is_ident("mut") {
+        i += 1;
+    }
+    let Some(name_tok) = toks.get(i).filter(|t| t.kind == TokKind::Ident) else { return };
+    if is_keyword(&name_tok.text) {
+        return; // `let (a, b) = …` destructuring is not tracked
+    }
+    let name = name_tok.text.clone();
+    i += 1;
+    // Only a direct `name :` or `name =` is a plain binding; anything else
+    // (`let Some(x) = …`, `let S { a } = …`) is a pattern we don't track.
+    if !(i < end && (toks[i].is_punct(':') || toks[i].is_punct('='))) {
+        return;
+    }
+    f.bindings.insert(name.clone());
+    if toks[i].is_punct(':') {
+        // Annotated: read the type up to `=` or `;`.
+        let ty_start = i + 1;
+        let mut k = ty_start;
+        while k < end && !toks[k].is_punct('=') && !toks[k].is_punct(';') {
+            match toks[k].kind {
+                TokKind::Punct('<') => k = skip_angles(toks, k, end),
+                TokKind::Punct('(') | TokKind::Punct('[') => k = skip_group(toks, k, end),
+                _ => k += 1,
+            }
+        }
+        if let Some(ty) = terminal_type(&toks[ty_start..k]) {
+            if INT_TYPES.contains(&ty.as_str()) {
+                f.int_idents.insert(name.clone());
+            }
+            f.locals.insert(name, ty);
+        }
+        return;
+    }
+    if i >= end || !toks[i].is_punct('=') {
+        return;
+    }
+    let rhs = i + 1;
+    // `let x = self.f.g;` (optionally `&`-prefixed): a field chain.
+    let mut j = rhs;
+    while j < end && toks[j].is_punct('&') {
+        j += 1;
+    }
+    if toks.get(j).is_some_and(|t| t.is_ident("self")) {
+        let mut chain = vec!["self".to_owned()];
+        let mut k = j + 1;
+        while k + 1 < end
+            && toks[k].is_punct('.')
+            && toks[k + 1].kind == TokKind::Ident
+            && !toks.get(k + 2).is_some_and(|t| t.is_punct('('))
+        {
+            chain.push(toks[k + 1].text.clone());
+            k += 2;
+        }
+        if chain.len() > 1 && toks.get(k).is_some_and(|t| t.is_punct(';')) {
+            f.local_chains.insert(name, chain);
+            return;
+        }
+    }
+    // `let x = Type::ctor(…);` — take the last capitalized path segment.
+    let mut k = rhs;
+    let mut last_type: Option<String> = None;
+    while k + 2 < end
+        && toks[k].kind == TokKind::Ident
+        && toks[k + 1].is_punct(':')
+        && toks[k + 2].is_punct(':')
+    {
+        if toks[k].text.chars().next().is_some_and(char::is_uppercase) {
+            last_type = Some(toks[k].text.clone());
+        }
+        k += 3;
+    }
+    if let Some(ty) = last_type {
+        if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            f.locals.insert(name, ty);
+            return;
+        }
+    }
+    // `let mut n = 0;` — an integer literal.
+    if toks.get(rhs).is_some_and(is_int_literal)
+        && toks.get(rhs + 1).is_some_and(|t| t.is_punct(';'))
+    {
+        f.int_idents.insert(name);
+    }
+}
+
+/// Classifies the call whose name ident sits at `at` (followed by `(`).
+fn scan_call(toks: &[Tok], at: usize, f: &mut FnItem) {
+    let t = &toks[at];
+    let prev = at.checked_sub(1).map(|p| &toks[p]);
+    // Path call `Qualifier::name(`.
+    if at >= 3 && toks[at - 1].is_punct(':') && toks[at - 2].is_punct(':') {
+        if toks[at - 3].kind == TokKind::Ident {
+            f.calls.push(Call::Path {
+                qualifier: toks[at - 3].text.clone(),
+                name: t.text.clone(),
+                line: t.line,
+            });
+        }
+        // `<T as Tr>::name(` and similar: qualifier unrecoverable; treat
+        // as a free call so name-level resolution still applies.
+        else {
+            f.calls.push(Call::Free { name: t.text.clone(), line: t.line });
+        }
+        return;
+    }
+    // Method call `recv.name(`.
+    if prev.is_some_and(|p| p.is_punct('.')) {
+        let recv = receiver_chain(toks, at - 1);
+        f.calls.push(Call::Method { name: t.text.clone(), recv, line: t.line });
+        return;
+    }
+    // Declaration heads (`fn name(`) were consumed by the item parser;
+    // anything else ident-then-paren is a free call or a tuple-struct
+    // literal — the resolver distinguishes by name.
+    if prev.is_none_or(|p| {
+        !(p.kind == TokKind::Ident && matches!(p.text.as_str(), "fn" | "struct" | "enum" | "union"))
+    }) {
+        f.calls.push(Call::Free { name: t.text.clone(), line: t.line });
+    }
+}
+
+/// Walks a receiver chain backwards from the `.` before a method name.
+fn receiver_chain(toks: &[Tok], dot: usize) -> Receiver {
+    // Collect `ident (. ident)*` going left; anything else ends the chain.
+    let mut names: Vec<String> = Vec::new();
+    let mut i = dot;
+    loop {
+        if i == 0 || !toks[i].is_punct('.') {
+            break;
+        }
+        let Some(pt) = i.checked_sub(1).map(|p| &toks[p]) else { break };
+        if pt.kind != TokKind::Ident || is_keyword(&pt.text) {
+            // `foo().bar(` / `x?.bar(` / `(e).bar(` / `[a][0].bar(`:
+            // receiver type not recoverable.
+            return Receiver::Unknown;
+        }
+        names.push(pt.text.clone());
+        // Is there another `.` to the left of this ident?
+        match i.checked_sub(2).map(|p| &toks[p]) {
+            Some(p2) if p2.is_punct('.') => i -= 2,
+            // A further path/call shape to the left (`a().b.c(`): unknown.
+            Some(p2) if p2.is_punct(')') || p2.is_punct(']') || p2.is_punct('?') => {
+                return Receiver::Unknown;
+            }
+            _ => {
+                names.reverse();
+                let first = names.remove(0);
+                return if first == "self" {
+                    Receiver::SelfChain(names)
+                } else {
+                    Receiver::Var(first, names)
+                };
+            }
+        }
+    }
+    Receiver::Unknown
+}
+
+/// Classifies an `as` cast at token index `at`.
+fn scan_cast(toks: &[Tok], at: usize, f: &mut FnItem) {
+    let Some(target) = toks.get(at + 1).filter(|t| t.kind == TokKind::Ident) else { return };
+    if !INT_TYPES.contains(&target.text.as_str()) {
+        return;
+    }
+    let narrowing = NARROW_INT_TYPES.contains(&target.text.as_str());
+    let mut float_source = false;
+    if at > 0 && toks[at - 1].is_punct(')') {
+        // Walk back to the matching `(`; a float-producing callee or a
+        // float literal argument marks the source as float-valued.
+        let mut depth = 0isize;
+        let mut j = at - 1;
+        loop {
+            match toks[j].kind {
+                TokKind::Punct(')') => depth += 1,
+                TokKind::Punct('(') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Num if toks[j].text.contains('.') => float_source = true,
+                _ => {}
+            }
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        if j > 0
+            && toks[j - 1].kind == TokKind::Ident
+            && FLOAT_METHODS.contains(&toks[j - 1].text.as_str())
+        {
+            float_source = true;
+        }
+    }
+    if narrowing || float_source {
+        f.cast_sites.push(CastSite {
+            line: toks[at].line,
+            target: target.text.clone(),
+            narrowing,
+            float_source,
+        });
+    }
+}
+
+/// Classifies a `+` / `*` punct at `at` as unchecked integer arithmetic
+/// when it is a binary operator (or compound assignment) over a
+/// known-integer operand.
+fn scan_arith(toks: &[Tok], at: usize, f: &mut FnItem) {
+    let op = match toks[at].kind {
+        TokKind::Punct(c) => c,
+        _ => return,
+    };
+    let prev = match at.checked_sub(1).map(|p| &toks[p]) {
+        Some(p) => p,
+        None => return,
+    };
+    // Binary position: an operand must precede (else `*x` is a deref and
+    // `+` cannot occur). Also excludes `&*`, `= *p`, generics `<*`.
+    let prev_is_operand = matches!(prev.kind, TokKind::Ident | TokKind::Num)
+        || prev.is_punct(')')
+        || prev.is_punct(']');
+    if !prev_is_operand || (prev.kind == TokKind::Ident && is_keyword(&prev.text)) {
+        return;
+    }
+    let compound = toks.get(at + 1).is_some_and(|t| t.is_punct('='));
+    let lhs_int = prev.kind == TokKind::Ident && f.int_idents.contains(&prev.text);
+    // For `x += …` the next token is `=`; for binary look one past.
+    let rhs_idx = if compound { at + 2 } else { at + 1 };
+    let rhs_int = toks
+        .get(rhs_idx)
+        .is_some_and(|t| t.kind == TokKind::Ident && f.int_idents.contains(&t.text));
+    if lhs_int || rhs_int {
+        let operand = if lhs_int { prev.text.clone() } else { toks[rhs_idx].text.clone() };
+        f.arith_sites.push(ArithSite { line: toks[at].line, op, operand });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn parse(src: &str) -> ParsedFile {
+        let lexed = lexer::lex(src);
+        let stripped = lexer::strip_cfg_test(&lexed.toks);
+        parse_file("test.rs", &stripped)
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a FnItem {
+        p.fns.iter().find(|f| f.name == name).unwrap_or_else(|| panic!("no fn {name}: {p:#?}"))
+    }
+
+    #[test]
+    fn free_fn_and_method_with_self_type() {
+        let p = parse(
+            "fn free(a: u32) {} \
+             struct S { pair: Pair } \
+             impl S { fn m(&self, rng: &mut Mt64) { self.pair.go(rng); helper(); } }",
+        );
+        assert_eq!(fn_named(&p, "free").self_ty, None);
+        let m = fn_named(&p, "m");
+        assert_eq!(m.self_ty.as_deref(), Some("S"));
+        assert_eq!(m.params.get("rng").map(String::as_str), Some("Mt64"));
+        assert_eq!(p.structs["S"]["pair"], "Pair");
+        assert!(m.calls.iter().any(|c| matches!(
+            c,
+            Call::Method { name, recv: Receiver::SelfChain(chain), .. }
+                if name == "go" && chain == &["pair".to_owned()]
+        )));
+        assert!(m.calls.iter().any(|c| matches!(c, Call::Free { name, .. } if name == "helper")));
+    }
+
+    #[test]
+    fn trait_impl_records_trait_name() {
+        let p = parse("impl Sampler for Nat<'_> { fn sample(&mut self) -> f64 { 0.0 } }");
+        let s = fn_named(&p, "sample");
+        assert_eq!(s.trait_name.as_deref(), Some("Sampler"));
+        assert_eq!(s.self_ty.as_deref(), Some("Nat"));
+    }
+
+    #[test]
+    fn generic_bounds_are_recorded() {
+        let p = parse("fn run<S: Sampler, T>(s: &mut S) { s.sample(); }");
+        let f = fn_named(&p, "run");
+        assert_eq!(f.generics.get("S").map(String::as_str), Some("Sampler"));
+        assert_eq!(f.params.get("s").map(String::as_str), Some("S"));
+    }
+
+    #[test]
+    fn nested_generics_do_not_break_item_boundaries() {
+        // `>>` closing two levels, and a fn following it.
+        let p = parse("fn a(x: Vec<Box<u8>>) -> Option<Vec<u8>> { x.len() } fn b() {}");
+        assert_eq!(fn_named(&p, "a").params.get("x").map(String::as_str), Some("Vec"));
+        assert!(p.fns.iter().any(|f| f.name == "b"));
+    }
+
+    #[test]
+    fn path_calls_and_macros() {
+        let p = parse("fn f() { Vec::with_capacity(4); format!(\"x\"); g::h::go(1); }");
+        let f = fn_named(&p, "f");
+        assert!(f.calls.iter().any(|c| matches!(
+            c,
+            Call::Path { qualifier, name, .. } if qualifier == "Vec" && name == "with_capacity"
+        )));
+        assert!(f.calls.iter().any(|c| matches!(c, Call::Macro { name, .. } if name == "format")));
+        assert!(f.calls.iter().any(|c| matches!(
+            c,
+            Call::Path { qualifier, name, .. } if qualifier == "h" && name == "go"
+        )));
+    }
+
+    #[test]
+    fn closures_attribute_calls_to_the_enclosing_fn() {
+        let p = parse("fn f(v: &[u32]) { v.iter().map(|x| helper(*x)).count(); }");
+        let f = fn_named(&p, "f");
+        assert!(f.calls.iter().any(|c| matches!(c, Call::Free { name, .. } if name == "helper")));
+    }
+
+    #[test]
+    fn nested_fns_are_separate_items() {
+        let p = parse("fn outer() { fn inner() { alloc(); } inner(); }");
+        assert!(fn_named(&p, "inner")
+            .calls
+            .iter()
+            .any(|c| matches!(c, Call::Free { name, .. } if name == "alloc")));
+        let outer = fn_named(&p, "outer");
+        assert!(!outer
+            .calls
+            .iter()
+            .any(|c| matches!(c, Call::Free { name, .. } if name == "alloc")));
+        assert!(outer
+            .calls
+            .iter()
+            .any(|c| matches!(c, Call::Free { name, .. } if name == "inner")));
+    }
+
+    #[test]
+    fn let_type_inference() {
+        let p = parse(
+            "struct D { pair: Pair } \
+             impl D { fn f(&self) { \
+               let a: Vec<u32> = make(); \
+               let d = SymbolicDraw::new(1); \
+               let pair = self.pair; \
+               let mut n = 0; \
+               d.go(); pair.check(); } }",
+        );
+        let f = fn_named(&p, "f");
+        assert_eq!(f.locals.get("a").map(String::as_str), Some("Vec"));
+        assert_eq!(f.locals.get("d").map(String::as_str), Some("SymbolicDraw"));
+        assert_eq!(f.local_chains.get("pair"), Some(&vec!["self".to_owned(), "pair".to_owned()]));
+        assert!(f.int_idents.contains("n"));
+        assert!(f.calls.iter().any(|c| matches!(
+            c,
+            Call::Method { name, recv: Receiver::Var(v, _), .. } if name == "go" && v == "d"
+        )));
+    }
+
+    #[test]
+    fn indexing_sites_are_found_and_array_types_are_not() {
+        let p = parse("fn f(v: &[u32], i: usize) -> u32 { let _a: [u8; 2] = [0, 1]; v[i] }");
+        let f = fn_named(&p, "f");
+        assert_eq!(f.index_sites.len(), 1);
+    }
+
+    #[test]
+    fn cast_classification() {
+        let p = parse(
+            "fn f(n: f64, b: usize) { \
+               let _x = n.ceil() as u64; \
+               let _y = b as u32; \
+               let _z = b as u64; \
+               let _w = n as f64; }",
+        );
+        let f = fn_named(&p, "f");
+        assert_eq!(f.cast_sites.len(), 2, "{:?}", f.cast_sites);
+        assert!(f.cast_sites.iter().any(|c| c.float_source && c.target == "u64"));
+        assert!(f.cast_sites.iter().any(|c| c.narrowing && c.target == "u32"));
+    }
+
+    #[test]
+    fn arith_on_known_ints_only() {
+        let p = parse(
+            "fn f(n: u64, x: f64) { \
+               let mut s = 0.0; s += x; \
+               let mut c: u64 = 0; c += 1; \
+               let _p = n * 3; \
+               let _q = x * x; }",
+        );
+        let f = fn_named(&p, "f");
+        let ops: Vec<char> = f.arith_sites.iter().map(|a| a.op).collect();
+        assert_eq!(ops, vec!['+', '*'], "{:?}", f.arith_sites);
+    }
+
+    #[test]
+    fn deref_and_bounds_are_not_arithmetic() {
+        let p = parse("fn f<T: Send + Sync>(count: &mut u64) { *count += 1; }");
+        let f = fn_named(&p, "f");
+        // `*count` is a deref; the `+=` on it IS arithmetic on `count`.
+        assert_eq!(f.arith_sites.len(), 1);
+        assert_eq!(f.arith_sites[0].op, '+');
+    }
+
+    #[test]
+    fn bindings_cover_params_lets_and_for_patterns() {
+        let p = parse("fn f(cb: impl Fn()) { let g = make(); for job in jobs() { job(); cb(); } }");
+        let f = fn_named(&p, "f");
+        for b in ["cb", "g", "job"] {
+            assert!(f.bindings.contains(b), "missing binding {b}: {:?}", f.bindings);
+        }
+        // `let Some(x) = …` is a pattern, not a binding named `Some`.
+        let p = parse("fn g(o: Option<u32>) { if let Some(x) = o { use_it(x); } }");
+        assert!(!fn_named(&p, "g").bindings.contains("Some"));
+    }
+
+    #[test]
+    fn raw_identifiers_parse_as_fns() {
+        let p = parse("fn r#match() { r#fn(); }");
+        // The lexer strips the r# fence, so the names are the bare idents.
+        assert!(p.fns.iter().any(|f| f.name == "match"));
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        for src in ["fn f(", "impl X { fn g(", "struct S { a: ", "fn f() { a.b(", "fn f<T"] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -1,14 +1,23 @@
-//! The five invariant rules.
+//! The invariant rules.
 //!
-//! Every rule works on the token view from [`crate::lexer`] and returns
-//! [`Finding`]s. A finding on line `L` is dropped when line `L` or `L-1`
-//! carries a `// cqa-lint: allow(<rule>)` comment; each suppression is a
-//! reviewable artifact, which is the point of putting them in the source
-//! instead of a config file. Rationale for each rule lives in
+//! Every rule returns [`Finding`]s. The flagship rules
+//! (`no-panic-in-request-path`, `no-alloc-in-hot-path`, `rng-flow`) are
+//! *transitive*: they run as reachability queries over the conservative
+//! workspace call graph in [`crate::callgraph`], seeded from the server's
+//! request-path files and the marked hot-path sampling regions, so a
+//! panicking or allocating helper two crates away is found at its
+//! definition site with the call chain in the message. The remaining rules
+//! work directly on the token view from [`crate::lexer`].
+//!
+//! A finding on line `L` is dropped when line `L` or `L-1` carries a
+//! `// cqa-lint: allow(<rule>): <reason>` comment; the reason clause is
+//! mandatory (`suppression-needs-reason` polices it) so each suppression
+//! is a reviewable artifact. Rationale for each rule lives in
 //! `docs/ANALYSIS.md`.
 
+use crate::callgraph::{FnId, Graph, Seed};
 use crate::lexer::{Lexed, Tok, TokKind};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Rule identifiers, as used in `allow(...)` suppressions and CLI output.
@@ -17,6 +26,23 @@ pub const NO_ALLOC: &str = "no-alloc-in-hot-path";
 pub const SAFETY: &str = "safety-comment";
 pub const OBS_NAMES: &str = "obs-name-registry";
 pub const PROTOCOL_SYNC: &str = "protocol-doc-sync";
+pub const OPAQUE: &str = "opaque-call";
+pub const CHECKED_MATH: &str = "checked-estimator-math";
+pub const RNG_FLOW: &str = "rng-flow";
+pub const SUPPRESSION: &str = "suppression-needs-reason";
+
+/// Every rule name, for validating `allow(...)` suppressions.
+pub const ALL_RULES: [&str; 9] = [
+    NO_PANIC,
+    NO_ALLOC,
+    SAFETY,
+    OBS_NAMES,
+    PROTOCOL_SYNC,
+    OPAQUE,
+    CHECKED_MATH,
+    RNG_FLOW,
+    SUPPRESSION,
+];
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,54 +86,117 @@ fn push(
 }
 
 // ---------------------------------------------------------------------------
-// Rule 1: no-panic-in-request-path
+// Rule 1: no-panic-in-request-path (transitive)
 // ---------------------------------------------------------------------------
 
-/// Flags `.unwrap()`, `.expect(…)`, and `panic!`-family macros. Applied to
-/// the request path of the server (`server.rs`, `pool.rs`, `cache.rs`):
-/// a panic there unwinds a worker or connection thread and silently drops
-/// the request, instead of producing the structured protocol error the
-/// client can act on.
-pub fn no_panic(lexed: &Lexed, toks: &[Tok], file: &str) -> Vec<Finding> {
-    const MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
-    let mut out = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
-        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
-        if prev_dot && (t.text == "unwrap" || t.text == "expect") {
-            push(
-                &mut out,
-                lexed,
-                NO_PANIC,
-                file,
-                t.line,
-                format!(
-                    ".{}() can panic a request thread; return a structured protocol error instead",
-                    t.text
+/// Which effect a reachability pass is hunting.
+#[derive(Clone, Copy, PartialEq)]
+enum Effect {
+    Panic,
+    Alloc,
+}
+
+/// Runs a reachability query from `seeds` and reports every panic/alloc
+/// effect site in the reached set, plus every opaque call the graph could
+/// not see through. Seed functions may be restricted to line ranges (the
+/// marked hot-path regions); transitively reached functions count in full.
+fn emit_reach(
+    g: &Graph<'_>,
+    lexed: &[Lexed],
+    seeds: &[Seed],
+    effect: Effect,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
+    let parent = g.reach(seeds);
+    let seed_ranges: BTreeMap<FnId, &Option<Vec<(u32, u32)>>> =
+        seeds.iter().map(|(id, r)| (*id, r)).collect();
+    for &id in parent.keys() {
+        let facts = &g.facts[id.0][id.1];
+        let is_seed = seed_ranges.contains_key(&id);
+        let in_scope = |line: u32| match seed_ranges.get(&id) {
+            Some(Some(ranges)) => ranges.iter().any(|(a, b)| (*a..=*b).contains(&line)),
+            _ => true,
+        };
+        let rel = &g.files[id.0].rel;
+        let via = |line: u32| {
+            if is_seed {
+                String::new()
+            } else {
+                let _ = line;
+                format!(" (reachable via {})", g.path_to(&parent, id))
+            }
+        };
+        let sites = match effect {
+            Effect::Panic => &facts.panics,
+            Effect::Alloc => &facts.allocs,
+        };
+        for s in sites.iter().filter(|s| in_scope(s.line)) {
+            let msg = match effect {
+                Effect::Panic => format!(
+                    "{} can panic a request thread; return a structured protocol error instead{}",
+                    s.what,
+                    via(s.line)
                 ),
-            );
-        } else if next_bang && MACROS.contains(&t.text.as_str()) {
+                Effect::Alloc => {
+                    format!("{} allocates inside a hot-path region{}", s.what, via(s.line))
+                }
+            };
+            push(out, &lexed[id.0], rule, rel, s.line, msg);
+        }
+        for s in facts.opaques.iter().filter(|s| in_scope(s.line)) {
             push(
-                &mut out,
-                lexed,
-                NO_PANIC,
-                file,
-                t.line,
+                out,
+                &lexed[id.0],
+                OPAQUE,
+                rel,
+                s.line,
                 format!(
-                    "{}! can panic a request thread; return a structured protocol error instead",
-                    t.text
+                    "opaque call {} through a closure/fn pointer — the call graph cannot verify {rule} past it{}",
+                    s.what,
+                    via(s.line)
                 ),
             );
         }
     }
+}
+
+/// Transitive panic freedom for the server's request path: every function
+/// defined in the request-path files is a seed, and every panic site
+/// (std `unwrap`/`expect`, `panic!`-family macros) *reachable* from a seed
+/// is a finding — a panic anywhere in the closure unwinds a worker or
+/// connection thread and silently drops the request instead of producing
+/// the structured protocol error the client can act on. Slice/map indexing
+/// is flagged in the seed files themselves (`v[i]` panics on a bad index;
+/// use `.get()`).
+pub fn no_panic(g: &Graph<'_>, lexed: &[Lexed], request_files: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seeds: Vec<Seed> = Vec::new();
+    for (fi, file) in g.files.iter().enumerate() {
+        if !request_files.contains(&file.rel.as_str()) {
+            continue;
+        }
+        for (ni, f) in file.fns.iter().enumerate() {
+            seeds.push(((fi, ni), None));
+            for &line in &f.index_sites {
+                push(
+                    &mut out,
+                    &lexed[fi],
+                    NO_PANIC,
+                    &file.rel,
+                    line,
+                    "indexing with [] can panic a request thread; use .get() and shed the error"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+    emit_reach(g, lexed, &seeds, Effect::Panic, NO_PANIC, &mut out);
     out
 }
 
 // ---------------------------------------------------------------------------
-// Rule 2: no-alloc-in-hot-path
+// Rule 2: no-alloc-in-hot-path (transitive)
 // ---------------------------------------------------------------------------
 
 /// Inclusive line ranges bracketed by `// cqa-lint: hot-path begin` /
@@ -129,71 +218,243 @@ pub fn hot_path_regions(lexed: &Lexed) -> (Vec<(u32, u32)>, Option<u32>) {
     (regions, open)
 }
 
-/// Flags heap allocation inside `hot-path` regions: the four scheme
-/// sampling loops run per *sample* (millions of iterations per query), so
-/// a stray `clone()` or `format!` is a silent orders-of-magnitude
-/// regression that no unit test fails on.
-pub fn no_alloc(lexed: &Lexed, toks: &[Tok], file: &str) -> Vec<Finding> {
-    const METHODS: [&str; 5] = ["clone", "to_string", "to_owned", "to_vec", "collect"];
-    const MACROS: [&str; 2] = ["format", "vec"];
-    const TYPES: [&str; 3] = ["Vec", "Box", "String"];
-    const CTORS: [&str; 3] = ["new", "from", "with_capacity"];
-
-    let (regions, unclosed) = hot_path_regions(lexed);
+/// Transitive allocation freedom for the marked sampling regions: every
+/// function overlapping a `hot-path` region is a seed (restricted to the
+/// region's lines), and every allocation site reachable from one is a
+/// finding. The four scheme sampling loops run per *sample* (millions of
+/// iterations per query), so a stray `clone()` two modules away is a
+/// silent orders-of-magnitude regression that no unit test fails on.
+pub fn no_alloc(g: &Graph<'_>, lexed: &[Lexed]) -> Vec<Finding> {
     let mut out = Vec::new();
-    if let Some(line) = unclosed {
-        push(
-            &mut out,
-            lexed,
-            NO_ALLOC,
-            file,
-            line,
-            "hot-path region is never closed (missing `// cqa-lint: hot-path end`)".to_owned(),
-        );
-    }
-    if regions.is_empty() {
-        return out;
-    }
-    let in_region = |line: u32| regions.iter().any(|(a, b)| (*a..=*b).contains(&line));
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident || !in_region(t.line) {
+    let mut seeds: Vec<Seed> = Vec::new();
+    for (fi, file) in g.files.iter().enumerate() {
+        let (regions, unclosed) = hot_path_regions(&lexed[fi]);
+        if let Some(line) = unclosed {
+            push(
+                &mut out,
+                &lexed[fi],
+                NO_ALLOC,
+                &file.rel,
+                line,
+                "hot-path region is never closed (missing `// cqa-lint: hot-path end`)".to_owned(),
+            );
+        }
+        if regions.is_empty() {
             continue;
         }
-        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
-        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
-        let path_ctor = TYPES.contains(&t.text.as_str())
-            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
-            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
-            && toks
-                .get(i + 3)
-                .is_some_and(|n| n.kind == TokKind::Ident && CTORS.contains(&n.text.as_str()));
-        if prev_dot && METHODS.contains(&t.text.as_str()) {
+        for (ni, f) in file.fns.iter().enumerate() {
+            let end = f.end_line.max(f.line);
+            if regions.iter().any(|(a, b)| f.line <= *b && end >= *a) {
+                seeds.push(((fi, ni), Some(regions.clone())));
+            }
+        }
+    }
+    emit_reach(g, lexed, &seeds, Effect::Alloc, NO_ALLOC, &mut out);
+    out
+}
+
+/// Seeds shared by `rng-flow`: hot-path regions plus every estimator
+/// function (the DKLR planners and Monte-Carlo loops in `crates/core`).
+fn sampling_seeds(g: &Graph<'_>, lexed: &[Lexed], estimator_files: &[&str]) -> Vec<Seed> {
+    let mut seeds: Vec<Seed> = Vec::new();
+    for (fi, file) in g.files.iter().enumerate() {
+        if estimator_files.contains(&file.rel.as_str()) {
+            for ni in 0..file.fns.len() {
+                seeds.push(((fi, ni), None));
+            }
+            continue;
+        }
+        let (regions, _) = hot_path_regions(&lexed[fi]);
+        if regions.is_empty() {
+            continue;
+        }
+        for (ni, f) in file.fns.iter().enumerate() {
+            let end = f.end_line.max(f.line);
+            if regions.iter().any(|(a, b)| f.line <= *b && end >= *a) {
+                seeds.push(((fi, ni), Some(regions.clone())));
+            }
+        }
+    }
+    seeds
+}
+
+// ---------------------------------------------------------------------------
+// Rule: checked-estimator-math
+// ---------------------------------------------------------------------------
+
+/// Flags unchecked arithmetic in the estimator files (the DKLR stopping
+/// rule, iteration planners, and Monte-Carlo loops): a silently wrapping
+/// `+`/`*` on an iteration count or a truncating `as` cast corrupts the
+/// (ε, δ) guarantee without any test failing. Narrowing casts
+/// (`as u32` and smaller) and float-result casts (`.ceil() as u64`) must
+/// go through the checked conversions in `cqa_common::checked`.
+pub fn checked_math(g: &Graph<'_>, lexed: &[Lexed], estimator_files: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (fi, file) in g.files.iter().enumerate() {
+        if !estimator_files.contains(&file.rel.as_str()) {
+            continue;
+        }
+        for f in &file.fns {
+            for c in &f.cast_sites {
+                let msg = if c.float_source {
+                    format!(
+                        "float result cast `as {}` silently truncates/saturates in estimator math; use cqa_common::checked::f64_to_u64 (fn {})",
+                        c.target, f.name
+                    )
+                } else {
+                    format!(
+                        "narrowing cast `as {}` can silently wrap an iteration count; use try_from or a checked helper (fn {})",
+                        c.target, f.name
+                    )
+                };
+                push(&mut out, &lexed[fi], CHECKED_MATH, &file.rel, c.line, msg);
+            }
+            for a in &f.arith_sites {
+                push(
+                    &mut out,
+                    &lexed[fi],
+                    CHECKED_MATH,
+                    &file.rel,
+                    a.line,
+                    format!(
+                        "unchecked `{}` on integer `{}` can overflow silently in estimator math; use checked_/saturating_ arithmetic (fn {})",
+                        a.op, a.operand, f.name
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: rng-flow
+// ---------------------------------------------------------------------------
+
+/// Ambient entropy sources that would make runs irreproducible.
+const AMBIENT_ENTROPY: [&str; 5] =
+    ["thread_rng", "OsRng", "from_entropy", "getrandom", "SystemRandom"];
+
+/// Every RNG reaching a sampling loop must flow from the seeded root
+/// `Mt64` (constructed once per query from the request seed, `fork()`ed at
+/// scheme boundaries). Two ways to break that, both flagged: an ambient
+/// entropy source anywhere in production code, and a fresh
+/// `Mt64::new`/`from_key` construction inside the sampling flow (reachable
+/// from an estimator function or a hot-path region), which would decouple
+/// the samples from the request seed and make reruns diverge.
+pub fn rng_flow(
+    g: &Graph<'_>,
+    lexed: &[Lexed],
+    stripped: &[Vec<Tok>],
+    estimator_files: &[&str],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (fi, toks) in stripped.iter().enumerate() {
+        for t in toks {
+            if t.kind == TokKind::Ident && AMBIENT_ENTROPY.contains(&t.text.as_str()) {
+                push(
+                    &mut out,
+                    &lexed[fi],
+                    RNG_FLOW,
+                    &g.files[fi].rel,
+                    t.line,
+                    format!(
+                        "ambient entropy source `{}` breaks run reproducibility; all randomness must flow from the seeded root Mt64",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+    let seeds = sampling_seeds(g, lexed, estimator_files);
+    let parent = g.reach(&seeds);
+    let seed_set: BTreeSet<FnId> = seeds.iter().map(|(id, _)| *id).collect();
+    for &id in parent.keys() {
+        let facts = &g.facts[id.0][id.1];
+        for s in &facts.rng_ctors {
+            let via = if seed_set.contains(&id) {
+                String::new()
+            } else {
+                format!(" (reachable via {})", g.path_to(&parent, id))
+            };
             push(
                 &mut out,
-                lexed,
-                NO_ALLOC,
-                file,
-                t.line,
-                format!(".{}() allocates inside a hot-path region", t.text),
+                &lexed[id.0],
+                RNG_FLOW,
+                &g.files[id.0].rel,
+                s.line,
+                format!(
+                    "{} constructs a fresh RNG inside the sampling flow{via}; thread the seeded root Mt64 (or fork() it at the scheme boundary) instead",
+                    s.what
+                ),
             );
-        } else if next_bang && MACROS.contains(&t.text.as_str()) {
-            push(
-                &mut out,
-                lexed,
-                NO_ALLOC,
-                file,
-                t.line,
-                format!("{}! allocates inside a hot-path region", t.text),
-            );
-        } else if path_ctor {
-            push(
-                &mut out,
-                lexed,
-                NO_ALLOC,
-                file,
-                t.line,
-                format!("{}::{} allocates inside a hot-path region", t.text, toks[i + 3].text),
-            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: suppression-needs-reason
+// ---------------------------------------------------------------------------
+
+const ALLOW_MARKER: &str = "cqa-lint: allow(";
+
+/// Every `cqa-lint: allow(rule)` suppression must name a known rule and
+/// carry a justification clause — `// cqa-lint: allow(rule): <reason>`.
+/// A bare suppression is itself a finding (and this rule is not
+/// suppressible: an `allow(suppression-needs-reason)` would defeat it).
+pub fn suppression_hygiene(lexed: &Lexed, file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (line, text) in &lexed.comments {
+        // Doc comments describe the syntax; they are never suppressions.
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        let mut rest = text.as_str();
+        while let Some(pos) = rest.find(ALLOW_MARKER) {
+            rest = &rest[pos + ALLOW_MARKER.len()..];
+            let Some(close) = rest.find(')') else {
+                out.push(Finding {
+                    rule: SUPPRESSION,
+                    file: file.to_owned(),
+                    line: *line,
+                    message: "malformed suppression: missing `)` after `allow(`".to_owned(),
+                });
+                break;
+            };
+            let rule_name = rest[..close].trim();
+            rest = &rest[close + 1..];
+            if !ALL_RULES.contains(&rule_name) {
+                out.push(Finding {
+                    rule: SUPPRESSION,
+                    file: file.to_owned(),
+                    line: *line,
+                    message: format!("suppression names unknown rule {rule_name:?}"),
+                });
+                continue;
+            }
+            if rule_name == SUPPRESSION {
+                out.push(Finding {
+                    rule: SUPPRESSION,
+                    file: file.to_owned(),
+                    line: *line,
+                    message: "suppression-needs-reason cannot be suppressed".to_owned(),
+                });
+                continue;
+            }
+            let after = rest.trim_start();
+            let has_reason = after.starts_with(':')
+                && !after[1..].trim_start_matches([':', ' ']).trim().is_empty();
+            if !has_reason {
+                out.push(Finding {
+                    rule: SUPPRESSION,
+                    file: file.to_owned(),
+                    line: *line,
+                    message: format!(
+                        "suppression for `{rule_name}` lacks a justification; write `// cqa-lint: allow({rule_name}): <reason>`"
+                    ),
+                });
+            }
         }
     }
     out

@@ -32,6 +32,15 @@ fn fired(rel: &str, fixture_file: &str) -> Vec<&'static str> {
 
 const REQUEST_PATH: &str = "crates/server/src/pool.rs";
 const ANYWHERE: &str = "crates/core/src/sampler.rs";
+const ESTIMATOR: &str = "crates/core/src/montecarlo.rs";
+
+/// Lints several fixtures together as the given workspace files — the
+/// call-graph rules need the whole set to connect cross-module edges.
+fn fired_multi(files: &[(&str, &str)]) -> Vec<rules::Finding> {
+    let sources: Vec<(String, String)> =
+        files.iter().map(|(rel, fx)| (rel.to_string(), fixture(fx))).collect();
+    cqa_lint::check_sources(&sources, &registry())
+}
 
 #[test]
 fn no_panic_fires_on_bad_fixture() {
@@ -77,6 +86,86 @@ fn no_alloc_reports_unclosed_region() {
     assert_eq!(findings.len(), 1);
     assert_eq!(findings[0].rule, rules::NO_ALLOC);
     assert!(findings[0].message.contains("never closed"), "{}", findings[0].message);
+}
+
+#[test]
+fn transitive_panic_crosses_modules() {
+    let findings = fired_multi(&[
+        (REQUEST_PATH, "transitive/request_entry.rs"),
+        ("crates/server/src/util.rs", "transitive/request_helper.rs"),
+    ]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, rules::NO_PANIC);
+    assert_eq!(findings[0].file, "crates/server/src/util.rs");
+    assert!(findings[0].message.contains("reachable via"), "{}", findings[0].message);
+}
+
+#[test]
+fn transitive_alloc_crosses_modules_from_hot_region() {
+    let findings = fired_multi(&[
+        (ANYWHERE, "transitive/hot_entry.rs"),
+        ("crates/core/src/tabulate.rs", "transitive/hot_helper.rs"),
+    ]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, rules::NO_ALLOC);
+    assert_eq!(findings[0].file, "crates/core/src/tabulate.rs");
+    assert!(findings[0].message.contains("reachable via"), "{}", findings[0].message);
+}
+
+#[test]
+fn transitive_helpers_alone_are_clean() {
+    // Without the entry points, neither helper is reachable from a seed:
+    // the findings above really do come from the call graph.
+    assert!(fired("crates/server/src/util.rs", "transitive/request_helper.rs").is_empty());
+    assert!(fired("crates/core/src/tabulate.rs", "transitive/hot_helper.rs").is_empty());
+}
+
+#[test]
+fn checked_math_fires_on_bad_fixture() {
+    let fired = fired(ESTIMATOR, "checked-estimator-math/bad.rs");
+    assert_eq!(
+        fired,
+        vec![rules::CHECKED_MATH, rules::CHECKED_MATH, rules::CHECKED_MATH],
+        "unchecked +=, float cast, narrowing cast"
+    );
+}
+
+#[test]
+fn checked_math_passes_good_fixture() {
+    assert!(fired(ESTIMATOR, "checked-estimator-math/good.rs").is_empty());
+}
+
+#[test]
+fn checked_math_is_scoped_to_estimator_files() {
+    assert!(fired(ANYWHERE, "checked-estimator-math/bad.rs").is_empty());
+}
+
+#[test]
+fn rng_flow_fires_on_ambient_entropy_and_unforked_root() {
+    let findings = cqa_lint::check_source(ESTIMATOR, &fixture("rng-flow/bad.rs"), &registry());
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == rules::RNG_FLOW));
+    assert!(findings.iter().any(|f| f.message.contains("thread_rng")), "{findings:#?}");
+}
+
+#[test]
+fn rng_flow_passes_forked_rng() {
+    assert!(fired(ESTIMATOR, "rng-flow/good.rs").is_empty());
+}
+
+#[test]
+fn suppression_hygiene_fires_on_bad_fixture() {
+    let fired = fired(REQUEST_PATH, "suppression-needs-reason/bad.rs");
+    assert_eq!(
+        fired,
+        vec![rules::SUPPRESSION, rules::SUPPRESSION, rules::SUPPRESSION],
+        "missing reason, unknown rule, self-suppression"
+    );
+}
+
+#[test]
+fn suppression_hygiene_passes_good_fixture() {
+    assert!(fired(REQUEST_PATH, "suppression-needs-reason/good.rs").is_empty());
 }
 
 #[test]
