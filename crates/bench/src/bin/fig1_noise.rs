@@ -17,7 +17,7 @@ fn main() {
     );
     let pool = Pool::build(cfg).expect("pool build");
     let figs = figures::fig1_noise(&pool, &selections);
-    emit(&figs);
+    emit(&figs).expect("figure CSVs written");
     for (id, winner) in figures::winners(&figs) {
         println!("winner[{id}] = {winner}");
     }

@@ -12,7 +12,7 @@ fn main() {
     eprintln!("[fig2] {} Balance[p, j] plots", selections.len());
     let pool = Pool::build(cfg).expect("pool build");
     let figs = figures::fig2_balance(&pool, &selections);
-    emit(&figs);
+    emit(&figs).expect("figure CSVs written");
     for (id, winner) in figures::winners(&figs) {
         println!("winner[{id}] = {winner}");
     }

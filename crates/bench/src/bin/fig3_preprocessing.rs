@@ -11,6 +11,6 @@ fn main() {
     let cfg = BenchConfig::from_env();
     let pool = Pool::build(cfg).expect("pool build");
     let (fig, summary) = figures::fig3_preprocessing(&pool);
-    emit(std::slice::from_ref(&fig));
+    emit(std::slice::from_ref(&fig)).expect("figure CSVs written");
     println!("{summary}");
 }

@@ -13,5 +13,5 @@ fn main() {
     eprintln!("[fig4] {} Joins[p, q] plots", selections.len());
     let pool = Pool::build(cfg).expect("pool build");
     let figs = figures::fig4_joins(&pool, &selections);
-    emit(&figs);
+    emit(&figs).expect("figure CSVs written");
 }

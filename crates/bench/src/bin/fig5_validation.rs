@@ -10,7 +10,7 @@ use cqa_scenarios::{figures, BenchConfig};
 fn main() {
     let cfg = BenchConfig::from_env();
     let (figs, notes) = figures::fig5_validation(&cfg).expect("validation scenarios");
-    emit(&figs);
+    emit(&figs).expect("figure CSVs written");
     for note in notes {
         println!("note: {note}");
     }

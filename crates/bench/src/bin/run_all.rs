@@ -21,24 +21,24 @@ fn main() {
 
     println!("════════ Figure 1: noise scenarios ════════");
     let fig1 = figures::fig1_noise(&pool, &fig1_selections(&cfg));
-    emit(&fig1);
+    emit(&fig1).expect("figure CSVs written");
 
     println!("════════ Figure 2: balance scenarios ════════");
     let fig2 = figures::fig2_balance(&pool, &fig2_selections(&cfg));
-    emit(&fig2);
+    emit(&fig2).expect("figure CSVs written");
 
     println!("════════ Figure 3: preprocessing distribution ════════");
     let (fig3, summary) = figures::fig3_preprocessing(&pool);
-    emit(std::slice::from_ref(&fig3));
+    emit(std::slice::from_ref(&fig3)).expect("figure CSVs written");
     println!("{summary}");
 
     println!("════════ Figure 4: join scenarios ════════");
     let fig4 = figures::fig4_joins(&pool, &fig4_selections(&cfg));
-    emit(&fig4);
+    emit(&fig4).expect("figure CSVs written");
 
     println!("════════ Figure 5: validation scenarios ════════");
     let (fig5, notes) = figures::fig5_validation(&cfg).expect("validation");
-    emit(&fig5);
+    emit(&fig5).expect("figure CSVs written");
     for note in &notes {
         println!("note: {note}");
     }

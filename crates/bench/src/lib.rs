@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 
+use cqa_common::{CqaError, Result};
 use cqa_scenarios::{BenchConfig, Figure};
 use std::path::PathBuf;
 
@@ -15,19 +16,22 @@ pub fn results_dir() -> PathBuf {
     std::env::var("CQA_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| "results".into())
 }
 
-/// Prints figures and writes their CSVs.
-pub fn emit(figures: &[Figure]) {
+/// Prints figures and writes their CSVs. A CSV write failure is an error:
+/// a figure run whose results never reached disk must exit nonzero, not
+/// scroll a warning past the terminal.
+pub fn emit(figures: &[Figure]) -> Result<()> {
     let dir = results_dir();
     for fig in figures {
         println!("{fig}");
         if std::env::var("CQA_PLOT").map(|v| v == "1").unwrap_or(false) {
             println!("{}", fig.plot());
         }
-        match fig.write_csv(&dir) {
-            Ok(path) => println!("   csv: {}\n", path.display()),
-            Err(e) => eprintln!("   csv write failed: {e}\n"),
-        }
+        let path = fig
+            .write_csv(&dir)
+            .map_err(|e| CqaError::Parse(format!("csv write under {}: {e}", dir.display())))?;
+        println!("   csv: {}\n", path.display());
     }
+    Ok(())
 }
 
 /// True when the appendix-sized grids were requested (`CQA_APPENDIX=1`).
@@ -121,6 +125,27 @@ mod tests {
             assert!(cfg.noise_levels.contains(&p));
             assert!(cfg.balance_levels.contains(&q));
         }
+    }
+
+    #[test]
+    fn emit_propagates_csv_write_failures() {
+        // Point the results dir *under a regular file* so create_dir_all
+        // fails, and check the error reaches the caller instead of being
+        // swallowed into a warning.
+        let blocker = std::env::temp_dir().join("cqa-bench-emit-blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        std::env::set_var("CQA_RESULTS_DIR", blocker.join("sub"));
+        let fig = Figure {
+            id: "emit_test".into(),
+            title: "emit test".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![],
+        };
+        let err = emit(std::slice::from_ref(&fig));
+        std::env::remove_var("CQA_RESULTS_DIR");
+        std::fs::remove_file(&blocker).ok();
+        assert!(err.is_err(), "emit must fail when the CSV cannot be written");
     }
 
     #[test]

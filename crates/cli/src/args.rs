@@ -129,6 +129,11 @@ pub enum Command {
         /// variable names (α-equivalent, different text).
         permute: bool,
     },
+    /// Continuous benchmarking: delegates to `cqa-perf` (run/diff/export).
+    Perf {
+        /// Raw arguments, parsed by `cqa_perf::cli::dispatch`.
+        args: Vec<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -152,6 +157,8 @@ USAGE:
   cqa-cli bench-serve --addr HOST:PORT --query CQ [--scheme S] [--eps F]
                  [--delta F] [--clients N] [--requests N] [--seed N]
                  [--timeout-ms N] [--permute-queries]
+  cqa-cli perf   <run|diff|export|help> [options]   (continuous benchmarking;
+                 'cqa-cli perf help' prints the cqa-perf usage)
 
 Queries use the datalog-style syntax, e.g. 'Q(n) :- employee(x, n, d)'.
 `serve` speaks line-delimited JSON; see the README's Serving section.
@@ -356,6 +363,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             f.finish()?;
             Ok(out)
         }
+        "perf" => Ok(Command::Perf { args: args[1..].to_vec() }),
         other => Err(CqaError::InvalidParameter(format!("unknown command '{other}'"))),
     }
 }
@@ -524,6 +532,20 @@ mod tests {
                 assert!(permute);
                 assert_eq!(seed, 9);
             }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_perf_passthrough() {
+        match parse_args(&argv("perf run --profile ci --pr 6")).unwrap() {
+            Command::Perf { args } => {
+                assert_eq!(args, vec!["run", "--profile", "ci", "--pr", "6"]);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&argv("perf")).unwrap() {
+            Command::Perf { args } => assert!(args.is_empty()),
             _ => panic!("wrong command"),
         }
     }

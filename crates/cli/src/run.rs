@@ -1,12 +1,12 @@
 //! Command execution.
 
 use crate::args::{Command, USAGE};
-use cqa_common::{percentile, Mt64, Result, Stopwatch};
+use cqa_common::{Mt64, Result};
 use cqa_core::{apx_cqa_on_synopses, apx_cqa_parallel, Budget, Scheme};
 use cqa_noise::{add_query_aware_noise, NoiseSpec};
 use cqa_query::parse;
 use cqa_repair::consistent_answers_exact;
-use cqa_server::{Client, ErrorKind, QueryRequest, Response, Server, ServerConfig};
+use cqa_server::{run_load, LoadSpec, Server, ServerConfig};
 use cqa_storage::{dump_to_file, is_consistent, load_from_file, schema_to_ddl, Database};
 use cqa_synopsis::{build_synopses, BuildOptions, SynopsisStats};
 use std::io::Write;
@@ -223,146 +223,30 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
             timeout_ms,
             permute,
         } => {
-            let report = bench_serve(
-                &addr, &query, scheme, eps, delta, clients, requests, seed, timeout_ms, permute,
-            )?;
-            w(out, report);
+            let report = run_load(&LoadSpec {
+                addr,
+                query,
+                scheme,
+                eps,
+                delta,
+                clients,
+                requests,
+                seed,
+                timeout_ms,
+                permute,
+            })?;
+            w(out, report.render());
+        }
+        Command::Perf { args } => {
+            let code = cqa_perf::cli::dispatch(&args, out)?;
+            if code != 0 {
+                return Err(cqa_common::CqaError::InvalidParameter(format!(
+                    "perf gate failed (exit {code})"
+                )));
+            }
         }
     }
     Ok(())
-}
-
-/// Tallies from one load-generator client.
-#[derive(Default)]
-struct ClientTally {
-    latencies_ms: Vec<f64>,
-    ok: usize,
-    cached: usize,
-    overloaded: usize,
-    deadline: usize,
-    other_errors: usize,
-}
-
-/// Runs the closed-loop load generator and renders its report.
-#[allow(clippy::too_many_arguments)]
-fn bench_serve(
-    addr: &str,
-    query: &str,
-    scheme: Scheme,
-    eps: f64,
-    delta: f64,
-    clients: usize,
-    requests: usize,
-    seed: u64,
-    timeout_ms: Option<u64>,
-    permute: bool,
-) -> Result<String> {
-    let clients = clients.max(1);
-    let request_for = |text: &str, seed: u64| QueryRequest {
-        query: text.to_owned(),
-        scheme,
-        eps,
-        delta,
-        timeout_ms,
-        seed,
-    };
-    // With --permute-queries, every issued request rewrites the query with
-    // shuffled atom order and fresh variable names: α-equivalent, so the
-    // answers are identical, but the literal text never repeats — any cache
-    // hits are hits the canonical key earned.
-    let spelled = |req_seed: u64| -> Result<String> {
-        if permute {
-            cqa_query::permute_query_text(query, &mut cqa_common::Mt64::new(req_seed))
-        } else {
-            Ok(query.to_owned())
-        }
-    };
-    // Warm the synopsis cache outside the measured window, so the numbers
-    // reflect steady-state serving rather than one preprocessing run.
-    let mut warm = Client::connect(addr)?;
-    if let Response::Error { kind, message } = warm.query(request_for(query, seed))? {
-        return Err(cqa_common::CqaError::InvalidParameter(format!(
-            "warmup query failed: {} ({message})",
-            kind.name()
-        )));
-    }
-    let wall = Stopwatch::start();
-    let tallies: Vec<Result<ClientTally>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|c| {
-                scope.spawn(move || -> Result<ClientTally> {
-                    let mut client = Client::connect(addr)?;
-                    let mut tally = ClientTally::default();
-                    for i in 0..requests {
-                        let req_seed = seed ^ ((c * requests + i) as u64).wrapping_mul(0x9E37);
-                        let text = spelled(req_seed)?;
-                        let sw = Stopwatch::start();
-                        match client.query(request_for(&text, req_seed))? {
-                            Response::Answers { cached, .. } => {
-                                tally.latencies_ms.push(sw.elapsed_secs() * 1000.0);
-                                tally.ok += 1;
-                                tally.cached += cached as usize;
-                            }
-                            Response::Error { kind: ErrorKind::Overloaded, .. } => {
-                                tally.overloaded += 1;
-                            }
-                            Response::Error { kind: ErrorKind::DeadlineExceeded, .. } => {
-                                tally.deadline += 1;
-                            }
-                            _ => tally.other_errors += 1,
-                        }
-                    }
-                    Ok(tally)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
-    });
-    let elapsed = wall.elapsed_secs();
-    let mut all = ClientTally::default();
-    for tally in tallies {
-        let tally = tally?;
-        all.latencies_ms.extend(tally.latencies_ms);
-        all.ok += tally.ok;
-        all.cached += tally.cached;
-        all.overloaded += tally.overloaded;
-        all.deadline += tally.deadline;
-        all.other_errors += tally.other_errors;
-    }
-    all.latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
-    let total = clients * requests;
-    let mut report = format!(
-        "bench-serve: {total} requests over {clients} clients in {elapsed:.2}s \
-         ({:.0} req/s)\n",
-        total as f64 / elapsed.max(1e-9),
-    );
-    report.push_str(&format!(
-        "  ok {} (cached {}), overloaded {}, deadline_exceeded {}, other {}\n",
-        all.ok, all.cached, all.overloaded, all.deadline, all.other_errors
-    ));
-    if !all.latencies_ms.is_empty() {
-        report.push_str(&format!(
-            "  client latency ms: p50 {:.2}, p95 {:.2}, p99 {:.2}\n",
-            percentile(&all.latencies_ms, 50.0),
-            percentile(&all.latencies_ms, 95.0),
-            percentile(&all.latencies_ms, 99.0),
-        ));
-    }
-    // The server's own view: cache hit rate and its latency histogram.
-    let stats = warm.stats()?;
-    report.push_str(&format!(
-        "  server: {} queries ok, cache hit rate {:.1}% ({} hits / {} misses, \
-         {} canonical rekeys), latency ms p50 {:.2}, p95 {:.2}, p99 {:.2}",
-        stats.queries_ok,
-        stats.cache_hit_rate() * 100.0,
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.cache_canonical_rekeys,
-        stats.latency_p50_ms,
-        stats.latency_p95_ms,
-        stats.latency_p99_ms,
-    ));
-    Ok(report)
 }
 
 #[cfg(test)]
@@ -475,19 +359,20 @@ mod tests {
         )
         .unwrap();
         let mut handle = server.spawn().unwrap();
-        let report = bench_serve(
-            &handle.addr().to_string(),
-            "Q(rn) :- region(rk, rn)",
-            Scheme::Klm,
-            0.2,
-            0.25,
-            2,  // clients
-            5,  // requests each
-            11, // seed
-            None,
-            false,
-        )
-        .unwrap();
+        let report = run_load(&LoadSpec {
+            addr: handle.addr().to_string(),
+            query: "Q(rn) :- region(rk, rn)".into(),
+            scheme: Scheme::Klm,
+            eps: 0.2,
+            delta: 0.25,
+            clients: 2,
+            requests: 5,
+            seed: 11,
+            timeout_ms: None,
+            permute: false,
+        })
+        .unwrap()
+        .render();
         assert!(report.contains("10 requests over 2 clients"), "{report}");
         assert!(report.contains("ok 10"), "{report}");
         assert!(report.contains("cache hit rate"), "{report}");

@@ -168,6 +168,34 @@ impl Histogram {
         (1u64 << BUCKETS) as f64 / 1000.0
     }
 
+    /// Several quantiles from **one** relaxed bucket snapshot — the export
+    /// hook for perf recorders and the stats renderers. Calling
+    /// [`Histogram::quantile_ms`] per quantile re-reads the buckets each
+    /// time, so concurrent recording can make p99 < p50; reading the
+    /// snapshot once keeps the reported quantiles mutually consistent.
+    /// Values follow `quantile_ms` semantics (upper bucket edge, ≤ 2×
+    /// overestimate, 0 when empty).
+    pub fn quantiles_ms(&self, qs: &[f64]) -> Vec<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        qs.iter()
+            .map(|&q| {
+                if total == 0 {
+                    return 0.0;
+                }
+                let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+                let mut seen = 0;
+                for (i, &c) in counts.iter().enumerate() {
+                    seen += c;
+                    if seen >= rank {
+                        return (1u64 << (i + 1)) as f64 / 1000.0;
+                    }
+                }
+                (1u64 << BUCKETS) as f64 / 1000.0
+            })
+            .collect()
+    }
+
     /// A relaxed snapshot of the per-bucket counts.
     pub fn bucket_counts(&self) -> [u64; BUCKETS] {
         let mut out = [0u64; BUCKETS];
@@ -286,14 +314,17 @@ impl Registry {
             let v = match &e.handle {
                 Handle::Counter(c) => Json::from(c.get()),
                 Handle::Gauge(g) => Json::Num(g.get() as f64),
-                Handle::Histogram(h) => Json::obj([
-                    ("count", Json::from(h.count())),
-                    ("sum_micros", Json::from(h.sum_micros())),
-                    ("mean_ms", Json::from(h.mean_ms())),
-                    ("p50_ms", Json::from(h.quantile_ms(0.50))),
-                    ("p95_ms", Json::from(h.quantile_ms(0.95))),
-                    ("p99_ms", Json::from(h.quantile_ms(0.99))),
-                ]),
+                Handle::Histogram(h) => {
+                    let qs = h.quantiles_ms(&[0.50, 0.95, 0.99]);
+                    Json::obj([
+                        ("count", Json::from(h.count())),
+                        ("sum_micros", Json::from(h.sum_micros())),
+                        ("mean_ms", Json::from(h.mean_ms())),
+                        ("p50_ms", Json::from(qs[0])),
+                        ("p95_ms", Json::from(qs[1])),
+                        ("p99_ms", Json::from(qs[2])),
+                    ])
+                }
             };
             obj.insert(e.name.clone(), v);
         }
@@ -391,6 +422,25 @@ mod tests {
         // Upper edge of bucket 0 is 2 µs.
         assert_eq!(h.quantile_ms(1.0), 0.002);
         assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_ms_matches_per_quantile_reads() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record_micros(i);
+        }
+        let qs = [0.50, 0.95, 0.99, 0.999, 1.0];
+        let batch = h.quantiles_ms(&qs);
+        assert_eq!(batch.len(), qs.len());
+        for (q, got) in qs.iter().zip(&batch) {
+            assert_eq!(*got, h.quantile_ms(*q), "q={q}");
+        }
+        // Quantiles from one snapshot are monotone in q.
+        for w in batch.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(Histogram::new().quantiles_ms(&qs).iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! The regression gate: compares two [`BenchReport`]s under a per-series
+//! noise envelope.
+//!
+//! Wall-clock benchmarks re-run on shared CI hardware jitter by tens of
+//! percent, so a naive threshold either cries wolf or misses real
+//! regressions. The gate widens each series' tolerance by its *measured*
+//! spread — the recorded MAD/median of both the baseline and the candidate
+//! — on top of a generous floor, but caps the envelope below 2× so an
+//! actual doubling can never pass. Direction is series-aware: `_rps`
+//! series regress downward, latencies regress upward.
+//!
+//! The decision is pure arithmetic on the two reports (no clocks), which
+//! is what makes the acceptance tests deterministic.
+
+use crate::schema::BenchReport;
+use std::fmt;
+
+/// Gate tuning. The defaults encode the CI contract: a same-machine
+/// re-run must pass, a 2× slowdown on any series must fail.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Envelope floor: every series tolerates at least this relative
+    /// change (0.35 = 35%), regardless of how tight its spread looks.
+    pub tolerance: f64,
+    /// How many combined relative MADs widen the envelope beyond the floor.
+    pub mad_k: f64,
+    /// Envelope ceiling, strictly below 1.0 so a 2× change (ratio 2.0 >
+    /// 1 + max_envelope) always fails.
+    pub max_envelope: f64,
+    /// When true, a series present in the baseline but missing from the
+    /// candidate fails the gate (it silently breaks the trajectory).
+    pub require_all_baseline_series: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            tolerance: 0.35,
+            mad_k: 8.0,
+            max_envelope: 0.95,
+            require_all_baseline_series: true,
+        }
+    }
+}
+
+impl DiffOptions {
+    /// The relative envelope for a baseline/candidate series pair.
+    pub fn envelope(&self, base_rel_spread: f64, cand_rel_spread: f64) -> f64 {
+        let widened = self.tolerance + self.mad_k * (base_rel_spread + cand_rel_spread);
+        widened.clamp(self.tolerance, self.max_envelope)
+    }
+}
+
+/// Verdict for one series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within the envelope (or improved).
+    Pass,
+    /// Beyond the envelope in the regressing direction.
+    Regressed,
+    /// In the baseline but not the candidate.
+    Missing,
+    /// In the candidate but not the baseline (starts a new trajectory).
+    New,
+    /// Not comparable (a value is zero or non-finite).
+    Incomparable,
+}
+
+/// One row of a diff report.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Series name.
+    pub name: String,
+    /// Baseline value (None for `New`).
+    pub base: Option<f64>,
+    /// Candidate value (None for `Missing`).
+    pub cand: Option<f64>,
+    /// candidate / baseline in the *regressing* direction (>1 is worse);
+    /// None when not comparable.
+    pub ratio: Option<f64>,
+    /// The envelope the ratio was judged against.
+    pub envelope: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// The gate's full output.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// One row per series seen in either report, sorted by name.
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// Series that regressed (including `Missing` when the options demand
+    /// baseline coverage).
+    pub fn failures(&self) -> Vec<&DiffRow> {
+        self.rows.iter().filter(|r| r.verdict == Verdict::Regressed).collect()
+    }
+
+    /// True when the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<34} {:>12} {:>12} {:>8} {:>9}  verdict",
+            "series", "baseline", "candidate", "ratio", "envelope"
+        )?;
+        for r in &self.rows {
+            let num = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.3}"),
+                None => "-".to_owned(),
+            };
+            let ratio = match r.ratio {
+                Some(x) => format!("{x:.3}"),
+                None => "-".to_owned(),
+            };
+            let verdict = match r.verdict {
+                Verdict::Pass => "ok",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::Missing => "MISSING",
+                Verdict::New => "new",
+                Verdict::Incomparable => "incomparable",
+            };
+            writeln!(
+                f,
+                "{:<34} {:>12} {:>12} {:>8} {:>8.0}%  {}",
+                r.name,
+                num(r.base),
+                num(r.cand),
+                ratio,
+                r.envelope * 100.0,
+                verdict
+            )?;
+        }
+        let fails = self.failures().len();
+        if fails == 0 {
+            writeln!(f, "gate: PASS ({} series)", self.rows.len())
+        } else {
+            writeln!(f, "gate: FAIL ({fails} of {} series regressed)", self.rows.len())
+        }
+    }
+}
+
+/// Compares `candidate` against `baseline` under `opts`.
+pub fn diff(baseline: &BenchReport, candidate: &BenchReport, opts: &DiffOptions) -> DiffReport {
+    let base = baseline.by_name();
+    let cand = candidate.by_name();
+    let mut names: Vec<&str> = base.keys().chain(cand.keys()).copied().collect();
+    names.sort_unstable();
+    names.dedup();
+
+    let mut rows = Vec::with_capacity(names.len());
+    for name in names {
+        let row = match (base.get(name), cand.get(name)) {
+            (Some(b), None) => DiffRow {
+                name: name.to_owned(),
+                base: Some(b.value),
+                cand: None,
+                ratio: None,
+                envelope: 0.0,
+                verdict: if opts.require_all_baseline_series {
+                    Verdict::Regressed
+                } else {
+                    Verdict::Missing
+                },
+            },
+            (None, Some(c)) => DiffRow {
+                name: name.to_owned(),
+                base: None,
+                cand: Some(c.value),
+                ratio: None,
+                envelope: 0.0,
+                verdict: Verdict::New,
+            },
+            (Some(b), Some(c)) => {
+                let envelope = opts.envelope(b.rel_spread(), c.rel_spread());
+                // Ratio in the regressing direction: for latencies a
+                // slower candidate is cand/base > 1; for throughput a
+                // slower candidate is base/cand > 1.
+                let ratio = if b.value.is_finite()
+                    && c.value.is_finite()
+                    && b.value > 0.0
+                    && c.value > 0.0
+                {
+                    Some(if b.higher_is_better() { b.value / c.value } else { c.value / b.value })
+                } else {
+                    None
+                };
+                let verdict = match ratio {
+                    None => Verdict::Incomparable,
+                    Some(r) if r > 1.0 + envelope => Verdict::Regressed,
+                    Some(_) => Verdict::Pass,
+                };
+                DiffRow {
+                    name: name.to_owned(),
+                    base: Some(b.value),
+                    cand: Some(c.value),
+                    ratio,
+                    envelope,
+                    verdict,
+                }
+            }
+            (None, None) => continue,
+        };
+        rows.push(row);
+    }
+    DiffReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{EnvFingerprint, Series};
+
+    fn series(name: &str, value: f64, spread: f64) -> Series {
+        Series {
+            name: name.to_owned(),
+            unit: crate::names::unit_of(name).to_owned(),
+            value,
+            spread,
+            repeats: 11,
+        }
+    }
+
+    fn report(entries: &[(&str, f64, f64)]) -> BenchReport {
+        let mut r = BenchReport::new(6, 0, EnvFingerprint::default());
+        for &(name, value, spread) in entries {
+            r.push(series(name, value, spread)).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn identical_rerun_passes() {
+        let r = report(&[
+            ("sampler/natural/sample_ns", 120.0, 4.0),
+            ("scheme/kl/answer_ns", 9.5e6, 3.0e5),
+            ("server/throughput_rps", 4200.0, 150.0),
+            ("server/latency_p99_ms", 3.2, 0.2),
+        ]);
+        let d = diff(&r, &r, &DiffOptions::default());
+        assert!(d.passed(), "identical re-run must pass:\n{d}");
+        assert!(d.rows.iter().all(|row| row.verdict == Verdict::Pass));
+    }
+
+    #[test]
+    fn jittered_rerun_within_envelope_passes() {
+        let base = report(&[("scheme/kl/answer_ns", 1.00e6, 4.0e4)]);
+        // 25% slower: inside the 35% floor.
+        let cand = report(&[("scheme/kl/answer_ns", 1.25e6, 4.0e4)]);
+        assert!(diff(&base, &cand, &DiffOptions::default()).passed());
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails() {
+        let base = report(&[
+            ("sampler/natural/sample_ns", 120.0, 4.0),
+            ("scheme/kl/answer_ns", 9.5e6, 3.0e5),
+            ("server/latency_p99_ms", 3.2, 0.2),
+        ]);
+        let mut cand = base.clone();
+        // Inject a 2× slowdown on exactly one series.
+        for s in &mut cand.series {
+            if s.name == "scheme/kl/answer_ns" {
+                s.value *= 2.0;
+            }
+        }
+        let d = diff(&base, &cand, &DiffOptions::default());
+        assert!(!d.passed(), "2x slowdown must fail:\n{d}");
+        let fails = d.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].name, "scheme/kl/answer_ns");
+    }
+
+    #[test]
+    fn two_x_fails_even_with_absurd_recorded_spread() {
+        // Even if both recordings claim enormous jitter, the ceiling keeps
+        // the envelope below 100%, so a true doubling still fails.
+        let base = report(&[("synopsis/build_j1_ns", 1.0e9, 9.0e8)]);
+        let cand = report(&[("synopsis/build_j1_ns", 2.000001e9, 1.8e9)]);
+        let d = diff(&base, &cand, &DiffOptions::default());
+        assert!(!d.passed(), "ceiling must keep 2x failing:\n{d}");
+    }
+
+    #[test]
+    fn throughput_direction_is_inverted() {
+        let base = report(&[("server/throughput_rps", 4000.0, 100.0)]);
+        let halved = report(&[("server/throughput_rps", 2000.0, 100.0)]);
+        let doubled = report(&[("server/throughput_rps", 8000.0, 100.0)]);
+        assert!(!diff(&base, &halved, &DiffOptions::default()).passed());
+        assert!(diff(&base, &doubled, &DiffOptions::default()).passed());
+    }
+
+    #[test]
+    fn noisy_series_gets_a_wider_envelope_than_the_floor() {
+        let opts = DiffOptions::default();
+        // Combined relative spread 2% + 2% = 4%, so the envelope is
+        // 0.35 + 8 × 0.04 = 0.67: above the floor, below the ceiling.
+        let wide = opts.envelope(0.02, 0.02);
+        assert!(wide > opts.tolerance && wide < opts.max_envelope);
+        // A 50% slowdown passes there but fails a tight series.
+        let base = report(&[("scheme/cover/answer_ns", 1.0e6, 2.0e4)]);
+        let cand = report(&[("scheme/cover/answer_ns", 1.5e6, 3.0e4)]);
+        assert!(diff(&base, &cand, &opts).passed());
+        let tight_base = report(&[("scheme/cover/answer_ns", 1.0e6, 0.0)]);
+        let tight_cand = report(&[("scheme/cover/answer_ns", 1.5e6, 0.0)]);
+        assert!(!diff(&tight_base, &tight_cand, &opts).passed());
+    }
+
+    #[test]
+    fn missing_series_fails_and_new_series_passes() {
+        let base = report(&[("sampler/kl/sample_ns", 100.0, 2.0)]);
+        let cand = report(&[("sampler/klm/sample_ns", 100.0, 2.0)]);
+        let d = diff(&base, &cand, &DiffOptions::default());
+        assert!(!d.passed());
+        assert!(d.rows.iter().any(|r| r.verdict == Verdict::Regressed && r.cand.is_none()));
+        assert!(d.rows.iter().any(|r| r.verdict == Verdict::New));
+
+        let lenient = DiffOptions { require_all_baseline_series: false, ..DiffOptions::default() };
+        assert!(diff(&base, &cand, &lenient).passed());
+    }
+
+    #[test]
+    fn zero_or_nonfinite_values_are_incomparable_not_fatal() {
+        let base = report(&[("figure/fig3_preprocessing_ns", 0.0, 0.0)]);
+        let cand = report(&[("figure/fig3_preprocessing_ns", 1.0e9, 0.0)]);
+        let d = diff(&base, &cand, &DiffOptions::default());
+        assert!(d.passed());
+        assert_eq!(d.rows[0].verdict, Verdict::Incomparable);
+    }
+}

@@ -1,0 +1,96 @@
+//! Environment fingerprinting for bench reports.
+//!
+//! A perf number without its environment is unfalsifiable: the gate
+//! compares recordings taken on *different* machines across PRs, and the
+//! fingerprint is what lets a reviewer decide whether a flagged delta is
+//! a regression or a hardware change. Every probe degrades to "unknown"
+//! rather than failing — a recording from a stripped container is still
+//! worth keeping.
+
+use crate::schema::EnvFingerprint;
+use std::process::Command;
+
+/// Runs `cmd args…` and returns trimmed stdout on success.
+fn capture(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout).trim().to_owned();
+    if text.is_empty() {
+        None
+    } else {
+        Some(text)
+    }
+}
+
+/// The current git commit hash, or "unknown" outside a repo.
+pub fn git_commit() -> String {
+    capture("git", &["rev-parse", "--short=12", "HEAD"]).unwrap_or_else(|| "unknown".into())
+}
+
+/// The `rustc -V` banner, or "unknown".
+pub fn rustc_version() -> String {
+    capture("rustc", &["-V"]).unwrap_or_else(|| "unknown".into())
+}
+
+/// The CPU model name from `/proc/cpuinfo`, or "unknown" off Linux.
+pub fn cpu_model() -> String {
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return "unknown".into();
+    };
+    info.lines()
+        .find(|l| l.starts_with("model name"))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Logical cores visible to this process.
+pub fn cores() -> u64 {
+    std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1)
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Collects the full fingerprint for a run at `scale`/`seed`/`profile`.
+pub fn fingerprint(scale: f64, seed: u64, profile: &str) -> EnvFingerprint {
+    EnvFingerprint {
+        commit: git_commit(),
+        rustc: rustc_version(),
+        cpu: cpu_model(),
+        cores: cores(),
+        os: std::env::consts::OS.to_owned(),
+        scale,
+        seed,
+        profile: profile.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_never_return_empty_strings() {
+        assert!(!git_commit().is_empty());
+        assert!(!rustc_version().is_empty());
+        assert!(!cpu_model().is_empty());
+        assert!(cores() >= 1);
+    }
+
+    #[test]
+    fn fingerprint_carries_the_run_parameters() {
+        let f = fingerprint(0.25, 42, "ci");
+        assert_eq!(f.scale, 0.25);
+        assert_eq!(f.seed, 42);
+        assert_eq!(f.profile, "ci");
+        assert_eq!(f.os, std::env::consts::OS);
+    }
+}

@@ -1,0 +1,37 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `cqa-perf` — the continuous benchmarking subsystem.
+//!
+//! The paper this workspace reproduces is itself a benchmark, so the repo
+//! holds itself to a machine-readable perf contract: every PR records a
+//! `BENCH_<pr>.json` at the repo root, and CI gates on the trajectory.
+//!
+//! * [`names`] — the central registry of series names (the
+//!   `bench-name-registry` lint keys on it).
+//! * [`stats`] — warmup/repeat measurement with median + MAD outlier
+//!   rejection; the core the vendored `criterion` shim delegates to.
+//! * [`schema`] — the versioned, serde-free `BENCH_<pr>.json` schema.
+//! * [`envinfo`] — commit/rustc/CPU fingerprinting.
+//! * [`suites`] — the suite registry: samplers, schemes, synopsis
+//!   construction, figure pipeline, server throughput/tail latency.
+//! * [`mod@diff`] — the noise-aware regression gate.
+//! * [`dashboard`] — `dev/bench/data.js` + static HTML export.
+//! * [`cli`] — argument parsing/dispatch shared by the `cqa-perf` binary
+//!   and `cqa-cli perf`.
+//!
+//! See `docs/BENCHMARKING.md` for the operational story.
+
+pub mod cli;
+pub mod dashboard;
+pub mod diff;
+pub mod envinfo;
+pub mod names;
+pub mod schema;
+pub mod stats;
+pub mod suites;
+
+pub use diff::{diff, DiffOptions, DiffReport, Verdict};
+pub use schema::{bench_series, BenchReport, EnvFingerprint, Series};
+pub use stats::{MeasureOpts, Summary};
+pub use suites::Profile;

@@ -1,0 +1,105 @@
+//! The central registry of benchmark series names.
+//!
+//! Every series recorded into a `BENCH_<pr>.json` must be declared here,
+//! mirroring the span/metric registry in `crates/obs/src/names.rs`. The
+//! trajectory — and the dashboard built from it — keys on these strings
+//! across PRs, so a silent rename would orphan a series' history. The
+//! `bench-name-registry` lint rule flags any `bench_series(...)` call
+//! whose name literal is missing from [`SERIES`], and
+//! [`crate::schema::bench_series`] rejects unregistered names at runtime
+//! as a second line of defense.
+//!
+//! Naming scheme: `area/detail_unit`, where the trailing `_unit` segment
+//! (`_ns`, `_ms`, `_rps`) both documents the unit and fixes the gate's
+//! direction — `_rps` series are higher-is-better, everything else is a
+//! latency where lower is better.
+
+/// Every benchmark series the suites may record, sorted.
+pub const SERIES: &[&str] = &[
+    "figure/fig3_preprocessing_ns",
+    "sampler/kl/sample_ns",
+    "sampler/klm/sample_ns",
+    "sampler/natural/sample_ns",
+    "scheme/cover/answer_ns",
+    "scheme/kl/answer_ns",
+    "scheme/klm/answer_ns",
+    "scheme/natural/answer_ns",
+    "server/latency_p50_ms",
+    "server/latency_p999_ms",
+    "server/latency_p99_ms",
+    "server/throughput_rps",
+    "synopsis/build_j1_ns",
+    "synopsis/build_j3_ns",
+];
+
+/// True when `name` is a registered series name.
+pub fn is_registered(name: &str) -> bool {
+    SERIES.contains(&name)
+}
+
+/// The unit a series name's trailing segment implies.
+pub fn unit_of(name: &str) -> &'static str {
+    if name.ends_with("_rps") {
+        "req/s"
+    } else if name.ends_with("_ms") {
+        "ms"
+    } else {
+        "ns/iter"
+    }
+}
+
+/// True when larger values of this series are better (throughput); false
+/// for latencies. The regression gate flips its comparison on this.
+pub fn higher_is_better(name: &str) -> bool {
+    name.ends_with("_rps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_duplicate_free() {
+        for w in SERIES.windows(2) {
+            assert!(w[0] < w[1], "SERIES must be sorted and unique: {:?} !< {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn names_follow_the_scheme() {
+        for name in SERIES {
+            assert!(
+                name.ends_with("_ns") || name.ends_with("_ms") || name.ends_with("_rps"),
+                "series {name:?} must end in a unit segment (_ns, _ms, _rps)"
+            );
+            assert!(name.contains('/'), "series {name:?} must be namespaced area/detail");
+            assert!(
+                name.bytes().all(|b| b.is_ascii_lowercase()
+                    || b.is_ascii_digit()
+                    || b == b'_'
+                    || b == b'/'),
+                "series {name:?} must be lower_snake with / separators"
+            );
+        }
+    }
+
+    #[test]
+    fn direction_and_unit_agree_with_suffixes() {
+        assert!(higher_is_better("server/throughput_rps"));
+        assert!(!higher_is_better("server/latency_p99_ms"));
+        assert_eq!(unit_of("sampler/kl/sample_ns"), "ns/iter");
+        assert_eq!(unit_of("server/latency_p999_ms"), "ms");
+        assert_eq!(unit_of("server/throughput_rps"), "req/s");
+    }
+
+    #[test]
+    fn expected_coverage_is_present() {
+        // The acceptance bar: scheme sampling latency, synopsis build
+        // time, and server throughput/tail latency, ≥ 12 series total.
+        assert!(SERIES.len() >= 12);
+        assert!(SERIES.iter().any(|s| s.starts_with("sampler/")));
+        assert!(SERIES.iter().any(|s| s.starts_with("scheme/")));
+        assert!(SERIES.iter().any(|s| s.starts_with("synopsis/")));
+        assert!(SERIES.iter().any(|s| s.starts_with("server/")));
+    }
+}

@@ -1,0 +1,348 @@
+//! The benchmark suite registry: what `cqa-perf run` measures.
+//!
+//! Four suite families mirror the paper's axes and the repo's serving
+//! stack:
+//!
+//! 1. **samplers** — per-sample cost of the three repair samplers on the
+//!    synthetic chain pair (the §4.2 micro-benchmark);
+//! 2. **schemes** — full (ε, δ)-answering latency of all four schemes on
+//!    the Boolean-like regime of §7.2;
+//! 3. **synopsis** — preprocessing (Figure 3's metric): synopsis
+//!    construction over noisy TPC-H at 1 and 3 joins, plus the end-to-end
+//!    `fig3` pipeline on a pinned scenario pool;
+//! 4. **server** — throughput and p50/p99/p999 tail latency of
+//!    `cqa-server` under the closed-loop load generator. The gated values
+//!    are the client-side percentiles (exact floats); the server's own
+//!    `cqa-obs` histogram quantiles ride along in the load report but are
+//!    log₂-bucketed, too coarse to gate on.
+//!
+//! Everything runs at a pinned seed/scale from the [`Profile`]; wall-clock
+//! noise is handled downstream by the robust summaries and the gate's
+//! envelope, not by pretending the numbers are exact.
+
+use crate::schema::{bench_series, Series};
+use crate::stats::{measure_batched, MeasureOpts, Summary};
+use cqa_common::{Mt64, Result};
+use cqa_core::{
+    approx_relative_frequency, Budget, KlSampler, KlmSampler, NaturalSampler, Sampler, Scheme,
+};
+use cqa_noise::{add_query_aware_noise, NoiseSpec};
+use cqa_qgen::{sqg, SqgSpec};
+use cqa_query::answers;
+use cqa_scenarios::{figures, BenchConfig, Pool};
+use cqa_server::{run_load, LoadSpec, Server, ServerConfig};
+use cqa_storage::Database;
+use cqa_synopsis::{build_synopses, AdmissiblePair, BuildOptions};
+use cqa_tpch::{generate, TpchConfig};
+use std::time::Duration;
+
+/// A named run configuration: pinned seed/scale plus measurement shapes.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Profile name recorded in the fingerprint ("ci" or "full").
+    pub name: &'static str,
+    /// TPC-H scale factor for data-backed suites.
+    pub scale: f64,
+    /// Root seed; every suite derives from it deterministically.
+    pub seed: u64,
+    /// Measurement shape for micro/mid-cost loops.
+    pub opts: MeasureOpts,
+    /// Measurement shape for expensive end-to-end loops (fewer repeats).
+    pub heavy: MeasureOpts,
+    /// ε for scheme and server suites.
+    pub eps: f64,
+    /// δ for scheme and server suites.
+    pub delta: f64,
+    /// Load-generator clients for the server suite.
+    pub clients: usize,
+    /// Requests per client per server round.
+    pub requests: usize,
+    /// Independent server rounds (each a fresh server; one sample each).
+    pub server_rounds: u32,
+}
+
+impl Profile {
+    /// The CI profile: pinned small scale, < 2 minutes end to end.
+    pub fn ci() -> Profile {
+        Profile {
+            name: "ci",
+            scale: 0.0005,
+            seed: 20210620,
+            opts: MeasureOpts::ci(),
+            heavy: MeasureOpts {
+                warmup: 1,
+                repeats: 150,
+                budget: Duration::from_secs(3),
+                min_repeats: 3,
+            },
+            eps: 0.2,
+            delta: 0.25,
+            clients: 4,
+            requests: 50,
+            server_rounds: 5,
+        }
+    }
+
+    /// The full profile: larger data, more repeats, tighter ε.
+    pub fn full() -> Profile {
+        Profile {
+            name: "full",
+            scale: 0.002,
+            seed: 20210620,
+            opts: MeasureOpts::full(),
+            heavy: MeasureOpts {
+                warmup: 2,
+                repeats: 300,
+                budget: Duration::from_secs(60),
+                min_repeats: 5,
+            },
+            eps: 0.1,
+            delta: 0.25,
+            clients: 8,
+            requests: 100,
+            server_rounds: 9,
+        }
+    }
+
+    /// Looks a profile up by name.
+    pub fn by_name(name: &str) -> Option<Profile> {
+        match name {
+            "ci" => Some(Profile::ci()),
+            "full" => Some(Profile::full()),
+            _ => None,
+        }
+    }
+}
+
+/// Seconds → nanoseconds, for `_ns` series.
+fn to_ns(samples: &[f64]) -> Vec<f64> {
+    samples.iter().map(|s| s * 1e9).collect()
+}
+
+/// The §4.2 chain pair: `n` images over `n + span` blocks of size 4.
+fn chain_pair(n: usize, span: usize) -> Result<AdmissiblePair> {
+    let nblocks = n + span;
+    let sizes = vec![4u32; nblocks];
+    let images: Vec<Vec<(u32, u32)>> = (0..n)
+        .map(|i| (0..span).map(|k| ((i + k) as u32, ((i + k) % 4) as u32)).collect())
+        .collect();
+    AdmissiblePair::new(images, sizes)
+}
+
+/// The §7.2 Boolean-like pair: many single-atom images, ratio close to 1.
+fn boolean_like() -> Result<AdmissiblePair> {
+    let sizes = vec![4u32; 16];
+    let mut images = Vec::new();
+    for b in 0..16u32 {
+        for t in 0..3u32 {
+            images.push(vec![(b, t)]);
+        }
+    }
+    AdmissiblePair::new(images, sizes)
+}
+
+/// Suite 1: per-sample cost of the three samplers.
+pub fn suite_samplers(profile: &Profile) -> Result<Vec<Series>> {
+    let pair = chain_pair(64, 3)?;
+    let mut out = Vec::new();
+
+    let mut natural = NaturalSampler::new(&pair);
+    let mut rng = Mt64::new(profile.seed);
+    let samples = measure_batched(&profile.opts, || {
+        natural.sample(&mut rng);
+    });
+    out.push(bench_series("sampler/natural/sample_ns", &Summary::from_samples(&to_ns(&samples)))?);
+
+    let mut kl = KlSampler::new(&pair);
+    let mut rng = Mt64::new(profile.seed ^ 1);
+    let samples = measure_batched(&profile.opts, || {
+        kl.sample(&mut rng);
+    });
+    out.push(bench_series("sampler/kl/sample_ns", &Summary::from_samples(&to_ns(&samples)))?);
+
+    let mut klm = KlmSampler::new(&pair);
+    let mut rng = Mt64::new(profile.seed ^ 2);
+    let samples = measure_batched(&profile.opts, || {
+        klm.sample(&mut rng);
+    });
+    out.push(bench_series("sampler/klm/sample_ns", &Summary::from_samples(&to_ns(&samples)))?);
+    Ok(out)
+}
+
+/// Suite 2: full (ε, δ)-answering latency per scheme.
+pub fn suite_schemes(profile: &Profile) -> Result<Vec<Series>> {
+    let pair = boolean_like()?;
+    let mut out = Vec::new();
+    for (scheme, name) in [
+        (Scheme::Natural, "scheme/natural/answer_ns"),
+        (Scheme::Kl, "scheme/kl/answer_ns"),
+        (Scheme::Klm, "scheme/klm/answer_ns"),
+        (Scheme::Cover, "scheme/cover/answer_ns"),
+    ] {
+        let samples = measure_batched(&profile.opts, || {
+            let mut rng = Mt64::new(profile.seed);
+            approx_relative_frequency(
+                &pair,
+                scheme,
+                profile.eps,
+                profile.delta,
+                &Budget::unbounded(),
+                &mut rng,
+            )
+            .expect("unbounded budget cannot time out");
+        });
+        out.push(bench_series(name, &Summary::from_samples(&to_ns(&samples)))?);
+    }
+    Ok(out)
+}
+
+/// Draws a non-trivial SQG query with exactly `joins` joins, as the pool
+/// builder does, then returns the noisy instance and the query.
+fn noisy_workload(
+    base: &Database,
+    joins: usize,
+    rng: &mut Mt64,
+) -> Result<(Database, cqa_query::ConjunctiveQuery)> {
+    let q = loop {
+        let Ok(q) = sqg(base, SqgSpec { joins, constants: 2, proj_fraction: 1.0 }, rng) else {
+            continue;
+        };
+        if q.join_count() == joins && !answers(base, &q).unwrap_or_default().is_empty() {
+            break q;
+        }
+    };
+    let (noisy, _) = add_query_aware_noise(base, &q, NoiseSpec::with_p(0.5), rng)?;
+    Ok((noisy, q))
+}
+
+/// Suite 3a: synopsis construction over noisy TPC-H at 1 and 3 joins.
+pub fn suite_synopsis(profile: &Profile) -> Result<Vec<Series>> {
+    let base = generate(TpchConfig { scale: profile.scale, seed: profile.seed });
+    let mut rng = Mt64::new(profile.seed ^ 0x51);
+    let mut out = Vec::new();
+    for (joins, name) in [(1usize, "synopsis/build_j1_ns"), (3, "synopsis/build_j3_ns")] {
+        let (noisy, q) = noisy_workload(&base, joins, &mut rng)?;
+        let samples = measure_batched(&profile.opts, || {
+            build_synopses(&noisy, &q, BuildOptions::default()).expect("synopses build");
+        });
+        out.push(bench_series(name, &Summary::from_samples(&to_ns(&samples)))?);
+    }
+    Ok(out)
+}
+
+/// Suite 3b: the end-to-end Figure 3 pipeline on a pinned scenario pool.
+pub fn suite_figure(profile: &Profile) -> Result<Vec<Series>> {
+    let cfg = BenchConfig { scale: profile.scale, seed: profile.seed, ..BenchConfig::smoke() };
+    let pool = Pool::build(cfg)?;
+    let samples = measure_batched(&profile.heavy, || {
+        let (_fig, _summary) = figures::fig3_preprocessing(&pool);
+    });
+    Ok(vec![bench_series(
+        "figure/fig3_preprocessing_ns",
+        &Summary::from_samples(&to_ns(&samples)),
+    )?])
+}
+
+/// Suite 4: server throughput + tail latency through the load generator.
+/// Each round binds a **fresh** in-process server (so its histogram and
+/// cache start cold), warms the cache with the load generator's warmup
+/// query, and contributes one sample per series. Latency percentiles are
+/// the exact client-side measurements; the server-side `cqa-obs`
+/// histogram still travels in every load report (and is how `bench-serve`
+/// prints them) but its log₂ buckets can only move in 2× jumps.
+pub fn suite_server(profile: &Profile) -> Result<Vec<Series>> {
+    let db = generate(TpchConfig { scale: profile.scale, seed: profile.seed });
+    let mut throughput = Vec::new();
+    let mut p50 = Vec::new();
+    let mut p99 = Vec::new();
+    let mut p999 = Vec::new();
+    for round in 0..profile.server_rounds {
+        let server = Server::bind(
+            db.clone(),
+            ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() },
+        )
+        .map_err(|e| cqa_common::CqaError::InvalidParameter(format!("bind: {e}")))?;
+        let mut handle = server
+            .spawn()
+            .map_err(|e| cqa_common::CqaError::InvalidParameter(format!("spawn: {e}")))?;
+        let report = run_load(&LoadSpec {
+            addr: handle.addr().to_string(),
+            query: "Q(rn) :- region(rk, rn)".to_owned(),
+            scheme: Scheme::Klm,
+            eps: profile.eps,
+            delta: profile.delta,
+            clients: profile.clients,
+            requests: profile.requests,
+            seed: profile.seed ^ u64::from(round),
+            timeout_ms: None,
+            permute: false,
+        });
+        handle.shutdown();
+        let report = report?;
+        throughput.push(report.throughput_rps());
+        p50.push(report.client_latency_ms(50.0));
+        p99.push(report.client_latency_ms(99.0));
+        p999.push(report.client_latency_ms(99.9));
+    }
+    Ok(vec![
+        bench_series("server/throughput_rps", &Summary::from_samples(&throughput))?,
+        bench_series("server/latency_p50_ms", &Summary::from_samples(&p50))?,
+        bench_series("server/latency_p99_ms", &Summary::from_samples(&p99))?,
+        bench_series("server/latency_p999_ms", &Summary::from_samples(&p999))?,
+    ])
+}
+
+/// A registered suite: a name and the function producing its series.
+type Suite = (&'static str, fn(&Profile) -> Result<Vec<Series>>);
+
+/// Runs every suite in registry order, with progress lines on stderr.
+pub fn run_all(profile: &Profile) -> Result<Vec<Series>> {
+    let mut out = Vec::new();
+    let suites: [Suite; 5] = [
+        ("samplers", suite_samplers),
+        ("schemes", suite_schemes),
+        ("synopsis", suite_synopsis),
+        ("figure", suite_figure),
+        ("server", suite_server),
+    ];
+    for (name, suite) in suites {
+        eprintln!("[cqa-perf] suite {name} ...");
+        let series = suite(profile)?;
+        for s in &series {
+            eprintln!(
+                "[cqa-perf]   {} = {:.3} {} (± {:.3}, n={})",
+                s.name, s.value, s.unit, s.spread, s.repeats
+            );
+        }
+        out.extend(series);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        assert_eq!(Profile::by_name("ci").map(|p| p.name), Some("ci"));
+        assert_eq!(Profile::by_name("full").map(|p| p.name), Some("full"));
+        assert!(Profile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn sampler_suite_records_registered_series() {
+        // The fastest suite doubles as an integration test: every series
+        // it emits is registered, positive, and ns-scaled.
+        let mut profile = Profile::ci();
+        profile.opts =
+            MeasureOpts { warmup: 1, repeats: 3, budget: Duration::from_secs(5), min_repeats: 3 };
+        let series = suite_samplers(&profile).unwrap();
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert!(crate::names::is_registered(&s.name), "{}", s.name);
+            assert!(s.value > 0.0, "{} = {}", s.name, s.value);
+            assert!(s.repeats >= 1);
+        }
+    }
+}

@@ -20,9 +20,12 @@
 //!   command as JSON or Prometheus text.
 //! * [`server`] — the TCP daemon.
 //! * [`client`] — the blocking client library the CLI subcommands use.
+//! * [`loadgen`] — the closed-loop load generator behind `cqa-cli
+//!   bench-serve` and the `cqa-perf` server suite.
 
 pub mod cache;
 pub mod client;
+pub mod loadgen;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
@@ -30,6 +33,7 @@ pub mod server;
 
 pub use cache::{CacheKey, CacheStats, SynopsisCache};
 pub use client::Client;
+pub use loadgen::{run_load, LoadReport, LoadSpec};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pool::{PoolConfig, SubmitError, WorkerPool};
 pub use protocol::{

@@ -84,6 +84,8 @@ pub struct MetricsSnapshot {
     pub latency_p95_ms: f64,
     /// 99th-percentile latency, milliseconds.
     pub latency_p99_ms: f64,
+    /// 99.9th-percentile latency, milliseconds.
+    pub latency_p999_ms: f64,
     /// Synopsis-cache hits.
     pub cache_hits: u64,
     /// Synopsis-cache misses.
@@ -168,6 +170,9 @@ impl Metrics {
 
     /// Captures a snapshot, merging in the cache's counters.
     pub fn snapshot(&self, cache: &crate::cache::CacheStats) -> MetricsSnapshot {
+        // One bucket snapshot for all four quantiles, so they are mutually
+        // consistent even while workers keep recording.
+        let latency_qs = self.query_latency.quantiles_ms(&[0.50, 0.95, 0.99, 0.999]);
         MetricsSnapshot {
             requests: self.requests.get(),
             queries_ok: self.queries_ok.get(),
@@ -178,9 +183,10 @@ impl Metrics {
             connections: self.connections.get(),
             latency_count: self.query_latency.count(),
             latency_mean_ms: self.query_latency.mean_ms(),
-            latency_p50_ms: self.query_latency.quantile_ms(0.50),
-            latency_p95_ms: self.query_latency.quantile_ms(0.95),
-            latency_p99_ms: self.query_latency.quantile_ms(0.99),
+            latency_p50_ms: latency_qs[0],
+            latency_p95_ms: latency_qs[1],
+            latency_p99_ms: latency_qs[2],
+            latency_p999_ms: latency_qs[3],
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_canonical_rekeys: cache.canonical_rekeys,
@@ -227,6 +233,7 @@ impl MetricsSnapshot {
             ("latency_p50_ms", Json::from(self.latency_p50_ms)),
             ("latency_p95_ms", Json::from(self.latency_p95_ms)),
             ("latency_p99_ms", Json::from(self.latency_p99_ms)),
+            ("latency_p999_ms", Json::from(self.latency_p999_ms)),
             ("cache_hits", Json::from(self.cache_hits)),
             ("cache_misses", Json::from(self.cache_misses)),
             ("cache_canonical_rekeys", Json::from(self.cache_canonical_rekeys)),
@@ -259,6 +266,8 @@ impl MetricsSnapshot {
             latency_p50_ms: v.req_f64("latency_p50_ms")?,
             latency_p95_ms: v.req_f64("latency_p95_ms")?,
             latency_p99_ms: v.req_f64("latency_p99_ms")?,
+            // Absent in payloads from servers predating the p999 field.
+            latency_p999_ms: v.get("latency_p999_ms").and_then(Json::as_f64).unwrap_or(0.0),
             cache_hits: int(v, "cache_hits")?,
             cache_misses: int(v, "cache_misses")?,
             // Absent in payloads from servers predating canonicalization.
@@ -347,6 +356,36 @@ mod tests {
         legacy.remove("cache_canonical_rekeys");
         let parsed = MetricsSnapshot::from_json(&Json::Obj(legacy)).unwrap();
         assert_eq!(parsed.cache_canonical_rekeys, 0);
+    }
+
+    #[test]
+    fn snapshot_reports_consistent_tail_quantiles() {
+        let m = Metrics::new();
+        for micros in [100u64, 200, 400, 800, 100_000] {
+            m.query_latency.record(Duration::from_micros(micros));
+        }
+        let cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            canonical_rekeys: 0,
+            entries: 0,
+            evictions: 0,
+            capacity: 8,
+        };
+        let snap = m.snapshot(&cache);
+        // p999 is at least p99 and present on the wire.
+        assert!(snap.latency_p999_ms >= snap.latency_p99_ms);
+        assert!(snap.latency_p999_ms > 0.0);
+        let j = snap.to_json();
+        assert!(j.get("latency_p999_ms").and_then(Json::as_f64).is_some());
+        // Payloads from servers that predate p999 still parse, reading 0.
+        let mut legacy = match j {
+            Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        legacy.remove("latency_p999_ms");
+        let parsed = MetricsSnapshot::from_json(&Json::Obj(legacy)).unwrap();
+        assert_eq!(parsed.latency_p999_ms, 0.0);
     }
 
     #[test]

@@ -117,7 +117,17 @@ impl Drop for WorkerPool {
     /// Waits for queued jobs to drain, then joins the workers.
     fn drop(&mut self) {
         drop(self.tx.take());
+        let me = std::thread::current().id();
         for handle in self.handles.drain(..) {
+            // The pool can be dropped *by one of its own workers*: the
+            // last job closure in flight may own the final Arc to the
+            // server's shared state, which embeds this pool. Joining
+            // yourself is EDEADLK and std escalates it to a panic; that
+            // worker is already exiting (its receiver just disconnected),
+            // so it needs no join.
+            if handle.thread().id() == me {
+                continue;
+            }
             let _ = handle.join();
         }
     }
@@ -129,6 +139,27 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
     use std::sync::Arc;
+
+    #[test]
+    fn dropping_the_pool_from_a_worker_does_not_panic() {
+        // A worker can end up owning the pool itself (via the last Arc to
+        // the server's shared state). Its self-join used to EDEADLK-panic.
+        let pool = WorkerPool::new(PoolConfig { workers: 2, queue_depth: 4 }).unwrap();
+        let slot = Arc::new(std::sync::Mutex::new(Some(pool)));
+        let (done_tx, done_rx) = mpsc::channel::<bool>();
+        let job_slot = Arc::clone(&slot);
+        slot.lock()
+            .unwrap()
+            .as_ref()
+            .unwrap()
+            .try_submit(move || {
+                let pool = job_slot.lock().unwrap().take();
+                drop(pool); // joins the sibling worker, must skip self
+                done_tx.send(true).unwrap();
+            })
+            .unwrap();
+        assert!(done_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap());
+    }
 
     #[test]
     fn runs_submitted_jobs() {

@@ -58,11 +58,13 @@
 //! | [`scenarios`] | `cqa-scenarios` | scenario families and figure pipelines |
 //! | [`server`] | `cqa-server` | TCP daemon: synopsis cache, worker pool, metrics |
 //! | [`obs`] | `cqa-obs` | span tracing, Chrome trace export, metrics registry |
+//! | [`perf`] | `cqa-perf` | continuous benchmarking: suites, `BENCH_<pr>.json`, gates |
 
 pub use cqa_common as common;
 pub use cqa_core as core;
 pub use cqa_noise as noise;
 pub use cqa_obs as obs;
+pub use cqa_perf as perf;
 pub use cqa_qgen as qgen;
 pub use cqa_query as query;
 pub use cqa_repair as repair;

@@ -1,0 +1,4 @@
+// A typo of a registered series name.
+fn record(summary: &cqa_perf::Summary) {
+    let _ = cqa_perf::schema::bench_series("demo/biuld_ns", summary);
+}

@@ -1,0 +1,17 @@
+fn record(summary: &cqa_perf::Summary) {
+    let _ = cqa_perf::schema::bench_series("demo/build_ns", summary);
+    // Computed names cannot be checked statically and are not flagged;
+    // bench_series rejects unregistered ones at runtime instead.
+    let dynamic = "demo/throughput_rps";
+    let _ = cqa_perf::schema::bench_series(dynamic, summary);
+}
+
+// Definition sites carry no literal and are not flagged.
+fn bench_series(name: &str, _summary: &Summary) {}
+
+// A reasoned suppression is the escape hatch for intentionally
+// unregistered names (e.g. a scratch series during development).
+fn scratch(summary: &cqa_perf::Summary) {
+    // cqa-lint: allow(bench-name-registry): scratch series, never gated on
+    let _ = cqa_perf::schema::bench_series("demo/scratch_ns", summary);
+}

@@ -4,8 +4,9 @@
 //! relies on — "no panics reachable from the server's request path", "no
 //! heap allocation reachable from the per-sample loops", "estimator math
 //! never wraps or truncates", "all randomness flows from the seeded root
-//! RNG", "every `unsafe` carries its proof", "observability names come
-//! from the registry", "the wire protocol and its document agree".
+//! RNG", "every `unsafe` carries its proof", "observability and benchmark
+//! series names come from their registries", "the wire protocol and its
+//! document agree".
 //! `cqa-lint` enforces them with a hand-rolled lexer ([`lexer`]), an item
 //! parser ([`parser`]), and a conservative workspace call graph
 //! ([`callgraph`]) that turns the panic/alloc/RNG rules into transitive
@@ -31,6 +32,9 @@ use std::path::{Path, PathBuf};
 /// file *defines* the allowed names, so the `obs-name-registry` rule does
 /// not run on it.
 pub const REGISTRY_FILE: &str = "crates/obs/src/names.rs";
+/// Repo-relative path of the benchmark series name registry; exempt from
+/// the `bench-name-registry` rule the same way.
+pub const PERF_REGISTRY_FILE: &str = "crates/perf/src/names.rs";
 /// Repo-relative path of the wire-protocol implementation.
 pub const PROTOCOL_FILE: &str = "crates/server/src/protocol.rs";
 /// Repo-relative path of the wire-protocol document.
@@ -131,6 +135,9 @@ pub fn check_sources(sources: &[(String, String)], registry: &NameRegistry) -> V
         if rel != REGISTRY_FILE {
             findings.extend(rules::obs_names(&lexed, &stripped, rel, registry));
         }
+        if rel != PERF_REGISTRY_FILE {
+            findings.extend(rules::bench_names(&lexed, &stripped, rel, registry));
+        }
         parsed_v.push(parser::parse_file(rel, &stripped));
         lexed_v.push(lexed);
         stripped_v.push(stripped);
@@ -159,12 +166,19 @@ fn sort_dedup(findings: &mut Vec<Finding>) {
 /// surviving findings, sorted by file/line/rule.
 pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
     let registry_src = read(&root.join(REGISTRY_FILE))?;
-    let registry = NameRegistry::parse(&registry_src);
+    let mut registry = NameRegistry::parse(&registry_src);
     if registry.spans.is_empty() || registry.metrics.is_empty() {
         return Err(CheckError(format!(
             "{REGISTRY_FILE} yielded an empty SPANS or METRICS registry — refusing to lint against it"
         )));
     }
+    let perf_registry = NameRegistry::parse(&read(&root.join(PERF_REGISTRY_FILE))?);
+    if perf_registry.series.is_empty() {
+        return Err(CheckError(format!(
+            "{PERF_REGISTRY_FILE} yielded an empty SERIES registry — refusing to lint against it"
+        )));
+    }
+    registry.merge(perf_registry);
 
     let mut sources = Vec::new();
     for (abs, rel) in source_files(root)? {

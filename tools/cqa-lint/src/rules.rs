@@ -25,6 +25,7 @@ pub const NO_PANIC: &str = "no-panic-in-request-path";
 pub const NO_ALLOC: &str = "no-alloc-in-hot-path";
 pub const SAFETY: &str = "safety-comment";
 pub const OBS_NAMES: &str = "obs-name-registry";
+pub const BENCH_NAMES: &str = "bench-name-registry";
 pub const PROTOCOL_SYNC: &str = "protocol-doc-sync";
 pub const OPAQUE: &str = "opaque-call";
 pub const CHECKED_MATH: &str = "checked-estimator-math";
@@ -32,11 +33,12 @@ pub const RNG_FLOW: &str = "rng-flow";
 pub const SUPPRESSION: &str = "suppression-needs-reason";
 
 /// Every rule name, for validating `allow(...)` suppressions.
-pub const ALL_RULES: [&str; 9] = [
+pub const ALL_RULES: [&str; 10] = [
     NO_PANIC,
     NO_ALLOC,
     SAFETY,
     OBS_NAMES,
+    BENCH_NAMES,
     PROTOCOL_SYNC,
     OPAQUE,
     CHECKED_MATH,
@@ -517,23 +519,35 @@ fn has_safety_comment_above(lexed: &Lexed, line: u32) -> bool {
 // Rule 4: obs-name-registry
 // ---------------------------------------------------------------------------
 
-/// The central span/metric name registry, parsed from
-/// `crates/obs/src/names.rs`.
+/// The central name registries: span/metric names parsed from
+/// `crates/obs/src/names.rs`, benchmark series names from
+/// `crates/perf/src/names.rs`.
 #[derive(Debug, Clone, Default)]
 pub struct NameRegistry {
     pub spans: BTreeSet<String>,
     pub metrics: BTreeSet<String>,
+    pub series: BTreeSet<String>,
 }
 
 impl NameRegistry {
-    /// Parses the registry source: the string literals of the `SPANS` and
-    /// `METRICS` const arrays.
+    /// Parses a registry source: the string literals of the `SPANS`,
+    /// `METRICS`, and `SERIES` const arrays (a file defining only some of
+    /// the three yields empty sets for the rest).
     pub fn parse(src: &str) -> NameRegistry {
         let lexed = crate::lexer::lex(src);
         NameRegistry {
             spans: const_array_strings(&lexed.toks, "SPANS"),
             metrics: const_array_strings(&lexed.toks, "METRICS"),
+            series: const_array_strings(&lexed.toks, "SERIES"),
         }
+    }
+
+    /// Merges another registry's names into this one (used to combine the
+    /// obs and perf registry files into one lookup).
+    pub fn merge(&mut self, other: NameRegistry) {
+        self.spans.extend(other.spans);
+        self.metrics.extend(other.metrics);
+        self.series.extend(other.series);
     }
 }
 
@@ -620,6 +634,51 @@ pub fn obs_names(lexed: &Lexed, toks: &[Tok], file: &str, reg: &NameRegistry) ->
                 name_tok.line,
                 format!(
                     "{kind} name {:?} is not in the registry (crates/obs/src/names.rs)",
+                    name_tok.text
+                ),
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: bench-name-registry
+// ---------------------------------------------------------------------------
+
+/// APIs whose first string-literal argument is a benchmark series name.
+const BENCH_APIS: [&str; 1] = ["bench_series"];
+
+/// Flags benchmark series name literals not present in the registry
+/// (`crates/perf/src/names.rs`). The regression gate in `cqa-perf diff`
+/// matches baseline and candidate series *by name*: an unregistered
+/// (usually misspelled) name silently falls out of the comparison instead
+/// of failing anywhere — the same failure mode `obs-name-registry`
+/// prevents for metric names. `cqa_perf::schema::bench_series` also
+/// rejects unregistered names at runtime; this rule catches them before
+/// anything runs, including names only exercised on the `full` profile.
+pub fn bench_names(lexed: &Lexed, toks: &[Tok], file: &str, reg: &NameRegistry) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !BENCH_APIS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let j = i + 1;
+        if !toks.get(j).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        // Definition sites and computed names carry no literal → skip
+        // (the runtime check in bench_series covers the computed case).
+        let Some(name_tok) = first_literal_in_parens(toks, j) else { continue };
+        if !reg.series.contains(&name_tok.text) {
+            push(
+                &mut out,
+                lexed,
+                BENCH_NAMES,
+                file,
+                name_tok.line,
+                format!(
+                    "bench series name {:?} is not in the registry (crates/perf/src/names.rs)",
                     name_tok.text
                 ),
             );

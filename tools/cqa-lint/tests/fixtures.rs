@@ -194,6 +194,23 @@ fn obs_names_pass_good_fixture() {
 }
 
 #[test]
+fn bench_names_fire_on_bad_fixture() {
+    let findings =
+        cqa_lint::check_source(ANYWHERE, &fixture("bench-name-registry/bad.rs"), &registry());
+    assert_eq!(findings.len(), 1, "one series typo: {findings:?}");
+    assert_eq!(findings[0].rule, rules::BENCH_NAMES);
+    assert!(findings[0].message.contains("demo/biuld_ns"));
+    assert!(findings[0].message.contains("crates/perf/src/names.rs"));
+}
+
+#[test]
+fn bench_names_pass_good_fixture() {
+    // Registered literal, computed name, definition site, and a reasoned
+    // suppression: none fire.
+    assert!(fired(ANYWHERE, "bench-name-registry/good.rs").is_empty());
+}
+
+#[test]
 fn protocol_sync_passes_matching_pair() {
     let lexed = cqa_lint::lexer::lex(&fixture("protocol-doc-sync/good_protocol.rs"));
     let code = rules::protocol_code_keys(&lexed.toks);
