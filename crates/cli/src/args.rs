@@ -129,6 +129,13 @@ pub enum Command {
         /// variable names (α-equivalent, different text).
         permute: bool,
     },
+    /// Dump a running daemon's flight recorder or slow/error log.
+    Debug {
+        /// Server address.
+        addr: String,
+        /// `flight` or `slowlog`.
+        target: String,
+    },
     /// Continuous benchmarking: delegates to `cqa-perf` (run/diff/export).
     Perf {
         /// Raw arguments, parsed by `cqa_perf::cli::dispatch`.
@@ -157,6 +164,8 @@ USAGE:
   cqa-cli bench-serve --addr HOST:PORT --query CQ [--scheme S] [--eps F]
                  [--delta F] [--clients N] [--requests N] [--seed N]
                  [--timeout-ms N] [--permute-queries]
+  cqa-cli debug  <flight|slowlog> --addr HOST:PORT   (dump the daemon's
+                 flight recorder / slow-error log as JSON)
   cqa-cli perf   <run|diff|export|help> [options]   (continuous benchmarking;
                  'cqa-cli perf help' prints the cqa-perf usage)
 
@@ -363,6 +372,19 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             f.finish()?;
             Ok(out)
         }
+        "debug" => {
+            let target = args
+                .get(1)
+                .filter(|t| *t == "flight" || *t == "slowlog")
+                .ok_or_else(|| {
+                    CqaError::InvalidParameter("debug needs 'flight' or 'slowlog'".into())
+                })?
+                .clone();
+            let mut f = Flags::parse(&args[2..])?;
+            let out = Command::Debug { addr: f.take("addr", None)?, target };
+            f.finish()?;
+            Ok(out)
+        }
         "perf" => Ok(Command::Perf { args: args[1..].to_vec() }),
         other => Err(CqaError::InvalidParameter(format!("unknown command '{other}'"))),
     }
@@ -534,6 +556,17 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parses_debug() {
+        for target in ["flight", "slowlog"] {
+            let c = parse_args(&argv(&format!("debug {target} --addr 127.0.0.1:7171"))).unwrap();
+            assert_eq!(c, Command::Debug { addr: "127.0.0.1:7171".into(), target: target.into() });
+        }
+        assert!(parse_args(&argv("debug --addr 127.0.0.1:7171")).is_err()); // no target
+        assert!(parse_args(&argv("debug heap --addr 127.0.0.1:7171")).is_err());
+        assert!(parse_args(&argv("debug flight")).is_err()); // no --addr
     }
 
     #[test]

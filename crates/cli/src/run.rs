@@ -201,6 +201,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
                     cache_capacity,
                     default_timeout_ms: timeout_ms,
                     max_samples: u64::MAX,
+                    slow_threshold_ms: ServerConfig::default().slow_threshold_ms,
                 },
             )
             .map_err(|e| cqa_common::CqaError::InvalidParameter(format!("bind: {e}")))?;
@@ -236,6 +237,24 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
                 permute,
             })?;
             w(out, report.render());
+        }
+        Command::Debug { addr, target } => {
+            let mut client = cqa_server::Client::connect(&addr)?;
+            let request = cqa_server::Request::Debug {
+                target: match target.as_str() {
+                    "flight" => cqa_server::DebugTarget::Flight,
+                    _ => cqa_server::DebugTarget::Slowlog,
+                },
+            };
+            // Print the response verbatim: one JSON object, pipeable to jq.
+            let response = client.roundtrip(&request)?;
+            if let cqa_server::Response::Error { kind, message } = &response {
+                return Err(cqa_common::CqaError::InvalidParameter(format!(
+                    "debug {target} failed: {} ({message})",
+                    kind.name()
+                )));
+            }
+            w(out, response.to_line());
         }
         Command::Perf { args } => {
             let code = cqa_perf::cli::dispatch(&args, out)?;

@@ -1,0 +1,128 @@
+//! Estimator-convergence telemetry: per-thread zero-allocation slots.
+//!
+//! The four sampling loops report how hard they worked and how tight the
+//! estimate got — samples drawn, running sample variance, and the
+//! one-standard-error CI half-width at termination — through three
+//! fixed thread-local slots. The slots are plain `Cell<u64>`s (floats
+//! stored as bits): writing them is a couple of thread-local stores, so
+//! the export keeps both the static `no-alloc-in-hot-path` lint and the
+//! counting-allocator sanitizer (`crates/core/tests/alloc_sanitizer.rs`)
+//! green.
+//!
+//! Slots are per-thread because a request runs its schemes on exactly one
+//! worker thread: the server [`reset`]s before a request, the estimators
+//! [`tick_sample`] / [`export_estimate`] during it, and the server [`snapshot`]s
+//! after — no cross-request or cross-thread races by construction. The
+//! parallel offline driver spreads answers over threads; its per-thread
+//! slots then describe only that thread's share, which is why the
+//! serving path (single-threaded per request) is the consumer.
+//!
+//! Variance and half-width accumulate by *maximum* across scheme runs
+//! since the last reset: a multi-answer query reports its worst answer's
+//! convergence, the conservative summary a caller wants.
+
+use std::cell::Cell;
+
+thread_local! {
+    static SAMPLES: Cell<u64> = const { Cell::new(0) };
+    static VARIANCE_BITS: Cell<u64> = const { Cell::new(0) };
+    static CI_BITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of this thread's convergence slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// Samples drawn since the last [`reset`] (all phases: stopping rule,
+    /// variance estimation, final loop, coverage steps).
+    pub samples: u64,
+    /// Largest running sample variance any scheme run exported.
+    pub variance: f64,
+    /// Largest one-standard-error CI half-width any scheme run exported.
+    pub ci_half_width: f64,
+}
+
+/// Zeroes this thread's slots. Call at the start of a request (or a
+/// measurement window).
+#[inline]
+pub fn reset() {
+    SAMPLES.with(|s| s.set(0));
+    VARIANCE_BITS.with(|s| s.set(0));
+    CI_BITS.with(|s| s.set(0));
+}
+
+/// Counts one drawn sample. Called from the sampling loops; must stay
+/// allocation-free.
+#[inline(always)]
+pub fn tick_sample() {
+    SAMPLES.with(|s| s.set(s.get().saturating_add(1)));
+}
+
+/// Exports a scheme run's terminal variance and CI half-width, keeping
+/// the per-thread maximum since the last [`reset`]. Allocation-free; NaN
+/// inputs are ignored.
+#[inline]
+pub fn export_estimate(variance: f64, ci_half_width: f64) {
+    VARIANCE_BITS.with(|s| {
+        if variance > f64::from_bits(s.get()) {
+            s.set(variance.to_bits());
+        }
+    });
+    CI_BITS.with(|s| {
+        if ci_half_width > f64::from_bits(s.get()) {
+            s.set(ci_half_width.to_bits());
+        }
+    });
+}
+
+/// Reads this thread's slots.
+#[inline]
+pub fn snapshot() -> Convergence {
+    Convergence {
+        samples: SAMPLES.with(Cell::get),
+        variance: f64::from_bits(VARIANCE_BITS.with(Cell::get)),
+        ci_half_width: f64::from_bits(CI_BITS.with(Cell::get)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_accumulate_and_reset() {
+        reset();
+        assert_eq!(snapshot(), Convergence { samples: 0, variance: 0.0, ci_half_width: 0.0 });
+        for _ in 0..5 {
+            tick_sample();
+        }
+        export_estimate(0.25, 0.01);
+        export_estimate(0.5, 0.005); // variance rises, half-width does not
+        let c = snapshot();
+        assert_eq!(c.samples, 5);
+        assert_eq!(c.variance, 0.5);
+        assert_eq!(c.ci_half_width, 0.01);
+        reset();
+        assert_eq!(snapshot().samples, 0);
+    }
+
+    #[test]
+    fn nan_exports_are_ignored() {
+        reset();
+        export_estimate(f64::NAN, f64::NAN);
+        let c = snapshot();
+        assert_eq!(c.variance, 0.0);
+        assert_eq!(c.ci_half_width, 0.0);
+    }
+
+    #[test]
+    fn slots_are_per_thread() {
+        reset();
+        tick_sample();
+        std::thread::spawn(|| {
+            assert_eq!(snapshot().samples, 0, "another thread's slots are untouched");
+        })
+        .join()
+        .unwrap();
+        assert_eq!(snapshot().samples, 1);
+    }
+}

@@ -64,6 +64,8 @@ pub fn self_adjusting_coverage(
     let mut steps: u64 = 0;
     let mut total: u64 = 0;
     let mut trials: u64 = 0;
+    let mut prev_steps: u64 = 0;
+    let mut len_sum_sq = 0.0f64;
     // `finished` is the goto-finish of Algorithm 6, with one safeguard: we
     // always complete at least one trial so the estimator is well-defined
     // (the theoretical budget makes zero completed trials vanishingly
@@ -72,6 +74,7 @@ pub fn self_adjusting_coverage(
         let _i = draw.draw(rng);
         loop {
             steps = steps.saturating_add(1);
+            crate::convergence::tick_sample();
             if steps.is_multiple_of(crate::optest::POLL) && budget.deadline.expired() {
                 if cqa_obs::enabled() {
                     crate::telemetry::budget_exhausted_total().inc();
@@ -89,10 +92,22 @@ pub fn self_adjusting_coverage(
         }
         total = steps;
         trials = trials.saturating_add(1);
+        let len = steps.saturating_sub(prev_steps) as f64;
+        len_sum_sq += len * len;
+        prev_steps = steps;
     }
     // p := total·|S•| / (|H|·trials), reported relative to |db(B)|.
     let (total_f, images_f, trials_f) = (total as f64, h as f64, trials as f64);
-    let ratio = total_f * pair.s_ratio() / (images_f * trials_f);
+    let scale = pair.s_ratio() / images_f;
+    let ratio = total_f * scale / trials_f;
+    // Convergence export: the estimator is the mean per-trial probe count
+    // scaled by |S•|/(|H|·trials); propagate the trial-length variance
+    // through the scale for the running variance and the standard error of
+    // the trial mean for the half-width.
+    let mean_len = total_f / trials_f;
+    let var_len = (len_sum_sq / trials_f - mean_len * mean_len).max(0.0);
+    let var_ratio = var_len * scale * scale;
+    crate::convergence::export_estimate(var_ratio, (var_ratio / trials_f).sqrt());
     span.set_args(steps, trials);
     Ok(CoverageOutcome { ratio, planned_steps: n_budget, steps, trials })
 }

@@ -37,12 +37,21 @@ pub fn monte_carlo<S: Sampler>(
     let plan = plan_iterations(sampler, eps, delta, budget, rng, &mut count)?;
     let mut loop_span = cqa_obs::span_args("core/mc_final_loop", plan.n, 0);
     let mut s = 0.0f64;
+    let mut ss = 0.0f64;
     // repeat … until ctr = N
     for _ in 0..plan.n {
-        s += budgeted_sample(sampler, rng, budget, &mut count, "monte-carlo loop")?;
+        let z = budgeted_sample(sampler, rng, budget, &mut count, "monte-carlo loop")?;
+        s += z;
+        ss += z * z;
     }
     loop_span.set_args(plan.n, count);
-    Ok(MonteCarloOutcome { mean: s / plan.n as f64, planned_n: plan.n, samples: count })
+    let n_f = plan.n as f64;
+    let mean = s / n_f;
+    // Convergence export: the final loop's running sample variance and the
+    // one-standard-error half-width of its mean.
+    let variance = (ss / n_f - mean * mean).max(0.0);
+    crate::convergence::export_estimate(variance, (variance / n_f).sqrt());
+    Ok(MonteCarloOutcome { mean, planned_n: plan.n, samples: count })
 }
 
 #[cfg(test)]

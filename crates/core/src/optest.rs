@@ -73,6 +73,7 @@ pub(crate) fn budgeted_sample<S: Sampler>(
     phase: &'static str,
 ) -> Result<f64> {
     *count = count.saturating_add(1);
+    crate::convergence::tick_sample();
     if count.is_multiple_of(POLL) && budget.deadline.expired() {
         if cqa_obs::enabled() {
             telemetry::budget_exhausted_total().inc();

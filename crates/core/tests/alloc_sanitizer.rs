@@ -12,6 +12,7 @@
 //! of the test binary runs on sibling threads.
 
 use cqa_common::Mt64;
+use cqa_core::convergence;
 use cqa_core::coverage::self_adjusting_coverage;
 use cqa_core::sampler::{KlSampler, KlmSampler, NaturalSampler, Sampler};
 use cqa_core::scheme::Budget;
@@ -74,24 +75,40 @@ fn overlap_pair() -> AdmissiblePair {
 
 /// Drives `SAMPLES` draws after one warm-up call and asserts the loop as a
 /// whole touched the heap zero times (stronger than zero *per* sample).
+/// The loop also exercises the full convergence-telemetry surface —
+/// [`convergence::tick_sample`] per draw plus one terminal
+/// [`convergence::export_estimate`] and [`convergence::snapshot`] — so exporting
+/// estimator-quality counters is proven to add zero heap operations.
 fn assert_sampling_is_alloc_free<S: Sampler>(mut sampler: S, seed: u64) {
     let mut rng = Mt64::new(seed);
     // Warm-up: constructor-adjacent laziness (alias tables, scratch
-    // buffers) must not be billed to the steady-state loop.
+    // buffers) must not be billed to the steady-state loop. `reset` also
+    // touches the convergence thread-locals once outside the window.
     let _ = sampler.sample(&mut rng);
-    let (ops, _) = heap_ops_during(|| {
+    convergence::reset();
+    let (ops, conv) = heap_ops_during(|| {
         let mut acc = 0.0f64;
+        let mut sq = 0.0f64;
         for _ in 0..SAMPLES {
-            acc += sampler.sample(&mut rng);
+            let z = sampler.sample(&mut rng);
+            convergence::tick_sample();
+            acc += z;
+            sq += z * z;
         }
-        acc
+        let n = SAMPLES as f64;
+        let mean = acc / n;
+        let variance = (sq / n - mean * mean).max(0.0);
+        convergence::export_estimate(variance, (variance / n).sqrt());
+        convergence::snapshot()
     });
     assert_eq!(
         ops,
         0,
-        "{}: {ops} heap op(s) over {SAMPLES} samples — the per-sample loop must not allocate",
+        "{}: {ops} heap op(s) over {SAMPLES} samples — the per-sample loop (convergence \
+         telemetry included) must not allocate",
         sampler.name()
     );
+    assert_eq!(conv.samples, SAMPLES as u64, "every draw must be counted");
 }
 
 #[test]

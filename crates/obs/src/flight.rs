@@ -1,0 +1,509 @@
+//! The flight recorder: always-on, per-request observability.
+//!
+//! Three pieces, all process-global:
+//!
+//! 1. **The digest ring** — a fixed-capacity lock-free ring of
+//!    [`FlightDigest`]s, one per completed server request: request id,
+//!    canonical query fingerprint, cache hit/miss, queue wait, sample
+//!    count, the estimator's CI half-width at termination, and the latency
+//!    breakdown. Publication uses the same safe-Rust seqlock as the trace
+//!    ring in [`crate::trace`] (ticket via `fetch_add`, odd = writing,
+//!    even = published, readers skip torn slots), so recording a digest is
+//!    a handful of plain atomic stores and never blocks. On wrap the
+//!    oldest digests are overwritten; snapshots report how many.
+//! 2. **The slow/error log** — a small bounded log of [`SlowlogEntry`]s
+//!    that tail-samples the *full span tree* (captured per request via
+//!    [`crate::trace::begin_capture`]) of requests that exceeded a latency
+//!    threshold or returned a structured error. This is the expensive,
+//!    rare path, so a mutex-guarded deque is fine here.
+//! 3. **The request context** — a thread-local request id installed by
+//!    [`begin_request`] for the duration of one request's execution on a
+//!    worker thread, so any layer can attribute telemetry to the request
+//!    without threading an id through every signature.
+//!
+//! Unlike tracing, the recorder is **on by default**: digests are integer
+//! stores into pre-allocated slots, cheap enough for every request. The
+//! [`set_enabled`] toggle exists for A/B overhead measurement (the
+//! `cqa-perf` `server/flight_{on,off}_throughput_rps` series) and for
+//! tests.
+
+use crate::trace::{self, TraceEvent};
+use cqa_common::Json;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Digest-ring capacity in requests.
+pub const DEFAULT_CAPACITY: usize = 1 << 10;
+
+/// Longest request id retained in a digest slot; longer client-supplied
+/// ids are rejected at the protocol layer, so truncation never happens in
+/// practice.
+pub const MAX_REQUEST_ID_BYTES: usize = 32;
+
+/// Bounded slow/error-log length (oldest entries fall off).
+pub const SLOWLOG_CAPACITY: usize = 64;
+
+/// Spans captured per request for the slow/error log's span tree.
+pub const CAPTURE_SPANS: usize = 256;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is the flight recorder on? One relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the flight recorder on or off process-wide (it is on by
+/// default). Off, [`begin_request`]'s span capture, [`record`], and
+/// [`slowlog_record`] are no-ops — the knob the `cqa-perf` flight suite
+/// uses to price the recorder.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// The request context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_ID: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Opens a request scope on this thread: installs `request_id` as the
+/// thread's current request id and opens a span-capture window (up to
+/// [`CAPTURE_SPANS`] spans) for the slow/error log. Call on the worker
+/// thread that will execute the request, before any request work. A
+/// no-op while the recorder is disabled.
+pub fn begin_request(request_id: &str) {
+    if !enabled() {
+        return;
+    }
+    CURRENT_ID.with(|c| {
+        let mut id = c.borrow_mut();
+        id.clear();
+        id.push_str(request_id);
+    });
+    trace::begin_capture(CAPTURE_SPANS);
+}
+
+/// The request id installed by [`begin_request`], empty outside a request
+/// scope.
+pub fn current_request_id() -> String {
+    CURRENT_ID.with(|c| c.borrow().clone())
+}
+
+/// Closes this thread's request scope. The captured spans stay in the
+/// thread's reusable buffer: the fast path pays nothing, and a caller
+/// that decides the request was slow (or failed) pulls them with
+/// [`take_request_spans`] before the next [`begin_request`] overwrites
+/// them.
+pub fn end_request() {
+    CURRENT_ID.with(|c| c.borrow_mut().clear());
+    trace::end_capture();
+}
+
+/// The span tree captured for this thread's most recent request scope, in
+/// timestamp order. Allocates; call only for requests headed to the
+/// slow/error log.
+pub fn take_request_spans() -> Vec<TraceEvent> {
+    trace::take_capture()
+}
+
+// ---------------------------------------------------------------------------
+// The digest ring
+// ---------------------------------------------------------------------------
+
+/// One completed request, compressed to fixed-width fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDigest {
+    /// Client-supplied or server-generated request id (≤
+    /// [`MAX_REQUEST_ID_BYTES`] bytes survive the ring).
+    pub request_id: String,
+    /// Canonical query fingerprint (0 when the query never parsed).
+    pub query_fingerprint: u64,
+    /// Scheme display name (`"Natural"`, `"KL"`, `"KLM"`, `"Cover"`).
+    pub scheme: &'static str,
+    /// Did the synopsis come from the cache?
+    pub cache_hit: bool,
+    /// Structured error kind name for failed requests.
+    pub error: Option<&'static str>,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait_micros: u64,
+    /// Samples the scheme drew.
+    pub samples: u64,
+    /// Running sample variance of the estimator at termination.
+    pub variance: f64,
+    /// One-standard-error CI half-width of the estimate at termination
+    /// (the worst answer's, for multi-answer queries).
+    pub ci_half_width: f64,
+    /// Synopsis-build time (0 on cache hits).
+    pub preprocess_micros: u64,
+    /// Sampling time.
+    pub scheme_micros: u64,
+    /// Admission-to-reply wall time.
+    pub total_micros: u64,
+    /// Completion timestamp, microseconds since the trace epoch.
+    pub ts_micros: u64,
+}
+
+/// A digest slot: every field is an atomic, published through `seq` with
+/// the trace ring's seqlock protocol (0 = never written, odd = write in
+/// progress, even = holds the digest of ticket `(seq - 2) / 2`).
+#[derive(Default)]
+struct Slot {
+    seq: AtomicU64,
+    id: [AtomicU64; 4],
+    query_fp: AtomicU64,
+    /// Interned scheme name (via the trace interner).
+    scheme: AtomicU32,
+    /// Interned error kind name; meaningful only when flag bit 1 is set.
+    err: AtomicU32,
+    /// Bit 0 = cache hit, bit 1 = error present.
+    flags: AtomicU64,
+    queue_wait_us: AtomicU64,
+    samples: AtomicU64,
+    variance_bits: AtomicU64,
+    ci_bits: AtomicU64,
+    preprocess_us: AtomicU64,
+    scheme_us: AtomicU64,
+    total_us: AtomicU64,
+    ts_us: AtomicU64,
+}
+
+struct Ring {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+}
+
+fn ring() -> &'static Ring {
+    static RING: OnceLock<Ring> = OnceLock::new();
+    RING.get_or_init(|| {
+        let mut slots = Vec::with_capacity(DEFAULT_CAPACITY);
+        slots.resize_with(DEFAULT_CAPACITY, Slot::default);
+        Ring { slots, head: AtomicU64::new(0) }
+    })
+}
+
+/// Packs the first [`MAX_REQUEST_ID_BYTES`] bytes of `id` into four
+/// little-endian words, NUL-padded.
+fn id_words(id: &str) -> [u64; 4] {
+    let mut words = [0u64; 4];
+    for (i, b) in id.as_bytes().iter().take(MAX_REQUEST_ID_BYTES).enumerate() {
+        words[i / 8] |= u64::from(*b) << ((i % 8) * 8);
+    }
+    words
+}
+
+fn id_string(words: [u64; 4]) -> String {
+    let mut bytes = Vec::with_capacity(MAX_REQUEST_ID_BYTES);
+    'outer: for w in words {
+        for k in 0..8 {
+            let b = ((w >> (k * 8)) & 0xff) as u8;
+            if b == 0 {
+                break 'outer;
+            }
+            bytes.push(b);
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Records one request digest into the ring (a no-op while the recorder is
+/// disabled). Wait-free: a ticket claim, one slot-claim CAS attempt, and
+/// plain atomic stores — no loops.
+pub fn record(d: &FlightDigest) {
+    if !enabled() {
+        return;
+    }
+    let rb = ring();
+    let ticket = rb.head.fetch_add(1, Ordering::Relaxed);
+    let slot = &rb.slots[(ticket as usize) % rb.slots.len()];
+    // Claim the slot before touching the payload. Two writers meet on one
+    // slot only when the ring wraps a full lap while the older one is
+    // still mid-publish; interleaved stores could then leave a *torn*
+    // digest under a stable even sequence (the loom model
+    // `crates/obs/tests/model_flight.rs` finds exactly that for an
+    // unserialized writer). Per-slot sequences only move forward, so on
+    // any contention — an odd sequence (writer in progress) or a newer
+    // ticket already in the slot — this digest is dropped instead.
+    let writing = 2 * ticket + 1;
+    let cur = slot.seq.load(Ordering::Acquire);
+    if cur % 2 == 1
+        || cur > writing
+        || slot.seq.compare_exchange(cur, writing, Ordering::AcqRel, Ordering::Relaxed).is_err()
+    {
+        return;
+    }
+    for (w, v) in slot.id.iter().zip(id_words(&d.request_id)) {
+        w.store(v, Ordering::Relaxed);
+    }
+    slot.query_fp.store(d.query_fingerprint, Ordering::Relaxed);
+    slot.scheme.store(trace::intern(d.scheme), Ordering::Relaxed);
+    slot.err.store(trace::intern(d.error.unwrap_or("")), Ordering::Relaxed);
+    let flags = u64::from(d.cache_hit) | (u64::from(d.error.is_some()) << 1);
+    slot.flags.store(flags, Ordering::Relaxed);
+    slot.queue_wait_us.store(d.queue_wait_micros, Ordering::Relaxed);
+    slot.samples.store(d.samples, Ordering::Relaxed);
+    slot.variance_bits.store(d.variance.to_bits(), Ordering::Relaxed);
+    slot.ci_bits.store(d.ci_half_width.to_bits(), Ordering::Relaxed);
+    slot.preprocess_us.store(d.preprocess_micros, Ordering::Relaxed);
+    slot.scheme_us.store(d.scheme_micros, Ordering::Relaxed);
+    slot.total_us.store(d.total_micros, Ordering::Relaxed);
+    slot.ts_us.store(d.ts_micros, Ordering::Relaxed);
+    slot.seq.store(writing + 1, Ordering::Release);
+}
+
+/// Digests recorded so far (completion-timestamp order) and how many were
+/// overwritten by ring wrap. Torn slots (a writer was mid-publish) are
+/// skipped, exactly as in the trace ring.
+pub fn snapshot() -> (Vec<FlightDigest>, u64) {
+    let rb = ring();
+    let head = rb.head.load(Ordering::Acquire);
+    let dropped = head.saturating_sub(rb.slots.len() as u64);
+    let mut digests = Vec::new();
+    for slot in &rb.slots {
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == 0 || seq % 2 == 1 {
+            continue;
+        }
+        let mut words = [0u64; 4];
+        for (w, v) in slot.id.iter().zip(words.iter_mut()) {
+            *v = w.load(Ordering::Relaxed);
+        }
+        let query_fp = slot.query_fp.load(Ordering::Relaxed);
+        let scheme = slot.scheme.load(Ordering::Relaxed);
+        let err = slot.err.load(Ordering::Relaxed);
+        let flags = slot.flags.load(Ordering::Relaxed);
+        let queue_wait_us = slot.queue_wait_us.load(Ordering::Relaxed);
+        let samples = slot.samples.load(Ordering::Relaxed);
+        let variance_bits = slot.variance_bits.load(Ordering::Relaxed);
+        let ci_bits = slot.ci_bits.load(Ordering::Relaxed);
+        let preprocess_us = slot.preprocess_us.load(Ordering::Relaxed);
+        let scheme_us = slot.scheme_us.load(Ordering::Relaxed);
+        let total_us = slot.total_us.load(Ordering::Relaxed);
+        let ts_us = slot.ts_us.load(Ordering::Relaxed);
+        if slot.seq.load(Ordering::Acquire) != seq {
+            continue; // torn: a writer reclaimed the slot while we read
+        }
+        digests.push(FlightDigest {
+            request_id: id_string(words),
+            query_fingerprint: query_fp,
+            scheme: trace::name_of(scheme),
+            cache_hit: flags & 1 != 0,
+            error: (flags & 2 != 0).then(|| trace::name_of(err)),
+            queue_wait_micros: queue_wait_us,
+            samples,
+            variance: f64::from_bits(variance_bits),
+            ci_half_width: f64::from_bits(ci_bits),
+            preprocess_micros: preprocess_us,
+            scheme_micros: scheme_us,
+            total_micros: total_us,
+            ts_micros: ts_us,
+        });
+    }
+    digests.sort_by_key(|d| d.ts_micros);
+    (digests, dropped)
+}
+
+/// Digests lost to ring wrap so far — [`snapshot`]'s `dropped` without
+/// building the snapshot. One atomic load, cheap enough for `stats`.
+pub fn dropped_count() -> u64 {
+    let rb = ring();
+    rb.head.load(Ordering::Acquire).saturating_sub(rb.slots.len() as u64)
+}
+
+/// Empties the digest ring (tests; callers must ensure no concurrent
+/// writers, as with [`crate::trace::clear`]).
+pub fn clear() {
+    let rb = ring();
+    rb.head.store(0, Ordering::Release);
+    for slot in &rb.slots {
+        slot.seq.store(0, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The slow/error log
+// ---------------------------------------------------------------------------
+
+/// One tail-sampled request: its identity plus the full captured span
+/// tree.
+#[derive(Debug, Clone)]
+pub struct SlowlogEntry {
+    /// The request's id.
+    pub request_id: String,
+    /// Structured error kind name, when the request failed.
+    pub error: Option<&'static str>,
+    /// Admission-to-reply wall time.
+    pub total_micros: u64,
+    /// Completion timestamp, microseconds since the trace epoch.
+    pub ts_micros: u64,
+    /// The request's span tree (timestamp order; depth reconstructs
+    /// nesting).
+    pub spans: Vec<TraceEvent>,
+}
+
+fn slowlog() -> &'static Mutex<VecDeque<SlowlogEntry>> {
+    static LOG: OnceLock<Mutex<VecDeque<SlowlogEntry>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Appends to the slow/error log, evicting the oldest entry past
+/// [`SLOWLOG_CAPACITY`]. A no-op while the recorder is disabled.
+pub fn slowlog_record(entry: SlowlogEntry) {
+    if !enabled() {
+        return;
+    }
+    let mut log = slowlog().lock().unwrap_or_else(PoisonError::into_inner);
+    if log.len() >= SLOWLOG_CAPACITY {
+        log.pop_front();
+    }
+    log.push_back(entry);
+}
+
+/// The current slow/error-log contents, oldest first.
+pub fn slowlog_snapshot() -> Vec<SlowlogEntry> {
+    slowlog().lock().unwrap_or_else(PoisonError::into_inner).iter().cloned().collect()
+}
+
+/// The current slow/error-log length, without cloning the entries.
+pub fn slowlog_len() -> usize {
+    slowlog().lock().unwrap_or_else(PoisonError::into_inner).len()
+}
+
+/// Empties the slow/error log (tests).
+pub fn slowlog_clear() {
+    slowlog().lock().unwrap_or_else(PoisonError::into_inner).clear();
+}
+
+// ---------------------------------------------------------------------------
+// Field names
+// ---------------------------------------------------------------------------
+
+/// Builds one `(field, value)` pair for rendering a digest or slow-log
+/// entry to JSON. Every field name must be declared in
+/// [`crate::names::FIELDS`]: `cqa-lint`'s `obs-name-registry` rule checks
+/// call sites statically, and a debug assertion backs it at runtime.
+pub fn digest_field(name: &'static str, value: Json) -> (&'static str, Json) {
+    debug_assert!(
+        crate::names::FIELDS.contains(&name),
+        "flight-recorder field {name:?} missing from crates/obs/src/names.rs"
+    );
+    (name, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(id: &str, ts: u64) -> FlightDigest {
+        FlightDigest {
+            request_id: id.to_owned(),
+            query_fingerprint: 0xfeed,
+            scheme: "KLM",
+            cache_hit: true,
+            error: None,
+            queue_wait_micros: 12,
+            samples: 1800,
+            variance: 0.25,
+            ci_half_width: 0.011,
+            preprocess_micros: 0,
+            scheme_micros: 900,
+            total_micros: 950,
+            ts_micros: ts,
+        }
+    }
+
+    /// The ring is process-global; exercise record/snapshot/clear/toggle
+    /// from one test to avoid cross-test interference.
+    #[test]
+    fn digest_ring_roundtrip_wrap_and_toggle() {
+        clear();
+        record(&digest("client-abc", 10));
+        record(&FlightDigest {
+            error: Some("deadline_exceeded"),
+            cache_hit: false,
+            ..digest("srv-0000000000000001", 20)
+        });
+        let (got, dropped) = snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], digest("client-abc", 10));
+        assert_eq!(got[1].error, Some("deadline_exceeded"));
+        assert!(!got[1].cache_hit);
+
+        // Long ids keep their first MAX_REQUEST_ID_BYTES bytes.
+        let long = "x".repeat(MAX_REQUEST_ID_BYTES + 9);
+        record(&digest(&long, 30));
+        let (got, _) = snapshot();
+        assert_eq!(got.last().unwrap().request_id, "x".repeat(MAX_REQUEST_ID_BYTES));
+
+        // Wrap: capacity + extra records drop the oldest.
+        clear();
+        for i in 0..(DEFAULT_CAPACITY as u64 + 5) {
+            record(&digest("wrap", i));
+        }
+        let (got, dropped) = snapshot();
+        assert_eq!(got.len(), DEFAULT_CAPACITY);
+        assert_eq!(dropped, 5);
+
+        // Disabled ⇒ nothing records.
+        clear();
+        set_enabled(false);
+        record(&digest("ignored", 1));
+        assert!(snapshot().0.is_empty());
+        set_enabled(true);
+    }
+
+    #[test]
+    fn request_scope_carries_the_id_and_span_tree() {
+        begin_request("req-77");
+        assert_eq!(current_request_id(), "req-77");
+        {
+            let _g = crate::span("server/request");
+        }
+        end_request();
+        assert_eq!(current_request_id(), "");
+        let spans = take_request_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "server/request");
+        assert!(take_request_spans().is_empty(), "taking the spans drains the buffer");
+    }
+
+    #[test]
+    fn slowlog_is_bounded_and_ordered() {
+        slowlog_clear();
+        for i in 0..(SLOWLOG_CAPACITY as u64 + 3) {
+            slowlog_record(SlowlogEntry {
+                request_id: format!("slow-{i}"),
+                error: None,
+                total_micros: 1000 + i,
+                ts_micros: i,
+                spans: Vec::new(),
+            });
+        }
+        let log = slowlog_snapshot();
+        assert_eq!(log.len(), SLOWLOG_CAPACITY);
+        assert_eq!(log.first().unwrap().request_id, "slow-3");
+        assert_eq!(log.last().unwrap().request_id, format!("slow-{}", SLOWLOG_CAPACITY + 2));
+        slowlog_clear();
+        assert!(slowlog_snapshot().is_empty());
+    }
+
+    #[test]
+    fn id_words_roundtrip() {
+        for id in ["", "a", "exactly-8", "a-much-longer-request-id-string!"] {
+            assert_eq!(id_string(id_words(id)), *id);
+        }
+    }
+
+    #[test]
+    fn digest_field_returns_the_pair() {
+        let (k, v) = digest_field("request_id", Json::str("r-1"));
+        assert_eq!(k, "request_id");
+        assert_eq!(v.as_str(), Some("r-1"));
+    }
+}

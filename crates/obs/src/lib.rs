@@ -16,6 +16,10 @@
 //!   exposition format. A process-wide [`metrics::global`] registry holds
 //!   library-level counters (samples drawn, rejected draws, scheme runs,
 //!   budget expiries); servers own per-instance registries.
+//! * **Flight recorder** ([`flight`]): always-on per-request digests in a
+//!   lock-free ring, a tail-sampled slow/error log of full span trees, and
+//!   a thread-local request context (`request_id`), served live by
+//!   `cqa-server`'s `debug flight` / `debug slowlog` commands.
 //!
 //! ```
 //! cqa_obs::set_enabled(true);
@@ -31,11 +35,13 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod names;
 pub mod trace;
 
 pub use export::{chrome_trace_string, flat_profile_string, write_chrome_trace};
+pub use flight::{FlightDigest, SlowlogEntry};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use trace::{
     enabled, instant, instant_args, now_micros, record_span, set_enabled, span, span_args,

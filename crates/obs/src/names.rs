@@ -10,7 +10,8 @@
 //!
 //! Naming scheme: spans are `area/operation` (slash-separated, the area
 //! matching the crate or subsystem); metrics are `area_noun_unit`
-//! (underscore-separated, Prometheus-style, `_total` for counters).
+//! (underscore-separated, Prometheus-style, `_total` for counters);
+//! flight-recorder fields are `snake_case` JSON keys.
 
 /// Every span name passed to [`crate::span`], [`crate::span_args`],
 /// [`crate::record_span`], or [`crate::instant_args`].
@@ -21,6 +22,8 @@ pub const SPANS: &[&str] = &[
     "server/cache_lookup",
     "server/synopsis_build",
     "server/sampling",
+    "server/debug_flight",
+    "server/debug_slowlog",
     // crates/synopsis — preprocessing
     "synopsis/build",
     "synopsis/enumerate_homs",
@@ -66,11 +69,46 @@ pub const METRICS: &[&str] = &[
     "server_cache_canonical_rekeys_total",
     "server_cache_entries",
     "server_cache_evictions_total",
+    // crates/server — flight recorder (per-request-derived)
+    "server_slow_requests_total",
+    "server_flight_dropped",
+    "server_slowlog_entries",
+    "server_last_request_samples",
+    "server_last_request_ci_half_width_ppm",
     // crates/core
     "core_samples_total",
     "core_samples_rejected_total",
     "core_scheme_runs_total",
     "core_budget_exhausted_total",
+];
+
+/// Every flight-recorder digest / slow-log field name passed to
+/// [`crate::flight::digest_field`] when rendering to the wire. Field names
+/// are `snake_case` (they become JSON object keys in `debug flight` /
+/// `debug slowlog` responses; see `docs/PROTOCOL.md`).
+pub const FIELDS: &[&str] = &[
+    // the per-request digest
+    "request_id",
+    "query_fp",
+    "scheme",
+    "cache_hit",
+    "error",
+    "queue_wait_us",
+    "samples",
+    "variance",
+    "ci_half_width",
+    "preprocess_us",
+    "scheme_us",
+    "total_us",
+    "ts_us",
+    // slow/error-log span rows
+    "spans",
+    "name",
+    "depth",
+    "dur_us",
+    "self_us",
+    "a0",
+    "a1",
 ];
 
 #[cfg(test)]
@@ -84,6 +122,8 @@ mod tests {
         assert_eq!(spans.len(), SPANS.len(), "duplicate span name in registry");
         let metrics: BTreeSet<_> = METRICS.iter().collect();
         assert_eq!(metrics.len(), METRICS.len(), "duplicate metric name in registry");
+        let fields: BTreeSet<_> = FIELDS.iter().collect();
+        assert_eq!(fields.len(), FIELDS.len(), "duplicate field name in registry");
     }
 
     #[test]
@@ -95,6 +135,12 @@ mod tests {
             assert!(
                 m.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
                 "metric {m:?} must be snake_case"
+            );
+        }
+        for f in FIELDS {
+            assert!(
+                f.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "field {f:?} must be snake_case"
             );
         }
     }

@@ -24,7 +24,7 @@
 //! process-wide epoch captured on first use, which is exactly the clock
 //! Chrome's `trace_event` format wants.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
@@ -41,9 +41,10 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Turns tracing on or off process-wide. Spans opened while enabled still
-/// record on drop after a disable (harmless); spans opened while disabled
-/// stay no-ops.
+/// Turns tracing on or off process-wide. Spans opened while disabled stay
+/// no-ops; a span opened while enabled records to the ring on drop only if
+/// tracing is still enabled then (it may still land in an open request
+/// capture — see [`begin_capture`]).
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
@@ -69,7 +70,7 @@ fn names() -> &'static Mutex<Vec<&'static str>> {
     NAMES.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-fn intern(name: &'static str) -> u32 {
+pub(crate) fn intern(name: &'static str) -> u32 {
     let mut table = names().lock().unwrap_or_else(PoisonError::into_inner);
     for (i, n) in table.iter().enumerate() {
         // Pointer equality first: the common case is the same literal site.
@@ -180,6 +181,106 @@ fn thread_id() -> u32 {
 }
 
 // ---------------------------------------------------------------------------
+// Request-scoped span capture
+// ---------------------------------------------------------------------------
+//
+// The flight recorder's slow/error log wants the *full span tree of one
+// request* even while global tracing is off. A thread can therefore open a
+// capture window: spans and instants recorded on that thread land in a
+// pre-sized thread-local buffer (in addition to the global ring when
+// tracing is enabled). The buffer never grows after `begin_capture`, so a
+// capture adds no allocation to the instrumented paths themselves.
+
+struct Capture {
+    /// Pre-sized at `begin_capture`; `buf[..len]` holds captured events.
+    buf: Vec<TraceEvent>,
+    len: usize,
+}
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static CAPTURE: RefCell<Option<Capture>> = const { RefCell::new(None) };
+}
+
+/// Is a span-capture window open on this thread? One thread-local load.
+#[inline(always)]
+pub fn capturing() -> bool {
+    CAPTURING.with(|c| c.get())
+}
+
+/// Opens a span-capture window on this thread: up to `limit` spans and
+/// instants recorded here are retained for [`take_capture`], independent of
+/// whether global tracing is enabled. Replaces any previous window. The
+/// buffer is thread-local and **reused** across windows — a worker thread
+/// pays its allocation once, not per request (the `cqa-perf` flight suite
+/// gates on that).
+pub fn begin_capture(limit: usize) {
+    CAPTURE.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.as_mut() {
+            Some(cap) if cap.buf.len() == limit => cap.len = 0,
+            _ => {
+                let mut cap = Capture { buf: Vec::new(), len: 0 };
+                cap.buf.resize_with(limit, unwritten_event);
+                *slot = Some(cap);
+            }
+        }
+    });
+    CAPTURING.with(|c| c.set(true));
+}
+
+/// Closes this thread's capture window, leaving the captured events in
+/// the reusable buffer for [`take_capture`]. The cheap path: no
+/// allocation, no copy, no sort.
+pub fn end_capture() {
+    CAPTURING.with(|c| c.set(false));
+}
+
+/// Returns (and clears) the events captured since the last
+/// [`begin_capture`] on this thread, in timestamp order. Events beyond the
+/// window's limit were discarded. Also closes the window if it is still
+/// open. Allocates the returned copy — callers on the fast path use
+/// [`end_capture`] and never pay for it.
+pub fn take_capture() -> Vec<TraceEvent> {
+    CAPTURING.with(|c| c.set(false));
+    CAPTURE.with(|c| match c.borrow_mut().as_mut() {
+        Some(cap) => {
+            let mut events = cap.buf[..cap.len].to_vec();
+            cap.len = 0;
+            events.sort_by_key(|e| e.ts_micros);
+            events
+        }
+        None => Vec::new(),
+    })
+}
+
+fn unwritten_event() -> TraceEvent {
+    TraceEvent {
+        name: "",
+        kind: EventKind::Span,
+        tid: 0,
+        depth: 0,
+        ts_micros: 0,
+        dur_micros: 0,
+        self_micros: 0,
+        a0: 0,
+        a1: 0,
+    }
+}
+
+/// Writes into the pre-sized buffer; no allocation happens here.
+fn capture_push(ev: TraceEvent) {
+    CAPTURE.with(|c| {
+        if let Some(cap) = c.borrow_mut().as_mut() {
+            if cap.len < cap.buf.len() {
+                cap.buf[cap.len] = ev;
+                cap.len += 1;
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Public recording API
 // ---------------------------------------------------------------------------
 
@@ -204,7 +305,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// a seed, a noise level ×100, or a sample count).
 #[inline]
 pub fn span_args(name: &'static str, a0: u64, a1: u64) -> SpanGuard {
-    if !enabled() {
+    if !enabled() && !capturing() {
         return SpanGuard { name: 0, start: 0, args: [0, 0], active: false };
     }
     STACK.with(|s| s.borrow_mut().push(Frame { child_micros: 0 }));
@@ -237,7 +338,22 @@ impl Drop for SpanGuard {
             }
             (stack.len().min(0x7f) as u8, self_us)
         });
-        ring().push(self.name, EventKind::Span, depth, self.start, [dur, self_us], self.args);
+        if enabled() {
+            ring().push(self.name, EventKind::Span, depth, self.start, [dur, self_us], self.args);
+        }
+        if capturing() {
+            capture_push(TraceEvent {
+                name: name_of(self.name),
+                kind: EventKind::Span,
+                tid: thread_id(),
+                depth,
+                ts_micros: self.start,
+                dur_micros: dur,
+                self_micros: self_us,
+                a0: self.args[0],
+                a1: self.args[1],
+            });
+        }
     }
 }
 
@@ -250,11 +366,27 @@ pub fn instant(name: &'static str) {
 /// Records a point-in-time event with two integer arguments.
 #[inline]
 pub fn instant_args(name: &'static str, a0: u64, a1: u64) {
-    if !enabled() {
+    if !enabled() && !capturing() {
         return;
     }
     let depth = STACK.with(|s| s.borrow().len().min(0x7f) as u8);
-    ring().push(intern(name), EventKind::Instant, depth, now_micros(), [0, 0], [a0, a1]);
+    let ts = now_micros();
+    if enabled() {
+        ring().push(intern(name), EventKind::Instant, depth, ts, [0, 0], [a0, a1]);
+    }
+    if capturing() {
+        capture_push(TraceEvent {
+            name,
+            kind: EventKind::Instant,
+            tid: thread_id(),
+            depth,
+            ts_micros: ts,
+            dur_micros: 0,
+            self_micros: 0,
+            a0,
+            a1,
+        });
+    }
 }
 
 /// Records a completed span from an explicit start timestamp (from
@@ -263,11 +395,26 @@ pub fn instant_args(name: &'static str, a0: u64, a1: u64) {
 /// the time a request spent queued before a worker picked it up.
 #[inline]
 pub fn record_span(name: &'static str, start_micros: u64, a0: u64, a1: u64) {
-    if !enabled() {
+    if !enabled() && !capturing() {
         return;
     }
     let dur = now_micros().saturating_sub(start_micros);
-    ring().push(intern(name), EventKind::Span, 0, start_micros, [dur, dur], [a0, a1]);
+    if enabled() {
+        ring().push(intern(name), EventKind::Span, 0, start_micros, [dur, dur], [a0, a1]);
+    }
+    if capturing() {
+        capture_push(TraceEvent {
+            name,
+            kind: EventKind::Span,
+            tid: thread_id(),
+            depth: 0,
+            ts_micros: start_micros,
+            dur_micros: dur,
+            self_micros: dur,
+            a0,
+            a1,
+        });
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -399,6 +546,38 @@ mod tests {
         instant("test/disabled");
         drop(_g);
         assert_eq!(snapshot().0.len(), before);
+    }
+
+    /// Deliberately does not touch the global enable flag (other tests in
+    /// this module own it): capture must work in either state.
+    #[test]
+    fn capture_is_independent_of_global_tracing() {
+        begin_capture(3);
+        {
+            let _outer = span_args("test/cap-outer", 5, 0);
+            let _inner = span("test/cap-inner");
+        }
+        instant("test/cap-marker");
+        instant("test/cap-overflow"); // 4th event: beyond the window limit
+        let events = take_capture();
+        assert!(!capturing());
+        assert_eq!(events.len(), 3, "window limit respected");
+        let names: Vec<_> = events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"test/cap-outer"));
+        assert!(names.contains(&"test/cap-inner"));
+        assert!(names.contains(&"test/cap-marker"));
+        let inner = events.iter().find(|e| e.name == "test/cap-inner").unwrap();
+        assert_eq!(inner.depth, 1, "span tree depth is preserved");
+        // Timestamp-sorted; a second take returns nothing.
+        assert!(events.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+        assert!(take_capture().is_empty());
+        // Cross-thread durations are captured too.
+        begin_capture(4);
+        record_span("test/cap-detached", now_micros(), 1, 2);
+        let events = take_capture();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "test/cap-detached");
+        assert_eq!((events[0].a0, events[0].a1), (1, 2));
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Exhaustive interleaving checks for the flight recorder's seqlock ring.
+//!
+//! `cqa_obs::flight` differs from the trace ring in one load-bearing way:
+//! writers claim a monotonically increasing **ticket** with
+//! `head.fetch_add`, and the slot's sequence word carries the ticket
+//! (`2t+1` while writing, `2t+2` once published), so two requests whose
+//! tickets wrap onto the same slot race as *writers* against each other
+//! as well as against a concurrent `debug flight` reader. Unserialized
+//! writers break the seqlock: the lap-behind writer can finish publishing
+//! its *older* even sequence over the newer writer's payload, leaving a
+//! torn digest that reads as valid (this model found that interleaving,
+//! which is why `record` now claims the slot with a forward-only CAS and
+//! drops the digest on contention). These tests model the claimed
+//! discipline (compare `record`/`snapshot` in `crates/obs/src/flight.rs`)
+//! over `loom` (the vendored interleaving explorer in `shims/loom`) and
+//! assert that no sequentially-consistent interleaving lets a reader
+//! accept — or the quiesced slot retain — a digest whose fields come
+//! from two different requests. A negative control drops the claim and
+//! the odd "writing" phase and asserts the explorer catches the torn
+//! digest those shortcuts admit — the evidence the passing tests
+//! actually constrain the protocol.
+//!
+//! Tickets are pre-assigned here rather than modeled: `head.fetch_add`
+//! hands out distinct values by atomicity alone, and leaving it out of
+//! the explored ops keeps the schedule space within exhaustive reach.
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A capacity-1 model of the digest ring: one slot with a two-word
+/// payload. The model writes `(v, v)`, so a torn digest is any accepted
+/// snapshot with `a != b`.
+struct Slot {
+    seq: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot { seq: AtomicU64::new(0), a: AtomicU64::new(0), b: AtomicU64::new(0) }
+    }
+
+    /// The real protocol, `record()` in miniature: claim the slot with a
+    /// forward-only CAS to the odd "writing" value (drop the digest if
+    /// any other writer is in progress or a newer ticket got there
+    /// first), write the payload, publish (even). Returns whether it
+    /// published.
+    fn record(&self, ticket: u64, value: u64) -> bool {
+        let writing = 2 * ticket + 1;
+        let cur = self.seq.load(Ordering::Acquire);
+        if cur % 2 == 1
+            || cur > writing
+            || self.seq.compare_exchange(cur, writing, Ordering::AcqRel, Ordering::Relaxed).is_err()
+        {
+            return false;
+        }
+        self.a.store(value, Ordering::Relaxed);
+        self.b.store(value, Ordering::Relaxed);
+        self.seq.store(writing + 1, Ordering::Release);
+        true
+    }
+
+    /// The broken protocol the negative control exercises: payload first,
+    /// no claim, no in-progress marker.
+    fn record_unguarded(&self, ticket: u64, value: u64) {
+        self.a.store(value, Ordering::Relaxed);
+        self.b.store(value, Ordering::Relaxed);
+        self.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// One snapshot attempt, mirroring `snapshot()`: reject never-written
+    /// (zero), in-progress (odd), and concurrently-rewritten (sequence
+    /// changed) slots.
+    fn try_read(&self) -> Option<(u64, u64)> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 % 2 == 1 {
+            return None;
+        }
+        let a = self.a.load(Ordering::Relaxed);
+        let b = self.b.load(Ordering::Relaxed);
+        let s2 = self.seq.load(Ordering::Acquire);
+        if s1 != s2 {
+            return None;
+        }
+        Some((a, b))
+    }
+}
+
+/// A reader with bounded retries (exploration needs bounded loops; the
+/// real `snapshot()` visits each slot once per `debug flight`).
+fn read_with_retries(slot: &Slot, attempts: usize) -> Option<(u64, u64)> {
+    for _ in 0..attempts {
+        if let Some(pair) = slot.try_read() {
+            return Some(pair);
+        }
+    }
+    None
+}
+
+/// Two wrapped writers race on one slot (the lap-behind scenario: tickets
+/// a full ring apart). In every interleaving at least one publishes, and
+/// the slot quiesces to one request's digest intact under an even
+/// sequence — never fields from two requests. The unserialized protocol
+/// fails exactly here: the older writer finishes publishing its even
+/// sequence over the newer writer's payload.
+#[test]
+fn concurrent_writers_never_publish_a_torn_digest() {
+    loom::model(|| {
+        let slot = Arc::new(Slot::new());
+        let s2 = Arc::clone(&slot);
+        let newer = loom::thread::spawn(move || s2.record(1, 20));
+        let older_published = slot.record(0, 10);
+        let newer_published = newer.join().unwrap();
+        assert!(
+            older_published || newer_published,
+            "contention must drop at most one digest, never both"
+        );
+        let (a, b) = slot.try_read().expect("published slot must be readable");
+        assert_eq!(a, b, "torn digest survived quiescence");
+        assert!(a == 10 || a == 20);
+    });
+}
+
+/// A `debug flight` reader races a writer re-claiming a live slot (the
+/// next lap overwriting a published digest). The reader either skips the
+/// slot or sees one of the two published digests intact — never a mix.
+#[test]
+fn reader_never_accepts_a_torn_digest() {
+    loom::model(|| {
+        let slot = Arc::new(Slot::new());
+        // Ticket 0 is already published before the race begins, as in a
+        // warm ring.
+        assert!(slot.record(0, 10));
+        let s2 = Arc::clone(&slot);
+        let writer = loom::thread::spawn(move || s2.record(1, 20));
+        if let Some((a, b)) = read_with_retries(&slot, 2) {
+            assert_eq!(a, b, "torn read: fields from different requests");
+            assert!(a == 10 || a == 20, "digest from a request never published");
+        }
+        assert!(writer.join().unwrap(), "an uncontended writer always publishes");
+        let (a, b) = slot.try_read().expect("published slot must be readable");
+        assert_eq!((a, b), (20, 20));
+    });
+}
+
+/// A writer preempted mid-write (odd sequence) is always skipped: the
+/// reader never observes a half-written digest and never blocks, even if
+/// the writer stalls forever.
+#[test]
+fn in_progress_digests_are_skipped() {
+    loom::model(|| {
+        let slot = Arc::new(Slot::new());
+        let s2 = Arc::clone(&slot);
+        let writer = loom::thread::spawn(move || s2.record(0, 7));
+        if let Some((a, b)) = read_with_retries(&slot, 2) {
+            assert_eq!((a, b), (7, 7));
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// Negative control: without the claim and the odd in-progress phase,
+/// some interleaving of two wrapped writers leaves half of each request's
+/// digest under a stable even sequence. The explorer must find it.
+#[test]
+fn unguarded_writer_torn_digest_is_caught() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let slot = Arc::new(Slot::new());
+            let s2 = Arc::clone(&slot);
+            let newer = loom::thread::spawn(move || s2.record_unguarded(1, 20));
+            slot.record_unguarded(0, 10);
+            newer.join().unwrap();
+            if let Some((a, b)) = slot.try_read() {
+                assert_eq!(a, b, "torn digest admitted");
+            }
+        })
+    }));
+    let msg = match outcome {
+        Ok(report) => panic!(
+            "unguarded writer survived {} interleavings — the model is not exploring enough",
+            report.iterations
+        ),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".to_owned()),
+    };
+    assert!(msg.contains("torn digest admitted"), "unexpected failure: {msg}");
+}

@@ -24,6 +24,8 @@ pub const SERIES: &[&str] = &[
     "scheme/kl/answer_ns",
     "scheme/klm/answer_ns",
     "scheme/natural/answer_ns",
+    "server/flight_off_throughput_rps",
+    "server/flight_on_throughput_rps",
     "server/latency_p50_ms",
     "server/latency_p999_ms",
     "server/latency_p99_ms",

@@ -14,7 +14,10 @@
 //!    `cqa-server` under the closed-loop load generator. The gated values
 //!    are the client-side percentiles (exact floats); the server's own
 //!    `cqa-obs` histogram quantiles ride along in the load report but are
-//!    log₂-bucketed, too coarse to gate on.
+//!    log₂-bucketed, too coarse to gate on;
+//! 5. **flight** — the same throughput measurement with the flight
+//!    recorder disabled vs enabled, pricing the always-on per-request
+//!    digest + span capture (the acceptance bar is < 5% overhead).
 //!
 //! Everything runs at a pinned seed/scale from the [`Profile`]; wall-clock
 //! noise is handled downstream by the robust summaries and the gate's
@@ -292,18 +295,71 @@ pub fn suite_server(profile: &Profile) -> Result<Vec<Series>> {
     ])
 }
 
+/// One throughput sample per round against a fresh server, with the
+/// flight recorder in whatever state the caller set process-wide.
+/// Factored out of [`suite_flight`] so the on/off arms are measured by
+/// identical code.
+fn flight_rounds(profile: &Profile, db: &Database, salt: u64) -> Result<Vec<f64>> {
+    let mut throughput = Vec::new();
+    for round in 0..profile.server_rounds {
+        let server = Server::bind(
+            db.clone(),
+            ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() },
+        )
+        .map_err(|e| cqa_common::CqaError::InvalidParameter(format!("bind: {e}")))?;
+        let mut handle = server
+            .spawn()
+            .map_err(|e| cqa_common::CqaError::InvalidParameter(format!("spawn: {e}")))?;
+        let report = run_load(&LoadSpec {
+            addr: handle.addr().to_string(),
+            query: "Q(rn) :- region(rk, rn)".to_owned(),
+            scheme: Scheme::Klm,
+            eps: profile.eps,
+            delta: profile.delta,
+            clients: profile.clients,
+            requests: profile.requests,
+            seed: profile.seed ^ salt ^ u64::from(round),
+            timeout_ms: None,
+            permute: false,
+        });
+        handle.shutdown();
+        throughput.push(report?.throughput_rps());
+    }
+    Ok(throughput)
+}
+
+/// Suite 5: the flight recorder's price. Server throughput with the
+/// recorder disabled vs enabled (its always-on default), measured by the
+/// same rounds as [`suite_server`]; the regression gate then holds both
+/// series, and `debug flight` attribution staying within a few percent of
+/// the recorder-free baseline is an explicit acceptance bar. The recorder
+/// is restored to enabled no matter how the off arm exits.
+pub fn suite_flight(profile: &Profile) -> Result<Vec<Series>> {
+    let db = generate(TpchConfig { scale: profile.scale, seed: profile.seed });
+    cqa_obs::flight::set_enabled(false);
+    let off = flight_rounds(profile, &db, 0xf0);
+    cqa_obs::flight::set_enabled(true);
+    let off = off?;
+    let on = flight_rounds(profile, &db, 0x0f)?;
+    Ok(vec![
+        bench_series("server/flight_off_throughput_rps", &Summary::from_samples(&off))?,
+        bench_series("server/flight_on_throughput_rps", &Summary::from_samples(&on))?,
+    ])
+}
+
 /// A registered suite: a name and the function producing its series.
 type Suite = (&'static str, fn(&Profile) -> Result<Vec<Series>>);
 
 /// Runs every suite in registry order, with progress lines on stderr.
 pub fn run_all(profile: &Profile) -> Result<Vec<Series>> {
     let mut out = Vec::new();
-    let suites: [Suite; 5] = [
+    let suites: [Suite; 6] = [
         ("samplers", suite_samplers),
         ("schemes", suite_schemes),
         ("synopsis", suite_synopsis),
         ("figure", suite_figure),
         ("server", suite_server),
+        ("flight", suite_flight),
     ];
     for (name, suite) in suites {
         eprintln!("[cqa-perf] suite {name} ...");

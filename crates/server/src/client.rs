@@ -7,7 +7,9 @@
 //! that knows how to talk to a socket.
 
 use crate::metrics::MetricsSnapshot;
-use crate::protocol::{QueryRequest, Request, Response, StatsFormat};
+use crate::protocol::{
+    DebugTarget, QueryRequest, Request, Response, StatsFormat, WireDigest, WireSlowlogEntry,
+};
 use cqa_common::{CqaError, Json, Result};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -100,6 +102,29 @@ impl Client {
                 Err(CqaError::Parse(format!("trace failed: {} ({message})", kind.name())))
             }
             other => Err(CqaError::Parse(format!("unexpected trace response {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's flight recorder: per-request digests in
+    /// completion order, plus how many older digests ring wrap dropped.
+    pub fn debug_flight(&mut self) -> Result<(Vec<WireDigest>, u64)> {
+        match self.roundtrip(&Request::Debug { target: DebugTarget::Flight })? {
+            Response::Flight { digests, dropped } => Ok((digests, dropped)),
+            Response::Error { kind, message } => {
+                Err(CqaError::Parse(format!("debug flight failed: {} ({message})", kind.name())))
+            }
+            other => Err(CqaError::Parse(format!("unexpected debug flight response {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's slow/error log, oldest first.
+    pub fn debug_slowlog(&mut self) -> Result<Vec<WireSlowlogEntry>> {
+        match self.roundtrip(&Request::Debug { target: DebugTarget::Slowlog })? {
+            Response::Slowlog(entries) => Ok(entries),
+            Response::Error { kind, message } => {
+                Err(CqaError::Parse(format!("debug slowlog failed: {} ({message})", kind.name())))
+            }
+            other => Err(CqaError::Parse(format!("unexpected debug slowlog response {other:?}"))),
         }
     }
 

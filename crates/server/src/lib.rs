@@ -18,7 +18,10 @@
 //! * [`metrics`] — a per-instance [`cqa_obs`] metrics registry (counters
 //!   and log-scale latency histograms), served by the protocol's `stats`
 //!   command as JSON or Prometheus text.
-//! * [`server`] — the TCP daemon.
+//! * [`server`] — the TCP daemon. Every request carries a request id
+//!   (client-supplied `request_id` or server-generated) and leaves a
+//!   digest in the always-on [`cqa_obs::flight`] recorder, dumped by the
+//!   protocol's `debug flight` / `debug slowlog` commands.
 //! * [`client`] — the blocking client library the CLI subcommands use.
 //! * [`loadgen`] — the closed-loop load generator behind `cqa-cli
 //!   bench-serve` and the `cqa-perf` server suite.
@@ -37,6 +40,7 @@ pub use loadgen::{run_load, LoadReport, LoadSpec};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pool::{PoolConfig, SubmitError, WorkerPool};
 pub use protocol::{
-    ErrorKind, QueryRequest, Request, Response, StatsFormat, WireAnswer, PROTOCOL_VERSION,
+    DebugTarget, ErrorKind, QueryRequest, Request, Response, StatsFormat, WireAnswer, WireDigest,
+    WireSlowlogEntry, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

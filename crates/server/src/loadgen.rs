@@ -149,6 +149,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport> {
         delta: spec.delta,
         timeout_ms: spec.timeout_ms,
         seed,
+        request_id: None,
     };
     let spelled = |req_seed: u64| -> Result<String> {
         if spec.permute {

@@ -41,6 +41,18 @@ pub struct Metrics {
     /// Time a `query` request spent in the admission queue before a worker
     /// picked it up.
     pub queue_wait: LatencyHistogram,
+    /// Requests tail-sampled into the flight recorder's slow/error log.
+    pub slow_requests: Counter,
+    /// Samples the most recent query drew (a per-request gauge derived
+    /// from the convergence telemetry).
+    pub last_request_samples: Gauge,
+    /// The most recent query's terminal CI half-width, parts per million.
+    pub last_request_ci_ppm: Gauge,
+    /// Flight-recorder digests lost to ring wrap, mirrored from
+    /// [`cqa_obs::flight`] at render time.
+    flight_dropped: Gauge,
+    /// Slow/error-log resident entries, mirrored at render time.
+    slowlog_entries: Gauge,
     /// Synopsis-cache counters, mirrored from [`crate::cache::CacheStats`]
     /// at render time (the cache keeps its own atomics).
     cache_hits: Counter,
@@ -86,6 +98,16 @@ pub struct MetricsSnapshot {
     pub latency_p99_ms: f64,
     /// 99.9th-percentile latency, milliseconds.
     pub latency_p999_ms: f64,
+    /// Requests tail-sampled into the slow/error log.
+    pub slow_requests: u64,
+    /// Samples the most recent query drew.
+    pub last_request_samples: u64,
+    /// The most recent query's terminal CI half-width, parts per million.
+    pub last_request_ci_ppm: u64,
+    /// Flight-recorder digests lost to ring wrap.
+    pub flight_dropped: u64,
+    /// Slow/error-log resident entries.
+    pub slowlog_entries: u64,
     /// Synopsis-cache hits.
     pub cache_hits: u64,
     /// Synopsis-cache misses.
@@ -129,6 +151,20 @@ impl Metrics {
         );
         let queue_wait = registry
             .histogram("server_queue_wait", "Time a query request spent in the admission queue.");
+        let slow_requests = registry.counter(
+            "server_slow_requests_total",
+            "Requests tail-sampled into the flight recorder's slow/error log.",
+        );
+        let last_request_samples = registry
+            .gauge("server_last_request_samples", "Samples the most recent query request drew.");
+        let last_request_ci_ppm = registry.gauge(
+            "server_last_request_ci_half_width_ppm",
+            "The most recent query's terminal CI half-width, parts per million.",
+        );
+        let flight_dropped =
+            registry.gauge("server_flight_dropped", "Flight-recorder digests lost to ring wrap.");
+        let slowlog_entries =
+            registry.gauge("server_slowlog_entries", "Slow/error-log resident entries.");
         let cache_hits = registry.counter("server_cache_hits_total", "Synopsis-cache hits.");
         let cache_misses = registry.counter("server_cache_misses_total", "Synopsis-cache misses.");
         let cache_canonical_rekeys = registry.counter(
@@ -150,6 +186,11 @@ impl Metrics {
             connections,
             query_latency,
             queue_wait,
+            slow_requests,
+            last_request_samples,
+            last_request_ci_ppm,
+            flight_dropped,
+            slowlog_entries,
             cache_hits,
             cache_misses,
             cache_canonical_rekeys,
@@ -166,6 +207,13 @@ impl Metrics {
         self.cache_canonical_rekeys.set(cache.canonical_rekeys);
         self.cache_entries.set(cache.entries as i64);
         self.cache_evictions.set(cache.evictions);
+    }
+
+    /// Mirrors the flight recorder's process-global occupancy gauges so a
+    /// render sees current values.
+    fn sync_flight(&self) {
+        self.flight_dropped.set(cqa_obs::flight::dropped_count().min(i64::MAX as u64) as i64);
+        self.slowlog_entries.set(cqa_obs::flight::slowlog_len() as i64);
     }
 
     /// Captures a snapshot, merging in the cache's counters.
@@ -187,6 +235,11 @@ impl Metrics {
             latency_p95_ms: latency_qs[1],
             latency_p99_ms: latency_qs[2],
             latency_p999_ms: latency_qs[3],
+            slow_requests: self.slow_requests.get(),
+            last_request_samples: self.last_request_samples.get().max(0) as u64,
+            last_request_ci_ppm: self.last_request_ci_ppm.get().max(0) as u64,
+            flight_dropped: cqa_obs::flight::dropped_count(),
+            slowlog_entries: cqa_obs::flight::slowlog_len() as u64,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_canonical_rekeys: cache.canonical_rekeys,
@@ -199,6 +252,7 @@ impl Metrics {
     /// format) plus the full registry render under `"registry"`.
     pub fn stats_json(&self, cache: &crate::cache::CacheStats) -> Json {
         self.sync_cache(cache);
+        self.sync_flight();
         let mut obj = self.snapshot(cache).to_json_map();
         obj.insert("registry".to_owned(), self.registry.to_json());
         Json::Obj(obj)
@@ -207,6 +261,7 @@ impl Metrics {
     /// The full registry in Prometheus text exposition format.
     pub fn to_prometheus(&self, cache: &crate::cache::CacheStats) -> String {
         self.sync_cache(cache);
+        self.sync_flight();
         self.registry.to_prometheus()
     }
 }
@@ -234,6 +289,11 @@ impl MetricsSnapshot {
             ("latency_p95_ms", Json::from(self.latency_p95_ms)),
             ("latency_p99_ms", Json::from(self.latency_p99_ms)),
             ("latency_p999_ms", Json::from(self.latency_p999_ms)),
+            ("slow_requests", Json::from(self.slow_requests)),
+            ("last_request_samples", Json::from(self.last_request_samples)),
+            ("last_request_ci_ppm", Json::from(self.last_request_ci_ppm)),
+            ("flight_dropped", Json::from(self.flight_dropped)),
+            ("slowlog_entries", Json::from(self.slowlog_entries)),
             ("cache_hits", Json::from(self.cache_hits)),
             ("cache_misses", Json::from(self.cache_misses)),
             ("cache_canonical_rekeys", Json::from(self.cache_canonical_rekeys)),
@@ -268,6 +328,12 @@ impl MetricsSnapshot {
             latency_p99_ms: v.req_f64("latency_p99_ms")?,
             // Absent in payloads from servers predating the p999 field.
             latency_p999_ms: v.get("latency_p999_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            // All five absent in payloads predating the flight recorder.
+            slow_requests: v.get("slow_requests").and_then(Json::as_u64).unwrap_or(0),
+            last_request_samples: v.get("last_request_samples").and_then(Json::as_u64).unwrap_or(0),
+            last_request_ci_ppm: v.get("last_request_ci_ppm").and_then(Json::as_u64).unwrap_or(0),
+            flight_dropped: v.get("flight_dropped").and_then(Json::as_u64).unwrap_or(0),
+            slowlog_entries: v.get("slowlog_entries").and_then(Json::as_u64).unwrap_or(0),
             cache_hits: int(v, "cache_hits")?,
             cache_misses: int(v, "cache_misses")?,
             // Absent in payloads from servers predating canonicalization.

@@ -24,6 +24,12 @@
 //! → {"v":1,"cmd":"ping"}
 //! ← {"ok":true,"pong":true,"version":1}
 //!
+//! → {"v":1,"cmd":"debug","target":"flight"}
+//! ← {"ok":true,"flight":[...per-request digests...],"dropped":0}
+//!
+//! → {"v":1,"cmd":"debug","target":"slowlog"}
+//! ← {"ok":true,"slowlog":[...slow/error requests with span trees...]}
+//!
 //! ← {"ok":false,"error":"overloaded","message":"queue full (depth 64)"}
 //! ```
 //!
@@ -32,6 +38,8 @@
 
 use cqa_common::{CqaError, Json, Result};
 use cqa_core::Scheme;
+use cqa_obs::flight::{digest_field, FlightDigest, SlowlogEntry, MAX_REQUEST_ID_BYTES};
+use cqa_obs::TraceEvent;
 use cqa_storage::Value;
 
 /// The protocol version this build speaks.
@@ -53,6 +61,10 @@ pub struct QueryRequest {
     /// RNG seed; fixed seeds give identical answers regardless of the
     /// server's worker-pool size.
     pub seed: u64,
+    /// Client-supplied request id for the flight recorder, 1 to
+    /// [`MAX_REQUEST_ID_BYTES`] bytes; `None` lets the server generate
+    /// one.
+    pub request_id: Option<String>,
 }
 
 impl Default for QueryRequest {
@@ -64,6 +76,7 @@ impl Default for QueryRequest {
             delta: 0.25,
             timeout_ms: None,
             seed: 42,
+            request_id: None,
         }
     }
 }
@@ -76,6 +89,25 @@ pub enum StatsFormat {
     Json,
     /// Prometheus text exposition, for scrape-style collection.
     Prometheus,
+}
+
+/// Which flight-recorder dump a `debug` request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DebugTarget {
+    /// The per-request digest ring.
+    Flight,
+    /// The slow/error log with full span trees.
+    Slowlog,
+}
+
+impl DebugTarget {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DebugTarget::Flight => "flight",
+            DebugTarget::Slowlog => "slowlog",
+        }
+    }
 }
 
 /// A parsed client request.
@@ -91,6 +123,11 @@ pub enum Request {
     /// Dump the server's recorded trace events (Chrome `trace_event`
     /// objects); empty unless the server runs with tracing enabled.
     Trace,
+    /// Dump the flight recorder (always on, unlike `trace`).
+    Debug {
+        /// Which recorder structure to dump.
+        target: DebugTarget,
+    },
     /// Liveness check.
     Ping,
 }
@@ -112,6 +149,9 @@ impl Request {
                 if let Some(ms) = q.timeout_ms {
                     pairs.push(("timeout_ms", Json::from(ms)));
                 }
+                if let Some(id) = &q.request_id {
+                    pairs.push(("request_id", Json::str(id)));
+                }
                 Json::obj(pairs)
             }
             Request::Stats { format } => {
@@ -125,6 +165,11 @@ impl Request {
             Request::Trace => {
                 Json::obj([("v", Json::from(PROTOCOL_VERSION)), ("cmd", Json::str("trace"))])
             }
+            Request::Debug { target } => Json::obj([
+                ("v", Json::from(PROTOCOL_VERSION)),
+                ("cmd", Json::str("debug")),
+                ("target", Json::str(target.name())),
+            ]),
             Request::Ping => {
                 Json::obj([("v", Json::from(PROTOCOL_VERSION)), ("cmd", Json::str("ping"))])
             }
@@ -184,6 +229,21 @@ impl Request {
                     }
                     None => 42,
                 };
+                let request_id = match v.get("request_id") {
+                    Some(r) => {
+                        let id = r
+                            .as_str()
+                            .ok_or_else(|| CqaError::Parse("non-string 'request_id'".into()))?;
+                        if id.is_empty() || id.len() > MAX_REQUEST_ID_BYTES {
+                            return Err(CqaError::Parse(format!(
+                                "request_id must be 1..={MAX_REQUEST_ID_BYTES} bytes, got {}",
+                                id.len()
+                            )));
+                        }
+                        Some(id.to_owned())
+                    }
+                    None => None,
+                };
                 Ok(Request::Query(QueryRequest {
                     query: v.req_str("query")?.to_owned(),
                     scheme,
@@ -191,6 +251,7 @@ impl Request {
                     delta,
                     timeout_ms,
                     seed,
+                    request_id,
                 }))
             }
             "stats" => {
@@ -209,6 +270,13 @@ impl Request {
                 Ok(Request::Stats { format })
             }
             "trace" => Ok(Request::Trace),
+            "debug" => match v.req_str("target")? {
+                "flight" => Ok(Request::Debug { target: DebugTarget::Flight }),
+                "slowlog" => Ok(Request::Debug { target: DebugTarget::Slowlog }),
+                other => Err(CqaError::Parse(format!(
+                    "unknown debug target '{other}' (expected flight or slowlog)"
+                ))),
+            },
             "ping" => Ok(Request::Ping),
             other => Err(CqaError::Parse(format!("unknown command '{other}'"))),
         }
@@ -262,6 +330,177 @@ pub struct WireAnswer {
     pub samples: u64,
 }
 
+/// One flight-recorder digest on the wire. Mirrors
+/// [`cqa_obs::FlightDigest`] with owned strings (a parsed response cannot
+/// reuse the recorder's interned names) and the query fingerprint as a
+/// hex string (`Json::Num` is an `f64`; 64-bit fingerprints would lose
+/// precision past 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDigest {
+    /// Client-supplied or server-generated request id.
+    pub request_id: String,
+    /// Canonical query fingerprint, 16 hex digits (`0000…0` when the
+    /// query never parsed).
+    pub query_fp: String,
+    /// Scheme display name.
+    pub scheme: String,
+    /// Did the synopsis come from the cache?
+    pub cache_hit: bool,
+    /// Structured error kind name for failed requests.
+    pub error: Option<String>,
+    /// Time queued before a worker picked the request up, microseconds.
+    pub queue_wait_us: u64,
+    /// Samples the scheme drew.
+    pub samples: u64,
+    /// Running sample variance of the estimator at termination.
+    pub variance: f64,
+    /// One-standard-error CI half-width of the estimate at termination.
+    pub ci_half_width: f64,
+    /// Synopsis-build time, microseconds (0 on cache hits).
+    pub preprocess_us: u64,
+    /// Sampling time, microseconds.
+    pub scheme_us: u64,
+    /// Admission-to-reply wall time, microseconds.
+    pub total_us: u64,
+    /// Completion timestamp, microseconds since the trace epoch.
+    pub ts_us: u64,
+}
+
+impl WireDigest {
+    /// Converts a recorder digest to its wire form.
+    pub fn from_digest(d: &FlightDigest) -> WireDigest {
+        WireDigest {
+            request_id: d.request_id.clone(),
+            query_fp: format!("{:016x}", d.query_fingerprint),
+            scheme: d.scheme.to_owned(),
+            cache_hit: d.cache_hit,
+            error: d.error.map(str::to_owned),
+            queue_wait_us: d.queue_wait_micros,
+            samples: d.samples,
+            variance: d.variance,
+            ci_half_width: d.ci_half_width,
+            preprocess_us: d.preprocess_micros,
+            scheme_us: d.scheme_micros,
+            total_us: d.total_micros,
+            ts_us: d.ts_micros,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            digest_field("request_id", Json::str(&self.request_id)),
+            digest_field("query_fp", Json::str(&self.query_fp)),
+            digest_field("scheme", Json::str(&self.scheme)),
+            digest_field("cache_hit", Json::from(self.cache_hit)),
+            digest_field("queue_wait_us", Json::from(self.queue_wait_us)),
+            digest_field("samples", Json::from(self.samples)),
+            digest_field("variance", Json::from(self.variance)),
+            digest_field("ci_half_width", Json::from(self.ci_half_width)),
+            digest_field("preprocess_us", Json::from(self.preprocess_us)),
+            digest_field("scheme_us", Json::from(self.scheme_us)),
+            digest_field("total_us", Json::from(self.total_us)),
+            digest_field("ts_us", Json::from(self.ts_us)),
+        ];
+        if let Some(e) = &self.error {
+            pairs.push(digest_field("error", Json::str(e)));
+        }
+        Json::obj(pairs)
+    }
+
+    fn from_json(v: &Json) -> Result<WireDigest> {
+        Ok(WireDigest {
+            request_id: v.req_str("request_id")?.to_owned(),
+            query_fp: v.req_str("query_fp")?.to_owned(),
+            scheme: v.req_str("scheme")?.to_owned(),
+            cache_hit: v.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
+            error: v.get("error").and_then(Json::as_str).map(str::to_owned),
+            queue_wait_us: wire_u64(v, "queue_wait_us")?,
+            samples: wire_u64(v, "samples")?,
+            variance: v.req_f64("variance")?,
+            ci_half_width: v.req_f64("ci_half_width")?,
+            preprocess_us: wire_u64(v, "preprocess_us")?,
+            scheme_us: wire_u64(v, "scheme_us")?,
+            total_us: wire_u64(v, "total_us")?,
+            ts_us: wire_u64(v, "ts_us")?,
+        })
+    }
+}
+
+/// One slow/error-log entry on the wire: identity plus the captured span
+/// tree. Spans ride as rendered JSON objects (name, depth, timings,
+/// args); clients inspect them rather than reconstructing trace state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSlowlogEntry {
+    /// The request's id.
+    pub request_id: String,
+    /// Structured error kind name, when the request failed.
+    pub error: Option<String>,
+    /// Admission-to-reply wall time, microseconds.
+    pub total_us: u64,
+    /// Completion timestamp, microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// The span tree as a JSON array, timestamp order; `depth`
+    /// reconstructs nesting.
+    pub spans: Json,
+}
+
+/// Renders one captured span for the slow/error log.
+fn span_event_json(ev: &TraceEvent) -> Json {
+    Json::obj([
+        digest_field("name", Json::str(ev.name)),
+        digest_field("depth", Json::from(u64::from(ev.depth))),
+        digest_field("ts_us", Json::from(ev.ts_micros)),
+        digest_field("dur_us", Json::from(ev.dur_micros)),
+        digest_field("self_us", Json::from(ev.self_micros)),
+        digest_field("a0", Json::from(ev.a0)),
+        digest_field("a1", Json::from(ev.a1)),
+    ])
+}
+
+impl WireSlowlogEntry {
+    /// Converts a recorder entry to its wire form.
+    pub fn from_entry(e: &SlowlogEntry) -> WireSlowlogEntry {
+        WireSlowlogEntry {
+            request_id: e.request_id.clone(),
+            error: e.error.map(str::to_owned),
+            total_us: e.total_micros,
+            ts_us: e.ts_micros,
+            spans: Json::Arr(e.spans.iter().map(span_event_json).collect()),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            digest_field("request_id", Json::str(&self.request_id)),
+            digest_field("total_us", Json::from(self.total_us)),
+            digest_field("ts_us", Json::from(self.ts_us)),
+            digest_field("spans", self.spans.clone()),
+        ];
+        if let Some(e) = &self.error {
+            pairs.push(digest_field("error", Json::str(e)));
+        }
+        Json::obj(pairs)
+    }
+
+    fn from_json(v: &Json) -> Result<WireSlowlogEntry> {
+        Ok(WireSlowlogEntry {
+            request_id: v.req_str("request_id")?.to_owned(),
+            error: v.get("error").and_then(Json::as_str).map(str::to_owned),
+            total_us: wire_u64(v, "total_us")?,
+            ts_us: wire_u64(v, "ts_us")?,
+            spans: v.get("spans").cloned().unwrap_or(Json::Arr(Vec::new())),
+        })
+    }
+}
+
+/// A required integer field of a digest or slow-log object. A nested fn
+/// (not a closure) so cqa-lint's call graph can see through the call.
+fn wire_u64(v: &Json, key: &str) -> Result<u64> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CqaError::Parse(format!("missing integer field '{key}'")))
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -284,6 +523,15 @@ pub enum Response {
     StatsText(String),
     /// A successful `trace`: an array of Chrome `trace_event` objects.
     Trace(Json),
+    /// A successful `debug flight`: the digest ring's contents.
+    Flight {
+        /// Recorded digests, completion-timestamp order.
+        digests: Vec<WireDigest>,
+        /// Digests lost to ring wrap.
+        dropped: u64,
+    },
+    /// A successful `debug slowlog`: the slow/error log, oldest first.
+    Slowlog(Vec<WireSlowlogEntry>),
     /// A successful `ping`.
     Pong {
         /// The server's protocol version.
@@ -346,6 +594,15 @@ impl Response {
             Response::Trace(events) => {
                 Json::obj([("ok", Json::from(true)), ("trace", events.clone())])
             }
+            Response::Flight { digests, dropped } => Json::obj([
+                ("ok", Json::from(true)),
+                ("flight", Json::Arr(digests.iter().map(WireDigest::to_json).collect())),
+                ("dropped", Json::from(*dropped)),
+            ]),
+            Response::Slowlog(entries) => Json::obj([
+                ("ok", Json::from(true)),
+                ("slowlog", Json::Arr(entries.iter().map(WireSlowlogEntry::to_json).collect())),
+            ]),
             Response::Pong { version } => Json::obj([
                 ("ok", Json::from(true)),
                 ("pong", Json::from(true)),
@@ -393,6 +650,19 @@ impl Response {
         if let Some(events) = v.get("trace") {
             return Ok(Response::Trace(events.clone()));
         }
+        if let Some(rows) = v.get("flight") {
+            let rows = rows.as_arr().ok_or_else(|| CqaError::Parse("non-array 'flight'".into()))?;
+            let digests = rows.iter().map(WireDigest::from_json).collect::<Result<Vec<_>>>()?;
+            let dropped = v.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+            return Ok(Response::Flight { digests, dropped });
+        }
+        if let Some(rows) = v.get("slowlog") {
+            let rows =
+                rows.as_arr().ok_or_else(|| CqaError::Parse("non-array 'slowlog'".into()))?;
+            let entries =
+                rows.iter().map(WireSlowlogEntry::from_json).collect::<Result<Vec<_>>>()?;
+            return Ok(Response::Slowlog(entries));
+        }
         let rows = v
             .get("answers")
             .and_then(Json::as_arr)
@@ -439,10 +709,38 @@ mod tests {
             delta: 0.1,
             timeout_ms: Some(750),
             seed: 7,
+            request_id: Some("client-req-9".into()),
         });
         let line = req.to_line();
         assert!(line.contains("\"v\":1"), "{line}");
+        assert!(line.contains("\"request_id\":\"client-req-9\""), "{line}");
         assert_eq!(Request::from_line(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn request_id_length_is_validated() {
+        let ok = format!(
+            r#"{{"v":1,"cmd":"query","query":"Q() :- r(x)","request_id":"{}"}}"#,
+            "a".repeat(MAX_REQUEST_ID_BYTES)
+        );
+        assert!(Request::from_line(&ok).is_ok());
+        for bad in ["".to_owned(), "a".repeat(MAX_REQUEST_ID_BYTES + 1)] {
+            let line =
+                format!(r#"{{"v":1,"cmd":"query","query":"Q() :- r(x)","request_id":"{bad}"}}"#);
+            assert!(Request::from_line(&line).is_err(), "accepted id of {} bytes", bad.len());
+        }
+    }
+
+    #[test]
+    fn debug_requests_roundtrip() {
+        for target in [DebugTarget::Flight, DebugTarget::Slowlog] {
+            let req = Request::Debug { target };
+            let line = req.to_line();
+            assert!(line.contains(target.name()), "{line}");
+            assert_eq!(Request::from_line(&line).unwrap(), req);
+        }
+        assert!(Request::from_line(r#"{"v":1,"cmd":"debug","target":"heap"}"#).is_err());
+        assert!(Request::from_line(r#"{"v":1,"cmd":"debug"}"#).is_err());
     }
 
     #[test]
@@ -546,6 +844,62 @@ mod tests {
             ("ph", Json::str("X")),
         ])]));
         assert_eq!(Response::from_line(&trace.to_line()).unwrap(), trace);
+    }
+
+    #[test]
+    fn flight_response_roundtrips() {
+        let ok = WireDigest {
+            request_id: "client-abc".into(),
+            query_fp: format!("{:016x}", u64::MAX - 3), // past 2^53: must survive
+            scheme: "KLM".into(),
+            cache_hit: true,
+            error: None,
+            queue_wait_us: 41,
+            samples: 18_000,
+            variance: 0.25,
+            ci_half_width: 0.003,
+            preprocess_us: 0,
+            scheme_us: 1200,
+            total_us: 1300,
+            ts_us: 99,
+        };
+        let failed = WireDigest {
+            request_id: "srv-0000000000000001".into(),
+            cache_hit: false,
+            error: Some("deadline_exceeded".into()),
+            ..ok.clone()
+        };
+        let resp = Response::Flight { digests: vec![ok, failed], dropped: 7 };
+        assert_eq!(Response::from_line(&resp.to_line()).unwrap(), resp);
+    }
+
+    #[test]
+    fn slowlog_response_roundtrips() {
+        let entry = WireSlowlogEntry::from_entry(&SlowlogEntry {
+            request_id: "slow-1".into(),
+            error: Some("internal"),
+            total_micros: 2_000_000,
+            ts_micros: 5,
+            spans: vec![TraceEvent {
+                name: "server/request",
+                kind: cqa_obs::EventKind::Span,
+                tid: 1,
+                depth: 0,
+                ts_micros: 1,
+                dur_micros: 2_000_000,
+                self_micros: 1_500_000,
+                a0: 42,
+                a1: 0,
+            }],
+        });
+        let resp = Response::Slowlog(vec![entry]);
+        let line = resp.to_line();
+        assert!(line.contains("\"spans\":"), "{line}");
+        assert!(line.contains("server/request"), "{line}");
+        assert_eq!(Response::from_line(&line).unwrap(), resp);
+        // An empty slowlog still parses as a Slowlog, not as bad answers.
+        let empty = Response::Slowlog(Vec::new());
+        assert_eq!(Response::from_line(&empty.to_line()).unwrap(), empty);
     }
 
     #[test]

@@ -16,15 +16,17 @@ use crate::cache::{CacheKey, SynopsisCache};
 use crate::metrics::Metrics;
 use crate::pool::{PoolConfig, SubmitError, WorkerPool};
 use crate::protocol::{
-    ErrorKind, QueryRequest, Request, Response, StatsFormat, WireAnswer, PROTOCOL_VERSION,
+    DebugTarget, ErrorKind, QueryRequest, Request, Response, StatsFormat, WireAnswer, WireDigest,
+    WireSlowlogEntry, PROTOCOL_VERSION,
 };
 use cqa_common::{fnv1a64, CqaError, Deadline, Mt64, Stopwatch};
 use cqa_core::{apx_cqa_on_synopses, Budget};
+use cqa_obs::flight::{self, FlightDigest, SlowlogEntry};
 use cqa_storage::{dump_to_string, schema_to_ddl, Database};
 use cqa_synopsis::{build_synopses, BuildOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -44,6 +46,10 @@ pub struct ServerConfig {
     pub default_timeout_ms: Option<u64>,
     /// Sample budget per request.
     pub max_samples: u64,
+    /// Queries slower than this (admission to reply) are tail-sampled
+    /// into the flight recorder's slow/error log with their full span
+    /// tree.
+    pub slow_threshold_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +61,7 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             default_timeout_ms: Some(30_000),
             max_samples: u64::MAX,
+            slow_threshold_ms: 1_000,
         }
     }
 }
@@ -71,6 +78,11 @@ struct Shared {
     pool: WorkerPool,
     default_timeout_ms: Option<u64>,
     max_samples: u64,
+    slow_threshold_micros: u64,
+    /// Source of `srv-…` request ids for clients that supply none: a
+    /// monotonic counter, so ids are unique per server without ambient
+    /// entropy (the workspace's `rng-flow` lint bans that).
+    next_request_id: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -104,6 +116,8 @@ impl Server {
                 pool,
                 default_timeout_ms: config.default_timeout_ms,
                 max_samples: config.max_samples,
+                slow_threshold_micros: config.slow_threshold_ms.saturating_mul(1_000),
+                next_request_id: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -244,6 +258,20 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> Response {
             let (events, _dropped) = cqa_obs::trace::snapshot();
             Response::Trace(cqa_obs::export::chrome_trace(&events))
         }
+        Request::Debug { target: DebugTarget::Flight } => {
+            let _g = cqa_obs::span("server/debug_flight");
+            let (digests, dropped) = flight::snapshot();
+            Response::Flight {
+                digests: digests.iter().map(WireDigest::from_digest).collect(),
+                dropped,
+            }
+        }
+        Request::Debug { target: DebugTarget::Slowlog } => {
+            let _g = cqa_obs::span("server/debug_slowlog");
+            Response::Slowlog(
+                flight::slowlog_snapshot().iter().map(WireSlowlogEntry::from_entry).collect(),
+            )
+        }
         Request::Query(q) => dispatch_query(shared, q),
     }
 }
@@ -252,6 +280,14 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> Response {
 fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
     let admitted = Stopwatch::start();
     let admitted_micros = cqa_obs::now_micros();
+    // Every request gets an id: the client's, or a generated `srv-…` one.
+    let request_id = match &q.request_id {
+        Some(id) => id.clone(),
+        None => {
+            format!("srv-{:016x}", shared.next_request_id.fetch_add(1, Ordering::Relaxed))
+        }
+    };
+    let scheme_name = q.scheme.name();
     // The deadline starts at admission: time spent queued counts.
     let deadline = match q.timeout_ms.or(shared.default_timeout_ms) {
         Some(ms) => Deadline::after(Duration::from_millis(ms)),
@@ -260,17 +296,37 @@ fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
     let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
     let submitted = shared.pool.try_submit({
         let shared = Arc::clone(shared);
+        let request_id = request_id.clone();
         move || {
             // Queue wait straddles threads: record it from the explicit
             // admission timestamp rather than a span stack.
             let wait = cqa_obs::now_micros().saturating_sub(admitted_micros);
             shared.metrics.queue_wait.record_micros(wait);
             cqa_obs::record_span("server/queue_wait", admitted_micros, q.seed, 0);
-            let response = run_query(&shared, &q, deadline);
+            // Open the request scope: installs the id, starts the span
+            // capture for the slow/error log, zeroes the convergence
+            // slots. Exactly this worker thread runs the whole request.
+            flight::begin_request(&request_id);
+            cqa_core::convergence::reset();
+            let mut query_fp = 0u64;
+            let response = run_query(&shared, &q, deadline, &mut query_fp);
+            flight::end_request();
+            let conv = cqa_core::convergence::snapshot();
             if matches!(response, Response::Answers { .. }) {
                 shared.metrics.queries_ok.inc();
                 shared.metrics.query_latency.record(admitted.elapsed());
             }
+            let total = cqa_obs::now_micros().saturating_sub(admitted_micros);
+            record_flight(
+                &shared,
+                &request_id,
+                query_fp,
+                scheme_name,
+                &response,
+                wait,
+                conv,
+                total,
+            );
             let _ = reply_tx.send(response);
         }
     });
@@ -278,17 +334,21 @@ fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
         Ok(()) => {}
         Err(SubmitError::Full { depth }) => {
             shared.metrics.rejected_overloaded.inc();
-            return Response::Error {
+            let response = Response::Error {
                 kind: ErrorKind::Overloaded,
                 message: format!("admission queue full (depth {depth})"),
             };
+            record_rejection(shared, &request_id, scheme_name, &response, admitted_micros);
+            return response;
         }
         Err(SubmitError::Shutdown) => {
             shared.metrics.errors_internal.inc();
-            return Response::Error {
+            let response = Response::Error {
                 kind: ErrorKind::Internal,
                 message: "worker pool is shut down".to_owned(),
             };
+            record_rejection(shared, &request_id, scheme_name, &response, admitted_micros);
+            return response;
         }
     }
     match reply_rx.recv() {
@@ -317,8 +377,82 @@ fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
     }
 }
 
-/// Executes one admitted query on a worker thread.
-fn run_query(shared: &Shared, q: &QueryRequest, deadline: Deadline) -> Response {
+/// Assembles one request's flight digest from the worker's outcome and
+/// records it; requests that erred or overran the slow threshold are also
+/// tail-sampled into the slow/error log with the span tree still sitting
+/// in this thread's capture buffer (extracting it allocates, so only the
+/// slow path pays).
+#[allow(clippy::too_many_arguments)] // a digest is wide by design
+fn record_flight(
+    shared: &Shared,
+    request_id: &str,
+    query_fingerprint: u64,
+    scheme: &'static str,
+    response: &Response,
+    queue_wait_micros: u64,
+    conv: cqa_core::Convergence,
+    total_micros: u64,
+) {
+    let (cache_hit, error, preprocess_micros, scheme_micros) = match response {
+        Response::Answers { cached, preprocess_ms, scheme_ms, .. } => {
+            (*cached, None, (preprocess_ms * 1000.0) as u64, (scheme_ms * 1000.0) as u64)
+        }
+        Response::Error { kind, .. } => (false, Some(kind.name()), 0, 0),
+        _ => (false, None, 0, 0),
+    };
+    let ts_micros = cqa_obs::now_micros();
+    flight::record(&FlightDigest {
+        request_id: request_id.to_owned(),
+        query_fingerprint,
+        scheme,
+        cache_hit,
+        error,
+        queue_wait_micros,
+        samples: conv.samples,
+        variance: conv.variance,
+        ci_half_width: conv.ci_half_width,
+        preprocess_micros,
+        scheme_micros,
+        total_micros,
+        ts_micros,
+    });
+    shared.metrics.last_request_samples.set(conv.samples.min(i64::MAX as u64) as i64);
+    shared.metrics.last_request_ci_ppm.set((conv.ci_half_width * 1e6) as i64);
+    if error.is_some() || total_micros > shared.slow_threshold_micros {
+        shared.metrics.slow_requests.inc();
+        flight::slowlog_record(SlowlogEntry {
+            request_id: request_id.to_owned(),
+            error,
+            total_micros,
+            ts_micros,
+            spans: flight::take_request_spans(),
+        });
+    }
+}
+
+/// Digests a request the pool never accepted (queue full, shutdown): no
+/// worker ran, so there is no span capture and no convergence data.
+fn record_rejection(
+    shared: &Shared,
+    request_id: &str,
+    scheme: &'static str,
+    response: &Response,
+    admitted_micros: u64,
+) {
+    let total = cqa_obs::now_micros().saturating_sub(admitted_micros);
+    let conv = cqa_core::Convergence { samples: 0, variance: 0.0, ci_half_width: 0.0 };
+    record_flight(shared, request_id, 0, scheme, response, 0, conv, total);
+}
+
+/// Executes one admitted query on a worker thread. `query_fp` reports the
+/// canonical query fingerprint to the flight recorder once the query
+/// parses (0 otherwise).
+fn run_query(
+    shared: &Shared,
+    q: &QueryRequest,
+    deadline: Deadline,
+    query_fp: &mut u64,
+) -> Response {
     let mut req_span = cqa_obs::span_args("server/request", q.seed, 0);
     if deadline.expired() {
         return Response::Error {
@@ -330,10 +464,11 @@ fn run_query(shared: &Shared, q: &QueryRequest, deadline: Deadline) -> Response 
         Ok(cq) => cq,
         Err(e) => return Response::Error { kind: ErrorKind::BadRequest, message: e.to_string() },
     };
+    *query_fp = cq.canonical_fingerprint();
     let key = CacheKey {
         db_fingerprint: shared.db_fingerprint,
         constraint_fingerprint: shared.constraint_fingerprint,
-        query_fingerprint: cq.canonical_fingerprint(),
+        query_fingerprint: *query_fp,
     };
     let literal_fp = CacheKey::literal_fingerprint(&q.query);
     let lookup_span = cqa_obs::span("server/cache_lookup");

@@ -121,3 +121,116 @@ fn server_stats_agree_between_json_registry_and_prometheus_text() {
     let trace = client.trace().unwrap();
     assert!(matches!(trace, Json::Arr(_)), "trace response must be a JSON array");
 }
+
+#[test]
+fn flight_recorder_attributes_requests_end_to_end() {
+    let base = cqa_tpch::generate(cqa_tpch::TpchConfig { scale: 0.0003, seed: 29 });
+    let q = parse(base.schema(), "Q(rn) :- region(rk, rn)").unwrap();
+    let mut rng = Mt64::new(29);
+    let (db, _) =
+        add_query_aware_noise(&base, &q, NoiseSpec { p: 1.0, lmin: 2, umax: 3 }, &mut rng).unwrap();
+
+    // Threshold 0: every request overruns it, so each one lands in the
+    // slow/error log with its span tree — the "injected slow request"
+    // without an actual sleep.
+    let handle = Server::bind(
+        db,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            slow_threshold_ms: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let run = |client: &mut Client, query: &str, id: &str, seed: u64| {
+        client
+            .query(QueryRequest {
+                query: query.into(),
+                eps: 0.2,
+                delta: 0.25,
+                seed,
+                request_id: Some(id.into()),
+                ..QueryRequest::default()
+            })
+            .unwrap()
+    };
+    let miss_resp = run(&mut client, "Q(rn) :- region(rk, rn)", "it-flight-miss", 1);
+    assert!(matches!(miss_resp, Response::Answers { cached: false, .. }), "{miss_resp:?}");
+    let hit_resp = run(&mut client, "Q(rn) :- region(rk, rn)", "it-flight-hit", 2);
+    assert!(matches!(hit_resp, Response::Answers { cached: true, .. }), "{hit_resp:?}");
+    let err_resp = run(&mut client, "Q() :- no_such_relation(x)", "it-flight-err", 3);
+    assert!(matches!(err_resp, Response::Error { .. }), "{err_resp:?}");
+    // A request without a client id gets a server-generated `srv-…` one.
+    let anon = client
+        .query(QueryRequest {
+            query: "Q(rn) :- region(rk, rn)".into(),
+            eps: 0.2,
+            delta: 0.25,
+            seed: 4,
+            ..QueryRequest::default()
+        })
+        .unwrap();
+    assert!(matches!(anon, Response::Answers { .. }), "{anon:?}");
+
+    // The recorder is process-global (other tests may also have recorded),
+    // so look digests up by our unique client-supplied ids.
+    let (digests, _dropped) = client.debug_flight().unwrap();
+    let find = |id: &str| {
+        digests
+            .iter()
+            .find(|d| d.request_id == id)
+            .unwrap_or_else(|| panic!("digest for {id} missing; got {digests:?}"))
+    };
+    let miss = find("it-flight-miss");
+    assert!(!miss.cache_hit);
+    assert_eq!(miss.scheme, "KLM");
+    assert_eq!(miss.error, None);
+    assert!(miss.samples > 0, "convergence telemetry must count samples: {miss:?}");
+    assert!(miss.ci_half_width > 0.0, "terminal CI half-width must export: {miss:?}");
+    assert!(miss.variance > 0.0, "running variance must export: {miss:?}");
+    assert!(miss.queue_wait_us <= miss.total_us);
+    assert!(miss.scheme_us <= miss.total_us);
+    assert_ne!(miss.query_fp, format!("{:016x}", 0u64), "parsed queries carry a fingerprint");
+    let hit = find("it-flight-hit");
+    assert!(hit.cache_hit);
+    assert_eq!(hit.preprocess_us, 0, "cache hits skip preprocessing");
+    assert_eq!(hit.query_fp, miss.query_fp, "same canonical query, same fingerprint");
+    let err = find("it-flight-err");
+    assert_eq!(err.error.as_deref(), Some("bad_request"));
+    assert!(
+        digests.iter().any(|d| d.request_id.starts_with("srv-")),
+        "id-less requests get server-generated ids; got {digests:?}"
+    );
+
+    // Every request overran the zero threshold: the slow/error log carries
+    // the full span tree of the slow request and of the failed one.
+    let slowlog = client.debug_slowlog().unwrap();
+    let slow = slowlog
+        .iter()
+        .find(|e| e.request_id == "it-flight-miss")
+        .unwrap_or_else(|| panic!("slow request missing from slowlog: {slowlog:?}"));
+    let Json::Arr(spans) = &slow.spans else { panic!("spans must be a JSON array") };
+    assert!(!spans.is_empty(), "slowlog entries must carry the captured span tree");
+    let span_names: Vec<String> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str).map(str::to_owned))
+        .collect();
+    for expected in ["server/request", "server/synopsis_build", "server/sampling"] {
+        assert!(
+            span_names.iter().any(|n| n == expected),
+            "span tree must include {expected}; saw {span_names:?}"
+        );
+    }
+    assert!(slowlog.iter().any(|e| e.request_id == "it-flight-err"), "errors tail-sample too");
+
+    // The stats payload mirrors the per-request gauges.
+    let stats = client.stats_json().unwrap();
+    assert!(get_num(&stats, "slow_requests") >= 4.0);
+    assert!(get_num(&stats, "last_request_samples") > 0.0);
+    assert!(get_num(&stats, "slowlog_entries") > 0.0);
+}

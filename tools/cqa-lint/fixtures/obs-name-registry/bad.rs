@@ -1,5 +1,6 @@
-// Both names are typos of registered ones.
+// All three names are typos of registered ones.
 fn observe() {
     let _guard = cqa_obs::span("serve/request_typo");
     cqa_obs::metrics::global().counter("server_requets_total", "typo").inc();
+    let _pair = digest_field("reqest_id", Json::Num(1.0));
 }

@@ -1,7 +1,9 @@
 fn observe() {
     let _guard = cqa_obs::span("server/request");
     cqa_obs::metrics::global().counter("server_requests_total", "Total requests").inc();
+    let _pair = digest_field("request_id", Json::Str(id));
     // Computed names cannot be checked statically and are not flagged.
     let dynamic = "server/request";
     let _other = cqa_obs::span(dynamic);
+    let _computed = digest_field(dynamic_field, Json::Num(0.0));
 }

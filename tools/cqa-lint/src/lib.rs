@@ -167,9 +167,10 @@ fn sort_dedup(findings: &mut Vec<Finding>) {
 pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
     let registry_src = read(&root.join(REGISTRY_FILE))?;
     let mut registry = NameRegistry::parse(&registry_src);
-    if registry.spans.is_empty() || registry.metrics.is_empty() {
+    if registry.spans.is_empty() || registry.metrics.is_empty() || registry.fields.is_empty() {
         return Err(CheckError(format!(
-            "{REGISTRY_FILE} yielded an empty SPANS or METRICS registry — refusing to lint against it"
+            "{REGISTRY_FILE} yielded an empty SPANS, METRICS, or FIELDS registry — refusing to \
+             lint against it"
         )));
     }
     let perf_registry = NameRegistry::parse(&read(&root.join(PERF_REGISTRY_FILE))?);

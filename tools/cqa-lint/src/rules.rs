@@ -519,26 +519,28 @@ fn has_safety_comment_above(lexed: &Lexed, line: u32) -> bool {
 // Rule 4: obs-name-registry
 // ---------------------------------------------------------------------------
 
-/// The central name registries: span/metric names parsed from
-/// `crates/obs/src/names.rs`, benchmark series names from
+/// The central name registries: span/metric/flight-digest-field names
+/// parsed from `crates/obs/src/names.rs`, benchmark series names from
 /// `crates/perf/src/names.rs`.
 #[derive(Debug, Clone, Default)]
 pub struct NameRegistry {
     pub spans: BTreeSet<String>,
     pub metrics: BTreeSet<String>,
     pub series: BTreeSet<String>,
+    pub fields: BTreeSet<String>,
 }
 
 impl NameRegistry {
     /// Parses a registry source: the string literals of the `SPANS`,
-    /// `METRICS`, and `SERIES` const arrays (a file defining only some of
-    /// the three yields empty sets for the rest).
+    /// `METRICS`, `SERIES`, and `FIELDS` const arrays (a file defining
+    /// only some of the four yields empty sets for the rest).
     pub fn parse(src: &str) -> NameRegistry {
         let lexed = crate::lexer::lex(src);
         NameRegistry {
             spans: const_array_strings(&lexed.toks, "SPANS"),
             metrics: const_array_strings(&lexed.toks, "METRICS"),
             series: const_array_strings(&lexed.toks, "SERIES"),
+            fields: const_array_strings(&lexed.toks, "FIELDS"),
         }
     }
 
@@ -548,6 +550,7 @@ impl NameRegistry {
         self.spans.extend(other.spans);
         self.metrics.extend(other.metrics);
         self.series.extend(other.series);
+        self.fields.extend(other.fields);
     }
 }
 
@@ -596,11 +599,15 @@ const SPAN_APIS: [&str; 4] = ["span", "span_args", "record_span", "instant_args"
 /// cqa-core's telemetry) whose first string-literal argument is a metric
 /// name.
 const METRIC_APIS: [&str; 3] = ["counter", "gauge", "histogram"];
+/// Flight-recorder wire-rendering APIs whose first string-literal argument
+/// is a digest/slowlog field name (`crates/obs/src/flight.rs`).
+const FIELD_APIS: [&str; 1] = ["digest_field"];
 
-/// Flags span/metric name literals not present in the registry. Dashboards,
-/// trace post-processing, and the Prometheus exposition all key on these
-/// strings; an unregistered (usually misspelled) name silently vanishes
-/// from every chart instead of failing anywhere.
+/// Flags span/metric/digest-field name literals not present in the
+/// registry. Dashboards, trace post-processing, the Prometheus exposition,
+/// and `debug flight`/`debug slowlog` consumers all key on these strings;
+/// an unregistered (usually misspelled) name silently vanishes from every
+/// chart or digest instead of failing anywhere.
 pub fn obs_names(lexed: &Lexed, toks: &[Tok], file: &str, reg: &NameRegistry) -> Vec<Finding> {
     let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {
@@ -609,7 +616,8 @@ pub fn obs_names(lexed: &Lexed, toks: &[Tok], file: &str, reg: &NameRegistry) ->
         }
         let is_span_api = SPAN_APIS.contains(&t.text.as_str());
         let is_metric_api = METRIC_APIS.contains(&t.text.as_str());
-        if !is_span_api && !is_metric_api {
+        let is_field_api = FIELD_APIS.contains(&t.text.as_str());
+        if !is_span_api && !is_metric_api && !is_field_api {
             continue;
         }
         // Accept both `name(…)` and `name!(…)` shapes.
@@ -624,7 +632,13 @@ pub fn obs_names(lexed: &Lexed, toks: &[Tok], file: &str, reg: &NameRegistry) ->
         // literal; a call with a computed name has none either. Take the
         // first string literal before the matching close paren.
         let Some(name_tok) = first_literal_in_parens(toks, j) else { continue };
-        let (set, kind) = if is_span_api { (&reg.spans, "span") } else { (&reg.metrics, "metric") };
+        let (set, kind) = if is_span_api {
+            (&reg.spans, "span")
+        } else if is_metric_api {
+            (&reg.metrics, "metric")
+        } else {
+            (&reg.fields, "digest field")
+        };
         if !set.contains(&name_tok.text) {
             push(
                 &mut out,

@@ -182,10 +182,11 @@ fn safety_comment_passes_good_fixture() {
 fn obs_names_fire_on_bad_fixture() {
     let findings =
         cqa_lint::check_source(ANYWHERE, &fixture("obs-name-registry/bad.rs"), &registry());
-    assert_eq!(findings.len(), 2, "one span typo, one metric typo: {findings:?}");
+    assert_eq!(findings.len(), 3, "one span, one metric, one field typo: {findings:?}");
     assert!(findings.iter().all(|f| f.rule == rules::OBS_NAMES));
     assert!(findings.iter().any(|f| f.message.contains("serve/request_typo")));
     assert!(findings.iter().any(|f| f.message.contains("server_requets_total")));
+    assert!(findings.iter().any(|f| f.message.contains("reqest_id")));
 }
 
 #[test]
