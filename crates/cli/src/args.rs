@@ -129,6 +129,30 @@ pub enum Command {
         /// variable names (α-equivalent, different text).
         permute: bool,
     },
+    /// Deterministic fault-injection run against an in-process daemon.
+    Chaos {
+        /// Input dump path.
+        db: PathBuf,
+        /// The query (datalog syntax).
+        query: String,
+        /// Which approximation scheme.
+        scheme: Scheme,
+        /// Relative error ε.
+        eps: f64,
+        /// Uncertainty δ.
+        delta: f64,
+        /// Fault-plan preset name (see `cqa_chaos::PRESETS`).
+        plan: String,
+        /// Seed for the plan's fire decisions, per-request seeds, and
+        /// retry jitter.
+        seed: u64,
+        /// Concurrent storm clients.
+        clients: usize,
+        /// Requests per client.
+        requests: usize,
+        /// Server worker threads (0 = one per CPU).
+        workers: usize,
+    },
     /// Dump a running daemon's flight recorder or slow/error log.
     Debug {
         /// Server address.
@@ -164,6 +188,10 @@ USAGE:
   cqa-cli bench-serve --addr HOST:PORT --query CQ [--scheme S] [--eps F]
                  [--delta F] [--clients N] [--requests N] [--seed N]
                  [--timeout-ms N] [--permute-queries]
+  cqa-cli chaos  --db FILE --query CQ [--plan NAME] [--seed N] [--scheme S]
+                 [--eps F] [--delta F] [--clients N] [--requests N]
+                 [--workers N]   (fault-injection run; plans: all-points-delay,
+                 all-points-error, short-write, smoke, worker-panic)
   cqa-cli debug  <flight|slowlog> --addr HOST:PORT   (dump the daemon's
                  flight recorder / slow-error log as JSON)
   cqa-cli perf   <run|diff|export|help> [options]   (continuous benchmarking;
@@ -372,6 +400,24 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             f.finish()?;
             Ok(out)
         }
+        "chaos" => {
+            let mut f = Flags::parse(&args[1..])?;
+            let scheme = parse_scheme(&f.take::<String>("scheme", Some("klm".into()))?)?;
+            let out = Command::Chaos {
+                db: f.take::<String>("db", None)?.into(),
+                query: f.take("query", None)?,
+                scheme,
+                eps: f.take("eps", Some(0.2))?,
+                delta: f.take("delta", Some(0.25))?,
+                plan: f.take("plan", Some("smoke".to_owned()))?,
+                seed: f.take("seed", Some(42))?,
+                clients: f.take("clients", Some(2))?,
+                requests: f.take("requests", Some(16))?,
+                workers: f.take("workers", Some(2))?,
+            };
+            f.finish()?;
+            Ok(out)
+        }
         "debug" => {
             let target = args
                 .get(1)
@@ -556,6 +602,35 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parses_chaos() {
+        let mut a = argv("chaos --db x.db --plan all-points-error --seed 7 --clients 3");
+        a.extend(["--query".to_owned(), "Q(n) :- r(n)".to_owned()]);
+        match parse_args(&a).unwrap() {
+            Command::Chaos { db, plan, seed, scheme, clients, requests, workers, .. } => {
+                assert_eq!(db, PathBuf::from("x.db"));
+                assert_eq!(plan, "all-points-error");
+                assert_eq!(seed, 7);
+                assert_eq!(scheme, Scheme::Klm);
+                assert_eq!(clients, 3);
+                assert_eq!(requests, 16);
+                assert_eq!(workers, 2);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Defaults: the smoke plan at seed 42.
+        let mut b = argv("chaos --db x.db");
+        b.extend(["--query".to_owned(), "Q(n) :- r(n)".to_owned()]);
+        match parse_args(&b).unwrap() {
+            Command::Chaos { plan, seed, .. } => {
+                assert_eq!(plan, "smoke");
+                assert_eq!(seed, 42);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&argv("chaos --db x.db")).is_err()); // no --query
     }
 
     #[test]

@@ -6,7 +6,7 @@ use cqa_core::{apx_cqa_on_synopses, apx_cqa_parallel, Budget, Scheme};
 use cqa_noise::{add_query_aware_noise, NoiseSpec};
 use cqa_query::parse;
 use cqa_repair::consistent_answers_exact;
-use cqa_server::{run_load, LoadSpec, Server, ServerConfig};
+use cqa_server::{run_chaos, run_load, ChaosSpec, LoadSpec, Server, ServerConfig};
 use cqa_storage::{dump_to_file, is_consistent, load_from_file, schema_to_ddl, Database};
 use cqa_synopsis::{build_synopses, BuildOptions, SynopsisStats};
 use std::io::Write;
@@ -237,6 +237,42 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
                 permute,
             })?;
             w(out, report.render());
+        }
+        Command::Chaos {
+            db,
+            query,
+            scheme,
+            eps,
+            delta,
+            plan,
+            seed,
+            clients,
+            requests,
+            workers,
+        } => {
+            let database = load_from_file(&db)?;
+            let fault_plan = cqa_chaos::FaultPlan::preset(&plan, seed).ok_or_else(|| {
+                cqa_common::CqaError::InvalidParameter(format!(
+                    "unknown fault plan '{plan}' (expected one of: {})",
+                    cqa_chaos::PRESETS.join(", ")
+                ))
+            })?;
+            let mut spec = ChaosSpec::new(&query, fault_plan);
+            spec.scheme = scheme;
+            spec.eps = eps;
+            spec.delta = delta;
+            spec.seed = seed;
+            spec.clients = clients;
+            spec.requests = requests;
+            spec.workers = workers;
+            let report = run_chaos(database, &spec)?;
+            w(out, report.render());
+            if !report.passed() {
+                return Err(cqa_common::CqaError::InvalidParameter(format!(
+                    "chaos run violated {} reliability invariant(s)",
+                    report.violations.len()
+                )));
+            }
         }
         Command::Debug { addr, target } => {
             let mut client = cqa_server::Client::connect(&addr)?;

@@ -62,6 +62,7 @@ pub const METRICS: &[&str] = &[
     "server_rejected_bad_request_total",
     "server_errors_internal_total",
     "server_connections_total",
+    "server_retried_requests_total",
     "server_query_latency",
     "server_queue_wait",
     "server_cache_hits_total",

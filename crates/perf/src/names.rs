@@ -10,9 +10,9 @@
 //! as a second line of defense.
 //!
 //! Naming scheme: `area/detail_unit`, where the trailing `_unit` segment
-//! (`_ns`, `_ms`, `_rps`) both documents the unit and fixes the gate's
-//! direction — `_rps` series are higher-is-better, everything else is a
-//! latency where lower is better.
+//! (`_ns`, `_ms`, `_rps`, `_rate`) both documents the unit and fixes the
+//! gate's direction — `_rps` series are higher-is-better, everything else
+//! (latencies, error rates) is lower-is-better.
 
 /// Every benchmark series the suites may record, sorted.
 pub const SERIES: &[&str] = &[
@@ -24,6 +24,7 @@ pub const SERIES: &[&str] = &[
     "scheme/kl/answer_ns",
     "scheme/klm/answer_ns",
     "scheme/natural/answer_ns",
+    "server/chaos_on_error_rate",
     "server/flight_off_throughput_rps",
     "server/flight_on_throughput_rps",
     "server/latency_p50_ms",
@@ -43,6 +44,8 @@ pub fn is_registered(name: &str) -> bool {
 pub fn unit_of(name: &str) -> &'static str {
     if name.ends_with("_rps") {
         "req/s"
+    } else if name.ends_with("_rate") {
+        "fraction"
     } else if name.ends_with("_ms") {
         "ms"
     } else {
@@ -71,8 +74,11 @@ mod tests {
     fn names_follow_the_scheme() {
         for name in SERIES {
             assert!(
-                name.ends_with("_ns") || name.ends_with("_ms") || name.ends_with("_rps"),
-                "series {name:?} must end in a unit segment (_ns, _ms, _rps)"
+                name.ends_with("_ns")
+                    || name.ends_with("_ms")
+                    || name.ends_with("_rps")
+                    || name.ends_with("_rate"),
+                "series {name:?} must end in a unit segment (_ns, _ms, _rps, _rate)"
             );
             assert!(name.contains('/'), "series {name:?} must be namespaced area/detail");
             assert!(
@@ -92,6 +98,8 @@ mod tests {
         assert_eq!(unit_of("sampler/kl/sample_ns"), "ns/iter");
         assert_eq!(unit_of("server/latency_p999_ms"), "ms");
         assert_eq!(unit_of("server/throughput_rps"), "req/s");
+        assert!(!higher_is_better("server/chaos_on_error_rate"));
+        assert_eq!(unit_of("server/chaos_on_error_rate"), "fraction");
     }
 
     #[test]

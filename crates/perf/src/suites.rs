@@ -17,7 +17,13 @@
 //!    log₂-bucketed, too coarse to gate on;
 //! 5. **flight** — the same throughput measurement with the flight
 //!    recorder disabled vs enabled, pricing the always-on per-request
-//!    digest + span capture (the acceptance bar is < 5% overhead).
+//!    digest + span capture (the acceptance bar is < 5% overhead);
+//! 6. **chaos** — the client-visible error rate under the seeded smoke
+//!    fault plan, through the retrying client: the reliability floor
+//!    (should sit at zero — retries absorb every injected transient).
+//!    The fault-*off* cost of the `fault_point!` probes is covered by the
+//!    existing `server/throughput_rps` gate: chaos is disarmed in every
+//!    other suite, so a probe that stopped being free would regress it.
 //!
 //! Everything runs at a pinned seed/scale from the [`Profile`]; wall-clock
 //! noise is handled downstream by the robust summaries and the gate's
@@ -33,7 +39,7 @@ use cqa_noise::{add_query_aware_noise, NoiseSpec};
 use cqa_qgen::{sqg, SqgSpec};
 use cqa_query::answers;
 use cqa_scenarios::{figures, BenchConfig, Pool};
-use cqa_server::{run_load, LoadSpec, Server, ServerConfig};
+use cqa_server::{run_chaos, run_load, ChaosSpec, LoadSpec, Server, ServerConfig};
 use cqa_storage::Database;
 use cqa_synopsis::{build_synopses, AdmissiblePair, BuildOptions};
 use cqa_tpch::{generate, TpchConfig};
@@ -347,19 +353,53 @@ pub fn suite_flight(profile: &Profile) -> Result<Vec<Series>> {
     ])
 }
 
+/// Suite 6: the chaos harness's reliability floor. Each round replays the
+/// seeded smoke plan (submit rejections, torn writes, shard-lock delays)
+/// against a fresh in-process server through the retrying client, then
+/// records the fraction of requests that still ended in an error envelope
+/// after retries. Any rise above zero means retries stopped absorbing
+/// injected transients. Invariant violations (diverged answers, transport
+/// errors surviving the budget) fail the suite outright rather than
+/// recording a bogus rate.
+pub fn suite_chaos(profile: &Profile) -> Result<Vec<Series>> {
+    let db = generate(TpchConfig { scale: profile.scale, seed: profile.seed });
+    let mut rates = Vec::new();
+    // Three rounds: enough for a spread without paying the offline-driver
+    // baseline (one apx_cqa run per distinct request seed) many times.
+    for round in 0..3u64 {
+        let plan = cqa_chaos::FaultPlan::preset("smoke", profile.seed ^ round)
+            .expect("smoke is a registered preset");
+        let mut spec = ChaosSpec::new("Q(rn) :- region(rk, rn)", plan);
+        spec.eps = profile.eps;
+        spec.delta = profile.delta;
+        spec.clients = 2;
+        spec.requests = 8;
+        let report = run_chaos(db.clone(), &spec)?;
+        if !report.passed() {
+            return Err(cqa_common::CqaError::InvalidParameter(format!(
+                "chaos suite violated reliability invariants: {:?}",
+                report.violations
+            )));
+        }
+        rates.push(report.structured_errors as f64 / report.total_requests as f64);
+    }
+    Ok(vec![bench_series("server/chaos_on_error_rate", &Summary::from_samples(&rates))?])
+}
+
 /// A registered suite: a name and the function producing its series.
 type Suite = (&'static str, fn(&Profile) -> Result<Vec<Series>>);
 
 /// Runs every suite in registry order, with progress lines on stderr.
 pub fn run_all(profile: &Profile) -> Result<Vec<Series>> {
     let mut out = Vec::new();
-    let suites: [Suite; 6] = [
+    let suites: [Suite; 7] = [
         ("samplers", suite_samplers),
         ("schemes", suite_schemes),
         ("synopsis", suite_synopsis),
         ("figure", suite_figure),
         ("server", suite_server),
         ("flight", suite_flight),
+        ("chaos", suite_chaos),
     ];
     for (name, suite) in suites {
         eprintln!("[cqa-perf] suite {name} ...");

@@ -163,6 +163,15 @@ impl SynopsisCache {
     /// wire text; a hit whose entry was built under a *different* literal
     /// text is counted as a canonical rekey.
     pub fn get(&self, key: &CacheKey, literal_fp: u64) -> Option<Arc<SynopsisSet>> {
+        // Chaos: a failed shard-lock acquisition or a dropped lookup both
+        // degrade to a miss — the caller rebuilds the synopsis and still
+        // answers correctly, the cache just doesn't help.
+        if cqa_chaos::fault_point!("cache/shard_lock").is_some()
+            || cqa_chaos::fault_point!("cache/lookup").is_some()
+        {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let mut shard = self.shard(key).lock();
         shard.clock += 1;
         let stamp = shard.clock;
@@ -191,6 +200,11 @@ impl SynopsisCache {
         literal_fp: u64,
         value: Arc<SynopsisSet>,
     ) -> Option<Arc<SynopsisSet>> {
+        // Chaos: a failed insert skips caching — the value is still
+        // returned to the requester, later requests rebuild it.
+        if cqa_chaos::fault_point!("cache/insert").is_some() {
+            return None;
+        }
         let mut shard = self.shard(&key).lock();
         shard.clock += 1;
         let stamp = shard.clock;

@@ -23,18 +23,27 @@
 //!   digest in the always-on [`cqa_obs::flight`] recorder, dumped by the
 //!   protocol's `debug flight` / `debug slowlog` commands.
 //! * [`client`] — the blocking client library the CLI subcommands use.
+//! * [`retry`] — the retrying client layer: exponential backoff with
+//!   jitter under a budget, reconnect on transport errors, retry only on
+//!   retryable structured errors (see `docs/RELIABILITY.md`).
 //! * [`loadgen`] — the closed-loop load generator behind `cqa-cli
 //!   bench-serve` and the `cqa-perf` server suite.
+//! * [`chaos`] — the chaos runner behind `cqa-cli chaos`: replays
+//!   bench-serve load under a seeded [`cqa_chaos`] fault plan and checks
+//!   the reliability invariants.
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod loadgen;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
 pub use cache::{CacheKey, CacheStats, SynopsisCache};
+pub use chaos::{run_chaos, ChaosReport, ChaosSpec};
 pub use client::Client;
 pub use loadgen::{run_load, LoadReport, LoadSpec};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
@@ -43,4 +52,5 @@ pub use protocol::{
     DebugTarget, ErrorKind, QueryRequest, Request, Response, StatsFormat, WireAnswer, WireDigest,
     WireSlowlogEntry, PROTOCOL_VERSION,
 };
+pub use retry::{RetryPolicy, RetryingClient};
 pub use server::{Server, ServerConfig, ServerHandle};

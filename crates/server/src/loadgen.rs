@@ -150,6 +150,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport> {
         timeout_ms: spec.timeout_ms,
         seed,
         request_id: None,
+        attempt: 0,
     };
     let spelled = |req_seed: u64| -> Result<String> {
         if spec.permute {

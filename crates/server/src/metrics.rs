@@ -35,6 +35,10 @@ pub struct Metrics {
     pub errors_internal: Counter,
     /// Connections accepted over the listener's lifetime.
     pub connections: Counter,
+    /// Query requests that arrived stamped `attempt > 0` — retries whose
+    /// earlier attempts hit a transient fault the client retry layer
+    /// absorbed.
+    pub retried_requests: Counter,
     /// End-to-end latency of successful `query` requests, admission to
     /// response.
     pub query_latency: LatencyHistogram,
@@ -70,7 +74,7 @@ impl Default for Metrics {
 
 /// A plain-data copy of [`Metrics`] plus the cache counters, as reported
 /// to clients.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Protocol requests accepted for processing.
     pub requests: u64,
@@ -86,6 +90,8 @@ pub struct MetricsSnapshot {
     pub errors_internal: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Query requests that arrived stamped as retries (`attempt > 0`).
+    pub retried_requests: u64,
     /// Successful-query latency count.
     pub latency_count: u64,
     /// Mean latency, milliseconds.
@@ -145,6 +151,10 @@ impl Metrics {
             "server_connections_total",
             "Connections accepted over the listener's lifetime.",
         );
+        let retried_requests = registry.counter(
+            "server_retried_requests_total",
+            "Query requests that arrived stamped as retries (attempt > 0).",
+        );
         let query_latency = registry.histogram(
             "server_query_latency",
             "End-to-end latency of successful query requests, admission to response.",
@@ -184,6 +194,7 @@ impl Metrics {
             rejected_bad_request,
             errors_internal,
             connections,
+            retried_requests,
             query_latency,
             queue_wait,
             slow_requests,
@@ -229,6 +240,7 @@ impl Metrics {
             rejected_bad_request: self.rejected_bad_request.get(),
             errors_internal: self.errors_internal.get(),
             connections: self.connections.get(),
+            retried_requests: self.retried_requests.get(),
             latency_count: self.query_latency.count(),
             latency_mean_ms: self.query_latency.mean_ms(),
             latency_p50_ms: latency_qs[0],
@@ -283,6 +295,7 @@ impl MetricsSnapshot {
             ("rejected_bad_request", Json::from(self.rejected_bad_request)),
             ("errors_internal", Json::from(self.errors_internal)),
             ("connections", Json::from(self.connections)),
+            ("retried_requests", Json::from(self.retried_requests)),
             ("latency_count", Json::from(self.latency_count)),
             ("latency_mean_ms", Json::from(self.latency_mean_ms)),
             ("latency_p50_ms", Json::from(self.latency_p50_ms)),
@@ -321,6 +334,8 @@ impl MetricsSnapshot {
             rejected_bad_request: int(v, "rejected_bad_request")?,
             errors_internal: int(v, "errors_internal")?,
             connections: int(v, "connections")?,
+            // Absent in payloads from servers predating the retry layer.
+            retried_requests: v.get("retried_requests").and_then(Json::as_u64).unwrap_or(0),
             latency_count: int(v, "latency_count")?,
             latency_mean_ms: v.req_f64("latency_mean_ms")?,
             latency_p50_ms: v.req_f64("latency_p50_ms")?,

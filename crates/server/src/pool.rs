@@ -68,8 +68,21 @@ impl WorkerPool {
                 std::thread::Builder::new().name(format!("cqa-worker-{i}")).spawn(move || {
                     // Exits when every sender is gone (pool drop).
                     for job in rx.iter() {
-                        // cqa-lint: allow(opaque-call): jobs are the boxed closures built in server.rs, which the request-path seeds already cover
-                        job();
+                        // A panicking job (injected panic-in-worker, or a
+                        // latent bug the no-panic lint missed) must not
+                        // take the worker down: contain it, keep serving.
+                        // The fault point sits inside the containment so
+                        // an injected panic exercises the same path.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            // Chaos: a dropped handoff discards the job;
+                            // its reply channel closes and the dispatcher
+                            // answers a structured `internal` error.
+                            if cqa_chaos::fault_point!("pool/handoff").is_some() {
+                                return;
+                            }
+                            // cqa-lint: allow(opaque-call): jobs are the boxed closures built in server.rs, which the request-path seeds already cover
+                            job();
+                        }));
                     }
                 })
             })
@@ -86,6 +99,11 @@ impl WorkerPool {
         let Some(tx) = self.tx.as_ref() else {
             return Err(SubmitError::Shutdown);
         };
+        // Chaos: an injected submit failure is indistinguishable from a
+        // full queue — the caller sheds the request as `overloaded`.
+        if cqa_chaos::fault_point!("pool/submit").is_some() {
+            return Err(SubmitError::Full { depth: self.queue_depth });
+        }
         match tx.try_send(Box::new(job)) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(SubmitError::Full { depth: self.queue_depth }),
@@ -213,6 +231,22 @@ mod tests {
         pool.close();
         assert_eq!(pool.try_submit(|| {}), Err(SubmitError::Shutdown));
         assert_eq!(pool.queue_len(), 0, "a closed pool reports an empty queue");
+    }
+
+    /// A panicking job must not kill its worker: the pool stays at full
+    /// strength and keeps running subsequent jobs. This is the containment
+    /// that makes the chaos harness's `panic-in-worker` fault survivable.
+    #[test]
+    fn worker_survives_a_panicking_job() {
+        let pool = WorkerPool::new(PoolConfig { workers: 1, queue_depth: 8 }).unwrap();
+        pool.try_submit(|| panic!("injected job panic")).unwrap();
+        let (done_tx, done_rx) = mpsc::channel::<bool>();
+        // Same single worker: it must have survived to run this.
+        pool.try_submit(move || {
+            done_tx.send(true).unwrap();
+        })
+        .unwrap();
+        assert!(done_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap());
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub struct QueryRequest {
     /// [`MAX_REQUEST_ID_BYTES`] bytes; `None` lets the server generate
     /// one.
     pub request_id: Option<String>,
+    /// Which delivery attempt this is, 0 for the first. Retrying clients
+    /// stamp their retries (1, 2, …) so the server can count absorbed
+    /// transient faults (`server_retried_requests_total`); 0 is not
+    /// serialized, so first attempts look exactly as before.
+    pub attempt: u64,
 }
 
 impl Default for QueryRequest {
@@ -77,6 +82,7 @@ impl Default for QueryRequest {
             timeout_ms: None,
             seed: 42,
             request_id: None,
+            attempt: 0,
         }
     }
 }
@@ -151,6 +157,9 @@ impl Request {
                 }
                 if let Some(id) = &q.request_id {
                     pairs.push(("request_id", Json::str(id)));
+                }
+                if q.attempt > 0 {
+                    pairs.push(("attempt", Json::from(q.attempt)));
                 }
                 Json::obj(pairs)
             }
@@ -244,6 +253,9 @@ impl Request {
                     }
                     None => None,
                 };
+                // Lenient: requests from clients predating the retry layer
+                // simply have no 'attempt' and parse as a first attempt.
+                let attempt = v.get("attempt").and_then(Json::as_u64).unwrap_or(0);
                 Ok(Request::Query(QueryRequest {
                     query: v.req_str("query")?.to_owned(),
                     scheme,
@@ -252,6 +264,7 @@ impl Request {
                     timeout_ms,
                     seed,
                     request_id,
+                    attempt,
                 }))
             }
             "stats" => {
@@ -304,6 +317,19 @@ impl ErrorKind {
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Whether a client may safely retry the same request as-is. Requests
+    /// are stateless, so everything transient is retryable: `overloaded`
+    /// (the queue will drain) and `internal` (the fault is not the
+    /// request's doing). `bad_request` will fail identically forever, and
+    /// `deadline_exceeded` means the budget is spent — retrying under the
+    /// same deadline would just lose again.
+    pub fn retryable(self) -> bool {
+        match self {
+            ErrorKind::Overloaded | ErrorKind::Internal => true,
+            ErrorKind::DeadlineExceeded | ErrorKind::BadRequest => false,
         }
     }
 
@@ -611,6 +637,7 @@ impl Response {
             Response::Error { kind, message } => Json::obj([
                 ("ok", Json::from(false)),
                 ("error", Json::str(kind.name())),
+                ("retryable", Json::from(kind.retryable())),
                 ("message", Json::str(message.clone())),
             ]),
         };
@@ -710,11 +737,27 @@ mod tests {
             timeout_ms: Some(750),
             seed: 7,
             request_id: Some("client-req-9".into()),
+            attempt: 2,
         });
         let line = req.to_line();
         assert!(line.contains("\"v\":1"), "{line}");
         assert!(line.contains("\"request_id\":\"client-req-9\""), "{line}");
+        assert!(line.contains("\"attempt\":2"), "{line}");
         assert_eq!(Request::from_line(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn attempt_is_optional_and_lenient() {
+        // First attempts (0) are not serialized — the wire line looks
+        // exactly as it did before the retry layer existed.
+        let first =
+            Request::Query(QueryRequest { query: "Q() :- r(x)".into(), ..Default::default() });
+        assert!(!first.to_line().contains("attempt"), "{}", first.to_line());
+        // And a line without the field parses as a first attempt.
+        match Request::from_line(r#"{"v":1,"cmd":"query","query":"Q() :- r(x)"}"#).unwrap() {
+            Request::Query(q) => assert_eq!(q.attempt, 0),
+            other => panic!("wrong request {other:?}"),
+        }
     }
 
     #[test]
@@ -824,6 +867,28 @@ mod tests {
             let line = resp.to_line();
             assert!(line.contains(kind.name()));
             assert_eq!(Response::from_line(&line).unwrap(), resp);
+        }
+    }
+
+    /// The `retryable` flag rides on every error envelope and is derived
+    /// from the kind, so clients can branch without a kind table — and
+    /// old payloads without the flag still parse (it is never required).
+    #[test]
+    fn error_envelope_carries_retryable() {
+        for (kind, expect) in [
+            (ErrorKind::Overloaded, true),
+            (ErrorKind::Internal, true),
+            (ErrorKind::DeadlineExceeded, false),
+            (ErrorKind::BadRequest, false),
+        ] {
+            assert_eq!(kind.retryable(), expect, "{}", kind.name());
+            let line = Response::Error { kind, message: "m".into() }.to_line();
+            assert!(line.contains(&format!("\"retryable\":{expect}")), "{line}");
+        }
+        let old = r#"{"ok":false,"error":"overloaded","message":"queue full"}"#;
+        match Response::from_line(old).unwrap() {
+            Response::Error { kind, .. } => assert!(kind.retryable()),
+            other => panic!("wrong response {other:?}"),
         }
     }
 

@@ -224,13 +224,35 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             Ok(l) => l,
             Err(_) => break, // client hung up mid-line
         };
+        // Chaos: an injected read failure drops the connection before the
+        // request is processed, exactly like a client hang-up mid-line.
+        if cqa_chaos::fault_point!("protocol/read").is_some() {
+            break;
+        }
         if line.trim().is_empty() {
             continue;
         }
         let response = handle_line(shared, &line);
         let mut payload = response.to_line();
         payload.push('\n');
+        // Chaos: a failed write hangs up without answering; a short write
+        // sends a truncated line first, so the client must also survive
+        // torn NDJSON, not just clean disconnects.
+        match cqa_chaos::fault_point!("protocol/write") {
+            Some(cqa_chaos::Fault::ShortWrite) => {
+                let torn = payload.as_bytes().get(..payload.len() / 2).unwrap_or_default();
+                let _ = writer.write_all(torn);
+                break;
+            }
+            Some(_) => break,
+            None => {}
+        }
         if writer.write_all(payload.as_bytes()).is_err() {
+            break;
+        }
+        // Chaos: a failed flush is a hang-up after the kernel may or may
+        // not have pushed the bytes — the ambiguous case clients fear.
+        if cqa_chaos::fault_point!("protocol/flush").is_some() {
             break;
         }
         let _ = writer.flush();
@@ -288,6 +310,12 @@ fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
         }
     };
     let scheme_name = q.scheme.name();
+    // Retries announce themselves so absorbed transient faults are
+    // visible in `stats` even though every attempt looks like a fresh
+    // request otherwise.
+    if q.attempt > 0 {
+        shared.metrics.retried_requests.inc();
+    }
     // The deadline starts at admission: time spent queued counts.
     let deadline = match q.timeout_ms.or(shared.default_timeout_ms) {
         Some(ms) => Deadline::after(Duration::from_millis(ms)),
@@ -368,11 +396,17 @@ fn dispatch_query(shared: &Arc<Shared>, q: QueryRequest) -> Response {
             response
         }
         Err(_) => {
+            // The worker discarded the job or panicked mid-request (the
+            // pool contains the panic); the client still gets a
+            // structured, retryable answer, and the flight recorder still
+            // gets a digest — no worker ran, so it is rejection-shaped.
             shared.metrics.errors_internal.inc();
-            Response::Error {
+            let response = Response::Error {
                 kind: ErrorKind::Internal,
                 message: "worker dropped the request".to_owned(),
-            }
+            };
+            record_rejection(shared, &request_id, scheme_name, &response, admitted_micros);
+            response
         }
     }
 }
@@ -454,7 +488,9 @@ fn run_query(
     query_fp: &mut u64,
 ) -> Response {
     let mut req_span = cqa_obs::span_args("server/request", q.seed, 0);
-    if deadline.expired() {
+    // Chaos: an injected deadline fault is a premature expiry — the
+    // admission-time check fires as if queue wait had eaten the budget.
+    if deadline.expired() || cqa_chaos::fault_point!("server/deadline").is_some() {
         return Response::Error {
             kind: ErrorKind::DeadlineExceeded,
             message: "deadline expired while queued".to_owned(),
@@ -479,7 +515,14 @@ fn run_query(
         None => {
             let options = BuildOptions { deadline: Some(deadline), max_homs: None };
             let build_span = cqa_obs::span("server/synopsis_build");
-            let built = build_synopses(&shared.db, &cq, options);
+            // Chaos: a failed synopsis build (the allocation-heavy phase)
+            // surfaces as `internal`, which is retryable — the next
+            // attempt rebuilds from scratch.
+            let built = if cqa_chaos::fault_point!("synopsis/build").is_some() {
+                Err(CqaError::InvalidSynopsis("injected fault at synopsis/build".to_owned()))
+            } else {
+                build_synopses(&shared.db, &cq, options)
+            };
             drop(build_span);
             match built {
                 Ok(syn) => {

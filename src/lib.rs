@@ -57,9 +57,11 @@
 //! | [`qgen`] | `cqa-qgen` | static + dynamic query generators |
 //! | [`scenarios`] | `cqa-scenarios` | scenario families and figure pipelines |
 //! | [`server`] | `cqa-server` | TCP daemon: synopsis cache, worker pool, metrics |
-//! | [`obs`] | `cqa-obs` | span tracing, Chrome trace export, metrics registry |
+//! | [`obs`] | `cqa-obs` | span tracing, flight recorder, metrics registry |
 //! | [`perf`] | `cqa-perf` | continuous benchmarking: suites, `BENCH_<pr>.json`, gates |
+//! | [`chaos`] | `cqa-chaos` | deterministic fault injection for the request path |
 
+pub use cqa_chaos as chaos;
 pub use cqa_common as common;
 pub use cqa_core as core;
 pub use cqa_noise as noise;

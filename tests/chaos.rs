@@ -1,0 +1,124 @@
+//! Chaos-suite integration tests: seeded fault plans replayed against a
+//! real in-process server, asserting the reliability invariants from
+//! `docs/RELIABILITY.md` — no abort, every request resolves, answers stay
+//! bit-identical to the offline driver, failures leave a flight-recorder
+//! trace.
+//!
+//! Fault injection is process-global state, so every test here holds
+//! `CHAOS_LOCK` for its full body; other test binaries are other
+//! processes and never see these plans.
+
+use cqa::chaos::{FaultKind, FaultPlan, FaultRule, Trigger};
+use cqa::prelude::*;
+use cqa::server::{run_chaos, ChaosSpec};
+use cqa_noise::{add_query_aware_noise, NoiseSpec};
+use std::sync::Mutex;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+const QUERY: &str = "Q(rn) :- region(rk, rn)";
+
+/// A small inconsistent TPC-H-like instance; deterministic in `seed`.
+fn noisy_db(seed: u64) -> Database {
+    let base = cqa_tpch::generate(cqa_tpch::TpchConfig { scale: 0.0003, seed });
+    let q = parse(base.schema(), QUERY).unwrap();
+    let mut rng = Mt64::new(seed);
+    let (noisy, _) =
+        add_query_aware_noise(&base, &q, NoiseSpec { p: 1.0, lmin: 2, umax: 3 }, &mut rng).unwrap();
+    noisy
+}
+
+fn spec(plan: FaultPlan, clients: usize, requests: usize) -> ChaosSpec {
+    let mut spec = ChaosSpec::new(QUERY, plan);
+    spec.clients = clients;
+    spec.requests = requests;
+    spec
+}
+
+/// The ISSUE's acceptance run: every fault point erroring at once, and
+/// every invariant still holding.
+#[test]
+fn all_points_error_plan_keeps_every_invariant() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = FaultPlan::preset("all-points-error", 42).unwrap();
+    let report = run_chaos(noisy_db(7), &spec(plan, 2, 8)).unwrap();
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    assert!(report.injections() > 0, "the plan must actually inject: {:#?}", report.points);
+    assert_eq!(
+        report.answers_ok + report.structured_errors,
+        report.total_requests,
+        "every request resolves to an answer or a documented structured error"
+    );
+    // Errors were injected server-side, so the flight recorder must have
+    // captured failures even though clients retried them away.
+    assert!(report.flight_error_digests > 0, "flight recorder saw no failure");
+}
+
+/// Injected delays slow requests down but never change outcomes.
+#[test]
+fn all_points_delay_plan_only_costs_latency() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = FaultPlan::preset("all-points-delay", 11).unwrap();
+    let report = run_chaos(noisy_db(7), &spec(plan, 2, 6)).unwrap();
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    assert!(report.injections() > 0);
+    assert_eq!(report.answers_ok, report.total_requests, "delays must not fail requests");
+}
+
+/// A worker panic is contained by the pool: the client sees a structured
+/// `internal` error (retryable) and the server keeps serving.
+#[test]
+fn worker_panic_is_contained_and_retried() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = FaultPlan::preset("worker-panic", 42).unwrap();
+    // One client: the pool sees a deterministic job sequence, so the
+    // nth-hit trigger fires on a fixed schedule.
+    let report = run_chaos(noisy_db(7), &spec(plan, 1, 12)).unwrap();
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    assert!(report.injections() > 0, "nth-hit panics must fire: {:#?}", report.points);
+    assert!(report.retries > 0, "panicked requests come back as retryable internal errors");
+    assert!(report.server.retried_requests > 0, "the server must see stamped retries");
+}
+
+/// Torn writes produce unparseable half-lines; the client reconnects and
+/// retries until it gets a whole answer.
+#[test]
+fn short_writes_force_reconnects_not_failures() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = FaultPlan::preset("short-write", 42).unwrap();
+    let report = run_chaos(noisy_db(7), &spec(plan, 1, 12)).unwrap();
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    assert!(report.injections() > 0, "short writes must fire: {:#?}", report.points);
+    assert!(report.reconnects > 0, "a torn line must tear down the connection");
+    assert_eq!(report.answers_ok, report.total_requests, "retries absorb every torn write");
+}
+
+/// The one fault point outside the serving path: a dump-load fault
+/// surfaces as a structured parse error, and clears with the plan.
+#[test]
+fn dump_load_fault_is_a_structured_error() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("cqa_chaos_dump_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.dump");
+    cqa_storage::dump_to_file(&noisy_db(3), &path).unwrap();
+    let plan = FaultPlan {
+        seed: 1,
+        rules: vec![FaultRule {
+            point: "storage/dump_load".to_owned(),
+            kind: FaultKind::Error,
+            trigger: Trigger::NthHit(1),
+        }],
+    };
+    cqa::chaos::arm(&plan).unwrap();
+    let err = cqa_storage::load_from_file(&path).unwrap_err();
+    cqa::chaos::disarm();
+    assert!(
+        err.to_string().contains("injected fault at storage/dump_load"),
+        "unexpected error: {err}"
+    );
+    let db = cqa_storage::load_from_file(&path).unwrap();
+    assert!(db.fact_count() > 0, "disarmed loads must succeed");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+}

@@ -1,0 +1,8 @@
+// One typo'd point name among registered ones: exactly one finding.
+
+pub fn plant() {
+    if cqa_chaos::fault_point!("demo/prase").is_some() {
+        return;
+    }
+    let _ = cqa_chaos::fault_point!("demo/write");
+}

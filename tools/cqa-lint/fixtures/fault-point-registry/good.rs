@@ -1,0 +1,19 @@
+// Registered literals, a computed name (the runtime registry check's
+// job), and the macro definition site itself: none fire.
+
+pub fn plant() {
+    if cqa_chaos::fault_point!("demo/parse").is_some() {
+        return;
+    }
+    let _ = cqa_chaos::fault_point!("demo/write");
+}
+
+pub fn computed(name: &str) {
+    let _ = cqa_chaos::fault_point!(name);
+}
+
+macro_rules! fault_point {
+    ($name:literal) => {
+        None::<()>
+    };
+}

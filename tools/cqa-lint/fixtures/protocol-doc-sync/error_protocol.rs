@@ -1,0 +1,24 @@
+// A miniature ErrorKind with both wire-name directions; the extractor
+// reads the `from_name` parse table only.
+
+pub enum ErrorKind {
+    Overloaded,
+    BadRequest,
+}
+
+impl ErrorKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::BadRequest => "bad_request",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<ErrorKind> {
+        match name {
+            "overloaded" => Some(ErrorKind::Overloaded),
+            "bad_request" => Some(ErrorKind::BadRequest),
+            _ => None,
+        }
+    }
+}

@@ -4,9 +4,9 @@
 //! relies on — "no panics reachable from the server's request path", "no
 //! heap allocation reachable from the per-sample loops", "estimator math
 //! never wraps or truncates", "all randomness flows from the seeded root
-//! RNG", "every `unsafe` carries its proof", "observability and benchmark
-//! series names come from their registries", "the wire protocol and its
-//! document agree".
+//! RNG", "every `unsafe` carries its proof", "observability, benchmark
+//! series, and fault-point names come from their registries", "the wire
+//! protocol and its document agree".
 //! `cqa-lint` enforces them with a hand-rolled lexer ([`lexer`]), an item
 //! parser ([`parser`]), and a conservative workspace call graph
 //! ([`callgraph`]) that turns the panic/alloc/RNG rules into transitive
@@ -35,6 +35,9 @@ pub const REGISTRY_FILE: &str = "crates/obs/src/names.rs";
 /// Repo-relative path of the benchmark series name registry; exempt from
 /// the `bench-name-registry` rule the same way.
 pub const PERF_REGISTRY_FILE: &str = "crates/perf/src/names.rs";
+/// Repo-relative path of the fault-point name registry, the source of
+/// truth for the `fault-point-registry` rule.
+pub const CHAOS_REGISTRY_FILE: &str = "crates/chaos/src/points.rs";
 /// Repo-relative path of the wire-protocol implementation.
 pub const PROTOCOL_FILE: &str = "crates/server/src/protocol.rs";
 /// Repo-relative path of the wire-protocol document.
@@ -138,6 +141,7 @@ pub fn check_sources(sources: &[(String, String)], registry: &NameRegistry) -> V
         if rel != PERF_REGISTRY_FILE {
             findings.extend(rules::bench_names(&lexed, &stripped, rel, registry));
         }
+        findings.extend(rules::fault_points(&lexed, &stripped, rel, registry));
         parsed_v.push(parser::parse_file(rel, &stripped));
         lexed_v.push(lexed);
         stripped_v.push(stripped);
@@ -180,6 +184,13 @@ pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
         )));
     }
     registry.merge(perf_registry);
+    let chaos_registry = NameRegistry::parse(&read(&root.join(CHAOS_REGISTRY_FILE))?);
+    if chaos_registry.points.is_empty() {
+        return Err(CheckError(format!(
+            "{CHAOS_REGISTRY_FILE} yielded an empty POINTS registry — refusing to lint against it"
+        )));
+    }
+    registry.merge(chaos_registry);
 
     let mut sources = Vec::new();
     for (abs, rel) in source_files(root)? {
@@ -187,11 +198,27 @@ pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
     }
     let mut findings = check_sources(&sources, &registry);
 
+    // Reverse direction of fault-point-registry: every registered point
+    // must be planted somewhere outside #[cfg(test)] code.
+    let mut planted = std::collections::BTreeSet::new();
+    for (_, src) in &sources {
+        planted
+            .extend(rules::fault_point_call_sites(&lexer::strip_cfg_test(&lexer::lex(src).toks)));
+    }
+    findings.extend(rules::fault_point_sync(&registry.points, &planted, CHAOS_REGISTRY_FILE));
+
     if let Some((_, proto_src)) = sources.iter().find(|(rel, _)| rel == PROTOCOL_FILE) {
         let stripped = lexer::strip_cfg_test(&lexer::lex(proto_src).toks);
+        let doc = read(&root.join(PROTOCOL_DOC))?;
         let code_keys = rules::protocol_code_keys(&stripped);
-        let doc_keys = rules::protocol_doc_keys(&read(&root.join(PROTOCOL_DOC))?);
+        let doc_keys = rules::protocol_doc_keys(&doc);
         findings.extend(rules::protocol_sync(&code_keys, &doc_keys, PROTOCOL_FILE, PROTOCOL_DOC));
+        findings.extend(rules::error_table_sync(
+            &rules::protocol_error_kinds(&stripped),
+            &rules::protocol_doc_error_kinds(&doc),
+            PROTOCOL_FILE,
+            PROTOCOL_DOC,
+        ));
     }
 
     sort_dedup(&mut findings);

@@ -31,9 +31,10 @@ pub const OPAQUE: &str = "opaque-call";
 pub const CHECKED_MATH: &str = "checked-estimator-math";
 pub const RNG_FLOW: &str = "rng-flow";
 pub const SUPPRESSION: &str = "suppression-needs-reason";
+pub const FAULT_POINTS: &str = "fault-point-registry";
 
 /// Every rule name, for validating `allow(...)` suppressions.
-pub const ALL_RULES: [&str; 10] = [
+pub const ALL_RULES: [&str; 11] = [
     NO_PANIC,
     NO_ALLOC,
     SAFETY,
@@ -44,6 +45,7 @@ pub const ALL_RULES: [&str; 10] = [
     CHECKED_MATH,
     RNG_FLOW,
     SUPPRESSION,
+    FAULT_POINTS,
 ];
 
 /// One rule violation.
@@ -521,36 +523,43 @@ fn has_safety_comment_above(lexed: &Lexed, line: u32) -> bool {
 
 /// The central name registries: span/metric/flight-digest-field names
 /// parsed from `crates/obs/src/names.rs`, benchmark series names from
-/// `crates/perf/src/names.rs`.
+/// `crates/perf/src/names.rs`, fault-point names from
+/// `crates/chaos/src/points.rs`.
 #[derive(Debug, Clone, Default)]
 pub struct NameRegistry {
     pub spans: BTreeSet<String>,
     pub metrics: BTreeSet<String>,
     pub series: BTreeSet<String>,
     pub fields: BTreeSet<String>,
+    pub points: BTreeSet<String>,
 }
 
 impl NameRegistry {
     /// Parses a registry source: the string literals of the `SPANS`,
-    /// `METRICS`, `SERIES`, and `FIELDS` const arrays (a file defining
-    /// only some of the four yields empty sets for the rest).
+    /// `METRICS`, `SERIES`, `FIELDS`, and `POINTS` const arrays (a file
+    /// defining only some of the five yields empty sets for the rest).
     pub fn parse(src: &str) -> NameRegistry {
-        let lexed = crate::lexer::lex(src);
+        // Registries are defined in non-test code; stripping `#[cfg(test)]`
+        // keeps a test module's stray literals (e.g. a negative-lookup
+        // probe name) out of the allowed set.
+        let toks = crate::lexer::strip_cfg_test(&crate::lexer::lex(src).toks);
         NameRegistry {
-            spans: const_array_strings(&lexed.toks, "SPANS"),
-            metrics: const_array_strings(&lexed.toks, "METRICS"),
-            series: const_array_strings(&lexed.toks, "SERIES"),
-            fields: const_array_strings(&lexed.toks, "FIELDS"),
+            spans: const_array_strings(&toks, "SPANS"),
+            metrics: const_array_strings(&toks, "METRICS"),
+            series: const_array_strings(&toks, "SERIES"),
+            fields: const_array_strings(&toks, "FIELDS"),
+            points: const_array_strings(&toks, "POINTS"),
         }
     }
 
     /// Merges another registry's names into this one (used to combine the
-    /// obs and perf registry files into one lookup).
+    /// obs, perf, and chaos registry files into one lookup).
     pub fn merge(&mut self, other: NameRegistry) {
         self.spans.extend(other.spans);
         self.metrics.extend(other.metrics);
         self.series.extend(other.series);
         self.fields.extend(other.fields);
+        self.points.extend(other.points);
     }
 }
 
@@ -569,22 +578,26 @@ fn const_array_strings(toks: &[Tok], name: &str) -> BTreeSet<String> {
             while j < toks.len() && !toks[j].is_punct('[') && !toks[j].is_punct(';') {
                 j += 1;
             }
-            let mut depth = 0usize;
-            while j < toks.len() {
-                match &toks[j].kind {
-                    TokKind::Punct('[') => depth += 1,
-                    TokKind::Punct(']') => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
+            // A non-definition mention (`POINTS.iter()`, `POINTS[i]`…) has
+            // no `= … [` ahead of its statement's `;` — collect nothing.
+            if toks.get(j).is_some_and(|t| t.is_punct('[')) {
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('[') => depth += 1,
+                        TokKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
                         }
+                        TokKind::Str => {
+                            out.insert(toks[j].text.clone());
+                        }
+                        _ => {}
                     }
-                    TokKind::Str => {
-                        out.insert(toks[j].text.clone());
-                    }
-                    _ => {}
+                    j += 1;
                 }
-                j += 1;
             }
             i = j;
         }
@@ -722,6 +735,100 @@ fn first_literal_in_parens(toks: &[Tok], open: usize) -> Option<&Tok> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: fault-point-registry
+// ---------------------------------------------------------------------------
+
+/// Flags `fault_point!` name literals not present in the registry
+/// (`crates/chaos/src/points.rs`). An unregistered point is worse than a
+/// typo'd metric: `cqa_chaos::trigger` cannot key a counter for it, no
+/// preset plan ever exercises it, and the guarantee table in
+/// `docs/RELIABILITY.md` never documents what clients observe when it
+/// fires — the boundary silently falls out of the chaos suite.
+pub fn fault_points(lexed: &Lexed, toks: &[Tok], file: &str, reg: &NameRegistry) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "fault_point" {
+            continue;
+        }
+        // Accept `fault_point!(…)` and a bare `fault_point(…)`; the
+        // `macro_rules! fault_point {` definition site is followed by `{`
+        // and never matches.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is_punct('!')) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let Some(name_tok) = first_literal_in_parens(toks, j) else { continue };
+        if !reg.points.contains(&name_tok.text) {
+            push(
+                &mut out,
+                lexed,
+                FAULT_POINTS,
+                file,
+                name_tok.line,
+                format!(
+                    "fault point {:?} is not in the registry (crates/chaos/src/points.rs)",
+                    name_tok.text
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Collects every registered-or-not fault-point name literal passed to a
+/// `fault_point!` call in the token stream — the reverse-direction input
+/// for [`fault_point_sync`].
+pub fn fault_point_call_sites(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "fault_point" {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is_punct('!')) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if let Some(name_tok) = first_literal_in_parens(toks, j) {
+            out.insert(name_tok.text.clone());
+        }
+    }
+    out
+}
+
+/// The reverse direction of `fault-point-registry`: every name in the
+/// `POINTS` registry must have at least one `fault_point!` call site
+/// outside `#[cfg(test)]` code. A dead entry means a fault plan targeting
+/// it injects nothing — the chaos suite reports a clean pass for a
+/// boundary it never actually perturbed.
+pub fn fault_point_sync(
+    points: &BTreeSet<String>,
+    call_sites: &BTreeSet<String>,
+    registry_file: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for point in points {
+        if !call_sites.contains(point) {
+            out.push(Finding {
+                rule: FAULT_POINTS,
+                file: registry_file.to_owned(),
+                line: 0,
+                message: format!(
+                    "registered fault point {point:?} has no fault_point! call site outside \
+                     tests (dead registry entry, or the boundary lost its probe)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Rule 5: protocol-doc-sync
 // ---------------------------------------------------------------------------
 
@@ -825,6 +932,113 @@ pub fn protocol_sync(
                 line: 0,
                 message: format!(
                     "documented wire field {key:?} does not appear in {code_file} (stale doc, or add it to DOC_ONLY_KEYS if it moved into a nested payload)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts the wire error-kind names from `protocol.rs`: the string
+/// literals inside the body of `fn from_name`, which is the exhaustive
+/// wire-name → [`ErrorKind`] parse table (the `name()` direction holds the
+/// same literals, so either would do; `from_name` is the one a stale doc
+/// row would silently disagree with).
+pub fn protocol_error_kinds(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") || !toks.get(i + 1).is_some_and(|n| n.is_ident("from_name")) {
+            continue;
+        }
+        // Skip to the body's opening brace, then collect string literals
+        // to the matching close.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Str => {
+                    out.insert(toks[j].text.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Extracts the documented error kinds from `docs/PROTOCOL.md`: the
+/// backticked first-column names of every markdown table row under a
+/// heading that mentions errors. Tables in other sections (the request
+/// and stats field tables) are ignored.
+pub fn protocol_doc_error_kinds(doc: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_error_section = false;
+    for line in doc.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            in_error_section = trimmed.to_ascii_lowercase().contains("error");
+            continue;
+        }
+        if !in_error_section || !trimmed.starts_with('|') {
+            continue;
+        }
+        // First cell of the row; header and separator rows are not
+        // backticked names and fall through.
+        let Some(cell) = trimmed.trim_start_matches('|').split('|').next() else { continue };
+        let cell = cell.trim();
+        if let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            if is_wire_key(name) {
+                out.insert(name.to_owned());
+            }
+        }
+    }
+    out
+}
+
+/// Compares the error kinds `protocol.rs` parses against the error table
+/// in `PROTOCOL.md`, both ways: a kind the doc misses leaves client
+/// authors guessing whether to retry; a doc row the code cannot produce
+/// promises an error the server will never send.
+pub fn error_table_sync(
+    code_kinds: &BTreeSet<String>,
+    doc_kinds: &BTreeSet<String>,
+    code_file: &str,
+    doc_file: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for kind in code_kinds {
+        if !doc_kinds.contains(kind) {
+            out.push(Finding {
+                rule: PROTOCOL_SYNC,
+                file: doc_file.to_owned(),
+                line: 0,
+                message: format!(
+                    "error kind {kind:?} is parsed by {code_file} but missing from the error \
+                     table in {doc_file}"
+                ),
+            });
+        }
+    }
+    for kind in doc_kinds {
+        if !code_kinds.contains(kind) {
+            out.push(Finding {
+                rule: PROTOCOL_SYNC,
+                file: code_file.to_owned(),
+                line: 0,
+                message: format!(
+                    "documented error kind {kind:?} does not appear in ErrorKind::from_name in \
+                     {code_file} (stale doc row)"
                 ),
             });
         }

@@ -242,6 +242,82 @@ fn protocol_sync_fires_in_both_directions() {
     );
 }
 
+#[test]
+fn fault_points_fire_on_bad_fixture() {
+    let findings =
+        cqa_lint::check_source(ANYWHERE, &fixture("fault-point-registry/bad.rs"), &registry());
+    assert_eq!(findings.len(), 1, "one point typo: {findings:?}");
+    assert_eq!(findings[0].rule, rules::FAULT_POINTS);
+    assert!(findings[0].message.contains("demo/prase"));
+    assert!(findings[0].message.contains("crates/chaos/src/points.rs"));
+}
+
+#[test]
+fn fault_points_pass_good_fixture() {
+    // Registered literals, a computed name, and the macro definition site:
+    // none fire.
+    assert!(fired(ANYWHERE, "fault-point-registry/good.rs").is_empty());
+}
+
+#[test]
+fn fault_point_sync_flags_never_planted_points() {
+    let lexed = cqa_lint::lexer::lex(&fixture("fault-point-registry/good.rs"));
+    let calls = rules::fault_point_call_sites(&lexed.toks);
+    assert_eq!(
+        calls.iter().map(String::as_str).collect::<Vec<_>>(),
+        vec!["demo/parse", "demo/write"],
+        "call-site extraction must skip the definition site and computed names"
+    );
+    let reg = registry();
+    assert!(
+        rules::fault_point_sync(&reg.points, &calls, "points.rs").is_empty(),
+        "every fixture-registered point is planted"
+    );
+    let mut points = reg.points.clone();
+    points.insert("demo/never_planted".to_owned());
+    let findings = rules::fault_point_sync(&points, &calls, "points.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, rules::FAULT_POINTS);
+    assert_eq!(findings[0].file, "points.rs");
+    assert!(findings[0].message.contains("demo/never_planted"));
+}
+
+#[test]
+fn error_table_sync_passes_matching_pair() {
+    let lexed = cqa_lint::lexer::lex(&fixture("protocol-doc-sync/error_protocol.rs"));
+    let code = rules::protocol_error_kinds(&lexed.toks);
+    assert_eq!(
+        code.iter().map(String::as_str).collect::<Vec<_>>(),
+        vec!["bad_request", "overloaded"],
+        "kinds come from the from_name parse table only"
+    );
+    let doc = rules::protocol_doc_error_kinds(&fixture("protocol-doc-sync/good_error_doc.md"));
+    assert_eq!(code, doc, "tables outside the error section must be ignored");
+    assert!(rules::error_table_sync(&code, &doc, "protocol.rs", "doc.md").is_empty());
+}
+
+#[test]
+fn error_table_sync_fires_in_both_directions() {
+    let lexed = cqa_lint::lexer::lex(&fixture("protocol-doc-sync/error_protocol.rs"));
+    let code = rules::protocol_error_kinds(&lexed.toks);
+    let doc = rules::protocol_doc_error_kinds(&fixture("protocol-doc-sync/bad_error_doc.md"));
+    let findings = rules::error_table_sync(&code, &doc, "protocol.rs", "doc.md");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == rules::PROTOCOL_SYNC));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("\"bad_request\"") && f.message.contains("missing")),
+        "undocumented error kind: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("\"deadline_exceeded\"") && f.message.contains("stale")),
+        "doc-only error kind: {findings:?}"
+    );
+}
+
 /// The real workspace must stay clean: this is the same check CI runs via
 /// the CLI, embedded in the test suite so `cargo test --workspace` alone
 /// catches regressions.
