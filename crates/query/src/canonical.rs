@@ -425,7 +425,6 @@ impl<'a> Canonicalizer<'a> {
             atoms.sort_unstable();
             atoms
         };
-        // cqa-lint: allow(opaque-call): encode_with is the local closure defined above; its calls are already attributed to this fn by the parser
         encode_with(&swap) == encode_with(&ident)
     }
 
@@ -433,7 +432,6 @@ impl<'a> Canonicalizer<'a> {
     /// renamed by color, atoms sorted, exact duplicates dropped.
     fn build(&self, colors: &[u32]) -> CanonicalQuery {
         let canon_var = |v: VarId| colors[self.dense[v.idx()]];
-        // cqa-lint: allow(opaque-call): canon_var is the local closure on the previous line; pure indexing, no calls
         let head: Vec<u32> = self.q.head.iter().map(|&v| canon_var(v)).collect();
         let mut atoms: Vec<CanonicalAtom> = self
             .q
@@ -445,7 +443,6 @@ impl<'a> Canonicalizer<'a> {
                     .terms
                     .iter()
                     .map(|t| match t {
-                        // cqa-lint: allow(opaque-call): canon_var is the local closure above; pure indexing, no calls
                         Term::Var(v) => CanonicalTerm::Var(canon_var(*v)),
                         Term::Const(c) => CanonicalTerm::Const(c.clone()),
                     })

@@ -1,0 +1,20 @@
+//! Seeded ABBA deadlock: `first` takes A then B, `second` takes B then A.
+//! The order graph gets both `LOCK_A → LOCK_B` and `LOCK_B → LOCK_A`, so
+//! each direction is reported at its own second acquisition.
+
+use crate::sync::Mutex;
+
+pub static LOCK_A: Mutex<u32> = Mutex::new(0);
+pub static LOCK_B: Mutex<u32> = Mutex::new(0);
+
+pub fn first() -> u32 {
+    let a = LOCK_A.lock();
+    let b = LOCK_B.lock();
+    *a + *b
+}
+
+pub fn second() -> u32 {
+    let b = LOCK_B.lock();
+    let a = LOCK_A.lock();
+    *a + *b
+}

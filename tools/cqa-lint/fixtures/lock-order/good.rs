@@ -1,0 +1,22 @@
+//! Consistent A-before-B everywhere, plus a re-acquisition that is legal
+//! only because the first guard is explicitly dropped — if the analysis
+//! missed the `drop`, this file would report a cycle.
+
+use crate::sync::Mutex;
+
+pub static ORDER_A: Mutex<u32> = Mutex::new(0);
+pub static ORDER_B: Mutex<u32> = Mutex::new(0);
+
+pub fn both() -> u32 {
+    let a = ORDER_A.lock();
+    let b = ORDER_B.lock();
+    *a + *b
+}
+
+pub fn b_then_a_released() -> u32 {
+    let b = ORDER_B.lock();
+    let n = *b;
+    drop(b);
+    let a = ORDER_A.lock();
+    *a + n
+}

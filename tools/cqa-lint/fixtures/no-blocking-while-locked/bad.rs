@@ -1,0 +1,18 @@
+//! Blocking work under a held request-path guard: a second lock
+//! acquisition, a channel recv, and a sleep, all inside the `STATE` span.
+
+use crate::sync::Mutex;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+pub static STATE: Mutex<u32> = Mutex::new(0);
+pub static AUX: Mutex<u32> = Mutex::new(0);
+
+pub fn drain(rx: &Receiver<u32>) -> u32 {
+    let mut g = STATE.lock();
+    let aux = AUX.lock();
+    let got = rx.recv().unwrap_or(0);
+    std::thread::sleep(Duration::from_millis(1));
+    *g += got + *aux;
+    *g
+}

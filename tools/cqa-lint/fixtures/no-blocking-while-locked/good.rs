@@ -1,0 +1,16 @@
+//! The guard is dropped before any blocking work, and a one-line
+//! temporary never extends over the statements that follow it.
+
+use crate::sync::Mutex;
+use std::sync::mpsc::Receiver;
+
+pub static STATE: Mutex<u32> = Mutex::new(0);
+
+pub fn drain(rx: &Receiver<u32>) -> u32 {
+    let mut g = STATE.lock();
+    *g += 1;
+    drop(g);
+    let got = rx.recv().unwrap_or(0);
+    let n = *STATE.lock();
+    n + got
+}

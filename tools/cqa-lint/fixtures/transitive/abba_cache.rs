@@ -1,0 +1,21 @@
+//! Half of a seeded interprocedural ABBA cycle: the cache takes its shard
+//! lock and then calls into the pool, which takes the queue lock.
+
+use crate::sync::Mutex;
+
+pub struct Cache {
+    shard: Mutex<u32>,
+}
+
+impl Cache {
+    pub fn lookup(&self, pool: &Pool) -> u32 {
+        let shard = self.shard.lock();
+        pool.reserve_worker();
+        *shard
+    }
+
+    pub fn refresh(&self) -> u32 {
+        let shard = self.shard.lock();
+        *shard + 1
+    }
+}

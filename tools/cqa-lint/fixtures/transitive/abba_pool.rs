@@ -1,0 +1,23 @@
+//! Other half of the seeded ABBA cycle: the pool takes its queue lock and
+//! then calls back into the cache, which retakes the shard lock — so the
+//! order graph holds `Cache.shard → Pool.queue` and `Pool.queue →
+//! Cache.shard` with one reconstructed acquisition path per direction.
+
+use crate::sync::Mutex;
+
+pub struct Pool {
+    queue: Mutex<u32>,
+}
+
+impl Pool {
+    pub fn reserve_worker(&self) -> u32 {
+        let q = self.queue.lock();
+        *q
+    }
+
+    pub fn shed(&self, cache: &Cache) -> u32 {
+        let q = self.queue.lock();
+        cache.refresh();
+        *q
+    }
+}

@@ -18,9 +18,13 @@
 //!   closure or fn-pointer invocation the graph cannot see through: an
 //!   **opaque call**, surfaced to the rules instead of silently dropped.
 //!
-//! The remaining blind spots are documented in `docs/ANALYSIS.md`:
-//! implicit calls (`Drop::drop`, operator overloads, `?`'s `From`
-//! conversion) and calls through closures *values* built elsewhere.
+//! Two blind spots have been closed since PR 5: a closure bound to a local
+//! and invoked in the same body is resolved (its calls are attributed to
+//! the enclosing fn), and `?` now edges into every workspace `From` impl
+//! (the desugared `From::from` on the error path). The remaining blind
+//! spots are documented in `docs/ANALYSIS.md`: implicit calls
+//! (`Drop::drop`, operator overloads) and calls through closure *values*
+//! built in one function and invoked in another.
 
 use crate::parser::{Call, FnItem, ParsedFile, Receiver};
 use std::collections::{BTreeMap, VecDeque};
@@ -121,6 +125,10 @@ pub struct FnFacts {
     pub opaques: Vec<Site>,
     /// Root-RNG constructions (`Mt64::new` / `Mt64::from_key`).
     pub rng_ctors: Vec<Site>,
+    /// Sites that block the calling thread (channel recv, `join()`,
+    /// file/socket I/O, `sleep`) after call-graph filtering: a candidate
+    /// that resolves to a non-shim workspace method is an ordinary edge.
+    pub blocking: Vec<Site>,
 }
 
 /// The workspace call graph plus per-function facts.
@@ -317,7 +325,12 @@ impl<'a> Graph<'a> {
                     }
                 }
                 Call::Free { name, line } => {
-                    if f.bindings.contains(name.as_str()) {
+                    if f.closure_bindings.contains(name.as_str()) {
+                        // `let cb = |…| …; cb();` — the closure literal was
+                        // built in this very body, so its calls are already
+                        // attributed to this fn: the invocation is
+                        // resolved, not opaque.
+                    } else if f.bindings.contains(name.as_str()) {
                         facts.opaques.push(Site { line: *line, what: format!("{name}(…)") });
                     } else if let Some(ids) = self.free_fns.get(name.as_str()) {
                         facts.edges.extend(ids.iter().map(|id| (*id, *line)));
@@ -325,6 +338,43 @@ impl<'a> Graph<'a> {
                     // Anything else (`Some(…)`, `Ok(…)`, std free fns,
                     // tuple-struct literals) is assumed effect-free.
                 }
+            }
+        }
+        // `?` desugars to `From::from` on the error path: edge into every
+        // workspace `From` impl. The concrete error type is not recoverable
+        // from tokens, so this fans out conservatively, like every other
+        // ambiguity.
+        if !f.question_lines.is_empty() {
+            let from_ids = self.method_candidates("From", "from");
+            for &line in &f.question_lines {
+                facts.edges.extend(from_ids.iter().map(|id| (*id, line)));
+            }
+        }
+        // Thread-blocking candidates (pre-filtered by shape in the parser).
+        // A receiver resolving to a non-shim workspace method of the same
+        // name is an ordinary call; everything else — std
+        // (`JoinHandle::join`), a shim primitive (crossbeam's
+        // `Receiver::recv`), or an unresolvable receiver — really blocks.
+        for call in &f.blocking_sites {
+            match call {
+                Call::Method { name, recv, line } => {
+                    let ws = self
+                        .receiver_type(f, recv)
+                        .map(|ty| self.method_candidates(&ty, name))
+                        .unwrap_or_default();
+                    if !ws.iter().any(|id| !self.files[id.0].rel.starts_with("shims/")) {
+                        facts.blocking.push(Site { line: *line, what: format!(".{name}()") });
+                    }
+                }
+                Call::Path { qualifier, name, line } => {
+                    facts.blocking.push(Site { line: *line, what: format!("{qualifier}::{name}") });
+                }
+                Call::Free { name, line } => {
+                    if !f.bindings.contains(name.as_str()) {
+                        facts.blocking.push(Site { line: *line, what: format!("{name}(…)") });
+                    }
+                }
+                Call::Macro { .. } => {}
             }
         }
         facts
@@ -498,6 +548,58 @@ mod tests {
         let reached = g.reach(&[(id_of(&g, "seed"), Some(vec![(3, 3)]))]);
         assert!(reached.contains_key(&id_of(&g, "hot")));
         assert!(!reached.contains_key(&id_of(&g, "cold")));
+    }
+
+    #[test]
+    fn same_fn_closure_is_resolved_not_opaque() {
+        let files =
+            build(&[("a.rs", "fn f() { let cb = |x: u32| go(x); cb(1); } fn go(x: u32) {}")]);
+        let g = Graph::build(&files);
+        let f = id_of(&g, "f");
+        assert!(g.facts[f.0][f.1].opaques.is_empty(), "{:?}", g.facts[f.0][f.1].opaques);
+        // The closure body's call to `go` is attributed to `f`.
+        assert!(g.reach(&[(f, None)]).contains_key(&id_of(&g, "go")));
+    }
+
+    #[test]
+    fn question_mark_edges_into_workspace_from_impls() {
+        let files = build(&[(
+            "a.rs",
+            "fn f(s: &str) -> Result<u32, E> { let v = inner(s)?; Ok(v) }\n\
+             fn inner(s: &str) -> Result<u32, X> { Ok(1) }\n\
+             struct E; struct X;\n\
+             impl From<X> for E { fn from(x: X) -> E { panic!(\"conv\") } }",
+        )]);
+        let g = Graph::build(&files);
+        let reached = g.reach(&[(id_of(&g, "f"), None)]);
+        let from = id_of(&g, "from");
+        assert!(reached.contains_key(&from), "? must edge into From impls");
+        assert_eq!(g.facts[from.0][from.1].panics.len(), 1);
+    }
+
+    #[test]
+    fn blocking_sites_survive_only_without_a_workspace_resolution() {
+        let files = build(&[
+            (
+                "a.rs",
+                "struct Q; impl Q { fn recv(&self) {} }\n\
+                 fn ours(q: &Q) { q.recv(); }\n\
+                 fn std_join(h: JoinHandle) { h.join(); }",
+            ),
+            (
+                "shims/x/src/lib.rs",
+                "struct Rx; impl Rx { fn recv(&self) {} } fn sh(r: &Rx) { r.recv(); }",
+            ),
+        ]);
+        let g = Graph::build(&files);
+        let ours = id_of(&g, "ours");
+        assert!(g.facts[ours.0][ours.1].blocking.is_empty(), "resolved to workspace Q::recv");
+        let j = id_of(&g, "std_join");
+        assert_eq!(g.facts[j.0][j.1].blocking.len(), 1);
+        // A receiver resolving only into a shim still blocks: the shim is
+        // the primitive layer, not workspace code.
+        let sh = id_of(&g, "sh");
+        assert_eq!(g.facts[sh.0][sh.1].blocking.len(), 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod callgraph;
 pub mod lexer;
+pub mod lockflow;
 pub mod parser;
 pub mod rules;
 
@@ -152,6 +153,7 @@ pub fn check_sources(sources: &[(String, String)], registry: &NameRegistry) -> V
     findings.extend(rules::no_alloc(&graph, &lexed_v));
     findings.extend(rules::checked_math(&graph, &lexed_v, &ESTIMATOR_FILES));
     findings.extend(rules::rng_flow(&graph, &lexed_v, &stripped_v, &ESTIMATOR_FILES));
+    findings.extend(lockflow::check(&graph, &lexed_v, &REQUEST_PATH_FILES));
 
     sort_dedup(&mut findings);
     findings

@@ -28,6 +28,30 @@ pub const NARROW_INT_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"]
 const FLOAT_METHODS: [&str; 11] =
     ["ceil", "floor", "round", "trunc", "sqrt", "ln", "log2", "log10", "exp", "powf", "powi"];
 
+/// Guard-producing lock-acquisition methods (the parking_lot shim and the
+/// std locks share these names). All of them take no arguments, which is
+/// how `rwlock.read()` is told apart from `io::Read::read(&mut buf)`.
+const LOCK_METHODS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// The non-`try_` acquisition methods: the ones that can block (and so
+/// participate in deadlock cycles; a `try_*` acquisition cannot wait).
+const LOCK_METHODS_BLOCKING: [&str; 3] = ["lock", "read", "write"];
+
+/// Result adapters that pass the guard through as the expression value:
+/// `let g = m.lock().unwrap_or_else(PoisonError::into_inner);` still binds
+/// the guard.
+const GUARD_ADAPTERS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+/// Method calls that block the calling thread regardless of arguments:
+/// channel receives and line/buffer I/O.
+const BLOCKING_METHODS_ANY_ARGS: [&str; 6] =
+    ["recv", "recv_timeout", "read_line", "write_all", "read_exact", "connect"];
+
+/// Method calls that block only in their no-argument form
+/// (`JoinHandle::join()`, `Write::flush()`, `TcpListener::accept()` —
+/// `Vec::join(sep)` takes an argument and merely allocates).
+const BLOCKING_METHODS_NO_ARGS: [&str; 3] = ["join", "flush", "accept"];
+
 /// Keywords that can directly precede `(` or `[` without being a call or
 /// an indexing expression.
 const KEYWORDS: [&str; 28] = [
@@ -97,6 +121,28 @@ pub struct ArithSite {
     pub operand: String,
 }
 
+/// One lock-guard acquisition and the line range its guard is modeled live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSpan {
+    /// Normalized lock identity (see `lock_identity`): the receiver chain
+    /// with `self` replaced by the impl type and argument groups collapsed —
+    /// `SynopsisCache.shard(…)`, `PLAN`, `slowlog(…)`.
+    pub lock: String,
+    /// The identity roots in a lowercase local variable: it must not unify
+    /// with same-named receivers in other functions.
+    pub local: bool,
+    /// Line of the acquisition call.
+    pub acquire_line: u32,
+    /// Last line the guard is modeled held (`acquire_line` for statement
+    /// temporaries).
+    pub end_line: u32,
+    /// `lock`/`read`/`write` can wait for the lock; `try_*` cannot, so a
+    /// `try_*` acquisition can hold a guard but never *be* the blocked side
+    /// of a deadlock (mirrors the runtime detector, which only instruments
+    /// blocking acquires).
+    pub blocking: bool,
+}
+
 /// One parsed function (free fn, inherent/trait method, or fn nested in a
 /// body).
 #[derive(Debug, Clone, Default)]
@@ -129,6 +175,21 @@ pub struct FnItem {
     pub bindings: BTreeSet<String>,
     /// Every call site in the body, in source order.
     pub calls: Vec<Call>,
+    /// Lock-guard acquisitions with their modeled live ranges.
+    pub lock_spans: Vec<LockSpan>,
+    /// Locals bound to a closure literal (`let f = |x| …`): a free "call"
+    /// on one of these runs code already attributed to this fn body, so it
+    /// is resolved, not opaque.
+    pub closure_bindings: BTreeSet<String>,
+    /// Lines with a postfix `?` operator — each is an implicit
+    /// `From::from` call on the error path.
+    pub question_lines: Vec<u32>,
+    /// `fault_point!("name")` sites: (point name, line).
+    pub fault_sites: Vec<(String, u32)>,
+    /// Call sites shaped like thread-blocking operations (channel recv,
+    /// `join()`, file/socket I/O, `sleep`), pre-filtered by argument shape;
+    /// the call graph decides which ones actually leave the workspace.
+    pub blocking_sites: Vec<Call>,
     /// Lines with a `[`-indexing expression.
     pub index_sites: Vec<u32>,
     /// Integer-target `as` casts.
@@ -605,12 +666,41 @@ fn scan_body(
                     if after.is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
                     {
                         f.calls.push(Call::Macro { name: t.text.clone(), line: t.line });
+                        if t.text == "fault_point" {
+                            let close = skip_group(toks, i + 2, end);
+                            if let Some(s) = toks[i + 3..close.max(i + 3)]
+                                .iter()
+                                .find(|a| a.kind == TokKind::Str)
+                            {
+                                f.fault_sites.push((s.text.clone(), t.line));
+                            }
+                        }
                     }
                 } else if next.is_some_and(|n| n.is_punct('(')) {
                     scan_call(toks, i, f);
+                    // A no-argument acquisition method on a receiver chain
+                    // is a lock acquisition (`io::Read::read` takes a
+                    // buffer, so the empty-paren shape disambiguates).
+                    if LOCK_METHODS.contains(&t.text.as_str())
+                        && i > 0
+                        && toks[i - 1].is_punct('.')
+                        && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+                    {
+                        scan_lock(toks, i, end, f);
+                    }
                 } else if next.is_some_and(|n| n.is_punct('[')) {
                     f.index_sites.push(t.line);
                 }
+            }
+            // Postfix `?`: an implicit `From::from` on the error path. The
+            // preceding token distinguishes it from a `?Sized` bound.
+            TokKind::Punct('?')
+                if i > start
+                    && (matches!(toks[i - 1].kind, TokKind::Punct(')') | TokKind::Punct(']'))
+                        || (toks[i - 1].kind == TokKind::Ident
+                            && !is_keyword(&toks[i - 1].text))) =>
+            {
+                f.question_lines.push(t.line);
             }
             // Indexing a call/index result: `f()[i]`, `m[k][j]`.
             TokKind::Punct(')') | TokKind::Punct(']')
@@ -669,6 +759,17 @@ fn scan_let(toks: &[Tok], at: usize, end: usize, f: &mut FnItem) {
         return;
     }
     let rhs = i + 1;
+    // `let f = |x| …;` / `let f = move || …;` — a closure literal bound to
+    // a local: calls through it stay inside this body.
+    {
+        let mut c = rhs;
+        if toks.get(c).is_some_and(|t| t.is_ident("move")) {
+            c += 1;
+        }
+        if toks.get(c).is_some_and(|t| t.is_punct('|')) {
+            f.closure_bindings.insert(name.clone());
+        }
+    }
     // `let x = self.f.g;` (optionally `&`-prefixed): a field chain.
     let mut j = rhs;
     while j < end && toks[j].is_punct('&') {
@@ -726,11 +827,15 @@ fn scan_call(toks: &[Tok], at: usize, f: &mut FnItem) {
     // Path call `Qualifier::name(`.
     if at >= 3 && toks[at - 1].is_punct(':') && toks[at - 2].is_punct(':') {
         if toks[at - 3].kind == TokKind::Ident {
-            f.calls.push(Call::Path {
+            let call = Call::Path {
                 qualifier: toks[at - 3].text.clone(),
                 name: t.text.clone(),
                 line: t.line,
-            });
+            };
+            if t.text == "sleep" {
+                f.blocking_sites.push(call.clone());
+            }
+            f.calls.push(call);
         }
         // `<T as Tr>::name(` and similar: qualifier unrecoverable; treat
         // as a free call so name-level resolution still applies.
@@ -742,7 +847,14 @@ fn scan_call(toks: &[Tok], at: usize, f: &mut FnItem) {
     // Method call `recv.name(`.
     if prev.is_some_and(|p| p.is_punct('.')) {
         let recv = receiver_chain(toks, at - 1);
-        f.calls.push(Call::Method { name: t.text.clone(), recv, line: t.line });
+        let call = Call::Method { name: t.text.clone(), recv, line: t.line };
+        if BLOCKING_METHODS_ANY_ARGS.contains(&t.text.as_str())
+            || (BLOCKING_METHODS_NO_ARGS.contains(&t.text.as_str())
+                && toks.get(at + 2).is_some_and(|n| n.is_punct(')')))
+        {
+            f.blocking_sites.push(call.clone());
+        }
+        f.calls.push(call);
         return;
     }
     // Declaration heads (`fn name(`) were consumed by the item parser;
@@ -751,7 +863,11 @@ fn scan_call(toks: &[Tok], at: usize, f: &mut FnItem) {
     if prev.is_none_or(|p| {
         !(p.kind == TokKind::Ident && matches!(p.text.as_str(), "fn" | "struct" | "enum" | "union"))
     }) {
-        f.calls.push(Call::Free { name: t.text.clone(), line: t.line });
+        let call = Call::Free { name: t.text.clone(), line: t.line };
+        if t.text == "sleep" {
+            f.blocking_sites.push(call.clone());
+        }
+        f.calls.push(call);
     }
 }
 
@@ -790,6 +906,185 @@ fn receiver_chain(toks: &[Tok], dot: usize) -> Receiver {
         }
     }
     Receiver::Unknown
+}
+
+/// Records a lock acquisition (`recv.lock()` et al., name ident at `at`)
+/// as a [`LockSpan`], modeling how long the guard stays alive.
+fn scan_lock(toks: &[Tok], at: usize, end: usize, f: &mut FnItem) {
+    let Some((chain, chain_start)) = receiver_text(toks, at - 1) else { return };
+    // `stdout().lock()` & co are backed by std's ReentrantMutex: they can
+    // neither self-deadlock nor be poisoned, so they are not part of the
+    // lock discipline (and would otherwise hold for a CLI's whole `main`).
+    if ["stdout(…)", "stderr(…)", "stdin(…)"].iter().any(|s| chain.ends_with(s)) {
+        return;
+    }
+    let (lock, local) = lock_identity(&chain, f.self_ty.as_deref());
+    let acquire_line = toks[at].line;
+    let blocking = LOCK_METHODS_BLOCKING.contains(&toks[at].text.as_str());
+    // Step past `()` and any guard-preserving poison adapters
+    // (`.unwrap_or_else(PoisonError::into_inner)` still yields the guard).
+    let mut j = skip_group(toks, at + 1, end);
+    while toks.get(j).is_some_and(|t| t.is_punct('.'))
+        && toks
+            .get(j + 1)
+            .is_some_and(|t| t.kind == TokKind::Ident && GUARD_ADAPTERS.contains(&t.text.as_str()))
+        && toks.get(j + 2).is_some_and(|t| t.is_punct('('))
+    {
+        j = skip_group(toks, j + 2, end);
+    }
+    // A guard is long-lived only when the whole expression is let-bound:
+    // `let [mut] g = RECV.lock()[.adapter(…)];`. Anything else — a
+    // statement temporary, a deref-assign, a further `.method()` on the
+    // guard — dies with its statement and is modeled as one line.
+    let end_line = match let_binding_before(toks, chain_start) {
+        Some(name) if toks.get(j).is_some_and(|t| t.is_punct(';')) => {
+            guard_extent(toks, j, end, &name, f.end_line.max(acquire_line))
+        }
+        _ => acquire_line,
+    };
+    f.lock_spans.push(LockSpan { lock, local, acquire_line, end_line, blocking });
+}
+
+/// Renders the receiver chain left of the `.` at `dot` as text, collapsing
+/// argument/index groups: `self.shard(key).lock()` → `self.shard(…)`.
+/// Returns the chain and the token index where it starts.
+fn receiver_text(toks: &[Tok], dot: usize) -> Option<(String, usize)> {
+    if !toks.get(dot)?.is_punct('.') {
+        return None;
+    }
+    let mut parts: Vec<String> = Vec::new(); // collected right-to-left
+    let mut pos = dot; // the element to classify ends at pos - 1
+    loop {
+        let last = pos.checked_sub(1)?;
+        match &toks[last].kind {
+            TokKind::Punct(c @ (')' | ']')) => {
+                let open = matching_open(toks, last)?;
+                parts.push(if *c == ')' { "(…)".to_owned() } else { "[…]".to_owned() });
+                pos = open;
+                // The group must be a call/index suffix of the element to
+                // its left; a bare parenthesized expression roots the chain.
+                let glued = pos.checked_sub(1).map(|p| &toks[p]).is_some_and(|p| {
+                    (p.kind == TokKind::Ident && !is_keyword(&p.text))
+                        || p.is_punct(')')
+                        || p.is_punct(']')
+                });
+                if !glued {
+                    break;
+                }
+            }
+            TokKind::Ident if !is_keyword(&toks[last].text) => {
+                parts.push(toks[last].text.clone());
+                pos = last;
+                if pos >= 1 && toks[pos - 1].is_punct('.') {
+                    parts.push(".".to_owned());
+                    pos -= 1;
+                    continue;
+                }
+                if pos >= 2 && toks[pos - 1].is_punct(':') && toks[pos - 2].is_punct(':') {
+                    parts.push("::".to_owned());
+                    pos -= 2;
+                    continue;
+                }
+                break;
+            }
+            _ => return None,
+        }
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some((parts.concat(), pos))
+}
+
+/// Token index of the opener matching the closer at `close`, treating the
+/// three bracket kinds as one nesting family (like [`skip_group`]).
+fn matching_open(toks: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        match toks[i].kind {
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth += 1,
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i = i.checked_sub(1)?;
+    }
+}
+
+/// Normalizes a receiver chain into a lock identity. `self` roots resolve
+/// through the impl type (`self.shard(…)` inside `impl SynopsisCache` →
+/// `SynopsisCache.shard(…)`); ALL_CAPS statics, `::`-qualified paths, and
+/// accessor calls (`slowlog(…)`) are global identities. A lowercase
+/// variable root stays function-local (`local = true`): the same variable
+/// name in two functions need not be the same lock.
+fn lock_identity(chain: &str, self_ty: Option<&str>) -> (String, bool) {
+    if chain == "self" || chain.starts_with("self.") {
+        let ty = self_ty.unwrap_or("self");
+        return (format!("{ty}{}", &chain[4..]), false);
+    }
+    let root_end = chain.find(['.', '(', '[']).unwrap_or(chain.len());
+    let root = &chain[..root_end];
+    let global = chain.contains("::")
+        || chain[root_end..].starts_with('(')
+        || (root.chars().any(|c| c.is_ascii_uppercase())
+            && root.chars().all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit()));
+    (chain.to_owned(), !global)
+}
+
+/// When the tokens immediately before `start` are `let [mut] <name> =`,
+/// returns the binding name. (An annotated `let g: Guard<'_> = …` is not
+/// recognized and degrades to a temporary — documented unsoundness.)
+fn let_binding_before(toks: &[Tok], start: usize) -> Option<String> {
+    let eq = start.checked_sub(1)?;
+    if !toks[eq].is_punct('=') {
+        return None;
+    }
+    let name_i = eq.checked_sub(1)?;
+    let name = &toks[name_i];
+    if name.kind != TokKind::Ident || is_keyword(&name.text) {
+        return None;
+    }
+    let mut k = name_i.checked_sub(1)?;
+    if toks[k].is_ident("mut") {
+        k = k.checked_sub(1)?;
+    }
+    toks[k].is_ident("let").then(|| name.text.clone())
+}
+
+/// Scans forward from the `;` ending a `let <name> = …lock…;` statement to
+/// the point where the guard dies: an explicit `drop(<name>)`, the closer
+/// of the enclosing block, or the end of the function body.
+fn guard_extent(toks: &[Tok], from: usize, end: usize, name: &str, body_end_line: u32) -> u32 {
+    let mut depth = 0isize;
+    let mut k = from;
+    while k < end {
+        match toks[k].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return toks[k].line;
+                }
+            }
+            TokKind::Ident
+                if toks[k].text == "drop"
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+                    && toks.get(k + 2).is_some_and(|t| t.is_ident(name))
+                    && toks.get(k + 3).is_some_and(|t| t.is_punct(')')) =>
+            {
+                return toks[k].line;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    body_end_line
 }
 
 /// Classifies an `as` cast at token index `at`.
@@ -1062,5 +1357,122 @@ mod tests {
         for src in ["fn f(", "impl X { fn g(", "struct S { a: ", "fn f() { a.b(", "fn f<T"] {
             let _ = parse(src);
         }
+    }
+
+    fn span<'a>(p: &'a ParsedFile, fn_name: &str, lock: &str) -> &'a LockSpan {
+        fn_named(p, fn_name)
+            .lock_spans
+            .iter()
+            .find(|s| s.lock == lock)
+            .unwrap_or_else(|| panic!("no span {lock}: {:#?}", fn_named(p, fn_name).lock_spans))
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_fn_end() {
+        let p = parse(
+            "impl Cache { fn get(&self) {\n\
+               let mut shard = self.shard(key).lock();\n\
+               shard.touch();\n\
+             } }",
+        );
+        let s = span(&p, "get", "Cache.shard(…)");
+        assert!((!s.local && s.blocking), "{s:?}");
+        assert_eq!((s.acquire_line, s.end_line), (2, 4));
+    }
+
+    #[test]
+    fn adapter_chain_and_static_identity() {
+        let p = parse(
+            "fn arm() {\n\
+               let guard = PLAN.lock().unwrap_or_else(PoisonError::into_inner);\n\
+               guard.touch();\n\
+               drop(guard);\n\
+               after();\n\
+             }",
+        );
+        let s = span(&p, "arm", "PLAN");
+        assert!(!s.local);
+        assert_eq!((s.acquire_line, s.end_line), (2, 4), "ends at drop(guard)");
+    }
+
+    #[test]
+    fn block_scoped_guard_ends_at_block_close() {
+        // Mirrors crates/chaos `trigger()`: the guard lives inside a block
+        // expression; the sleep after the block runs lock-free.
+        let p = parse(
+            "fn trigger() {\n\
+               let fired = {\n\
+                 let guard = PLAN.lock();\n\
+                 guard.check()\n\
+               };\n\
+               sleep_ms(fired);\n\
+             }",
+        );
+        let s = span(&p, "trigger", "PLAN");
+        assert_eq!((s.acquire_line, s.end_line), (3, 5));
+    }
+
+    #[test]
+    fn temporaries_and_try_acquisitions() {
+        let p = parse(
+            "impl M { fn stats(&self) -> usize {\n\
+               self.entries.lock().len()\n\
+             }\n\
+             fn probe(&self) {\n\
+               let g = self.entries.try_lock();\n\
+               g.use_it();\n\
+             } }",
+        );
+        let s = span(&p, "stats", "M.entries");
+        assert_eq!((s.acquire_line, s.end_line), (2, 2), "temporary is one line");
+        let t = span(&p, "probe", "M.entries");
+        assert!(!t.blocking, "try_lock cannot block");
+        assert_eq!(t.end_line, 7);
+    }
+
+    #[test]
+    fn local_variable_locks_do_not_unify_and_io_read_is_not_a_lock() {
+        let p = parse(
+            "fn a(m: &Mutex) { let g = m.lock(); g.touch(); }\n\
+             fn b(r: &mut File) { r.read(&mut buf).ok(); }",
+        );
+        let s = span(&p, "a", "m");
+        assert!(s.local);
+        assert!(fn_named(&p, "b").lock_spans.is_empty(), "read(&mut buf) takes an argument");
+    }
+
+    #[test]
+    fn closure_bindings_are_recorded() {
+        let p = parse("fn f() { let enc = |x: u32| go(x); let h = move || enc(1); h(); }");
+        let f = fn_named(&p, "f");
+        assert!(f.closure_bindings.contains("enc") && f.closure_bindings.contains("h"));
+        assert!(!f.closure_bindings.contains("x"));
+    }
+
+    #[test]
+    fn question_sites_but_not_sized_bounds() {
+        let p = parse(
+            "fn f(s: &str) -> Result<u32, E> { let v = s.parse()?; Ok(v) }\n\
+             fn g<T: ?Sized>(t: &T) {}",
+        );
+        assert_eq!(fn_named(&p, "f").question_lines, vec![1]);
+        assert!(fn_named(&p, "g").question_lines.is_empty());
+    }
+
+    #[test]
+    fn fault_and_blocking_sites() {
+        let p = parse(
+            "fn f(rx: &Receiver, v: &[String]) {\n\
+               fault_point!(\"demo/parse\");\n\
+               let _ = rx.recv();\n\
+               thread::sleep(ms());\n\
+               let _j = v.join(\",\");\n\
+               h.join();\n\
+             }",
+        );
+        let f = fn_named(&p, "f");
+        assert_eq!(f.fault_sites, vec![("demo/parse".to_owned(), 2)]);
+        let lines: Vec<u32> = f.blocking_sites.iter().map(Call::line).collect();
+        assert_eq!(lines, vec![3, 4, 6], "Vec::join(sep) is not blocking: {:?}", f.blocking_sites);
     }
 }

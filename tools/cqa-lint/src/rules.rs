@@ -32,9 +32,12 @@ pub const CHECKED_MATH: &str = "checked-estimator-math";
 pub const RNG_FLOW: &str = "rng-flow";
 pub const SUPPRESSION: &str = "suppression-needs-reason";
 pub const FAULT_POINTS: &str = "fault-point-registry";
+pub const LOCK_ORDER: &str = "lock-order";
+pub const NO_BLOCKING: &str = "no-blocking-while-locked";
+pub const GUARD_FAULT: &str = "no-guard-across-fault-point";
 
 /// Every rule name, for validating `allow(...)` suppressions.
-pub const ALL_RULES: [&str; 11] = [
+pub const ALL_RULES: [&str; 14] = [
     NO_PANIC,
     NO_ALLOC,
     SAFETY,
@@ -46,6 +49,9 @@ pub const ALL_RULES: [&str; 11] = [
     RNG_FLOW,
     SUPPRESSION,
     FAULT_POINTS,
+    LOCK_ORDER,
+    NO_BLOCKING,
+    GUARD_FAULT,
 ];
 
 /// One rule violation.
@@ -76,7 +82,7 @@ fn suppressed(lexed: &Lexed, line: u32, rule: &str) -> bool {
         .any(|l| lexed.comment_on(*l).is_some_and(|c| c.contains(&marker)))
 }
 
-fn push(
+pub(crate) fn push(
     out: &mut Vec<Finding>,
     lexed: &Lexed,
     rule: &'static str,

@@ -318,6 +318,78 @@ fn error_table_sync_fires_in_both_directions() {
     );
 }
 
+#[test]
+fn lock_order_fires_on_seeded_abba() {
+    let fired = fired(ANYWHERE, "lock-order/bad.rs");
+    assert_eq!(fired, vec![rules::LOCK_ORDER, rules::LOCK_ORDER], "one finding per direction");
+}
+
+#[test]
+fn lock_order_passes_good_fixture() {
+    // Consistent ordering plus a drop-then-reacquire that is only clean
+    // because guard release is modeled.
+    assert!(fired(ANYWHERE, "lock-order/good.rs").is_empty());
+}
+
+#[test]
+fn lock_order_reconstructs_interprocedural_acquisition_paths() {
+    // The seeded ABBA cycle in the cache/pool pair: each direction crosses
+    // a call edge, and each finding carries its own acquisition path plus
+    // the rendered cycle.
+    let findings = fired_multi(&[
+        ("crates/server/src/cache.rs", "transitive/abba_cache.rs"),
+        ("crates/server/src/pool.rs", "transitive/abba_pool.rs"),
+    ]);
+    let cycles: Vec<_> = findings.iter().filter(|f| f.rule == rules::LOCK_ORDER).collect();
+    assert_eq!(cycles.len(), 2, "one finding per direction: {findings:#?}");
+    assert!(
+        cycles.iter().any(|f| f.message.contains("Cache::lookup → Pool::reserve_worker")),
+        "{cycles:#?}"
+    );
+    assert!(
+        cycles.iter().any(|f| f.message.contains("Pool::shed → Cache::refresh")),
+        "{cycles:#?}"
+    );
+    assert!(cycles.iter().all(|f| f.message.contains("cycle: ")), "{cycles:#?}");
+}
+
+#[test]
+fn no_blocking_fires_on_bad_fixture() {
+    let fired = fired(REQUEST_PATH, "no-blocking-while-locked/bad.rs");
+    assert_eq!(
+        fired,
+        vec![rules::NO_BLOCKING, rules::NO_BLOCKING, rules::NO_BLOCKING],
+        "second lock acquisition, recv, sleep"
+    );
+}
+
+#[test]
+fn no_blocking_is_scoped_to_the_request_path() {
+    // Holding two independent locks without a cycle is legal off the
+    // request path; only the request-path region demands lock-free waits.
+    assert!(fired(ANYWHERE, "no-blocking-while-locked/bad.rs").is_empty());
+}
+
+#[test]
+fn no_blocking_passes_good_fixture() {
+    assert!(fired(REQUEST_PATH, "no-blocking-while-locked/good.rs").is_empty());
+}
+
+#[test]
+fn guard_fault_fires_directly_and_transitively() {
+    let fired = fired(ANYWHERE, "no-guard-across-fault-point/bad.rs");
+    assert_eq!(
+        fired,
+        vec![rules::GUARD_FAULT, rules::GUARD_FAULT],
+        "one direct fault point, one via a callee"
+    );
+}
+
+#[test]
+fn guard_fault_passes_good_fixture() {
+    assert!(fired(ANYWHERE, "no-guard-across-fault-point/good.rs").is_empty());
+}
+
 /// The real workspace must stay clean: this is the same check CI runs via
 /// the CLI, embedded in the test suite so `cargo test --workspace` alone
 /// catches regressions.
