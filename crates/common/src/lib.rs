@@ -31,6 +31,7 @@ pub mod logspace;
 pub mod mt;
 pub mod stats;
 pub mod timer;
+pub mod validate;
 
 pub use alias::AliasTable;
 pub use error::{CqaError, Result};

@@ -48,13 +48,22 @@ pub fn self_adjusting_coverage(
     budget: &Budget,
     rng: &mut Mt64,
 ) -> Result<CoverageOutcome> {
-    if !(eps > 0.0 && eps.is_finite()) || eps * eps >= 8.0 {
+    // ε ∈ (0, 1): the protocol's documented accuracy domain. (Algorithm 6
+    // only needs ε² < 8, but every admitted request already satisfies the
+    // tighter bound, and (0, 1) is what makes the budget formula's divisor
+    // (1 − ε²/8)·ε² provably positive.)
+    if !(eps > 0.0 && eps < 1.0) {
         return Err(CqaError::InvalidParameter(format!("ε out of range: {eps}")));
     }
     if !(0.0 < delta && delta < 1.0) {
         return Err(CqaError::InvalidParameter(format!("δ must be in (0,1), got {delta}")));
     }
     let h = pair.num_images();
+    if h == 0 {
+        // An empty image set leaves the estimator 0/0-undefined (and the
+        // draw index rng.index(0) degenerate); refuse up front.
+        return Err(CqaError::InvalidParameter("admissible pair has no images".into()));
+    }
     let n_budget = coverage_iterations(h, eps, delta);
     if n_budget > budget.max_samples {
         return Err(CqaError::TimedOut { phase: "coverage planning" });

@@ -104,7 +104,10 @@ pub fn stopping_rule<S: Sampler>(
 ) -> Result<StoppingOutcome> {
     check_params(eps, delta)?;
     let mut span = cqa_obs::span("dklr/stopping_rule");
-    let upsilon1 = 1.0 + (1.0 + eps) * upsilon(eps, delta);
+    // For valid (ε, δ) the sum is already > 1; the floor makes the loop's
+    // ≥1-iteration guarantee (and thus `n ≥ 1`, `mu > 0` downstream)
+    // unconditional even for degenerate Υ.
+    let upsilon1 = (1.0 + (1.0 + eps) * upsilon(eps, delta)).max(1.0);
     let mut s = 0.0f64;
     let mut n: u64 = 0;
     while s < upsilon1 {

@@ -331,8 +331,11 @@ impl Drop for SpanGuard {
         let dur = now_micros().saturating_sub(self.start);
         let (depth, self_us) = STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            let frame = stack.pop().expect("span stack underflow");
-            let self_us = dur.saturating_sub(frame.child_micros);
+            // Guards pop in push order, but a panicking unwind can run drops
+            // with the stack already torn down; degrade to zero child
+            // attribution rather than panicking inside `Drop`.
+            let child_micros = stack.pop().map_or(0, |frame| frame.child_micros);
+            let self_us = dur.saturating_sub(child_micros);
             if let Some(parent) = stack.last_mut() {
                 parent.child_micros = parent.child_micros.saturating_add(dur);
             }

@@ -17,6 +17,7 @@
 /// Every benchmark series the suites may record, sorted.
 pub const SERIES: &[&str] = &[
     "figure/fig3_preprocessing_ns",
+    "lint/check_ms",
     "sampler/kl/sample_ns",
     "sampler/klm/sample_ns",
     "sampler/natural/sample_ns",

@@ -23,7 +23,10 @@
 //!    (should sit at zero — retries absorb every injected transient).
 //!    The fault-*off* cost of the `fault_point!` probes is covered by the
 //!    existing `server/throughput_rps` gate: chaos is disarmed in every
-//!    other suite, so a probe that stopped being free would regress it.
+//!    other suite, so a probe that stopped being free would regress it;
+//! 7. **lint** — the wall-clock of a full `cqa-lint check` over this
+//!    workspace, gating the dataflow engine's cost against CI's hard 5s
+//!    `timeout` on the lint step.
 //!
 //! Everything runs at a pinned seed/scale from the [`Profile`]; wall-clock
 //! noise is handled downstream by the robust summaries and the gate's
@@ -386,13 +389,34 @@ pub fn suite_chaos(profile: &Profile) -> Result<Vec<Series>> {
     Ok(vec![bench_series("server/chaos_on_error_rate", &Summary::from_samples(&rates))?])
 }
 
+/// Suite 7: the invariant linter's own wall-clock. CI runs
+/// `cqa-lint check` under a hard `timeout 5`, so the dataflow engine's
+/// cost (call graph + interprocedural taint/interval fixpoints over the
+/// whole workspace) is itself a gated performance surface: a regression
+/// here eats the CI budget before it fails it. Measured in-process via
+/// the library entry point against this workspace's own sources.
+pub fn suite_lint(profile: &Profile) -> Result<Vec<Series>> {
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let opts = MeasureOpts {
+        warmup: 1,
+        repeats: profile.heavy.repeats.min(20),
+        budget: Duration::from_secs(10),
+        min_repeats: 3,
+    };
+    let samples = measure_batched(&opts, || {
+        cqa_lint::check_workspace(root).expect("workspace must be lintable");
+    });
+    let ms: Vec<f64> = samples.iter().map(|s| s * 1e3).collect();
+    Ok(vec![bench_series("lint/check_ms", &Summary::from_samples(&ms))?])
+}
+
 /// A registered suite: a name and the function producing its series.
 type Suite = (&'static str, fn(&Profile) -> Result<Vec<Series>>);
 
 /// Runs every suite in registry order, with progress lines on stderr.
 pub fn run_all(profile: &Profile) -> Result<Vec<Series>> {
     let mut out = Vec::new();
-    let suites: [Suite; 7] = [
+    let suites: [Suite; 8] = [
         ("samplers", suite_samplers),
         ("schemes", suite_schemes),
         ("synopsis", suite_synopsis),
@@ -400,6 +424,7 @@ pub fn run_all(profile: &Profile) -> Result<Vec<Series>> {
         ("server", suite_server),
         ("flight", suite_flight),
         ("chaos", suite_chaos),
+        ("lint", suite_lint),
     ];
     for (name, suite) in suites {
         eprintln!("[cqa-perf] suite {name} ...");

@@ -36,6 +36,7 @@
 //! Integers ride as JSON strings never — tuples carry ints as numbers and
 //! strings as strings, so clients recover typed values without the schema.
 
+use cqa_common::validate::{bounded_str, unit_open};
 use cqa_common::{CqaError, Json, Result};
 use cqa_core::Scheme;
 use cqa_obs::flight::{digest_field, FlightDigest, SlowlogEntry, MAX_REQUEST_ID_BYTES};
@@ -218,13 +219,10 @@ impl Request {
                         None => Ok(default),
                     }
                 }
-                let eps = num(&v, "eps", 0.1)?;
-                let delta = num(&v, "delta", 0.25)?;
-                if !(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0) {
-                    return Err(CqaError::Parse(format!(
-                        "eps and delta must lie in (0, 1); got eps={eps}, delta={delta}"
-                    )));
-                }
+                // Registered validators (cqa_common::validate): the
+                // trust boundary the wire-input-taint lint checks against.
+                let eps = unit_open("eps", num(&v, "eps", 0.1)?)?;
+                let delta = unit_open("delta", num(&v, "delta", 0.25)?)?;
                 let timeout_ms = match v.get("timeout_ms") {
                     Some(t) => Some(
                         t.as_u64()
@@ -243,13 +241,7 @@ impl Request {
                         let id = r
                             .as_str()
                             .ok_or_else(|| CqaError::Parse("non-string 'request_id'".into()))?;
-                        if id.is_empty() || id.len() > MAX_REQUEST_ID_BYTES {
-                            return Err(CqaError::Parse(format!(
-                                "request_id must be 1..={MAX_REQUEST_ID_BYTES} bytes, got {}",
-                                id.len()
-                            )));
-                        }
-                        Some(id.to_owned())
+                        Some(bounded_str("request_id", id, MAX_REQUEST_ID_BYTES)?.to_owned())
                     }
                     None => None,
                 };

@@ -1,0 +1,10 @@
+// Two semantic estimator-math defects the syntactic rule cannot see: a
+// divisor whose range includes zero, and a "probability" above 1.
+pub fn mean(total: f64, n: u64) -> f64 {
+    total / n as f64
+}
+
+pub fn escape() -> f64 {
+    let p = 1.5;
+    p
+}

@@ -1,0 +1,13 @@
+// The same shapes made provable: an explicit zero guard bounds the
+// divisor away from zero, and a clamp pins the probability to [0, 1].
+pub fn mean(total: f64, n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    total / n as f64
+}
+
+pub fn bounded(x: f64) -> f64 {
+    let p = x.clamp(0.0, 1.0);
+    p
+}

@@ -1,0 +1,6 @@
+// A wire-supplied row count flows, unvalidated, into an allocation size.
+pub fn handle(msg: &Json) {
+    let n = msg.req_u64("rows");
+    let mut buf: Vec<u8> = Vec::with_capacity(n as usize);
+    buf.clear();
+}

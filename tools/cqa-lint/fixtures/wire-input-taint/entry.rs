@@ -1,0 +1,7 @@
+// Entry half of the multi-hop fixture: the wire read happens in a helper
+// (another module), travels back here, then into a second helper that
+// allocates — two interprocedural hops end to end.
+pub fn handle(msg: &Json) {
+    let n = read_rows(msg);
+    grow_buffer(n);
+}

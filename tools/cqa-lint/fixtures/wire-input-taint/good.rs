@@ -1,0 +1,7 @@
+// The same read clamped through the registered `capped_u64` validator:
+// the clamp is the negative control for the taint analysis.
+pub fn handle(msg: &Json) {
+    let n = capped_u64(msg.req_u64("rows"), 4096);
+    let mut buf: Vec<u8> = Vec::with_capacity(n as usize);
+    buf.clear();
+}

@@ -1,0 +1,10 @@
+// Helper half of the multi-hop fixture: the source and the sink, with
+// the flow routed through the entry module in between.
+pub fn read_rows(msg: &Json) -> u64 {
+    msg.req_u64("rows")
+}
+
+pub fn grow_buffer(n: u64) {
+    let mut buf: Vec<u8> = Vec::with_capacity(n as usize);
+    buf.clear();
+}

@@ -18,13 +18,16 @@
 //!   closure or fn-pointer invocation the graph cannot see through: an
 //!   **opaque call**, surfaced to the rules instead of silently dropped.
 //!
-//! Two blind spots have been closed since PR 5: a closure bound to a local
-//! and invoked in the same body is resolved (its calls are attributed to
-//! the enclosing fn), and `?` now edges into every workspace `From` impl
-//! (the desugared `From::from` on the error path). The remaining blind
-//! spots are documented in `docs/ANALYSIS.md`: implicit calls
-//! (`Drop::drop`, operator overloads) and calls through closure *values*
-//! built in one function and invoked in another.
+//! Three blind spots have been closed since PR 5: a closure bound to a
+//! local and invoked in the same body is resolved (its calls are
+//! attributed to the enclosing fn), `?` edges into every workspace `From`
+//! impl (the desugared `From::from` on the error path), and every local,
+//! parameter, or guard binding whose type has a workspace `Drop` impl now
+//! synthesizes an implicit `T::drop` edge at its scope end, so
+//! panic/alloc/lockflow reachability sees destructors. The remaining
+//! blind spots are documented in `docs/ANALYSIS.md`: operator overloads
+//! and calls through closure *values* built in one function and invoked
+//! in another.
 
 use crate::parser::{Call, FnItem, ParsedFile, Receiver};
 use std::collections::{BTreeMap, VecDeque};
@@ -137,15 +140,15 @@ pub struct Graph<'a> {
     /// facts[file][fn], parallel to `files[_].fns`.
     pub facts: Vec<Vec<FnFacts>>,
     /// Merged struct field tables: type name → field → type.
-    structs: BTreeMap<&'a str, BTreeMap<&'a str, &'a str>>,
+    pub(crate) structs: BTreeMap<&'a str, BTreeMap<&'a str, &'a str>>,
     /// (self type, method name) → candidate fns.
-    methods: BTreeMap<(&'a str, &'a str), Vec<FnId>>,
+    pub(crate) methods: BTreeMap<(&'a str, &'a str), Vec<FnId>>,
     /// method name → every fn with a self type of that name.
-    by_method_name: BTreeMap<&'a str, Vec<FnId>>,
+    pub(crate) by_method_name: BTreeMap<&'a str, Vec<FnId>>,
     /// free fn name → candidate fns.
-    free_fns: BTreeMap<&'a str, Vec<FnId>>,
+    pub(crate) free_fns: BTreeMap<&'a str, Vec<FnId>>,
     /// trait name → self types implementing it.
-    trait_impls: BTreeMap<&'a str, Vec<&'a str>>,
+    pub(crate) trait_impls: BTreeMap<&'a str, Vec<&'a str>>,
 }
 
 impl<'a> Graph<'a> {
@@ -222,7 +225,7 @@ impl<'a> Graph<'a> {
 
     /// The terminal type of a variable in `f`, if recoverable. Generic
     /// params resolve to their first trait bound.
-    fn var_type(&self, f: &FnItem, name: &str) -> Option<String> {
+    pub(crate) fn var_type(&self, f: &FnItem, name: &str) -> Option<String> {
         let base = f.params.get(name).or_else(|| f.locals.get(name)).cloned().or_else(|| {
             let chain = f.local_chains.get(name)?;
             let ty = f.self_ty.as_deref()?;
@@ -233,7 +236,7 @@ impl<'a> Graph<'a> {
     }
 
     /// The receiver's terminal type, if recoverable.
-    fn receiver_type(&self, f: &FnItem, recv: &Receiver) -> Option<String> {
+    pub(crate) fn receiver_type(&self, f: &FnItem, recv: &Receiver) -> Option<String> {
         match recv {
             Receiver::SelfChain(fields) => {
                 let ty = f.self_ty.as_deref()?;
@@ -257,7 +260,7 @@ impl<'a> Graph<'a> {
 
     /// Workspace candidates for `ty::name`: inherent methods, trait
     /// defaults, and — when `ty` is a trait — every impl's method.
-    fn method_candidates(&self, ty: &str, name: &str) -> Vec<FnId> {
+    pub(crate) fn method_candidates(&self, ty: &str, name: &str) -> Vec<FnId> {
         let mut out: Vec<FnId> = self.methods.get(&(ty, name)).cloned().unwrap_or_default();
         if let Some(impls) = self.trait_impls.get(ty) {
             for imp in impls {
@@ -377,6 +380,37 @@ impl<'a> Graph<'a> {
                 Call::Macro { .. } => {}
             }
         }
+        // Implicit destructors: a local, parameter, or lock-guard binding
+        // whose type has a workspace `Drop` impl runs `T::drop` when its
+        // scope (or guard span) ends. The token scan cannot see that call,
+        // so synthesize the edge here — this is what lets
+        // panic/alloc/lockflow reachability into destructor bodies.
+        if f.end_line > 0 {
+            let mut drop_sites: Vec<(String, u32)> = Vec::new();
+            for ty in f.params.values().chain(f.locals.values()) {
+                drop_sites.push((ty.clone(), f.end_line));
+            }
+            for span in &f.lock_spans {
+                // `span.lock` roots in a receiver chain; when it roots in a
+                // local variable the root's type may carry a workspace guard
+                // with a `Drop` impl.
+                if span.local {
+                    let root = span.lock.split(['.', '(']).next().unwrap_or_default().to_string();
+                    if let Some(ty) = self.var_type(f, &root) {
+                        drop_sites.push((ty, span.end_line));
+                    }
+                }
+            }
+            for (ty, line) in drop_sites {
+                if let Some(ids) = self.methods.get(&(ty.as_str(), "drop")) {
+                    for id in ids.clone() {
+                        if self.fn_item(id).trait_name.as_deref() == Some("Drop") {
+                            facts.edges.push((id, line));
+                        }
+                    }
+                }
+            }
+        }
         facts
     }
 
@@ -486,6 +520,44 @@ mod tests {
         let reached = g.reach(&[(id_of(&g, "run"), None)]);
         assert!(reached.contains_key(&id_of(&g, "go")));
         assert!(reached.contains_key(&id_of(&g, "other")));
+    }
+
+    #[test]
+    fn implicit_drop_edge_reaches_destructor_body() {
+        // No explicit call to `drop` anywhere: the edge is synthesized at
+        // `entry`'s scope end because a local's type has a workspace
+        // `Drop` impl, and reachability continues into the destructor.
+        let files = build(&[(
+            "a.rs",
+            "struct Guard; \
+             impl Drop for Guard { fn drop(&mut self) { cleanup(); } } \
+             fn cleanup() {} \
+             fn entry() { let g: Guard = make(); use_it(&g); } \
+             fn make() -> Guard { Guard } \
+             fn use_it(_g: &Guard) {}",
+        )]);
+        let g = Graph::build(&files);
+        let reached = g.reach(&[(id_of(&g, "entry"), None)]);
+        assert!(reached.contains_key(&id_of(&g, "drop")), "implicit Drop edge missing");
+        assert!(reached.contains_key(&id_of(&g, "cleanup")), "destructor body not traversed");
+    }
+
+    #[test]
+    fn inherent_drop_method_is_not_an_implicit_edge() {
+        // Only a `Drop` *trait* impl runs at scope end; an inherent method
+        // that happens to be named `drop` must not be pulled in.
+        let files = build(&[(
+            "a.rs",
+            "struct Plain; \
+             impl Plain { fn drop(&mut self) { never_runs(); } } \
+             fn never_runs() {} \
+             fn entry() { let p: Plain = make(); use_it(&p); } \
+             fn make() -> Plain { Plain } \
+             fn use_it(_p: &Plain) {}",
+        )]);
+        let g = Graph::build(&files);
+        let reached = g.reach(&[(id_of(&g, "entry"), None)]);
+        assert!(!reached.contains_key(&id_of(&g, "never_runs")), "inherent drop pulled in");
     }
 
     #[test]

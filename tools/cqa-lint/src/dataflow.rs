@@ -1,0 +1,3802 @@
+//! A forward dataflow / abstract-interpretation engine over the token
+//! bodies that [`crate::parser`] extracts, with interprocedural function
+//! summaries propagated over [`crate::callgraph`].
+//!
+//! The engine re-walks each function's body token range (recorded by the
+//! parser as [`crate::parser::FnItem::body`]) into a small statement /
+//! expression tree — not a full Rust AST, just the fragment the abstract
+//! domains can interpret: literals, variables, field projections, unary
+//! and binary arithmetic, comparisons, calls, struct literals, `if` /
+//! `match` / `loop` / `while` / `for` control flow, `let` bindings,
+//! assignments, `return` / `break` / `continue`, and the `?` operator.
+//! Everything else becomes an explicit [`Expr::Opaque`] that evaluates to
+//! the domain's top — unknown syntax degrades precision, never soundness
+//! of the *reported* facts (see "Known unsoundness" in `docs/ANALYSIS.md`
+//! for the places where the model itself is optimistic).
+//!
+//! Two production analyses run on one product domain ([`Abs`]):
+//!
+//! * **`wire-input-taint`** — values read from the NDJSON wire in
+//!   `crates/server` are tainted until they pass a validator registered
+//!   in `crates/common/src/validate.rs`; taint reaching an allocation
+//!   size, a loop bound, or a capacity is a finding with the
+//!   reconstructed flow path.
+//! * **`estimator-intervals`** — an interval domain over the estimator
+//!   math in `crates/core` proving divisors are bounded away from zero
+//!   and probabilities stay in `[0, 1]`, and discharging
+//!   `checked-estimator-math` sites whose ranges provably fit in `u64`.
+//!
+//! ## Interprocedural structure
+//!
+//! 1. **Summaries, bottom-up.** Functions are processed in Tarjan-SCC
+//!    condensation order, callees first. Each function is interpreted
+//!    with symbolic parameters (taint tracks *which parameter* flows to
+//!    the result via a bitmask; intervals start from the declared type's
+//!    value range) and yields a [`Summary`]: the joined `Ok`-exit return
+//!    value plus per-parameter interval refinements that hold whenever
+//!    the function returns `Ok` (so `check_params(eps, delta)?` teaches
+//!    the caller `eps > 0`). Recursive cycles iterate to a widened
+//!    fixpoint.
+//! 2. **Contexts + reporting, top-down.** Functions are then re-walked
+//!    callers-first; every call site joins its (abstract) arguments into
+//!    the callee's context, so by the time a function is visited its
+//!    parameter environment reflects every observed caller and findings
+//!    can be reported with whole-program precision. Functions with no
+//!    observed callers keep type-based top parameters — and, crucially,
+//!    *clean* taint: taint only enters at wire reads.
+//!
+//! Loops run to a bounded fixpoint ([`FIXPOINT_ITERS`] rounds, widening
+//! from the second), `while` loops that provably execute at least once
+//! exclude the zero-iteration path from their exit environment, and
+//! `break`-edge environments keep the narrowing of the conditions
+//! guarding the `break` — which is how `trials >= 1` survives to the
+//! post-loop divisions in `coverage.rs`.
+
+use crate::callgraph::{FnId, Graph};
+use crate::domains::{Interval, Lattice, Provenance};
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{FnItem, INT_TYPES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum loop-body fixpoint rounds before trusting the widened state.
+const FIXPOINT_ITERS: usize = 4;
+/// Maximum rounds around a recursive SCC before widening its summaries.
+const SCC_ITERS: usize = 3;
+/// Maximum expression nesting the extractor follows before bailing to
+/// [`Expr::Opaque`]; guards against pathological token soup.
+const MAX_DEPTH: usize = 40;
+/// Struct values deeper than this collapse to their scalar approximation.
+const MAX_VAL_DEPTH: usize = 3;
+
+// ---------------------------------------------------------------------------
+// Mini-AST
+// ---------------------------------------------------------------------------
+
+/// Comparison operators the interval domain can narrow on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// The mirrored operator for swapped operands (`a < b` ⇔ `b > a`).
+    fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            op => op,
+        }
+    }
+}
+
+/// The expression fragment the domains interpret.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Numeric literal (value pre-parsed; suffix stripped).
+    Num(f64, bool),
+    /// A string/char literal — abstractly an untainted scalar; the text
+    /// labels taint sources (`as_f64("eps")`).
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A variable read.
+    Var(String),
+    /// `base.field` (tuple fields included: `pair.0`).
+    Field(Box<Expr>, String),
+    /// `!e` or `-e`.
+    Unary(char, Box<Expr>),
+    /// `a + b`, `a - b`, `a * b`, `a / b`, `a % b`; carries the line.
+    Bin(char, Box<Expr>, Box<Expr>, u32),
+    /// `a < b` and friends.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// `a && b`.
+    And(Box<Expr>, Box<Expr>),
+    /// `a || b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `recv.name(args)`.
+    MethodCall(Box<Expr>, String, Vec<Expr>, u32),
+    /// `Qual::name(args)` — `qual` is the last path segment before the
+    /// name (`Vec` in `std::vec::Vec::with_capacity`).
+    PathCall(String, String, Vec<Expr>, u32),
+    /// `name(args)`.
+    FreeCall(String, Vec<Expr>, u32),
+    /// `Qual::NAME` — a path constant such as `u64::MAX`.
+    PathConst(String, String),
+    /// `Name { field: e, .. }`.
+    StructLit(String, Vec<(String, Expr)>),
+    /// `(a, b, …)`.
+    Tuple(Vec<Expr>),
+    /// `a..b` / `a..=b` (either side optional).
+    Range(Option<Box<Expr>>, Option<Box<Expr>>),
+    /// `e as ty`.
+    Cast(Box<Expr>, String),
+    /// `e?` — applies the callee's `Ok`-refinements on success.
+    Try(Box<Expr>),
+    /// `if c { a } else { b }` in expression position.
+    IfExpr(Box<Expr>, Vec<Stmt>, Vec<Stmt>),
+    /// `match scrutinee { pat => body, … }` in expression position.
+    MatchExpr(Box<Expr>, Vec<(Pat, Vec<Stmt>)>),
+    /// `|…| body` — evaluated for effects, value opaque.
+    Closure(Vec<Stmt>),
+    /// `&e` / `&mut e`; the bool is `mut`.
+    Ref(Box<Expr>, bool),
+    /// Anything the extractor does not model.
+    Opaque,
+}
+
+/// Patterns, as far as binding structure matters.
+#[derive(Debug, Clone)]
+pub enum Pat {
+    /// `_`, literals, rest patterns — binds nothing.
+    Wild,
+    /// A bare identifier binding the whole matched value.
+    Bind(String),
+    /// `Variant(p1, …)` / `Variant { .. }`; one sub-binding sees the
+    /// scrutinee's payload (constructor-transparent, matching how
+    /// [`Val`] flows through `Ok(_)`/`Some(_)` wrappers).
+    Variant(String, Vec<Pat>),
+    /// `(p1, p2, …)`.
+    Tuple(Vec<Pat>),
+}
+
+impl Pat {
+    /// Every name this pattern binds.
+    fn binds(&self, out: &mut Vec<String>) {
+        match self {
+            Pat::Wild => {}
+            Pat::Bind(n) => out.push(n.clone()),
+            Pat::Variant(_, ps) | Pat::Tuple(ps) => {
+                for p in ps {
+                    p.binds(out);
+                }
+            }
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let pat = e;` (initializer optional; `let … else` treated as an
+    /// always-succeeding bind, since the else-block diverges).
+    Let(Pat, Option<Expr>, u32),
+    /// `x = e;`, `x.f = e;`, `x += e;`. The `Option<char>` is the
+    /// compound operator, the path the field chain under `x`.
+    Assign(String, Vec<String>, Option<char>, Expr, u32),
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// The trailing expression of a block (no `;`) — a value exit.
+    Tail(Expr),
+    /// `if c { .. } else { .. }` (else-if chains nest in the else).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `if let pat = e { .. } else { .. }`.
+    IfLet(Pat, Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while c { .. }`, with an optional label; the line is the loop
+    /// head's (the taint-sink site for an attacker-controlled bound).
+    While(Option<String>, Expr, Vec<Stmt>, u32),
+    /// `loop { .. }`, with an optional label.
+    Loop(Option<String>, Vec<Stmt>),
+    /// `for pat in e { .. }`; the line is the loop head's (the
+    /// taint-sink site for an attacker-controlled bound).
+    For(Pat, Expr, Vec<Stmt>, u32),
+    /// `match e { .. }` in statement position.
+    Match(Expr, Vec<(Pat, Vec<Stmt>)>),
+    /// `return e;`.
+    Return(Option<Expr>),
+    /// `break 'label e;`.
+    Break(Option<String>, Option<Expr>),
+    /// `continue 'label;`.
+    Continue(Option<String>),
+    /// A nested `{ .. }` block.
+    Block(Vec<Stmt>),
+    /// Something the extractor skipped.
+    Opaque,
+}
+
+// ---------------------------------------------------------------------------
+// Token → mini-AST extraction
+// ---------------------------------------------------------------------------
+
+/// A cursor over one function body's token slice.
+struct Cur<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    end: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(toks: &'a [Tok], start: usize, end: usize) -> Cur<'a> {
+        Cur { toks, i: start, end: end.min(toks.len()) }
+    }
+
+    fn peek(&self) -> Option<&'a Tok> {
+        if self.i < self.end {
+            Some(&self.toks[self.i])
+        } else {
+            None
+        }
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Tok> {
+        let j = self.i + off;
+        if j < self.end {
+            Some(&self.toks[j])
+        } else {
+            None
+        }
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(c))
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(name))
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.peek();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().map_or(0, |t| t.line)
+    }
+
+    /// Skips a balanced group starting at the current opening delimiter.
+    fn skip_group(&mut self) {
+        let (open, close) = match self.peek().map(|t| &t.kind) {
+            Some(TokKind::Punct('(')) => ('(', ')'),
+            Some(TokKind::Punct('[')) => ('[', ']'),
+            Some(TokKind::Punct('{')) => ('{', '}'),
+            _ => {
+                self.i += 1;
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Index of the matching `}` for a `{` at the current position.
+    fn brace_end(&self) -> usize {
+        let mut depth = 0usize;
+        let mut j = self.i;
+        while j < self.end {
+            match self.toks[j].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.end
+    }
+}
+
+/// Parses a numeric literal's value; `1_000`, suffixes, hex.
+fn num_value(text: &str) -> Option<(f64, bool)> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let is_float = clean.contains('.')
+        || ((clean.contains('e') || clean.contains('E')) && !clean.starts_with("0x"));
+    let trimmed =
+        clean.trim_end_matches(|c: char| c.is_ascii_alphabetic() || c.is_ascii_digit()).len();
+    // Strip a type suffix (`u64`, `f32`, `usize`) if present: find the
+    // longest numeric prefix.
+    let _ = trimmed;
+    let mut end = clean.len();
+    for suf in [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        "f64", "f32",
+    ] {
+        if clean.ends_with(suf) && clean.len() > suf.len() {
+            end = clean.len() - suf.len();
+            break;
+        }
+    }
+    let core = &clean[..end];
+    if let Some(hex) = core.strip_prefix("0x") {
+        return u64::from_str_radix(hex, 16).ok().map(|v| (v as f64, true));
+    }
+    if let Some(bin) = core.strip_prefix("0b") {
+        return u64::from_str_radix(bin, 2).ok().map(|v| (v as f64, true));
+    }
+    core.parse::<f64>().ok().map(|v| {
+        let int = !is_float && !clean.ends_with("f64") && !clean.ends_with("f32");
+        (v, int)
+    })
+}
+
+/// Extracts the statement list of one function body from the stripped
+/// token stream. `(start, end)` is the exclusive-of-braces range recorded
+/// in [`FnItem::body`].
+pub fn extract_body(toks: &[Tok], start: usize, end: usize) -> Vec<Stmt> {
+    let mut cur = Cur::new(toks, start, end);
+    parse_stmts(&mut cur, 0)
+}
+
+fn parse_stmts(cur: &mut Cur<'_>, depth: usize) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    if depth > MAX_DEPTH {
+        cur.i = cur.end;
+        return out;
+    }
+    while cur.i < cur.end {
+        if cur.at_punct('}') {
+            // Stray close (we are called with exact ranges, but stay safe).
+            cur.i += 1;
+            continue;
+        }
+        if cur.eat_punct(';') {
+            continue;
+        }
+        if let Some(stmt) = parse_stmt(cur, depth) {
+            out.push(stmt);
+        }
+    }
+    out
+}
+
+/// Parses one statement; returns `None` for constructs handled inline.
+fn parse_stmt(cur: &mut Cur<'_>, depth: usize) -> Option<Stmt> {
+    let t = cur.peek()?;
+    let line = t.line;
+
+    // Nested items: skip `fn`/`struct`/`impl`/`use`/`const`/`static`
+    // bodies wholesale — nested fns are parsed as their own FnItems.
+    if t.kind == TokKind::Ident {
+        match t.text.as_str() {
+            "fn" | "struct" | "enum" | "impl" | "trait" | "mod" | "use" | "type" => {
+                skip_item(cur);
+                return Some(Stmt::Opaque);
+            }
+            "const" | "static" => {
+                // `const X: T = e;` inside a body — treat as a let.
+                cur.bump();
+                let name = cur.peek().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+                if let Some(name) = name {
+                    cur.bump();
+                    // Skip `: Type`
+                    if cur.eat_punct(':') {
+                        skip_type(cur);
+                    }
+                    if cur.eat_punct('=') {
+                        let e = parse_expr(cur, depth + 1, true);
+                        cur.eat_punct(';');
+                        return Some(Stmt::Let(Pat::Bind(name), Some(e), line));
+                    }
+                }
+                skip_to_semi(cur);
+                return Some(Stmt::Opaque);
+            }
+            "let" => return Some(parse_let(cur, depth, line)),
+            "if" => {
+                let (s, _) = parse_if(cur, depth);
+                return Some(s);
+            }
+            "while" => return Some(parse_while(cur, depth, None)),
+            "loop" => return Some(parse_loop(cur, depth, None)),
+            "for" => return Some(parse_for(cur, depth, None)),
+            "match" => {
+                cur.bump();
+                let scrut = parse_expr_no_struct(cur, depth + 1);
+                let arms = parse_match_arms(cur, depth);
+                return Some(Stmt::Match(scrut, arms));
+            }
+            "return" => {
+                cur.bump();
+                if cur.at_punct(';') || cur.at_punct('}') || cur.i >= cur.end {
+                    cur.eat_punct(';');
+                    return Some(Stmt::Return(None));
+                }
+                let e = parse_expr(cur, depth + 1, true);
+                cur.eat_punct(';');
+                return Some(Stmt::Return(Some(e)));
+            }
+            "break" => {
+                cur.bump();
+                let label = eat_label(cur);
+                if cur.at_punct(';') || cur.at_punct('}') || cur.i >= cur.end {
+                    cur.eat_punct(';');
+                    return Some(Stmt::Break(label, None));
+                }
+                let e = parse_expr(cur, depth + 1, true);
+                cur.eat_punct(';');
+                return Some(Stmt::Break(label, Some(e)));
+            }
+            "continue" => {
+                cur.bump();
+                let label = eat_label(cur);
+                cur.eat_punct(';');
+                return Some(Stmt::Continue(label));
+            }
+            "unsafe" => {
+                cur.bump();
+                return parse_stmt(cur, depth);
+            }
+            _ => {}
+        }
+    }
+
+    // Labeled loop: `'outer: loop { … }`.
+    if t.kind == TokKind::Lifetime {
+        let label = t.text.clone();
+        if cur.peek_at(1).is_some_and(|t| t.is_punct(':')) {
+            cur.bump();
+            cur.bump();
+            if cur.at_ident("loop") {
+                return Some(parse_loop(cur, depth, Some(label)));
+            }
+            if cur.at_ident("while") {
+                return Some(parse_while(cur, depth, Some(label)));
+            }
+            if cur.at_ident("for") {
+                return Some(parse_for(cur, depth, Some(label)));
+            }
+            return Some(Stmt::Opaque);
+        }
+    }
+
+    // `#[attr]` on a statement.
+    if t.is_punct('#') {
+        cur.bump();
+        if cur.at_punct('[') {
+            cur.skip_group();
+        }
+        return parse_stmt(cur, depth);
+    }
+
+    // Bare block.
+    if t.is_punct('{') {
+        let body = parse_block(cur, depth);
+        return Some(Stmt::Block(body));
+    }
+
+    // Assignment: `ident (.field)* (op)?= expr ;` — look ahead.
+    if t.kind == TokKind::Ident {
+        if let Some(stmt) = try_parse_assign(cur, depth) {
+            return Some(stmt);
+        }
+    }
+    if t.is_punct('*') {
+        // Deref assignment `*x = e;` — havoc the variable.
+        if let Some(n) = cur.peek_at(1) {
+            if n.kind == TokKind::Ident
+                && cur.peek_at(2).is_some_and(|t| t.is_punct('='))
+                && !cur.peek_at(3).is_some_and(|t| t.is_punct('='))
+            {
+                cur.bump();
+                let name = cur.bump().map(|t| t.text.clone()).unwrap_or_default();
+                cur.bump();
+                let e = parse_expr(cur, depth + 1, true);
+                cur.eat_punct(';');
+                return Some(Stmt::Assign(name, Vec::new(), None, e, line));
+            }
+        }
+    }
+
+    // Expression statement (maybe a tail expression).
+    let e = parse_expr(cur, depth + 1, true);
+    if cur.eat_punct(';') {
+        Some(Stmt::Expr(e))
+    } else if cur.i >= cur.end {
+        Some(Stmt::Tail(e))
+    } else {
+        // Block-ending expressions (`if`/`match` in stmt position) need
+        // no `;`; anything else unparsed — keep as effect-only.
+        Some(Stmt::Expr(e))
+    }
+}
+
+fn eat_label(cur: &mut Cur<'_>) -> Option<String> {
+    if cur.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+        cur.bump().map(|t| t.text.clone())
+    } else {
+        None
+    }
+}
+
+fn skip_item(cur: &mut Cur<'_>) {
+    // Skip tokens to the item's body braces (or a terminating `;`), then
+    // skip the braced group.
+    while let Some(t) = cur.peek() {
+        if t.is_punct('{') {
+            cur.skip_group();
+            return;
+        }
+        if t.is_punct(';') {
+            cur.bump();
+            return;
+        }
+        cur.bump();
+    }
+}
+
+fn skip_to_semi(cur: &mut Cur<'_>) {
+    while let Some(t) = cur.peek() {
+        if t.is_punct(';') {
+            cur.bump();
+            return;
+        }
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            cur.skip_group();
+            continue;
+        }
+        cur.bump();
+    }
+}
+
+/// Skips a type annotation conservatively (to `=`, `;`, `,`, `)`, or `{`
+/// at depth 0).
+fn skip_type(cur: &mut Cur<'_>) {
+    let mut angle = 0i32;
+    while let Some(t) = cur.peek() {
+        match &t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle -= 1,
+            TokKind::Punct('(') | TokKind::Punct('[') => {
+                cur.skip_group();
+                continue;
+            }
+            TokKind::Punct('=') | TokKind::Punct(';') | TokKind::Punct('{') if angle <= 0 => return,
+            TokKind::Punct(',') | TokKind::Punct(')') if angle <= 0 => return,
+            _ => {}
+        }
+        cur.bump();
+    }
+}
+
+fn parse_let(cur: &mut Cur<'_>, depth: usize, line: u32) -> Stmt {
+    cur.bump(); // let
+    let _ = cur.at_ident("mut") && cur.bump().is_some();
+    let pat = parse_pat(cur, 0);
+    if cur.eat_punct(':') {
+        skip_type(cur);
+    }
+    if !cur.eat_punct('=') {
+        cur.eat_punct(';');
+        return Stmt::Let(pat, None, line);
+    }
+    let e = parse_expr(cur, depth + 1, true);
+    // `let … else { … }`: the else-block diverges; bind optimistically.
+    if cur.at_ident("else") {
+        cur.bump();
+        if cur.at_punct('{') {
+            cur.skip_group();
+        }
+    }
+    cur.eat_punct(';');
+    Stmt::Let(pat, Some(e), line)
+}
+
+fn try_parse_assign(cur: &mut Cur<'_>, depth: usize) -> Option<Stmt> {
+    let start = cur.i;
+    let line = cur.line();
+    let name = cur.peek()?.text.clone();
+    if cur.peek()?.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = cur.i + 1;
+    let mut path = Vec::new();
+    // ident (.field)*  — fields must be plain idents or tuple indices.
+    while j + 1 < cur.end
+        && cur.toks[j].is_punct('.')
+        && matches!(cur.toks[j + 1].kind, TokKind::Ident | TokKind::Num)
+    {
+        path.push(cur.toks[j + 1].text.clone());
+        j += 2;
+    }
+    if j >= cur.end {
+        return None;
+    }
+    let (op, eq_at) = match cur.toks[j].kind {
+        TokKind::Punct('=') if !cur.toks.get(j + 1).is_some_and(|t| t.is_punct('=')) => (None, j),
+        TokKind::Punct(c @ ('+' | '-' | '*' | '/' | '%'))
+            if cur.toks.get(j + 1).is_some_and(|t| t.is_punct('=')) =>
+        {
+            (Some(c), j + 1)
+        }
+        _ => {
+            cur.i = start;
+            return None;
+        }
+    };
+    // Reject `==` disguised (handled above) and `=>`.
+    if cur.toks.get(eq_at + 1).is_some_and(|t| t.is_punct('>')) {
+        cur.i = start;
+        return None;
+    }
+    cur.i = eq_at + 1;
+    let e = parse_expr(cur, depth + 1, true);
+    cur.eat_punct(';');
+    Some(Stmt::Assign(name, path, op, e, line))
+}
+
+fn parse_block(cur: &mut Cur<'_>, depth: usize) -> Vec<Stmt> {
+    if !cur.at_punct('{') {
+        return Vec::new();
+    }
+    let end = cur.brace_end();
+    let mut inner = Cur::new(cur.toks, cur.i + 1, end);
+    let stmts = parse_stmts(&mut inner, depth + 1);
+    cur.i = (end + 1).min(cur.end);
+    stmts
+}
+
+fn parse_if(cur: &mut Cur<'_>, depth: usize) -> (Stmt, bool) {
+    cur.bump(); // if
+    if cur.at_ident("let") {
+        cur.bump();
+        let pat = parse_pat(cur, 0);
+        cur.eat_punct('=');
+        let scrut = parse_expr_no_struct(cur, depth + 1);
+        let then = parse_block(cur, depth);
+        let els = parse_else(cur, depth);
+        return (Stmt::IfLet(pat, scrut, then, els), true);
+    }
+    let cond = parse_expr_no_struct(cur, depth + 1);
+    let then = parse_block(cur, depth);
+    let els = parse_else(cur, depth);
+    (Stmt::If(cond, then, els), true)
+}
+
+fn parse_else(cur: &mut Cur<'_>, depth: usize) -> Vec<Stmt> {
+    if !cur.at_ident("else") {
+        return Vec::new();
+    }
+    cur.bump();
+    if cur.at_ident("if") {
+        let (s, _) = parse_if(cur, depth);
+        return vec![s];
+    }
+    parse_block(cur, depth)
+}
+
+fn parse_while(cur: &mut Cur<'_>, depth: usize, label: Option<String>) -> Stmt {
+    let line = cur.line();
+    cur.bump(); // while
+    if cur.at_ident("let") {
+        // `while let` — model as a loop whose body may not run.
+        cur.bump();
+        let _pat = parse_pat(cur, 0);
+        cur.eat_punct('=');
+        let scrut = parse_expr_no_struct(cur, depth + 1);
+        let mut body = parse_block(cur, depth);
+        body.insert(0, Stmt::Expr(scrut));
+        return Stmt::While(label, Expr::Opaque, body, line);
+    }
+    let cond = parse_expr_no_struct(cur, depth + 1);
+    let body = parse_block(cur, depth);
+    Stmt::While(label, cond, body, line)
+}
+
+fn parse_loop(cur: &mut Cur<'_>, depth: usize, label: Option<String>) -> Stmt {
+    cur.bump(); // loop
+    let body = parse_block(cur, depth);
+    Stmt::Loop(label, body)
+}
+
+fn parse_for(cur: &mut Cur<'_>, depth: usize, label: Option<String>) -> Stmt {
+    let line = cur.line();
+    cur.bump(); // for
+    let pat = parse_pat(cur, 0);
+    if cur.at_ident("in") {
+        cur.bump();
+    }
+    let iter = parse_expr_no_struct(cur, depth + 1);
+    let body = parse_block(cur, depth);
+    let _ = label;
+    Stmt::For(pat, iter, body, line)
+}
+
+fn parse_match_arms(cur: &mut Cur<'_>, depth: usize) -> Vec<(Pat, Vec<Stmt>)> {
+    let mut arms = Vec::new();
+    if !cur.at_punct('{') {
+        return arms;
+    }
+    let end = cur.brace_end();
+    let mut inner = Cur::new(cur.toks, cur.i + 1, end);
+    while inner.i < inner.end {
+        if inner.eat_punct(',') {
+            continue;
+        }
+        let pat = parse_pat(&mut inner, 0);
+        // Or-patterns / guards: skip to `=>`.
+        while inner.i < inner.end
+            && !(inner.at_punct('=') && inner.peek_at(1).is_some_and(|t| t.is_punct('>')))
+        {
+            if inner.at_punct('{') || inner.at_punct('(') || inner.at_punct('[') {
+                inner.skip_group();
+            } else {
+                inner.bump();
+            }
+        }
+        if inner.i >= inner.end {
+            break;
+        }
+        inner.i += 2; // =>
+        let body = if inner.at_punct('{') {
+            parse_block(&mut inner, depth)
+        } else {
+            let e = parse_expr(&mut inner, depth + 1, true);
+            vec![Stmt::Tail(e)]
+        };
+        arms.push((pat, body));
+    }
+    cur.i = (end + 1).min(cur.end);
+    arms
+}
+
+fn parse_pat(cur: &mut Cur<'_>, depth: usize) -> Pat {
+    if depth > 8 {
+        return Pat::Wild;
+    }
+    // `&pat`, `ref`/`mut` prefixes.
+    while cur.at_punct('&') || cur.at_ident("ref") || cur.at_ident("mut") {
+        cur.bump();
+    }
+    let Some(t) = cur.peek() else { return Pat::Wild };
+    match &t.kind {
+        TokKind::Ident if t.text == "_" => {
+            cur.bump();
+            Pat::Wild
+        }
+        TokKind::Ident => {
+            let mut name = t.text.clone();
+            cur.bump();
+            // Path segments: `Request::Query` — keep the last.
+            while cur.at_punct(':')
+                && cur.peek_at(1).is_some_and(|t| t.is_punct(':'))
+                && cur.peek_at(2).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                cur.i += 2;
+                name = cur.bump().map(|t| t.text.clone()).unwrap_or(name);
+            }
+            if cur.at_punct('(') {
+                // Tuple-variant pattern.
+                let close = group_close(cur);
+                let mut inner = Cur::new(cur.toks, cur.i + 1, close);
+                let mut subs = Vec::new();
+                while inner.i < inner.end {
+                    if inner.eat_punct(',') {
+                        continue;
+                    }
+                    subs.push(parse_pat(&mut inner, depth + 1));
+                    // Skip anything the sub-pattern didn't consume up to `,`.
+                    while inner.i < inner.end && !inner.at_punct(',') {
+                        if inner.at_punct('(') || inner.at_punct('{') || inner.at_punct('[') {
+                            inner.skip_group();
+                        } else {
+                            inner.bump();
+                        }
+                    }
+                }
+                cur.i = (close + 1).min(cur.end);
+                Pat::Variant(name, subs)
+            } else if cur.at_punct('{') {
+                // Struct pattern: bind `field` / `field: pat` names.
+                let end = cur.brace_end();
+                let mut inner = Cur::new(cur.toks, cur.i + 1, end);
+                let mut subs = Vec::new();
+                while inner.i < inner.end {
+                    if inner.eat_punct(',') || inner.eat_punct('.') {
+                        continue;
+                    }
+                    let Some(ft) = inner.peek() else { break };
+                    if ft.kind == TokKind::Ident {
+                        let fname = ft.text.clone();
+                        inner.bump();
+                        if inner.eat_punct(':') {
+                            let sub = parse_pat(&mut inner, depth + 1);
+                            subs.push(sub);
+                        } else {
+                            subs.push(Pat::Bind(fname));
+                        }
+                    } else {
+                        inner.bump();
+                    }
+                }
+                cur.i = (end + 1).min(cur.end);
+                Pat::Variant(name, subs)
+            } else if name.chars().next().is_some_and(char::is_uppercase) {
+                // Unit variant (`None`) — binds nothing.
+                Pat::Variant(name, Vec::new())
+            } else {
+                Pat::Bind(name)
+            }
+        }
+        TokKind::Punct('(') => {
+            let close = group_close(cur);
+            let mut inner = Cur::new(cur.toks, cur.i + 1, close);
+            let mut subs = Vec::new();
+            while inner.i < inner.end {
+                if inner.eat_punct(',') {
+                    continue;
+                }
+                subs.push(parse_pat(&mut inner, depth + 1));
+                while inner.i < inner.end && !inner.at_punct(',') {
+                    if inner.at_punct('(') || inner.at_punct('{') || inner.at_punct('[') {
+                        inner.skip_group();
+                    } else {
+                        inner.bump();
+                    }
+                }
+            }
+            cur.i = (close + 1).min(cur.end);
+            Pat::Tuple(subs)
+        }
+        _ => {
+            cur.bump();
+            Pat::Wild
+        }
+    }
+}
+
+/// Index of the `)` matching a `(` at the cursor.
+fn group_close(cur: &Cur<'_>) -> usize {
+    let mut depth = 0usize;
+    let mut j = cur.i;
+    while j < cur.end {
+        match cur.toks[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    cur.end
+}
+
+// ---------------------------------------------------------------------------
+// Expression parsing (precedence climbing)
+// ---------------------------------------------------------------------------
+
+/// Parses an expression; `structs` allows struct-literal syntax (`false`
+/// in `if`/`while`/`for`/`match` heads, matching Rust's restriction).
+fn parse_expr(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    if depth > MAX_DEPTH {
+        cur.bump();
+        return Expr::Opaque;
+    }
+    parse_or(cur, depth, structs)
+}
+
+fn parse_expr_no_struct(cur: &mut Cur<'_>, depth: usize) -> Expr {
+    parse_expr(cur, depth, false)
+}
+
+fn parse_or(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    let mut lhs = parse_and(cur, depth, structs);
+    while cur.at_punct('|') && cur.peek_at(1).is_some_and(|t| t.is_punct('|')) {
+        cur.i += 2;
+        let rhs = parse_and(cur, depth + 1, structs);
+        lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+    }
+    lhs
+}
+
+fn parse_and(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    let mut lhs = parse_cmp(cur, depth, structs);
+    while cur.at_punct('&') && cur.peek_at(1).is_some_and(|t| t.is_punct('&')) {
+        cur.i += 2;
+        let rhs = parse_cmp(cur, depth + 1, structs);
+        lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+    }
+    lhs
+}
+
+fn parse_cmp(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    let lhs = parse_range(cur, depth, structs);
+    let op = match cur.peek().map(|t| &t.kind) {
+        Some(TokKind::Punct('<')) => {
+            if cur.peek_at(1).is_some_and(|t| t.is_punct('=')) {
+                cur.i += 2;
+                CmpOp::Le
+            } else {
+                cur.i += 1;
+                CmpOp::Lt
+            }
+        }
+        Some(TokKind::Punct('>')) => {
+            if cur.peek_at(1).is_some_and(|t| t.is_punct('=')) {
+                cur.i += 2;
+                CmpOp::Ge
+            } else {
+                cur.i += 1;
+                CmpOp::Gt
+            }
+        }
+        Some(TokKind::Punct('=')) if cur.peek_at(1).is_some_and(|t| t.is_punct('=')) => {
+            cur.i += 2;
+            CmpOp::Eq
+        }
+        Some(TokKind::Punct('!')) if cur.peek_at(1).is_some_and(|t| t.is_punct('=')) => {
+            cur.i += 2;
+            CmpOp::Ne
+        }
+        _ => return lhs,
+    };
+    let rhs = parse_range(cur, depth + 1, structs);
+    Expr::Cmp(Box::new(lhs), op, Box::new(rhs))
+}
+
+fn parse_range(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    // Leading `..e` / `..=e`.
+    if cur.at_punct('.') && cur.peek_at(1).is_some_and(|t| t.is_punct('.')) {
+        cur.i += 2;
+        cur.eat_punct('=');
+        if range_end_follows(cur) {
+            return Expr::Range(None, None);
+        }
+        let hi = parse_add(cur, depth + 1, structs);
+        return Expr::Range(None, Some(Box::new(hi)));
+    }
+    let lhs = parse_add(cur, depth, structs);
+    if cur.at_punct('.') && cur.peek_at(1).is_some_and(|t| t.is_punct('.')) {
+        cur.i += 2;
+        cur.eat_punct('=');
+        if range_end_follows(cur) {
+            return Expr::Range(Some(Box::new(lhs)), None);
+        }
+        let hi = parse_add(cur, depth + 1, structs);
+        return Expr::Range(Some(Box::new(lhs)), Some(Box::new(hi)));
+    }
+    lhs
+}
+
+fn range_end_follows(cur: &Cur<'_>) -> bool {
+    match cur.peek().map(|t| &t.kind) {
+        None => true,
+        Some(TokKind::Punct(c)) => matches!(c, ')' | ']' | '}' | ',' | ';' | '{'),
+        _ => false,
+    }
+}
+
+fn parse_add(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    let mut lhs = parse_mul(cur, depth, structs);
+    loop {
+        let line = cur.line();
+        let op = match cur.peek().map(|t| &t.kind) {
+            Some(TokKind::Punct(c @ ('+' | '-')))
+                if !cur.peek_at(1).is_some_and(|t| t.is_punct('=')) =>
+            {
+                *c
+            }
+            _ => break,
+        };
+        // `->` return-type arrow never appears in expr position; `-` as
+        // part of `..` handled above.
+        if op == '-' && cur.peek_at(1).is_some_and(|t| t.is_punct('>')) {
+            break;
+        }
+        cur.i += 1;
+        let rhs = parse_mul(cur, depth + 1, structs);
+        lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), line);
+    }
+    lhs
+}
+
+fn parse_mul(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    let mut lhs = parse_cast(cur, depth, structs);
+    loop {
+        let line = cur.line();
+        let op = match cur.peek().map(|t| &t.kind) {
+            Some(TokKind::Punct(c @ ('*' | '/' | '%')))
+                if !cur.peek_at(1).is_some_and(|t| t.is_punct('=')) =>
+            {
+                *c
+            }
+            _ => break,
+        };
+        cur.i += 1;
+        let rhs = parse_cast(cur, depth + 1, structs);
+        lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), line);
+    }
+    lhs
+}
+
+fn parse_cast(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    let mut e = parse_unary(cur, depth, structs);
+    while cur.at_ident("as") {
+        cur.bump();
+        let mut ty = String::new();
+        while let Some(t) = cur.peek() {
+            if t.kind == TokKind::Ident {
+                ty = t.text.clone();
+                cur.bump();
+                if cur.at_punct(':') && cur.peek_at(1).is_some_and(|t| t.is_punct(':')) {
+                    cur.i += 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        e = Expr::Cast(Box::new(e), ty);
+    }
+    e
+}
+
+fn parse_unary(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    if depth > MAX_DEPTH {
+        cur.bump();
+        return Expr::Opaque;
+    }
+    let Some(t) = cur.peek() else { return Expr::Opaque };
+    match &t.kind {
+        TokKind::Punct('!') => {
+            cur.bump();
+            Expr::Unary('!', Box::new(parse_unary(cur, depth + 1, structs)))
+        }
+        TokKind::Punct('-') => {
+            cur.bump();
+            Expr::Unary('-', Box::new(parse_unary(cur, depth + 1, structs)))
+        }
+        TokKind::Punct('*') => {
+            cur.bump();
+            // Deref is transparent to the domains.
+            parse_unary(cur, depth + 1, structs)
+        }
+        TokKind::Punct('&') => {
+            cur.bump();
+            cur.eat_punct('&'); // `&&e` double-ref
+            let is_mut = cur.at_ident("mut") && cur.bump().is_some();
+            Expr::Ref(Box::new(parse_unary(cur, depth + 1, structs)), is_mut)
+        }
+        _ => parse_postfix(cur, depth, structs),
+    }
+}
+
+fn parse_postfix(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    let mut e = parse_primary(cur, depth, structs);
+    loop {
+        if cur.at_punct('?') {
+            cur.bump();
+            e = Expr::Try(Box::new(e));
+            continue;
+        }
+        if cur.at_punct('.') {
+            // `..` is a range, not a projection.
+            if cur.peek_at(1).is_some_and(|t| t.is_punct('.')) {
+                break;
+            }
+            let Some(nt) = cur.peek_at(1) else { break };
+            match &nt.kind {
+                TokKind::Ident => {
+                    let name = nt.text.clone();
+                    if name == "await" {
+                        cur.i += 2;
+                        continue;
+                    }
+                    // Turbofish: `.collect::<Vec<_>>()`.
+                    let mut j = cur.i + 2;
+                    if cur.toks.get(j).is_some_and(|t| t.is_punct(':'))
+                        && cur.toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                    {
+                        j += 2;
+                        if cur.toks.get(j).is_some_and(|t| t.is_punct('<')) {
+                            let mut angle = 0i32;
+                            while j < cur.end {
+                                match cur.toks[j].kind {
+                                    TokKind::Punct('<') => angle += 1,
+                                    TokKind::Punct('>') => {
+                                        angle -= 1;
+                                        if angle == 0 {
+                                            j += 1;
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                        }
+                    }
+                    if cur.toks.get(j).is_some_and(|t| t.is_punct('(')) {
+                        let line = nt.line;
+                        cur.i = j;
+                        let args = parse_args(cur, depth);
+                        e = Expr::MethodCall(Box::new(e), name, args, line);
+                    } else {
+                        cur.i += 2;
+                        e = Expr::Field(Box::new(e), name);
+                    }
+                    continue;
+                }
+                TokKind::Num => {
+                    // Tuple projection `pair.0`; the lexer may glue
+                    // `0.0` into one Num for `x.0.0` — take first digit.
+                    let idx = nt.text.split('.').next().unwrap_or("0").to_owned();
+                    cur.i += 2;
+                    e = Expr::Field(Box::new(e), idx);
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        if cur.at_punct('[') {
+            // Indexing: value unknown, but evaluate the index for effect.
+            cur.skip_group();
+            e = Expr::MethodCall(Box::new(e), "__index".into(), Vec::new(), 0);
+            continue;
+        }
+        break;
+    }
+    e
+}
+
+/// Parses a parenthesized argument list (cursor on `(`).
+fn parse_args(cur: &mut Cur<'_>, depth: usize) -> Vec<Expr> {
+    let close = group_close(cur);
+    let mut inner = Cur::new(cur.toks, cur.i + 1, close);
+    let mut args = Vec::new();
+    while inner.i < inner.end {
+        if inner.eat_punct(',') {
+            continue;
+        }
+        let before = inner.i;
+        args.push(parse_expr(&mut inner, depth + 1, true));
+        // Ensure progress to the next `,` even if the expr parser stalled.
+        while inner.i < inner.end && !inner.at_punct(',') {
+            if inner.i == before {
+                inner.bump();
+                break;
+            }
+            if inner.at_punct('(') || inner.at_punct('{') || inner.at_punct('[') {
+                inner.skip_group();
+            } else {
+                inner.bump();
+            }
+        }
+    }
+    cur.i = (close + 1).min(cur.end);
+    args
+}
+
+fn parse_primary(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    let Some(t) = cur.peek() else { return Expr::Opaque };
+    match &t.kind {
+        TokKind::Num => {
+            let v = num_value(&t.text);
+            cur.bump();
+            match v {
+                Some((x, int)) => Expr::Num(x, int),
+                None => Expr::Opaque,
+            }
+        }
+        TokKind::Str | TokKind::Char => {
+            let text = t.text.clone();
+            cur.bump();
+            Expr::Str(text)
+        }
+        TokKind::Lifetime => {
+            cur.bump();
+            Expr::Opaque
+        }
+        TokKind::Punct('(') => {
+            let close = group_close(cur);
+            let mut inner = Cur::new(cur.toks, cur.i + 1, close);
+            let mut parts = Vec::new();
+            while inner.i < inner.end {
+                if inner.eat_punct(',') {
+                    continue;
+                }
+                let before = inner.i;
+                parts.push(parse_expr(&mut inner, depth + 1, true));
+                while inner.i < inner.end && !inner.at_punct(',') {
+                    if inner.i == before {
+                        inner.bump();
+                        break;
+                    }
+                    if inner.at_punct('(') || inner.at_punct('{') || inner.at_punct('[') {
+                        inner.skip_group();
+                    } else {
+                        inner.bump();
+                    }
+                }
+            }
+            cur.i = (close + 1).min(cur.end);
+            match parts.len() {
+                0 => Expr::Tuple(Vec::new()),
+                1 => parts.pop().unwrap_or(Expr::Opaque),
+                _ => Expr::Tuple(parts),
+            }
+        }
+        TokKind::Punct('[') => {
+            cur.skip_group();
+            Expr::Opaque
+        }
+        TokKind::Punct('{') => {
+            let body = parse_block(cur, depth);
+            Expr::IfExpr(Box::new(Expr::Bool(true)), body, Vec::new())
+        }
+        TokKind::Punct('|') => {
+            // Closure `|a, b| body`.
+            cur.bump();
+            while let Some(t) = cur.peek() {
+                if t.is_punct('|') {
+                    cur.bump();
+                    break;
+                }
+                if t.is_punct('(') || t.is_punct('[') {
+                    cur.skip_group();
+                    continue;
+                }
+                cur.bump();
+            }
+            if cur.at_punct('-') && cur.peek_at(1).is_some_and(|t| t.is_punct('>')) {
+                cur.i += 2;
+                skip_type(cur);
+            }
+            let body = if cur.at_punct('{') {
+                parse_block(cur, depth)
+            } else {
+                vec![Stmt::Tail(parse_expr(cur, depth + 1, structs))]
+            };
+            Expr::Closure(body)
+        }
+        TokKind::Ident => parse_ident_primary(cur, depth, structs),
+        _ => {
+            cur.bump();
+            Expr::Opaque
+        }
+    }
+}
+
+fn parse_ident_primary(cur: &mut Cur<'_>, depth: usize, structs: bool) -> Expr {
+    let t = cur.peek().expect("checked by caller");
+    match t.text.as_str() {
+        "true" => {
+            cur.bump();
+            return Expr::Bool(true);
+        }
+        "false" => {
+            cur.bump();
+            return Expr::Bool(false);
+        }
+        "if" => {
+            let (s, _) = parse_if(cur, depth);
+            return match s {
+                Stmt::If(c, a, b) => Expr::IfExpr(Box::new(c), a, b),
+                Stmt::IfLet(_, scrut, a, b) => {
+                    let mut then = vec![Stmt::Expr(scrut)];
+                    then.extend(a);
+                    Expr::IfExpr(Box::new(Expr::Opaque), then, b)
+                }
+                _ => Expr::Opaque,
+            };
+        }
+        "match" => {
+            cur.bump();
+            let scrut = parse_expr_no_struct(cur, depth + 1);
+            let arms = parse_match_arms(cur, depth);
+            return Expr::MatchExpr(Box::new(scrut), arms);
+        }
+        "loop" | "while" | "for" | "unsafe" | "move" => {
+            if t.text == "move" {
+                cur.bump();
+                return parse_primary(cur, depth, structs);
+            }
+            if t.text == "unsafe" {
+                cur.bump();
+                return parse_primary(cur, depth, structs);
+            }
+            // Loops in expression position: run the statement parser.
+            let s = parse_stmt(cur, depth).unwrap_or(Stmt::Opaque);
+            return Expr::IfExpr(Box::new(Expr::Bool(true)), vec![s], Vec::new());
+        }
+        "return" | "break" | "continue" => {
+            let s = parse_stmt(cur, depth).unwrap_or(Stmt::Opaque);
+            return Expr::IfExpr(Box::new(Expr::Bool(true)), vec![s], Vec::new());
+        }
+        _ => {}
+    }
+
+    // Path: `seg (:: seg)*`, possibly ending in a call, a macro, a
+    // struct literal, or a path constant.
+    let mut segs = vec![t.text.clone()];
+    let line = t.line;
+    cur.bump();
+    loop {
+        if cur.at_punct(':') && cur.peek_at(1).is_some_and(|t| t.is_punct(':')) {
+            // Turbofish `::<…>`.
+            if cur.peek_at(2).is_some_and(|t| t.is_punct('<')) {
+                cur.i += 2;
+                let mut angle = 0i32;
+                while let Some(t) = cur.peek() {
+                    match t.kind {
+                        TokKind::Punct('<') => angle += 1,
+                        TokKind::Punct('>') => {
+                            angle -= 1;
+                            if angle == 0 {
+                                cur.bump();
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    cur.bump();
+                }
+                continue;
+            }
+            if cur.peek_at(2).is_some_and(|t| t.kind == TokKind::Ident) {
+                cur.i += 2;
+                segs.push(cur.bump().map(|t| t.text.clone()).unwrap_or_default());
+                continue;
+            }
+        }
+        break;
+    }
+    // Macro call: `name!(…)` / `name![…]` / `name!{…}` — opaque.
+    if cur.at_punct('!') {
+        cur.bump();
+        if cur.at_punct('(') || cur.at_punct('[') || cur.at_punct('{') {
+            cur.skip_group();
+        }
+        return Expr::Opaque;
+    }
+    let name = segs.last().cloned().unwrap_or_default();
+    let qual = if segs.len() >= 2 { segs[segs.len() - 2].clone() } else { String::new() };
+
+    if cur.at_punct('(') {
+        let args = parse_args(cur, depth);
+        return if segs.len() == 1 {
+            Expr::FreeCall(name, args, line)
+        } else {
+            Expr::PathCall(qual, name, args, line)
+        };
+    }
+    if structs && cur.at_punct('{') && name.chars().next().is_some_and(char::is_uppercase) {
+        // Struct literal.
+        let end = cur.brace_end();
+        let mut inner = Cur::new(cur.toks, cur.i + 1, end);
+        let mut fields = Vec::new();
+        while inner.i < inner.end {
+            if inner.eat_punct(',') {
+                continue;
+            }
+            // `..base` functional update: evaluate base, stop.
+            if inner.at_punct('.') && inner.peek_at(1).is_some_and(|t| t.is_punct('.')) {
+                inner.i += 2;
+                let base = parse_expr(&mut inner, depth + 1, true);
+                fields.push(("..".to_owned(), base));
+                break;
+            }
+            let Some(ft) = inner.peek() else { break };
+            if ft.kind != TokKind::Ident {
+                inner.bump();
+                continue;
+            }
+            let fname = ft.text.clone();
+            inner.bump();
+            if inner.eat_punct(':') {
+                let before = inner.i;
+                let v = parse_expr(&mut inner, depth + 1, true);
+                fields.push((fname, v));
+                while inner.i < inner.end && !inner.at_punct(',') {
+                    if inner.i == before {
+                        inner.bump();
+                        break;
+                    }
+                    if inner.at_punct('(') || inner.at_punct('{') || inner.at_punct('[') {
+                        inner.skip_group();
+                    } else {
+                        inner.bump();
+                    }
+                }
+            } else {
+                // Shorthand `Name { field, … }`.
+                let v = Expr::Var(fname.clone());
+                fields.push((fname, v));
+            }
+        }
+        cur.i = (end + 1).min(cur.end);
+        return Expr::StructLit(name, fields);
+    }
+    if segs.len() >= 2 {
+        // `u64::MAX`, `f64::INFINITY`, `consts::E`, unit variants.
+        return Expr::PathConst(qual, name);
+    }
+    Expr::Var(name)
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+
+/// Taint during summary computation: a bitmask of parameter indices whose
+/// taint would flow here, plus (optionally) a concrete witness source
+/// introduced inside the function itself.
+#[derive(Debug, Clone, Default)]
+pub struct TaintAbs {
+    /// Bit `i` set ⇒ if the caller's argument `i` is tainted, so is this.
+    pub mask: u64,
+    /// A taint source reached unconditionally (a wire read in this body,
+    /// or a tainted argument substituted at a call site).
+    pub src: Option<Provenance>,
+}
+
+impl TaintAbs {
+    const CLEAN: TaintAbs = TaintAbs { mask: 0, src: None };
+
+    fn param(i: usize) -> TaintAbs {
+        TaintAbs { mask: 1u64 << i.min(63), src: None }
+    }
+
+    fn source(p: Provenance) -> TaintAbs {
+        TaintAbs { mask: 0, src: Some(p) }
+    }
+
+    fn is_clean(&self) -> bool {
+        self.mask == 0 && self.src.is_none()
+    }
+
+    /// Appends a hop to the witness path, if any.
+    fn hop(&self, step: &str) -> TaintAbs {
+        TaintAbs { mask: self.mask, src: self.src.as_ref().map(|p| p.hop(step)) }
+    }
+}
+
+impl PartialEq for TaintAbs {
+    fn eq(&self, other: &TaintAbs) -> bool {
+        // `src` is a witness: compare presence, not the path.
+        self.mask == other.mask && self.src.is_some() == other.src.is_some()
+    }
+}
+
+impl Lattice for TaintAbs {
+    fn join(&self, other: &TaintAbs) -> TaintAbs {
+        TaintAbs {
+            mask: self.mask | other.mask,
+            src: self.src.clone().or_else(|| other.src.clone()),
+        }
+    }
+
+    fn widen(&self, other: &TaintAbs) -> TaintAbs {
+        self.join(other)
+    }
+}
+
+/// The product abstraction both analyses share: an interval with a
+/// provenance trail, and a taint level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Abs {
+    /// Numeric range.
+    pub iv: Interval,
+    /// Last few definition sites that produced this range (for the
+    /// `(range [lo, hi] via …)` rendering).
+    pub via: Vec<String>,
+    /// Wire taint.
+    pub taint: TaintAbs,
+}
+
+impl Abs {
+    fn top() -> Abs {
+        Abs { iv: Interval::TOP, via: Vec::new(), taint: TaintAbs::CLEAN }
+    }
+
+    fn num(x: f64, int: bool) -> Abs {
+        Abs { iv: Interval::exact(x, int), via: Vec::new(), taint: TaintAbs::CLEAN }
+    }
+
+    fn with_iv(iv: Interval) -> Abs {
+        Abs { iv, via: Vec::new(), taint: TaintAbs::CLEAN }
+    }
+
+    /// Remembers `step` as the most recent definition hop.
+    fn via_hop(mut self, step: &str) -> Abs {
+        if self.via.last().map(String::as_str) != Some(step) {
+            if self.via.len() >= 4 {
+                self.via.remove(0);
+            }
+            self.via.push(step.to_owned());
+        }
+        self
+    }
+
+    fn render_via(&self) -> String {
+        if self.via.is_empty() {
+            String::new()
+        } else {
+            format!(" via {}", self.via.join(" → "))
+        }
+    }
+}
+
+impl Lattice for Abs {
+    fn join(&self, other: &Abs) -> Abs {
+        Abs {
+            iv: self.iv.join(&other.iv),
+            via: if self.via.is_empty() { other.via.clone() } else { self.via.clone() },
+            taint: self.taint.join(&other.taint),
+        }
+    }
+
+    fn widen(&self, other: &Abs) -> Abs {
+        Abs {
+            iv: self.iv.widen(&other.iv),
+            via: if self.via.is_empty() { other.via.clone() } else { self.via.clone() },
+            taint: self.taint.widen(&other.taint),
+        }
+    }
+}
+
+/// An abstract value: a scalar approximation plus (for structs/tuples)
+/// per-field refinements. Fields beyond [`MAX_VAL_DEPTH`] collapse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Val {
+    /// Scalar approximation of the whole value.
+    pub abs: Abs,
+    /// Known fields (struct field names and tuple indices).
+    pub fields: BTreeMap<String, Val>,
+}
+
+impl Val {
+    fn top() -> Val {
+        Val { abs: Abs::top(), fields: BTreeMap::new() }
+    }
+
+    fn scalar(abs: Abs) -> Val {
+        Val { abs, fields: BTreeMap::new() }
+    }
+
+    /// Reads a field: a tracked refinement if present, else a scalar
+    /// carrying the parent's taint (fields of a tainted unknown are
+    /// tainted; fields of a clean unknown are clean).
+    fn field(&self, name: &str) -> Val {
+        match self.fields.get(name) {
+            Some(v) => v.clone(),
+            None => Val::scalar(Abs {
+                iv: Interval::TOP,
+                via: Vec::new(),
+                taint: self.abs.taint.hop(&format!(".{name}")),
+            }),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.fields.values().map(Val::depth).max().unwrap_or(0)
+    }
+
+    fn prune(mut self) -> Val {
+        if self.depth() > MAX_VAL_DEPTH {
+            self.fields.clear();
+        }
+        self
+    }
+
+    fn merge(&self, other: &Val, widen: bool) -> Val {
+        let abs = if widen { self.abs.widen(&other.abs) } else { self.abs.join(&other.abs) };
+        // Union of fields: a key present on only one side (e.g. joining two
+        // enum arms carrying different payloads) merges against what
+        // `field()` would synthesize for the side that lacks it — a top
+        // scalar carrying that side's own taint — rather than being dropped
+        // and later re-synthesized from the *joined* (coarser) taint.
+        let mut fields = BTreeMap::new();
+        for (k, a) in &self.fields {
+            let b = other.fields.get(k).cloned().unwrap_or_else(|| other.field(k));
+            fields.insert(k.clone(), a.merge(&b, widen));
+        }
+        for (k, b) in &other.fields {
+            if !self.fields.contains_key(k) {
+                fields.insert(k.clone(), self.field(k).merge(b, widen));
+            }
+        }
+        Val { abs, fields }
+    }
+}
+
+impl Lattice for Val {
+    fn join(&self, other: &Val) -> Val {
+        self.merge(other, false)
+    }
+
+    fn widen(&self, other: &Val) -> Val {
+        self.merge(other, true)
+    }
+}
+
+/// A variable environment. `None` means "this program point is
+/// unreachable" (after `return`/`break`/`continue`).
+type Env = Option<BTreeMap<String, Val>>;
+
+fn join_env(a: Env, b: Env, widen: bool) -> Env {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(ea), Some(eb)) => {
+            let mut out = BTreeMap::new();
+            for (k, va) in &ea {
+                if let Some(vb) = eb.get(k) {
+                    out.insert(k.clone(), va.merge(vb, widen));
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+fn env_eq(a: &Env, b: &Env) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(ea), Some(eb)) => ea == eb,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function summaries
+// ---------------------------------------------------------------------------
+
+/// What one function guarantees to its callers.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// The joined value of all `Ok`-classified exits (callers see through
+    /// `?`; for non-`Result` functions this is every value exit).
+    pub ret: Option<Val>,
+    /// Interval facts about parameters that hold whenever the function
+    /// returns `Ok` — the contract `check_params(eps, delta)?` exports.
+    pub ok_refines: BTreeMap<usize, Interval>,
+}
+
+/// Per-function caller context: the join of abstract arguments seen at
+/// every observed call site.
+#[derive(Debug, Clone, Default)]
+struct Ctx {
+    args: Vec<Val>,
+    /// True once at least one call site contributed.
+    observed: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Findings interface
+// ---------------------------------------------------------------------------
+
+/// One raw dataflow finding, keyed by file index (the caller maps it back
+/// to a file path and applies suppressions).
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// `"wire-input-taint"` or `"estimator-intervals"`.
+    pub taint: bool,
+    /// File index into the parsed-file slice.
+    pub file: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Finished message including the reconstructed path.
+    pub message: String,
+}
+
+/// The dataflow pass's whole-workspace result.
+#[derive(Debug, Default)]
+pub struct DataflowReport {
+    /// Findings for the two new rules.
+    pub raw: Vec<RawFinding>,
+    /// `(file index, line)` of integer `+`/`*` sites whose result range
+    /// provably fits in `u64` — `checked-estimator-math` demotes these.
+    pub proven_arith: BTreeSet<(usize, u32)>,
+    /// Range annotations for unproven arithmetic sites.
+    pub arith_notes: BTreeMap<(usize, u32), String>,
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// JSON accessor methods that read wire values off a `Json` receiver.
+const JSON_READS: [&str; 11] = [
+    "as_arr", "as_bool", "as_f64", "as_str", "as_u64", "get", "obj", "req_f64", "req_str",
+    "req_u64", "req_arr",
+];
+
+/// Method/associated-fn names whose first argument sizes an allocation,
+/// capacity, or buffer — taint sinks.
+const ALLOC_SINKS: [&str; 5] = ["repeat", "reserve", "reserve_exact", "resize", "with_capacity"];
+
+/// std method names [`Walker::builtin_call`] models with a transfer
+/// function. When the receiver's type is unknown these take priority over
+/// the unique-workspace-method fallback: `eps.min(0.5)` is `f64::min`,
+/// not some workspace type's `min`.
+const BUILTIN_METHODS: [&str; 30] = [
+    "abs",
+    "capacity",
+    "ceil",
+    "clamp",
+    "clone",
+    "contains",
+    "exp",
+    "f64_to_u64",
+    "floor",
+    "is_empty",
+    "is_err",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "len",
+    "ln",
+    "max",
+    "min",
+    "powf",
+    "powi",
+    "round",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "sqrt",
+    "to_owned",
+    "trunc",
+    "unwrap_or",
+];
+
+/// Probability-valued variable names the range check watches.
+fn is_prob_name(name: &str) -> bool {
+    name == "p"
+        || name == "prob"
+        || name == "probability"
+        || name.ends_with("_prob")
+        || name.ends_with("_probability")
+}
+
+/// The value range a declared parameter type admits.
+fn type_interval(ty: &str) -> Interval {
+    if ty == "f64" || ty == "f32" {
+        Interval::TOP
+    } else if ty == "u8" {
+        Interval { lo: 0.0, hi: u8::MAX as f64, int: true }
+    } else if ty == "u16" {
+        Interval { lo: 0.0, hi: u16::MAX as f64, int: true }
+    } else if ty == "u32" {
+        Interval { lo: 0.0, hi: u32::MAX as f64, int: true }
+    } else if matches!(ty, "u64" | "u128" | "usize") {
+        Interval { lo: 0.0, hi: u64::MAX as f64, int: true }
+    } else if INT_TYPES.contains(&ty) {
+        Interval { int: true, ..Interval::TOP }
+    } else if ty == "bool" {
+        Interval { lo: 0.0, hi: 1.0, int: true }
+    } else {
+        Interval::TOP
+    }
+}
+
+/// Whole-workspace analysis state shared by every function walk.
+pub struct Engine<'a> {
+    graph: &'a Graph<'a>,
+    toks: &'a [Vec<Tok>],
+    /// Registered validator names (`crates/common/src/validate.rs`).
+    validators: &'a BTreeSet<String>,
+    /// File indices subject to `estimator-intervals` reporting.
+    interval_files: BTreeSet<usize>,
+    /// File indices where wire reads originate taint (`crates/server`).
+    source_files: BTreeSet<usize>,
+    /// Extracted bodies, indexed `[file][fn]`.
+    bodies: Vec<Vec<Vec<Stmt>>>,
+    /// Module/associated consts per file, plus a global fallback map.
+    consts: Vec<BTreeMap<String, Val>>,
+    global_consts: BTreeMap<String, Val>,
+    summaries: BTreeMap<FnId, Summary>,
+    ctx: BTreeMap<FnId, Ctx>,
+    report: DataflowReport,
+    /// `(file, line)` of integer arith sites that could NOT be proven.
+    unproven_arith: BTreeSet<(usize, u32)>,
+}
+
+/// Runs the dataflow pass over a built call graph. `server_prefix`
+/// scopes taint sources, `interval_files` scopes interval reporting.
+pub fn analyze(
+    graph: &Graph<'_>,
+    toks: &[Vec<Tok>],
+    validators: &BTreeSet<String>,
+    interval_files: &[&str],
+    server_prefix: &str,
+) -> DataflowReport {
+    let mut eng = Engine {
+        graph,
+        toks,
+        validators,
+        interval_files: graph
+            .files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| interval_files.contains(&f.rel.as_str()))
+            .map(|(i, _)| i)
+            .collect(),
+        source_files: graph
+            .files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.rel.starts_with(server_prefix))
+            .map(|(i, _)| i)
+            .collect(),
+        bodies: Vec::new(),
+        consts: Vec::new(),
+        global_consts: BTreeMap::new(),
+        summaries: BTreeMap::new(),
+        ctx: BTreeMap::new(),
+        report: DataflowReport::default(),
+        unproven_arith: BTreeSet::new(),
+    };
+    eng.extract_all();
+    eng.scan_consts();
+    let sccs = eng.sccs();
+    // Bottom-up summaries (Tarjan emits callees-first).
+    for scc in &sccs {
+        let rounds = if scc.len() > 1 { SCC_ITERS } else { 1 };
+        for round in 0..rounds {
+            let mut changed = false;
+            for &id in scc {
+                let s = eng.summarize(id, round > 0);
+                let prev = eng.summaries.insert(id, s);
+                let cur = &eng.summaries[&id];
+                changed |= prev.is_none_or(|p| p.ret != cur.ret || p.ok_refines != cur.ok_refines);
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    // Top-down contexts + reporting (callers-first).
+    for scc in sccs.iter().rev() {
+        let rounds = if scc.len() > 1 { 2 } else { 1 };
+        for round in 0..rounds {
+            let report = round == rounds - 1;
+            for &id in scc {
+                eng.walk_with_ctx(id, report);
+            }
+        }
+    }
+    let mut out = std::mem::take(&mut eng.report);
+    out.proven_arith = out.proven_arith.difference(&eng.unproven_arith).copied().collect();
+    out.raw.sort_by_key(|a| (a.file, a.line, a.taint));
+    out.raw.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.taint == b.taint);
+    out
+}
+
+impl<'a> Engine<'a> {
+    fn extract_all(&mut self) {
+        for (fi, file) in self.graph.files.iter().enumerate() {
+            let mut per_file = Vec::with_capacity(file.fns.len());
+            for f in &file.fns {
+                let (a, b) = f.body;
+                per_file.push(if b > a { extract_body(&self.toks[fi], a, b) } else { Vec::new() });
+            }
+            self.bodies.push(per_file);
+        }
+    }
+
+    /// Seeds per-file const environments from `const NAME: T = expr;`
+    /// declarations (module-level and associated), so `LAMBDA`-style
+    /// constants keep their values in the estimator proofs.
+    fn scan_consts(&mut self) {
+        for fi in 0..self.graph.files.len() {
+            let toks = &self.toks[fi];
+            let mut map: BTreeMap<String, Val> = BTreeMap::new();
+            let mut i = 0;
+            while i < toks.len() {
+                if toks[i].is_ident("const")
+                    && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                {
+                    let name = toks[i + 1].text.clone();
+                    let mut j = i + 3;
+                    let mut angle = 0i32;
+                    while j < toks.len() {
+                        match toks[j].kind {
+                            TokKind::Punct('<') => angle += 1,
+                            TokKind::Punct('>') => angle -= 1,
+                            TokKind::Punct('=') if angle <= 0 => break,
+                            TokKind::Punct(';') => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if toks.get(j).is_some_and(|t| t.is_punct('=')) {
+                        let mut k = j + 1;
+                        let mut depth = 0i32;
+                        while k < toks.len() {
+                            match toks[k].kind {
+                                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                                    depth += 1
+                                }
+                                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                                    depth -= 1
+                                }
+                                TokKind::Punct(';') if depth <= 0 => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        let mut cur = Cur::new(toks, j + 1, k);
+                        let e = parse_expr(&mut cur, 0, true);
+                        // Consts may reference earlier consts in the file.
+                        let v = const_eval(&e, &map);
+                        map.insert(name.clone(), v.clone());
+                        self.global_consts.entry(name).and_modify(|g| *g = g.join(&v)).or_insert(v);
+                        i = k;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            self.consts.push(map);
+        }
+    }
+
+    /// All function ids, in (file, index) order.
+    fn all_fns(&self) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for (fi, file) in self.graph.files.iter().enumerate() {
+            for i in 0..file.fns.len() {
+                out.push((fi, i));
+            }
+        }
+        out
+    }
+
+    /// Tarjan's SCC algorithm over the call edges, iterative. Output
+    /// order: an SCC is emitted only after every SCC it calls into.
+    fn sccs(&self) -> Vec<Vec<FnId>> {
+        let fns = self.all_fns();
+        let index_of: BTreeMap<FnId, usize> =
+            fns.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let n = fns.len();
+        let succs: Vec<Vec<usize>> = fns
+            .iter()
+            .map(|id| {
+                let mut s: Vec<usize> = self.graph.facts[id.0][id.1]
+                    .edges
+                    .iter()
+                    .filter_map(|(callee, _)| index_of.get(callee).copied())
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<FnId>> = Vec::new();
+        // Iterative Tarjan: (node, next-successor-position) frames.
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if *pos == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = succs[v].get(*pos) {
+                    *pos += 1;
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut scc = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            scc.push(fns[w]);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        out.push(scc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Interprets one function with symbolic parameters and returns its
+    /// summary. `widen_prev` joins-with-widening against the previous
+    /// round's summary (recursive SCCs).
+    fn summarize(&mut self, id: FnId, widen_prev: bool) -> Summary {
+        let f = self.graph.fn_item(id);
+        let mut env: BTreeMap<String, Val> = BTreeMap::new();
+        for (i, name) in f.param_order.iter().enumerate() {
+            let ty = f.params.get(name).map(String::as_str).unwrap_or("");
+            env.insert(
+                name.clone(),
+                Val::scalar(Abs {
+                    iv: type_interval(ty),
+                    via: Vec::new(),
+                    taint: TaintAbs::param(i),
+                }),
+            );
+        }
+        let mut w = Walker { eng: self, id, report: false, frames: Vec::new(), exits: Vec::new() };
+        let body = w.eng.bodies[id.0][id.1].clone();
+        let mut e: Env = Some(env);
+        let tail = w.exec_stmts(&mut e, &body);
+        if let Some(env) = e {
+            if let Some((v, is_err)) = tail {
+                w.record_exit(&env, v, is_err);
+            } else {
+                // Implicit unit return.
+                w.record_exit(&env, Val::scalar(Abs::num(0.0, true)), false);
+            }
+        }
+        let mut s = w.finish_summary();
+        if widen_prev {
+            if let Some(prev) = self.summaries.get(&id) {
+                if let (Some(a), Some(b)) = (&prev.ret, &s.ret) {
+                    s.ret = Some(a.widen(b));
+                }
+                // Refinements can only be trusted if stable: intersect keys,
+                // join (weaken) the intervals.
+                let mut merged = BTreeMap::new();
+                for (k, iv) in &s.ok_refines {
+                    if let Some(p) = prev.ok_refines.get(k) {
+                        merged.insert(*k, p.join(iv));
+                    }
+                }
+                s.ok_refines = merged;
+            }
+        }
+        s
+    }
+
+    /// Walks one function with its accumulated caller context; collects
+    /// callee contexts and (when `report`) findings.
+    fn walk_with_ctx(&mut self, id: FnId, report: bool) {
+        let f = self.graph.fn_item(id);
+        let ctx = self.ctx.get(&id).cloned().unwrap_or_default();
+        let mut env: BTreeMap<String, Val> = BTreeMap::new();
+        for (i, name) in f.param_order.iter().enumerate() {
+            let ty = f.params.get(name).map(String::as_str).unwrap_or("");
+            let base = Val::scalar(Abs::with_iv(type_interval(ty)));
+            let v = if ctx.observed {
+                match ctx.args.get(i) {
+                    // Meet with the type range: a caller may pass a
+                    // wider-typed expression.
+                    Some(cv) => {
+                        let mut v = cv.clone();
+                        v.abs.iv = v.abs.iv.meet(&type_interval(ty));
+                        if v.abs.iv.is_bottom() {
+                            v.abs.iv = type_interval(ty);
+                        }
+                        v
+                    }
+                    None => base,
+                }
+            } else {
+                base
+            };
+            env.insert(name.clone(), v);
+        }
+        let mut w = Walker { eng: self, id, report, frames: Vec::new(), exits: Vec::new() };
+        let body = w.eng.bodies[id.0][id.1].clone();
+        let mut e: Env = Some(env);
+        let _ = w.exec_stmts(&mut e, &body);
+    }
+}
+
+/// Evaluates a const initializer against previously seen consts — no
+/// calls, no control flow, just arithmetic over literals and paths.
+fn const_eval(e: &Expr, consts: &BTreeMap<String, Val>) -> Val {
+    match e {
+        Expr::Num(x, int) => Val::scalar(Abs::num(*x, *int)),
+        Expr::Str(_) | Expr::Bool(_) => Val::scalar(Abs::num(0.0, true)),
+        Expr::Var(n) => consts.get(n).cloned().unwrap_or_else(Val::top),
+        Expr::PathConst(q, n) => match path_const_interval(q, n) {
+            Some(iv) => Val::scalar(Abs::with_iv(iv)),
+            None => consts.get(n).cloned().unwrap_or_else(Val::top),
+        },
+        Expr::Unary('-', inner) => {
+            let v = const_eval(inner, consts);
+            Val::scalar(Abs::with_iv(v.abs.iv.neg()))
+        }
+        Expr::Bin(op, a, b, _) => {
+            let va = const_eval(a, consts).abs.iv;
+            let vb = const_eval(b, consts).abs.iv;
+            let iv = match op {
+                '+' => va.add(&vb),
+                '-' => va.sub(&vb),
+                '*' => va.mul(&vb),
+                '/' => va.div(&vb),
+                _ => Interval::TOP,
+            };
+            Val::scalar(Abs::with_iv(iv))
+        }
+        Expr::Cast(inner, ty) => {
+            let v = const_eval(inner, consts);
+            Val::scalar(Abs::with_iv(cast_interval(&v.abs.iv, ty)))
+        }
+        _ => Val::top(),
+    }
+}
+
+/// Known `Qual::NAME` path constants.
+fn path_const_interval(qual: &str, name: &str) -> Option<Interval> {
+    let v = match (qual, name) {
+        ("u64" | "usize" | "u128", "MAX") => Interval::exact(u64::MAX as f64, true),
+        ("u32", "MAX") => Interval::exact(u32::MAX as f64, true),
+        ("u16", "MAX") => Interval::exact(u16::MAX as f64, true),
+        ("u8", "MAX") => Interval::exact(u8::MAX as f64, true),
+        ("i64" | "isize", "MAX") => Interval::exact(i64::MAX as f64, true),
+        ("i32", "MAX") => Interval::exact(i32::MAX as f64, true),
+        (_, "MIN") if qual.starts_with('u') => Interval::exact(0.0, true),
+        ("f64" | "f32", "INFINITY") => Interval::exact(f64::INFINITY, false),
+        ("f64" | "f32", "NEG_INFINITY") => Interval::exact(f64::NEG_INFINITY, false),
+        ("f64", "MAX") => Interval::exact(f64::MAX, false),
+        ("f64", "MIN_POSITIVE") => Interval::exact(f64::MIN_POSITIVE, false),
+        ("f64", "EPSILON") => Interval::exact(f64::EPSILON, false),
+        ("consts", "E") => Interval::exact(std::f64::consts::E, false),
+        ("consts", "PI") => Interval::exact(std::f64::consts::PI, false),
+        ("consts", "LN_2") => Interval::exact(std::f64::consts::LN_2, false),
+        ("consts", "SQRT_2") => Interval::exact(std::f64::consts::SQRT_2, false),
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// The `e as ty` interval transfer: float→int saturates (Rust 1.45+),
+/// int→int wraps only when out of range (then we give up to the target's
+/// full range), anything→float keeps bounds.
+fn cast_interval(iv: &Interval, ty: &str) -> Interval {
+    match ty {
+        "f64" | "f32" => Interval { int: false, ..*iv },
+        "u64" | "usize" | "u128" => {
+            if iv.int && iv.within(0.0, u64::MAX as f64) {
+                Interval { int: true, ..*iv }
+            } else {
+                iv.f64_to_u64()
+            }
+        }
+        "u32" | "u16" | "u8" => {
+            let max = match ty {
+                "u32" => u32::MAX as f64,
+                "u16" => u16::MAX as f64,
+                _ => u8::MAX as f64,
+            };
+            if iv.int && iv.within(0.0, max) {
+                Interval { int: true, ..*iv }
+            } else if !iv.int {
+                // Float source saturates into range.
+                Interval {
+                    lo: iv.lo.clamp(0.0, max).floor(),
+                    hi: iv.hi.clamp(0.0, max).floor(),
+                    int: true,
+                }
+            } else {
+                Interval { lo: 0.0, hi: max, int: true }
+            }
+        }
+        t if INT_TYPES.contains(&t) => Interval { int: true, ..Interval::TOP },
+        _ => Interval::TOP,
+    }
+}
+
+/// One active loop: where `break`/`continue` environments accumulate.
+struct Frame {
+    label: Option<String>,
+    breaks: Vec<Env>,
+    continues: Vec<Env>,
+}
+
+fn widen_env(a: &Env, b: &Env) -> Env {
+    match (a, b) {
+        (None, x) | (x, None) => x.clone(),
+        (Some(ea), Some(eb)) => {
+            let mut out = BTreeMap::new();
+            for (k, va) in ea {
+                if let Some(vb) = eb.get(k) {
+                    out.insert(k.clone(), va.widen(vb));
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Binds a pattern to a value (constructor-transparent for single-field
+/// variants, positional for tuples, by-name for struct patterns).
+fn bind_pat(env: &mut BTreeMap<String, Val>, pat: &Pat, val: Val) {
+    match pat {
+        Pat::Wild => {}
+        Pat::Bind(n) => {
+            env.insert(n.clone(), val);
+        }
+        Pat::Tuple(ps) => {
+            for (i, p) in ps.iter().enumerate() {
+                bind_pat(env, p, val.field(&i.to_string()));
+            }
+        }
+        Pat::Variant(_, ps) => {
+            if ps.len() == 1 {
+                bind_pat(env, &ps[0], val);
+            } else {
+                for p in ps {
+                    match p {
+                        // Struct-pattern shorthand: the binding name is
+                        // the field name.
+                        Pat::Bind(n) => {
+                            let fv = val.field(n);
+                            env.insert(n.clone(), fv);
+                        }
+                        _ => {
+                            let mut names = Vec::new();
+                            p.binds(&mut names);
+                            for n in names {
+                                env.insert(n, Val::top());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `expr` syntactically constructs an `Err` — exits carrying one are
+/// excluded from the `Ok`-summary.
+fn expr_is_err(e: &Expr) -> bool {
+    match e {
+        Expr::FreeCall(n, _, _) | Expr::PathCall(_, n, _, _) => n == "Err",
+        _ => false,
+    }
+}
+
+/// `expr` as a narrowable place: a variable, possibly with field hops.
+fn place_of(e: &Expr) -> Option<(String, Vec<String>)> {
+    match e {
+        Expr::Var(n) => Some((n.clone(), Vec::new())),
+        Expr::Field(base, f) => {
+            let (n, mut path) = place_of(base)?;
+            path.push(f.clone());
+            Some((n, path))
+        }
+        Expr::Ref(inner, _) | Expr::Try(inner) => place_of(inner),
+        _ => None,
+    }
+}
+
+/// What a call resolved to.
+enum Target<'e> {
+    Method(&'e Expr, &'e str),
+    Path(&'e str, &'e str),
+    Free(&'e str),
+}
+
+/// Interprets one function body against the engine's global state.
+struct Walker<'w, 'a> {
+    eng: &'w mut Engine<'a>,
+    id: FnId,
+    report: bool,
+    frames: Vec<Frame>,
+    /// `(param intervals at exit, value, is_err)` per value exit.
+    exits: Vec<(Vec<Interval>, Val, bool)>,
+}
+
+impl<'w, 'a> Walker<'w, 'a> {
+    fn item(&self) -> &'a FnItem {
+        self.eng.graph.fn_item(self.id)
+    }
+
+    fn record_exit(&mut self, env: &BTreeMap<String, Val>, v: Val, is_err: bool) {
+        let f = self.item();
+        let params: Vec<Interval> =
+            f.param_order.iter().map(|n| env.get(n).map_or(Interval::TOP, |v| v.abs.iv)).collect();
+        self.exits.push((params, v, is_err));
+    }
+
+    fn finish_summary(self) -> Summary {
+        let f = self.item();
+        let mut ret: Option<Val> = None;
+        let mut refines: Option<Vec<Interval>> = None;
+        for (params, v, is_err) in &self.exits {
+            if *is_err {
+                continue;
+            }
+            ret = Some(match ret {
+                None => v.clone().prune(),
+                Some(r) => r.join(v).prune(),
+            });
+            refines = Some(match refines {
+                None => params.clone(),
+                Some(r) => r.iter().zip(params).map(|(a, b)| a.join(b)).collect(),
+            });
+        }
+        let mut ok_refines = BTreeMap::new();
+        if let Some(rs) = refines {
+            for (i, iv) in rs.iter().enumerate() {
+                let name = match f.param_order.get(i) {
+                    Some(n) => n,
+                    None => continue,
+                };
+                let ty = f.params.get(name).map(String::as_str).unwrap_or("");
+                let init = type_interval(ty);
+                // Export only refinements strictly tighter than the type.
+                if !iv.is_bottom() && (iv.lo > init.lo || iv.hi < init.hi) {
+                    ok_refines.insert(i, *iv);
+                }
+            }
+        }
+        Summary { ret, ok_refines }
+    }
+
+    // -- statements --------------------------------------------------------
+
+    fn exec_stmts(&mut self, env: &mut Env, stmts: &[Stmt]) -> Option<(Val, bool)> {
+        let mut tail = None;
+        for (i, s) in stmts.iter().enumerate() {
+            if env.is_none() {
+                return None;
+            }
+            let v = self.exec_stmt(env, s);
+            if i == stmts.len() - 1 {
+                tail = v;
+            }
+        }
+        if env.is_none() {
+            None
+        } else {
+            tail
+        }
+    }
+
+    /// Joins branch tail values: non-`Err` branches win; all-`Err` keeps
+    /// the `Err` classification.
+    fn combine_values(&self, vals: Vec<(Val, bool)>) -> Option<(Val, bool)> {
+        if vals.is_empty() {
+            return None;
+        }
+        let ok: Vec<&Val> = vals.iter().filter(|(_, e)| !e).map(|(v, _)| v).collect();
+        if ok.is_empty() {
+            return Some((Val::top(), true));
+        }
+        let mut out = ok[0].clone();
+        for v in &ok[1..] {
+            out = out.join(v);
+        }
+        Some((out, false))
+    }
+
+    fn exec_stmt(&mut self, env: &mut Env, s: &Stmt) -> Option<(Val, bool)> {
+        match s {
+            Stmt::Opaque => None,
+            Stmt::Let(pat, init, line) => {
+                let v = match init {
+                    Some(e) => self.eval_env(env, e),
+                    None => Val::top(),
+                };
+                if let (Pat::Bind(n), Some(m)) = (pat, env.as_mut()) {
+                    let mut v = v;
+                    v.abs = v.abs.via_hop(n);
+                    v.abs.taint = v.abs.taint.hop(n);
+                    self.check_prob(n, &v, *line);
+                    m.insert(n.clone(), v);
+                } else if let Some(m) = env.as_mut() {
+                    bind_pat(m, pat, v);
+                }
+                None
+            }
+            Stmt::Assign(name, path, op, e, line) => {
+                let rhs = self.eval_env(env, e);
+                let m = env.as_mut()?;
+                let old = m
+                    .get(name)
+                    .map(|v| {
+                        let mut v = v.clone();
+                        for seg in path {
+                            v = v.field(seg);
+                        }
+                        v
+                    })
+                    .unwrap_or_else(Val::top);
+                let mut new = match op {
+                    Some(c) => self.binop(*c, &old, &rhs, *line),
+                    None => rhs,
+                };
+                new.abs = new.abs.via_hop(name);
+                new.abs.taint = new.abs.taint.hop(name);
+                if path.is_empty() {
+                    self.check_prob(name, &new, *line);
+                }
+                let root = env
+                    .as_mut()
+                    .expect("checked above")
+                    .entry(name.clone())
+                    .or_insert_with(Val::top);
+                let mut cur = root;
+                for seg in path {
+                    if !cur.fields.contains_key(seg) {
+                        let d = cur.field(seg);
+                        cur.fields.insert(seg.clone(), d);
+                    }
+                    cur = cur.fields.get_mut(seg).expect("just inserted");
+                }
+                *cur = new;
+                None
+            }
+            Stmt::Expr(e) => {
+                let _ = self.eval_env(env, e);
+                None
+            }
+            Stmt::Tail(e) => {
+                let v = self.eval_env(env, e);
+                Some((v, expr_is_err(e)))
+            }
+            Stmt::If(cond, then, els) => {
+                let _ = self.eval_env(env, cond);
+                let mut t = self.narrow(env.clone(), cond, true);
+                let mut f = self.narrow(env.clone(), cond, false);
+                let tv = self.exec_stmts(&mut t, then);
+                let fv = self.exec_stmts(&mut f, els);
+                let mut vals = Vec::new();
+                if t.is_some() {
+                    if let Some(v) = tv {
+                        vals.push(v);
+                    }
+                }
+                if f.is_some() {
+                    if let Some(v) = fv {
+                        vals.push(v);
+                    }
+                }
+                *env = join_env(t, f, false);
+                self.combine_values(vals)
+            }
+            Stmt::IfLet(pat, scrut, then, els) => {
+                let v = self.eval_env(env, scrut);
+                let mut t = env.clone();
+                if let Some(m) = t.as_mut() {
+                    bind_pat(m, pat, v);
+                }
+                let mut f = env.clone();
+                let tv = self.exec_stmts(&mut t, then);
+                let fv = self.exec_stmts(&mut f, els);
+                let mut vals = Vec::new();
+                if t.is_some() {
+                    if let Some(v) = tv {
+                        vals.push(v);
+                    }
+                }
+                if f.is_some() {
+                    if let Some(v) = fv {
+                        vals.push(v);
+                    }
+                }
+                *env = join_env(t, f, false);
+                self.combine_values(vals)
+            }
+            Stmt::Match(scrut, arms) => self.exec_match(env, scrut, arms),
+            Stmt::While(label, cond, body, line) => {
+                if let Expr::Opaque = cond {
+                    // `while let`: body may run any number of times.
+                    let (head, _, breaks) =
+                        self.loop_fixpoint(env, label.clone(), body, None, None);
+                    let mut exit = head;
+                    for b in breaks {
+                        exit = join_env(exit, b, false);
+                    }
+                    *env = exit;
+                    return None;
+                }
+                self.check_loop_bound_taint(env, cond, *line);
+                let entered = self.cond_truth(env, cond) == Some(true);
+                let (head, post, breaks) =
+                    self.loop_fixpoint(env, label.clone(), body, Some(cond), None);
+                let base = if entered { post } else { head };
+                let mut exit = self.narrow(base, cond, false);
+                for b in breaks {
+                    exit = join_env(exit, b, false);
+                }
+                *env = exit;
+                None
+            }
+            Stmt::Loop(label, body) => {
+                let (_, _, breaks) = self.loop_fixpoint(env, label.clone(), body, None, None);
+                let mut exit: Env = None;
+                for b in breaks {
+                    exit = join_env(exit, b, false);
+                }
+                *env = exit;
+                None
+            }
+            Stmt::For(pat, iter, body, line) => {
+                let elem = match iter {
+                    Expr::Range(a, b) => {
+                        let va = a.as_ref().map(|e| self.eval_env(env, e));
+                        let vb = b.as_ref().map(|e| self.eval_env(env, e));
+                        let lo = va.as_ref().map_or(f64::NEG_INFINITY, |v| v.abs.iv.lo);
+                        let hi = vb.as_ref().map_or(f64::INFINITY, |v| v.abs.iv.hi);
+                        let mut taint = TaintAbs::CLEAN;
+                        if let Some(v) = &va {
+                            taint = taint.join(&v.abs.taint);
+                        }
+                        if let Some(v) = &vb {
+                            taint = taint.join(&v.abs.taint);
+                        }
+                        if self.report {
+                            if let Some(p) = &taint.src {
+                                self.push_taint_finding(
+                                    *line,
+                                    format!(
+                                        "attacker-controlled loop bound: iteration count flows from unvalidated wire input (tainted via {})",
+                                        p.render()
+                                    ),
+                                );
+                            }
+                        }
+                        Val::scalar(Abs { iv: Interval::new(lo, hi, true), via: Vec::new(), taint })
+                    }
+                    _ => {
+                        // Iterating a tainted *collection* is content-bounded
+                        // (its size was admitted at parse time); only a
+                        // tainted numeric bound — the Range arm above — is a
+                        // resource-exhaustion hazard.
+                        let v = self.eval_env(env, iter);
+                        let _ = line;
+                        Val::scalar(Abs {
+                            iv: Interval::TOP,
+                            via: Vec::new(),
+                            taint: v.abs.taint.hop("iter"),
+                        })
+                    }
+                };
+                let (head, _, breaks) =
+                    self.loop_fixpoint(env, None, body, None, Some((pat, &elem)));
+                let mut exit = head;
+                for b in breaks {
+                    exit = join_env(exit, b, false);
+                }
+                *env = exit;
+                None
+            }
+            Stmt::Return(e) => {
+                let (v, is_err) = match e {
+                    Some(e) => (self.eval_env(env, e), expr_is_err(e)),
+                    None => (Val::scalar(Abs::num(0.0, true)), false),
+                };
+                if let Some(m) = env.as_ref() {
+                    self.record_exit(&m.clone(), v, is_err);
+                }
+                *env = None;
+                None
+            }
+            Stmt::Break(label, e) => {
+                if let Some(e) = e {
+                    let _ = self.eval_env(env, e);
+                }
+                let snapshot = env.clone();
+                if let Some(fr) = self.find_frame(label.as_deref()) {
+                    fr.breaks.push(snapshot);
+                }
+                *env = None;
+                None
+            }
+            Stmt::Continue(label) => {
+                let snapshot = env.clone();
+                if let Some(fr) = self.find_frame(label.as_deref()) {
+                    fr.continues.push(snapshot);
+                }
+                *env = None;
+                None
+            }
+            Stmt::Block(stmts) => self.exec_stmts(env, stmts),
+        }
+    }
+
+    fn find_frame(&mut self, label: Option<&str>) -> Option<&mut Frame> {
+        match label {
+            None => self.frames.last_mut(),
+            Some(l) => self.frames.iter_mut().rev().find(|f| f.label.as_deref() == Some(l)),
+        }
+    }
+
+    fn exec_match(
+        &mut self,
+        env: &mut Env,
+        scrut: &Expr,
+        arms: &[(Pat, Vec<Stmt>)],
+    ) -> Option<(Val, bool)> {
+        let v = self.eval_env(env, scrut);
+        let mut joined: Env = None;
+        let mut vals = Vec::new();
+        for (pat, body) in arms {
+            let mut arm_env = env.clone();
+            if let Some(m) = arm_env.as_mut() {
+                bind_pat(m, pat, v.clone());
+            }
+            let av = self.exec_stmts(&mut arm_env, body);
+            if arm_env.is_some() {
+                if let Some(x) = av {
+                    vals.push(x);
+                }
+            }
+            joined = join_env(joined, arm_env, false);
+        }
+        *env = joined;
+        self.combine_values(vals)
+    }
+
+    fn loop_fixpoint(
+        &mut self,
+        env0: &Env,
+        label: Option<String>,
+        body: &[Stmt],
+        cond: Option<&Expr>,
+        bind: Option<(&Pat, &Val)>,
+    ) -> (Env, Env, Vec<Env>) {
+        let mut head = env0.clone();
+        let mut post: Env = None;
+        let mut breaks: Vec<Env> = Vec::new();
+        for iter in 0..FIXPOINT_ITERS {
+            let mut benv = match cond {
+                Some(c) => self.narrow(head.clone(), c, true),
+                None => head.clone(),
+            };
+            if let (Some((p, v)), Some(m)) = (bind, benv.as_mut()) {
+                bind_pat(m, p, (*v).clone());
+            }
+            self.frames.push(Frame {
+                label: label.clone(),
+                breaks: Vec::new(),
+                continues: Vec::new(),
+            });
+            let _ = self.exec_stmts(&mut benv, body);
+            let fr = self.frames.pop().expect("pushed above");
+            breaks.extend(fr.breaks);
+            let mut back = benv;
+            for c in fr.continues {
+                back = join_env(back, c, false);
+            }
+            post = join_env(post, back.clone(), false);
+            let joined = join_env(head.clone(), back, false);
+            let next = if iter >= 1 { widen_env(&head, &joined) } else { joined };
+            if env_eq(&next, &head) {
+                head = next;
+                break;
+            }
+            head = next;
+        }
+        (head, post, breaks)
+    }
+
+    fn check_loop_bound_taint(&mut self, env: &mut Env, cond: &Expr, line: u32) {
+        if !self.report {
+            return;
+        }
+        let v = self.eval_env(env, cond);
+        if let Some(p) = &v.abs.taint.src {
+            self.push_taint_finding(
+                line,
+                format!(
+                    "attacker-controlled loop bound: `while` condition flows from unvalidated wire input (tainted via {})",
+                    p.render()
+                ),
+            );
+        }
+    }
+
+    fn check_prob(&mut self, name: &str, v: &Val, line: u32) {
+        if !self.report || !self.eng.interval_files.contains(&self.id.0) {
+            return;
+        }
+        let iv = v.abs.iv;
+        if is_prob_name(name) && !iv.is_bottom() && !iv.is_top() && !iv.within(0.0, 1.0) {
+            self.push_interval_finding(
+                line,
+                format!(
+                    "probability `{name}` provably escapes [0, 1]: range {}{}",
+                    iv.render(),
+                    v.abs.render_via()
+                ),
+            );
+        }
+    }
+
+    fn push_taint_finding(&mut self, line: u32, message: String) {
+        self.eng.report.raw.push(RawFinding { taint: true, file: self.id.0, line, message });
+    }
+
+    fn push_interval_finding(&mut self, line: u32, message: String) {
+        self.eng.report.raw.push(RawFinding { taint: false, file: self.id.0, line, message });
+    }
+}
+
+impl<'w, 'a> Walker<'w, 'a> {
+    // -- expressions -------------------------------------------------------
+
+    /// Evaluates in an optional env; `None` (unreachable) yields top.
+    fn eval_env(&mut self, env: &mut Env, e: &Expr) -> Val {
+        match env {
+            Some(m) => self.eval(m, e),
+            None => Val::top(),
+        }
+    }
+
+    fn eval(&mut self, env: &mut BTreeMap<String, Val>, e: &Expr) -> Val {
+        match e {
+            Expr::Opaque => Val::top(),
+            Expr::Num(x, int) => Val::scalar(Abs::num(*x, *int)),
+            Expr::Str(_) => Val::scalar(Abs::top()),
+            Expr::Bool(b) => Val::scalar(Abs::num(if *b { 1.0 } else { 0.0 }, true)),
+            Expr::Var(n) => self.lookup(env, n),
+            Expr::Field(base, f) => {
+                let v = self.eval(env, base);
+                v.field(f)
+            }
+            Expr::Unary('-', inner) => {
+                let v = self.eval(env, inner);
+                Val::scalar(Abs { iv: v.abs.iv.neg(), via: v.abs.via, taint: v.abs.taint })
+            }
+            Expr::Unary(_, inner) => {
+                let v = self.eval(env, inner);
+                Val::scalar(Abs {
+                    iv: Interval { lo: 0.0, hi: 1.0, int: true },
+                    via: Vec::new(),
+                    taint: v.abs.taint,
+                })
+            }
+            Expr::Bin(op, a, b, line) => {
+                let va = self.eval(env, a);
+                let vb = self.eval(env, b);
+                self.binop(*op, &va, &vb, *line)
+            }
+            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                let va = self.eval(env, a);
+                let vb = self.eval(env, b);
+                Val::scalar(Abs {
+                    iv: Interval { lo: 0.0, hi: 1.0, int: true },
+                    via: Vec::new(),
+                    taint: va.abs.taint.join(&vb.abs.taint),
+                })
+            }
+            Expr::MethodCall(recv, name, args, line) => {
+                self.eval_call(env, Target::Method(recv, name), args, *line, false)
+            }
+            Expr::PathCall(qual, name, args, line) => {
+                self.eval_call(env, Target::Path(qual, name), args, *line, false)
+            }
+            Expr::FreeCall(name, args, line) => {
+                self.eval_call(env, Target::Free(name), args, *line, false)
+            }
+            Expr::PathConst(qual, name) => {
+                if let Some(iv) = path_const_interval(qual, name) {
+                    return Val::scalar(Abs::with_iv(iv));
+                }
+                if let Some(v) = self.eng.consts[self.id.0].get(name) {
+                    return v.clone();
+                }
+                if let Some(v) = self.eng.global_consts.get(name) {
+                    return v.clone();
+                }
+                Val::top()
+            }
+            Expr::StructLit(_, fields) => {
+                let mut out = Val::top();
+                let mut abs = Abs { iv: Interval::TOP, via: Vec::new(), taint: TaintAbs::CLEAN };
+                for (name, fe) in fields {
+                    let v = self.eval(env, fe);
+                    abs.taint = abs.taint.join(&v.abs.taint);
+                    if name == ".." {
+                        for (k, fv) in &v.fields {
+                            out.fields.entry(k.clone()).or_insert_with(|| fv.clone());
+                        }
+                    } else {
+                        out.fields.insert(name.clone(), v);
+                    }
+                }
+                out.abs = abs;
+                out.prune()
+            }
+            Expr::Tuple(parts) => {
+                let mut out = Val::top();
+                let mut taint = TaintAbs::CLEAN;
+                for (i, pe) in parts.iter().enumerate() {
+                    let v = self.eval(env, pe);
+                    taint = taint.join(&v.abs.taint);
+                    out.fields.insert(i.to_string(), v);
+                }
+                out.abs.taint = taint;
+                out.prune()
+            }
+            Expr::Range(a, b) => {
+                let va = a.as_ref().map(|e| self.eval(env, e));
+                let vb = b.as_ref().map(|e| self.eval(env, e));
+                let lo = va.as_ref().map_or(f64::NEG_INFINITY, |v| v.abs.iv.lo);
+                let hi = vb.as_ref().map_or(f64::INFINITY, |v| v.abs.iv.hi);
+                let mut taint = TaintAbs::CLEAN;
+                if let Some(v) = &va {
+                    taint = taint.join(&v.abs.taint);
+                }
+                if let Some(v) = &vb {
+                    taint = taint.join(&v.abs.taint);
+                }
+                Val::scalar(Abs { iv: Interval::new(lo, hi, true), via: Vec::new(), taint })
+            }
+            Expr::Cast(inner, ty) => {
+                let v = self.eval(env, inner);
+                Val {
+                    abs: Abs {
+                        iv: cast_interval(&v.abs.iv, ty),
+                        via: v.abs.via,
+                        taint: v.abs.taint,
+                    },
+                    fields: BTreeMap::new(),
+                }
+            }
+            Expr::Try(inner) => match &**inner {
+                Expr::MethodCall(recv, name, args, line) => {
+                    self.eval_call(env, Target::Method(recv, name), args, *line, true)
+                }
+                Expr::PathCall(qual, name, args, line) => {
+                    self.eval_call(env, Target::Path(qual, name), args, *line, true)
+                }
+                Expr::FreeCall(name, args, line) => {
+                    self.eval_call(env, Target::Free(name), args, *line, true)
+                }
+                other => self.eval(env, other),
+            },
+            Expr::IfExpr(cond, then, els) => {
+                let _ = self.eval(env, cond);
+                let mut wrapped = Some(env.clone());
+                let mut t = self.narrow(wrapped.clone(), cond, true);
+                let mut f = self.narrow(wrapped.clone(), cond, false);
+                let tv = self.exec_stmts(&mut t, then);
+                let fv = self.exec_stmts(&mut f, els);
+                let mut vals = Vec::new();
+                if t.is_some() {
+                    if let Some(v) = tv {
+                        vals.push(v);
+                    }
+                }
+                if f.is_some() {
+                    if let Some(v) = fv {
+                        vals.push(v);
+                    }
+                }
+                wrapped = join_env(t, f, false);
+                if let Some(m) = wrapped {
+                    *env = m;
+                }
+                self.combine_values(vals).map_or_else(Val::top, |(v, _)| v)
+            }
+            Expr::MatchExpr(scrut, arms) => {
+                let mut wrapped = Some(env.clone());
+                let r = self.exec_match(&mut wrapped, scrut, arms);
+                if let Some(m) = wrapped {
+                    *env = m;
+                }
+                r.map_or_else(Val::top, |(v, _)| v)
+            }
+            Expr::Closure(body) => {
+                // Effects (and findings) inside the closure are observed
+                // against a copy of the current env; the value is opaque.
+                let mut inner = Some(env.clone());
+                let _ = self.exec_stmts(&mut inner, body);
+                Val::top()
+            }
+            Expr::Ref(inner, _) => self.eval(env, inner),
+        }
+    }
+
+    fn lookup(&self, env: &BTreeMap<String, Val>, name: &str) -> Val {
+        if let Some(v) = env.get(name) {
+            return v.clone();
+        }
+        if let Some(v) = self.eng.consts[self.id.0].get(name) {
+            return v.clone();
+        }
+        if let Some(v) = self.eng.global_consts.get(name) {
+            return v.clone();
+        }
+        Val::top()
+    }
+
+    fn binop(&mut self, op: char, va: &Val, vb: &Val, line: u32) -> Val {
+        let a = va.abs.iv;
+        let b = vb.abs.iv;
+        let iv = match op {
+            '+' => a.add(&b),
+            '-' => a.sub(&b),
+            '*' => a.mul(&b),
+            '/' => a.div(&b),
+            '%' => {
+                if b.strictly_positive() && a.lo >= 0.0 {
+                    Interval { lo: 0.0, hi: b.hi, int: a.int && b.int }
+                } else {
+                    Interval::TOP
+                }
+            }
+            _ => Interval::TOP,
+        };
+        let in_scope = self.eng.interval_files.contains(&self.id.0);
+        if self.report
+            && in_scope
+            && (op == '/' || op == '%')
+            && !b.is_bottom()
+            && b.contains_zero()
+        {
+            self.push_interval_finding(
+                line,
+                format!(
+                    "divisor not provably nonzero: range {}{} — guard the division or bound the divisor away from zero",
+                    b.render(),
+                    vb.abs.render_via()
+                ),
+            );
+        }
+        if self.report && in_scope && (op == '+' || op == '*') && a.int && b.int {
+            let key = (self.id.0, line);
+            // Strict `<`: `u64::MAX as f64` rounds UP to 2^64, and adding a
+            // small term to 2^64 in f64 is absorbed by rounding — `<=` would
+            // "prove" 1 + u64::MAX safe. The largest representable f64 below
+            // 2^64 is 2^64 − 2048 < u64::MAX, so `<` is sound.
+            if !iv.is_bottom() && iv.lo >= 0.0 && iv.hi < u64::MAX as f64 {
+                self.eng.report.proven_arith.insert(key);
+            } else {
+                self.eng.unproven_arith.insert(key);
+                self.eng.report.arith_notes.entry(key).or_insert_with(|| {
+                    format!("operand ranges {} {op} {}", a.render(), b.render())
+                });
+            }
+        }
+        Val::scalar(Abs {
+            iv,
+            via: if va.abs.via.is_empty() { vb.abs.via.clone() } else { va.abs.via.clone() },
+            taint: va.abs.taint.join(&vb.abs.taint),
+        })
+    }
+
+    // -- calls -------------------------------------------------------------
+
+    fn eval_call(
+        &mut self,
+        env: &mut BTreeMap<String, Val>,
+        target: Target<'_>,
+        arg_exprs: &[Expr],
+        line: u32,
+        try_mode: bool,
+    ) -> Val {
+        let recv = match &target {
+            Target::Method(r, _) => Some(self.eval(env, r)),
+            _ => None,
+        };
+        let args: Vec<Val> = arg_exprs.iter().map(|e| self.eval(env, e)).collect();
+        let name = match &target {
+            Target::Method(_, n) => *n,
+            Target::Path(_, n) | Target::Free(n) => *n,
+        };
+
+        // Taint sinks fire regardless of how the callee resolves.
+        if self.report && ALLOC_SINKS.contains(&name) {
+            if let Some(p) = args.first().and_then(|v| v.abs.taint.src.as_ref()) {
+                self.push_taint_finding(
+                    line,
+                    format!(
+                        "attacker-controlled allocation size reaches `{name}` (tainted via {})",
+                        p.render()
+                    ),
+                );
+            }
+        }
+
+        // Resolve workspace callees.
+        let f = self.item();
+        let candidates: Vec<FnId> = match &target {
+            Target::Method(recv_expr, name) => {
+                let ty = match &**recv_expr {
+                    Expr::Var(v) if v == "self" => f.self_ty.clone(),
+                    Expr::Var(v) => self.eng.graph.var_type(f, v),
+                    _ => None,
+                };
+                match ty {
+                    Some(t) => self.eng.graph.method_candidates(&t, name),
+                    // Unknown receiver type: a unique workspace method of
+                    // that name is almost certainly the callee — unless the
+                    // name collides with a std method we model (`min`,
+                    // `len`, …), where the builtin transfer is the safer
+                    // reading.
+                    None if !BUILTIN_METHODS.contains(name) => {
+                        let by_name =
+                            self.eng.graph.by_method_name.get(*name).cloned().unwrap_or_default();
+                        if by_name.len() == 1 {
+                            by_name
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                    None => Vec::new(),
+                }
+            }
+            Target::Path(qual, name) => {
+                let qual_ty: &str =
+                    if *qual == "Self" { f.self_ty.as_deref().unwrap_or(qual) } else { qual };
+                let mut ids =
+                    self.eng.graph.methods.get(&(qual_ty, *name)).cloned().unwrap_or_default();
+                if ids.is_empty() {
+                    ids = self.eng.graph.free_fns.get(*name).cloned().unwrap_or_default();
+                }
+                ids
+            }
+            Target::Free(name) => self.eng.graph.free_fns.get(*name).cloned().unwrap_or_default(),
+        };
+
+        let mut result = if !candidates.is_empty() {
+            let mut out: Option<Val> = None;
+            for id in &candidates {
+                let callee_name = self.eng.graph.display(*id);
+                // Contribute this call's arguments to the callee context.
+                let entry = self.eng.ctx.entry(*id).or_default();
+                entry.observed = true;
+                for (i, av) in args.iter().enumerate() {
+                    let mut hopped = av.clone();
+                    hopped.abs.taint = hopped.abs.taint.hop(&callee_name);
+                    match entry.args.get_mut(i) {
+                        Some(slot) => *slot = slot.join(&hopped),
+                        None => {
+                            while entry.args.len() < i {
+                                entry.args.push(Val::top());
+                            }
+                            entry.args.push(hopped);
+                        }
+                    }
+                }
+                let summary = self.eng.summaries.get(id).cloned().unwrap_or_default();
+                let ret =
+                    summary.ret.map(|r| subst_ret(r, &args, &callee_name)).unwrap_or_else(Val::top);
+                out = Some(match out {
+                    None => ret,
+                    Some(o) => o.join(&ret),
+                });
+                if try_mode && candidates.len() == 1 {
+                    for (i, iv) in &summary.ok_refines {
+                        if let Some(Expr::Var(vn)) = arg_exprs.get(*i) {
+                            if let Some(slot) = env.get_mut(vn) {
+                                let met = slot.abs.iv.meet(iv);
+                                if !met.is_bottom() {
+                                    slot.abs.iv = met;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out.unwrap_or_else(Val::top).via_hop_named(name)
+        } else {
+            self.builtin_call(name, recv.as_ref(), &args, arg_exprs)
+        };
+
+        // Wire-read taint sources (server files only).
+        if self.eng.source_files.contains(&self.id.0) {
+            let is_parse = matches!(&target, Target::Path(q, n) if *q == "Json" && *n == "parse");
+            let accessor = matches!(&target, Target::Method(_, _)) && JSON_READS.contains(&name);
+            if is_parse {
+                result.abs.taint = TaintAbs::source(Provenance::new("Json::parse"));
+            } else if accessor {
+                let recv_tainted = recv.as_ref().is_some_and(|r| !r.abs.taint.is_clean());
+                let recv_json = match &target {
+                    Target::Method(recv_expr, _) => match &**recv_expr {
+                        Expr::Var(v) if v == "self" => f.self_ty.as_deref() == Some("Json"),
+                        Expr::Var(v) => self.eng.graph.var_type(f, v).as_deref() == Some("Json"),
+                        _ => false,
+                    },
+                    _ => false,
+                };
+                if recv_tainted || recv_json || name.starts_with("req_") {
+                    let key = arg_exprs.iter().find_map(|e| match e {
+                        Expr::Str(s) => Some(s.clone()),
+                        _ => None,
+                    });
+                    let label = match key {
+                        Some(k) => format!("{name}(\"{k}\")"),
+                        None => format!("{name}(..)"),
+                    };
+                    result.abs.taint = TaintAbs::source(Provenance::new(label));
+                }
+            }
+        }
+
+        // A registered validator's return value is sanitized by contract.
+        if self.eng.validators.contains(name) {
+            strip_taint(&mut result);
+        }
+
+        // `&mut` arguments: the callee may have replaced the value.
+        for ae in arg_exprs {
+            if let Expr::Ref(inner, true) = ae {
+                if let Some((vn, path)) = place_of(inner) {
+                    if path.is_empty() {
+                        if let Some(slot) = env.get_mut(&vn) {
+                            let ty = self.eng.graph.var_type(f, &vn).unwrap_or_default();
+                            let old_taint = slot.abs.taint.clone();
+                            *slot = Val::scalar(Abs {
+                                iv: type_interval(&ty),
+                                via: Vec::new(),
+                                taint: old_taint,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Transfer functions for std / well-known methods when no workspace
+    /// function matched.
+    fn builtin_call(
+        &mut self,
+        name: &str,
+        recv: Option<&Val>,
+        args: &[Val],
+        _arg_exprs: &[Expr],
+    ) -> Val {
+        let r = recv.map(|v| v.abs.iv).unwrap_or(Interval::TOP);
+        let a0 = args.first().map(|v| v.abs.iv).unwrap_or(Interval::TOP);
+        let mut taint = recv.map(|v| v.abs.taint.clone()).unwrap_or(TaintAbs::CLEAN);
+        for a in args {
+            taint = taint.join(&a.abs.taint);
+        }
+        // Enum/newtype constructors (`Ok`, `Some`, `Request::Query`, …):
+        // pass the payload through whole so its fields and per-field taint
+        // survive the wrap — the matching variant pattern unwraps it again.
+        if name.starts_with(|c: char| c.is_ascii_uppercase()) && args.len() == 1 && recv.is_none() {
+            return args[0].clone();
+        }
+        let iv = match name {
+            "sqrt" => r.sqrt(),
+            "ln" => r.ln(),
+            "ceil" => r.ceil(),
+            "floor" => r.floor(),
+            "round" | "trunc" => r.floor().join(&r.ceil()),
+            "abs" => r.abs(),
+            "exp" => {
+                let lo = if r.lo == f64::NEG_INFINITY { 0.0 } else { r.lo.exp() };
+                let hi = if r.hi == f64::INFINITY { f64::INFINITY } else { r.hi.exp() };
+                Interval::new(lo.max(0.0), hi, false)
+            }
+            "min" => r.min_op(&a0),
+            "max" => r.max_op(&a0),
+            "clamp" => {
+                let a1 = args.get(1).map(|v| v.abs.iv).unwrap_or(Interval::TOP);
+                Interval { lo: a0.lo, hi: a1.hi, int: r.int && a0.int && a1.int }
+            }
+            "saturating_add" => r.saturating_add(&a0),
+            "saturating_sub" => r.saturating_sub(&a0),
+            "saturating_mul" => r.mul(&a0).clamp_u64(),
+            "f64_to_u64" => a0.f64_to_u64(),
+            "len" | "capacity" => {
+                // Documented policy: a collection's *length* is treated as
+                // clean — taint tracks content-to-size amplification, and
+                // lengths of already-admitted payloads are bounded by the
+                // framing limits the server enforces.
+                return Val::scalar(Abs {
+                    iv: Interval { lo: 0.0, hi: u64::MAX as f64, int: true },
+                    via: Vec::new(),
+                    taint: TaintAbs::CLEAN,
+                });
+            }
+            "is_finite" | "is_nan" | "is_empty" | "contains" | "is_some" | "is_none" | "is_ok"
+            | "is_err" | "starts_with" | "ends_with" => Interval { lo: 0.0, hi: 1.0, int: true },
+            "powi" | "powf" => {
+                if r.strictly_positive() {
+                    Interval { lo: f64::MIN_POSITIVE, hi: f64::INFINITY, int: false }
+                } else {
+                    Interval::TOP
+                }
+            }
+            "unwrap" | "expect" | "clone" | "copied" | "cloned" | "to_owned" | "into" => {
+                // Structure-preserving: pass the receiver through whole.
+                if let Some(v) = recv {
+                    return v.clone();
+                }
+                Interval::TOP
+            }
+            "unwrap_or" | "unwrap_or_default" | "unwrap_or_else" => {
+                if let (Some(rv), Some(av)) = (recv, args.first()) {
+                    return rv.join(av);
+                }
+                r.join(&a0)
+            }
+            "ok_or" | "ok_or_else" | "ok" | "as_ref" | "as_deref" | "copied_ref" => {
+                if let Some(v) = recv {
+                    return v.clone();
+                }
+                Interval::TOP
+            }
+            "and_then" | "map" | "map_err" | "filter" | "take" | "skip" | "rev" | "iter"
+            | "enumerate" | "zip" | "chain" | "collect" | "sum" | "product" | "count" => {
+                Interval::TOP
+            }
+            _ => Interval::TOP,
+        };
+        Val::scalar(Abs { iv, via: Vec::new(), taint: taint.hop(&format!(".{name}")) })
+    }
+
+    // -- condition narrowing ----------------------------------------------
+
+    fn narrow(&mut self, env: Env, cond: &Expr, truth: bool) -> Env {
+        let mut m = env?;
+        self.narrow_into(&mut m, cond, truth);
+        // A refinement that emptied some interval proves the condition can
+        // never take this truth value here: the branch is unreachable.
+        if m.values().any(val_has_bottom) {
+            return None;
+        }
+        Some(m)
+    }
+
+    fn narrow_into(&mut self, env: &mut BTreeMap<String, Val>, cond: &Expr, truth: bool) {
+        match cond {
+            Expr::Unary('!', inner) => self.narrow_into(env, inner, !truth),
+            Expr::And(a, b) if truth => {
+                self.narrow_into(env, a, true);
+                self.narrow_into(env, b, true);
+            }
+            Expr::Or(a, b) if !truth => {
+                self.narrow_into(env, a, false);
+                self.narrow_into(env, b, false);
+            }
+            Expr::Cmp(a, op, b) => {
+                if let Some((name, path)) = place_of(a) {
+                    let k = self.eval(env, b).abs.iv;
+                    apply_cmp(env, &name, &path, if truth { *op } else { op.negate() }, k);
+                }
+                if let Some((name, path)) = place_of(b) {
+                    let k = self.eval(env, a).abs.iv;
+                    apply_cmp(
+                        env,
+                        &name,
+                        &path,
+                        if truth { op.flip() } else { op.flip().negate() },
+                        k,
+                    );
+                }
+            }
+            Expr::MethodCall(recv, mname, _, _) if mname == "is_finite" && truth => {
+                if let Some((name, path)) = place_of(recv) {
+                    refine_place(env, &name, &path, |iv| {
+                        let met = iv.meet(&Interval::new(-f64::MAX, f64::MAX, iv.int));
+                        if met.is_bottom() {
+                            iv
+                        } else {
+                            met
+                        }
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Definite truth of a condition under the current environment.
+    fn cond_truth(&mut self, env: &mut Env, cond: &Expr) -> Option<bool> {
+        let m = env.as_mut()?;
+        self.cond_truth_in(m, cond)
+    }
+
+    fn cond_truth_in(&mut self, env: &mut BTreeMap<String, Val>, cond: &Expr) -> Option<bool> {
+        match cond {
+            Expr::Bool(b) => Some(*b),
+            Expr::Unary('!', inner) => self.cond_truth_in(env, inner).map(|b| !b),
+            Expr::And(a, b) => match (self.cond_truth_in(env, a), self.cond_truth_in(env, b)) {
+                (Some(true), Some(true)) => Some(true),
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                _ => None,
+            },
+            Expr::Or(a, b) => match (self.cond_truth_in(env, a), self.cond_truth_in(env, b)) {
+                (Some(false), Some(false)) => Some(false),
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                _ => None,
+            },
+            Expr::Cmp(a, op, b) => {
+                let ia = self.eval(env, a).abs.iv;
+                let ib = self.eval(env, b).abs.iv;
+                if ia.is_bottom() || ib.is_bottom() || ia.is_top() || ib.is_top() {
+                    return None;
+                }
+                match op {
+                    CmpOp::Lt => {
+                        if ia.hi < ib.lo {
+                            Some(true)
+                        } else if ia.lo >= ib.hi {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                    CmpOp::Le => {
+                        if ia.hi <= ib.lo {
+                            Some(true)
+                        } else if ia.lo > ib.hi {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                    CmpOp::Gt => {
+                        if ia.lo > ib.hi {
+                            Some(true)
+                        } else if ia.hi <= ib.lo {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                    CmpOp::Ge => {
+                        if ia.lo >= ib.hi {
+                            Some(true)
+                        } else if ia.hi < ib.lo {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                    CmpOp::Eq | CmpOp::Ne => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Substitutes caller arguments into a callee summary's return value:
+/// parameter-mask taint becomes the matching argument's taint, hopped
+/// through the callee's name.
+fn subst_ret(mut ret: Val, args: &[Val], callee: &str) -> Val {
+    fn subst_abs(a: &mut Abs, args: &[Val], callee: &str) {
+        let mut t = match &a.taint.src {
+            Some(p) => TaintAbs::source(p.hop(callee)),
+            None => TaintAbs::CLEAN,
+        };
+        for (i, arg) in args.iter().enumerate() {
+            if i < 64 && a.taint.mask & (1 << i) != 0 {
+                t = t.join(&arg.abs.taint.hop(callee));
+            }
+        }
+        a.taint = t;
+    }
+    fn walk(v: &mut Val, args: &[Val], callee: &str) {
+        subst_abs(&mut v.abs, args, callee);
+        for f in v.fields.values_mut() {
+            walk(f, args, callee);
+        }
+    }
+    walk(&mut ret, args, callee);
+    ret
+}
+
+/// Recursively clears taint (a registered validator's contract).
+fn strip_taint(v: &mut Val) {
+    v.abs.taint = TaintAbs::CLEAN;
+    for f in v.fields.values_mut() {
+        strip_taint(f);
+    }
+}
+
+impl Val {
+    /// Appends a call-boundary hop to the range provenance.
+    fn via_hop_named(mut self, name: &str) -> Val {
+        self.abs = self.abs.via_hop(&format!("{name}()"));
+        self
+    }
+}
+
+/// Applies `place <op> k` to the environment.
+fn apply_cmp(env: &mut BTreeMap<String, Val>, name: &str, path: &[String], op: CmpOp, k: Interval) {
+    if k.is_bottom() {
+        return;
+    }
+    refine_place(env, name, path, |iv| {
+        let mut out = iv;
+        match op {
+            CmpOp::Lt => {
+                let bound = if iv.int { k.hi.ceil() - 1.0 } else { k.hi };
+                out.hi = out.hi.min(bound);
+            }
+            CmpOp::Le => out.hi = out.hi.min(k.hi),
+            CmpOp::Gt => {
+                let bound = if iv.int {
+                    k.lo.floor() + 1.0
+                } else if k.lo == 0.0 {
+                    f64::MIN_POSITIVE
+                } else {
+                    k.lo
+                };
+                out.lo = out.lo.max(bound);
+            }
+            CmpOp::Ge => out.lo = out.lo.max(k.lo),
+            CmpOp::Eq => out = out.meet(&k),
+            CmpOp::Ne => {
+                if k.lo == 0.0 && k.hi == 0.0 && out.lo >= 0.0 {
+                    out.lo = out.lo.max(if out.int { 1.0 } else { f64::MIN_POSITIVE });
+                }
+            }
+        }
+        out
+    });
+}
+
+/// True when the value (or any nested field) has an empty interval —
+/// the witness that a narrowing was contradictory.
+fn val_has_bottom(v: &Val) -> bool {
+    v.abs.iv.is_bottom() || v.fields.values().any(val_has_bottom)
+}
+
+/// Applies `f` to the interval stored at `name(.path)*`.
+fn refine_place(
+    env: &mut BTreeMap<String, Val>,
+    name: &str,
+    path: &[String],
+    f: impl FnOnce(Interval) -> Interval,
+) {
+    let Some(root) = env.get_mut(name) else { return };
+    let mut cur = root;
+    for seg in path {
+        if !cur.fields.contains_key(seg) {
+            let d = cur.field(seg);
+            cur.fields.insert(seg.clone(), d);
+        }
+        cur = cur.fields.get_mut(seg).expect("just inserted");
+    }
+    cur.abs.iv = f(cur.abs.iv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::ParsedFile;
+    use crate::{lexer, parser};
+
+    struct Case {
+        files: Vec<ParsedFile>,
+        toks: Vec<Vec<Tok>>,
+    }
+
+    fn build(files: &[(&str, &str)]) -> Case {
+        let mut parsed = Vec::new();
+        let mut toks = Vec::new();
+        for (rel, src) in files {
+            let lexed = lexer::lex(src);
+            let stripped = lexer::strip_cfg_test(&lexed.toks);
+            parsed.push(parser::parse_file(rel, &stripped));
+            toks.push(stripped);
+        }
+        Case { files: parsed, toks }
+    }
+
+    fn run(case: &Case, validators: &[&str], interval_files: &[&str]) -> DataflowReport {
+        let graph = Graph::build(&case.files);
+        let v: BTreeSet<String> = validators.iter().map(|s| s.to_string()).collect();
+        analyze(&graph, &case.toks, &v, interval_files, "srv/")
+    }
+
+    fn messages(r: &DataflowReport) -> Vec<&str> {
+        r.raw.iter().map(|f| f.message.as_str()).collect()
+    }
+
+    #[test]
+    fn counting_loop_exit_is_bounded_below() {
+        let case = build(&[(
+            "est.rs",
+            "fn f() -> f64 { \
+           let mut trials = 0u64; \
+           loop { trials = trials.saturating_add(1); if trials > 2 { break; } } \
+           1.0 / trials as f64 \
+         }",
+        )]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(messages(&r).is_empty(), "counting loop: {:?}", messages(&r));
+    }
+
+    #[test]
+    fn labeled_break_env_is_narrowed_by_guard() {
+        let case = build(&[(
+            "est.rs",
+            "fn f() -> f64 { \
+           let mut trials = 0u64; \
+           'outer: loop { \
+             loop { if trials > 0 { break 'outer; } break; } \
+             trials = trials.saturating_add(1); \
+           } \
+           1.0 / trials as f64 \
+         }",
+        )]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(messages(&r).is_empty(), "labeled break: {:?}", messages(&r));
+    }
+
+    #[test]
+    fn nested_budget_loop_proves_trials_positive() {
+        let case = build(&[(
+            "est.rs",
+            "fn f(budget: u64) -> f64 { \
+           let mut steps = 0u64; \
+           let mut trials = 0u64; \
+           'outer: loop { \
+             loop { \
+               steps = steps.saturating_add(1); \
+               if steps > budget && trials > 0 { break 'outer; } \
+               if steps == 3 { break; } \
+             } \
+             trials = trials.saturating_add(1); \
+           } \
+           1.0 / trials as f64 \
+         }",
+        )]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(messages(&r).is_empty(), "{:?}", messages(&r));
+    }
+
+    #[test]
+    fn taint_reaches_alloc_sink_with_path() {
+        let case = build(&[(
+            "srv/handler.rs",
+            "fn handle(msg: &Json) { \
+               let n = msg.req_u64(\"rows\"); \
+               let mut buf: Vec<u8> = Vec::with_capacity(n as usize); \
+               buf.clear(); \
+             }",
+        )]);
+        let r = run(&case, &[], &[]);
+        let msgs = messages(&r);
+        assert!(
+            msgs.iter().any(|m| m.contains("with_capacity") && m.contains("req_u64(\"rows\")")),
+            "expected alloc-sink finding with provenance, got {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn validator_clears_taint() {
+        let case = build(&[(
+            "srv/handler.rs",
+            "fn handle(msg: &Json) { \
+               let n = capped_u64(msg.req_u64(\"rows\"), 4096); \
+               let mut buf: Vec<u8> = Vec::with_capacity(n as usize); \
+               buf.clear(); \
+             }",
+        )]);
+        let r = run(&case, &["capped_u64"], &[]);
+        assert!(messages(&r).is_empty(), "validator should sanitize: {:?}", messages(&r));
+    }
+
+    #[test]
+    fn taint_flows_interprocedurally_through_helper() {
+        let case = build(&[(
+            "srv/handler.rs",
+            "fn read_count(msg: &Json) -> u64 { msg.req_u64(\"n\") } \
+             fn handle(msg: &Json) { \
+               let n = read_count(msg); \
+               let mut buf: Vec<u8> = Vec::with_capacity(n as usize); \
+               buf.clear(); \
+             }",
+        )]);
+        let r = run(&case, &[], &[]);
+        let msgs = messages(&r);
+        assert!(
+            msgs.iter().any(|m| m.contains("read_count") && m.contains("with_capacity")),
+            "expected interprocedural path through read_count, got {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn tainted_while_bound_is_flagged() {
+        let case = build(&[(
+            "srv/handler.rs",
+            "fn handle(msg: &Json) { \
+               let n = msg.req_u64(\"iters\"); \
+               let mut i = 0u64; \
+               while i < n { i += 1; } \
+             }",
+        )]);
+        let r = run(&case, &[], &[]);
+        assert!(
+            messages(&r).iter().any(|m| m.contains("loop bound")),
+            "expected loop-bound finding, got {:?}",
+            messages(&r)
+        );
+    }
+
+    #[test]
+    fn division_guarded_by_zero_check_is_clean() {
+        let case = build(&[(
+            "est.rs",
+            "fn mean(total: f64, n: u64) -> f64 { \
+               if n == 0 { return 0.0; } \
+               total / n as f64 \
+             }",
+        )]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(messages(&r).is_empty(), "guarded division flagged: {:?}", messages(&r));
+    }
+
+    #[test]
+    fn unguarded_division_is_flagged_with_range() {
+        let case = build(&[("est.rs", "fn mean(total: f64, n: u64) -> f64 { total / n as f64 }")]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(
+            messages(&r).iter().any(|m| m.contains("divisor") && m.contains("range")),
+            "expected divisor finding, got {:?}",
+            messages(&r)
+        );
+    }
+
+    #[test]
+    fn probability_escape_is_flagged() {
+        let case = build(&[("est.rs", "fn bad() -> f64 { let p = 1.5; p }")]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(
+            messages(&r).iter().any(|m| m.contains("escapes [0, 1]")),
+            "expected probability finding, got {:?}",
+            messages(&r)
+        );
+    }
+
+    #[test]
+    fn clamped_probability_is_clean() {
+        let case = build(&[("est.rs", "fn good(x: f64) -> f64 { let p = x.clamp(0.0, 1.0); p }")]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(messages(&r).is_empty(), "clamped probability flagged: {:?}", messages(&r));
+    }
+
+    #[test]
+    fn bounded_add_is_proven() {
+        let case = build(&[("est.rs", "fn f(n: u32) -> u64 { let k = n as u64 + 1; k }")]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(!r.proven_arith.is_empty(), "expected + on bounded u32 range to be proven");
+        assert!(r.arith_notes.is_empty(), "no unproven notes expected: {:?}", r.arith_notes);
+    }
+
+    #[test]
+    fn unbounded_add_is_not_proven() {
+        let case = build(&[("est.rs", "fn f(a: u64, b: u64) -> u64 { let k = a + b; k }")]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(r.proven_arith.is_empty());
+        assert!(!r.arith_notes.is_empty(), "expected an operand-range note");
+    }
+
+    #[test]
+    fn ok_refinement_propagates_through_question_mark() {
+        // check(eps)? proves eps > 0 afterward, so 1.0 / eps is safe.
+        let case = build(&[(
+            "est.rs",
+            "fn check(eps: f64) -> Result<(), String> { \
+               if !(eps > 0.0) { return Err(String::new()); } \
+               Ok(()) \
+             } \
+             fn run(eps: f64) -> Result<f64, String> { \
+               check(eps)?; \
+               Ok(1.0 / eps) \
+             }",
+        )]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(messages(&r).is_empty(), "ok_refines should prove the divisor: {:?}", messages(&r));
+    }
+
+    #[test]
+    fn widening_terminates_on_counting_loop() {
+        let case = build(&[(
+            "est.rs",
+            "fn f() -> u64 { \
+               let mut i = 0u64; \
+               let mut total = 0u64; \
+               while i < 10 { total = total.saturating_add(2); i += 1; } \
+               total \
+             }",
+        )]);
+        let r = run(&case, &[], &["est.rs"]);
+        assert!(messages(&r).is_empty(), "saturating loop flagged: {:?}", messages(&r));
+    }
+
+    #[test]
+    fn struct_field_taint_tracks_through_literal() {
+        let case = build(&[(
+            "srv/handler.rs",
+            "struct Plan { n: u64 } \
+             fn handle(msg: &Json) { \
+               let plan = Plan { n: msg.req_u64(\"n\") }; \
+               let mut buf: Vec<u8> = Vec::with_capacity(plan.n as usize); \
+               buf.clear(); \
+             }",
+        )]);
+        let r = run(&case, &[], &[]);
+        assert!(
+            messages(&r).iter().any(|m| m.contains("with_capacity")),
+            "struct-field taint lost: {:?}",
+            messages(&r)
+        );
+    }
+
+    #[test]
+    fn non_server_files_have_no_taint_sources() {
+        let case = build(&[(
+            "core/engine.rs",
+            "fn local(msg: &Json) { \
+               let n = msg.req_u64(\"rows\"); \
+               let mut buf: Vec<u8> = Vec::with_capacity(n as usize); \
+               buf.clear(); \
+             }",
+        )]);
+        let r = run(&case, &[], &[]);
+        assert!(messages(&r).is_empty(), "non-server read tainted: {:?}", messages(&r));
+    }
+}

@@ -1,0 +1,545 @@
+//! Abstract domains for the dataflow engine ([`crate::dataflow`]).
+//!
+//! Two production domains live here:
+//!
+//! * [`Interval`] — real-valued intervals `[lo, hi]` (with ±∞ bounds and
+//!   an integer-valuedness flag) used by the `estimator-intervals`
+//!   analysis to prove divisors nonzero, probabilities in `[0, 1]`, and
+//!   counter arithmetic free of `u64` wrap.
+//! * [`Taint`] — a two-point lattice (`Clean` ⊑ `Tainted`) with flow
+//!   provenance, used by `wire-input-taint` to track NDJSON protocol
+//!   values until a registered validator sanitizes them.
+//!
+//! Both implement [`Lattice`], whose laws (join commutativity and
+//! monotonicity, widening termination on ascending chains) are property
+//! tested in `tests/lattice_laws.rs`.
+//!
+//! ## Interval conventions
+//!
+//! Bounds are *inclusive*. Strict comparisons narrow conservatively:
+//! `x > 0.0` narrows to `lo = f64::MIN_POSITIVE` (the smallest positive
+//! value the domain distinguishes from zero) because "bounded away from
+//! zero" is the property the divisor check needs; every other strict
+//! bound is widened to its inclusive neighbour, which is sound. Products
+//! and quotients of strictly positive intervals are kept strictly
+//! positive even when the bound arithmetic underflows to `0.0` —
+//! subnormal underflow at runtime is a documented unsoundness (see
+//! `docs/ANALYSIS.md`, "Known unsoundness").
+
+/// Operations a domain must provide for the fixpoint engine: a partial
+/// order expressed through `join`, and a `widen` that reaches a fixed
+/// point on any ascending chain.
+pub trait Lattice: Clone + PartialEq {
+    /// Least upper bound.
+    fn join(&self, other: &Self) -> Self;
+    /// Widening: an upper bound of `self` and `other` chosen from a
+    /// finite set of shapes, so iterating `w = w.widen(&next)` stabilizes.
+    fn widen(&self, other: &Self) -> Self;
+}
+
+/// Widening thresholds: bounds jump outward to the nearest of these
+/// before giving up to ±∞. `0.0` keeps counters provably non-negative and
+/// `1.0` keeps probabilities provably in `[0, 1]` across loop joins.
+const THRESHOLDS: [f64; 2] = [0.0, 1.0];
+
+/// A closed real interval `[lo, hi]`, possibly unbounded, with an
+/// "integer-valued" flag (`u64`/`usize` counters narrow `x != 0` to
+/// `x >= 1`). The empty interval (`lo > hi`) is the domain's bottom.
+#[derive(Debug, Clone, Copy)]
+pub struct Interval {
+    /// Lower bound (inclusive; `-∞` allowed).
+    pub lo: f64,
+    /// Upper bound (inclusive; `+∞` allowed).
+    pub hi: f64,
+    /// True when every concrete value is an integer.
+    pub int: bool,
+}
+
+impl PartialEq for Interval {
+    fn eq(&self, other: &Interval) -> bool {
+        // Every empty interval is the same bottom, whatever bounds encode
+        // it — the fixpoint loop must see them as equal or it can spin on
+        // representational churn.
+        (self.is_bottom() && other.is_bottom())
+            || (self.lo == other.lo && self.hi == other.hi && self.int == other.int)
+    }
+}
+
+impl Interval {
+    /// The full line: no information.
+    pub const TOP: Interval = Interval { lo: f64::NEG_INFINITY, hi: f64::INFINITY, int: false };
+    /// The empty interval: unreachable value.
+    pub const BOTTOM: Interval = Interval { lo: f64::INFINITY, hi: f64::NEG_INFINITY, int: false };
+
+    /// The singleton `[x, x]`.
+    pub fn exact(x: f64, int: bool) -> Interval {
+        Interval { lo: x, hi: x, int }
+    }
+
+    /// `[lo, hi]`, normalizing NaN bounds to ±∞.
+    pub fn new(lo: f64, hi: f64, int: bool) -> Interval {
+        let lo = if lo.is_nan() { f64::NEG_INFINITY } else { lo };
+        let hi = if hi.is_nan() { f64::INFINITY } else { hi };
+        Interval { lo, hi, int }
+    }
+
+    /// True when this is the empty interval.
+    pub fn is_bottom(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// True when no bound is known (ignores `int`).
+    pub fn is_top(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && self.hi == f64::INFINITY
+    }
+
+    /// True when `0` is a possible value.
+    pub fn contains_zero(&self) -> bool {
+        !self.is_bottom() && self.lo <= 0.0 && self.hi >= 0.0
+    }
+
+    /// True when every value is `> 0` (the divisor-safety predicate).
+    pub fn strictly_positive(&self) -> bool {
+        !self.is_bottom() && self.lo > 0.0
+    }
+
+    /// True when `self ⊆ [lo, hi]`.
+    pub fn within(&self, lo: f64, hi: f64) -> bool {
+        self.is_bottom() || (self.lo >= lo && self.hi <= hi)
+    }
+
+    /// Greatest lower bound (used when applying validator refinements).
+    pub fn meet(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+            int: self.int || other.int,
+        }
+    }
+
+    /// A product term for bound candidates: `0 · ±∞` is `0` here (the
+    /// limit the interval product needs), never NaN.
+    fn mul_bound(a: f64, b: f64) -> f64 {
+        if a == 0.0 || b == 0.0 {
+            0.0
+        } else {
+            a * b
+        }
+    }
+
+    fn from_candidates(c: [f64; 4], int: bool) -> Interval {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for x in c {
+            if x.is_nan() {
+                return Interval { int, ..Interval::TOP };
+            }
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        Interval { lo, hi, int }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, o: &Interval) -> Interval {
+        if self.is_bottom() || o.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        // -∞ + ∞ in a bound computation means "unknown", not NaN.
+        let lo = if self.lo == f64::NEG_INFINITY || o.lo == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            self.lo + o.lo
+        };
+        let hi = if self.hi == f64::INFINITY || o.hi == f64::INFINITY {
+            f64::INFINITY
+        } else {
+            self.hi + o.hi
+        };
+        Interval::new(lo, hi, self.int && o.int)
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, o: &Interval) -> Interval {
+        self.add(&o.neg())
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        Interval { lo: -self.hi, hi: -self.lo, int: self.int }
+    }
+
+    /// `self * other`, keeping strict positivity through underflow.
+    pub fn mul(&self, o: &Interval) -> Interval {
+        if self.is_bottom() || o.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        let mut r = Interval::from_candidates(
+            [
+                Self::mul_bound(self.lo, o.lo),
+                Self::mul_bound(self.lo, o.hi),
+                Self::mul_bound(self.hi, o.lo),
+                Self::mul_bound(self.hi, o.hi),
+            ],
+            self.int && o.int,
+        );
+        if self.strictly_positive() && o.strictly_positive() && r.lo <= 0.0 {
+            r.lo = f64::MIN_POSITIVE;
+        }
+        if self.hi < 0.0 && o.hi < 0.0 && r.lo <= 0.0 {
+            r.lo = f64::MIN_POSITIVE;
+        }
+        r
+    }
+
+    /// `self / other`. When the divisor may be zero the quotient is
+    /// unknown; the *caller* (the divisor check) reports that case.
+    pub fn div(&self, o: &Interval) -> Interval {
+        if self.is_bottom() || o.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        if o.contains_zero() {
+            return Interval::TOP;
+        }
+        let mut r = Interval::from_candidates(
+            [self.lo / o.lo, self.lo / o.hi, self.hi / o.lo, self.hi / o.hi],
+            false,
+        );
+        if self.strictly_positive() && o.strictly_positive() && r.lo <= 0.0 {
+            r.lo = f64::MIN_POSITIVE;
+        }
+        r
+    }
+
+    /// `self.max(o)` (the `f64::max` / `Ord::max` transfer).
+    pub fn max_op(&self, o: &Interval) -> Interval {
+        if self.is_bottom() || o.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        Interval { lo: self.lo.max(o.lo), hi: self.hi.max(o.hi), int: self.int && o.int }
+    }
+
+    /// `self.min(o)`.
+    pub fn min_op(&self, o: &Interval) -> Interval {
+        if self.is_bottom() || o.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        Interval { lo: self.lo.min(o.lo), hi: self.hi.min(o.hi), int: self.int && o.int }
+    }
+
+    /// `self.sqrt()`: defined on the non-negative part; a possibly
+    /// negative argument yields an unknown (NaN-producing) result.
+    pub fn sqrt(&self) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        if self.lo < 0.0 {
+            return Interval::TOP;
+        }
+        let mut r = Interval::new(self.lo.sqrt(), self.hi.sqrt(), false);
+        if self.strictly_positive() && r.lo <= 0.0 {
+            r.lo = f64::MIN_POSITIVE;
+        }
+        r
+    }
+
+    /// `self.ln()`: monotone on `(0, ∞)`; a possibly non-positive
+    /// argument yields an unknown result.
+    pub fn ln(&self) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        if self.lo <= 0.0 {
+            return Interval::TOP;
+        }
+        Interval::new(self.lo.ln(), self.hi.ln(), false)
+    }
+
+    /// `self.ceil()`.
+    pub fn ceil(&self) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        Interval { lo: self.lo.ceil(), hi: self.hi.ceil(), int: self.int }
+    }
+
+    /// `self.floor()`.
+    pub fn floor(&self) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        Interval { lo: self.lo.floor(), hi: self.hi.floor(), int: self.int }
+    }
+
+    /// `self.abs()`.
+    pub fn abs(&self) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        if self.lo >= 0.0 {
+            *self
+        } else if self.hi <= 0.0 {
+            self.neg()
+        } else {
+            Interval { lo: 0.0, hi: self.hi.max(-self.lo), int: self.int }
+        }
+    }
+
+    /// The `cqa_common::checked::f64_to_u64` transfer: NaN → `u64::MAX`,
+    /// otherwise saturating truncation into `[0, u64::MAX]`.
+    pub fn f64_to_u64(&self) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        const U64_MAX: f64 = u64::MAX as f64;
+        Interval {
+            lo: self.lo.clamp(0.0, U64_MAX).floor(),
+            hi: self.hi.clamp(0.0, U64_MAX).floor(),
+            int: true,
+        }
+    }
+
+    /// Saturating `u64` addition: clamped to `[0, u64::MAX]`, never wraps.
+    pub fn saturating_add(&self, o: &Interval) -> Interval {
+        self.add(o).clamp_u64()
+    }
+
+    /// Saturating `u64` subtraction.
+    pub fn saturating_sub(&self, o: &Interval) -> Interval {
+        self.sub(o).clamp_u64()
+    }
+
+    /// Clamp into the `u64` value range, marking integer-valued.
+    pub fn clamp_u64(&self) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        const U64_MAX: f64 = u64::MAX as f64;
+        Interval { lo: self.lo.clamp(0.0, U64_MAX), hi: self.hi.clamp(0.0, U64_MAX), int: true }
+    }
+
+    /// Renders `[lo, hi]` compactly for findings: integers without
+    /// decimals, infinities as `inf`.
+    pub fn render(&self) -> String {
+        fn bound(x: f64) -> String {
+            if x == f64::INFINITY {
+                "inf".to_owned()
+            } else if x == f64::NEG_INFINITY {
+                "-inf".to_owned()
+            } else if x == x.trunc() && x.abs() < 1e15 {
+                format!("{}", x as i64)
+            } else {
+                format!("{x:.3}")
+            }
+        }
+        if self.is_bottom() {
+            "unreachable".to_owned()
+        } else {
+            format!("[{}, {}]", bound(self.lo), bound(self.hi))
+        }
+    }
+}
+
+impl Lattice for Interval {
+    fn join(&self, other: &Interval) -> Interval {
+        if self.is_bottom() {
+            return *other;
+        }
+        if other.is_bottom() {
+            return *self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            int: self.int && other.int,
+        }
+    }
+
+    fn widen(&self, other: &Interval) -> Interval {
+        if self.is_bottom() {
+            return *other;
+        }
+        if other.is_bottom() {
+            return *self;
+        }
+        let lo = if other.lo < self.lo {
+            THRESHOLDS.iter().rev().find(|&&t| t <= other.lo).copied().unwrap_or(f64::NEG_INFINITY)
+        } else {
+            self.lo
+        };
+        let hi = if other.hi > self.hi {
+            THRESHOLDS.iter().find(|&&t| t >= other.hi).copied().unwrap_or(f64::INFINITY)
+        } else {
+            self.hi
+        };
+        Interval { lo, hi, int: self.int && other.int }
+    }
+}
+
+/// How far a taint provenance path is allowed to grow; beyond this the
+/// path is elided in the middle, never dropped.
+const MAX_PATH: usize = 8;
+
+/// Where a tainted value came from and the hops it took to get here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// The originating wire read, e.g. `as_f64("eps")`.
+    pub source: String,
+    /// Variable / function hops from source to the current use.
+    pub path: Vec<String>,
+}
+
+impl Provenance {
+    /// A fresh source with an empty path.
+    pub fn new(source: impl Into<String>) -> Provenance {
+        Provenance { source: source.into(), path: Vec::new() }
+    }
+
+    /// Appends one hop, deduplicating consecutive repeats and bounding
+    /// the path length.
+    pub fn hop(&self, step: &str) -> Provenance {
+        let mut p = self.clone();
+        if p.path.last().map(String::as_str) == Some(step) {
+            return p;
+        }
+        if p.path.len() >= MAX_PATH {
+            p.path.remove(MAX_PATH / 2);
+        }
+        p.path.push(step.to_owned());
+        p
+    }
+
+    /// Renders `src → a → b` for findings.
+    pub fn render(&self) -> String {
+        let mut s = self.source.clone();
+        for hop in &self.path {
+            s.push_str(" → ");
+            s.push_str(hop);
+        }
+        s
+    }
+}
+
+/// The taint lattice: `Clean ⊑ Tainted`. The provenance is decoration —
+/// ordering and equality for fixpoint purposes only distinguish the two
+/// levels, so chains ascend at most once and widening is trivial.
+#[derive(Debug, Clone)]
+pub enum Taint {
+    /// Not influenced by unvalidated wire input.
+    Clean,
+    /// Influenced by unvalidated wire input, with one witness flow.
+    Tainted(Provenance),
+}
+
+impl Taint {
+    /// True for [`Taint::Tainted`].
+    pub fn is_tainted(&self) -> bool {
+        matches!(self, Taint::Tainted(_))
+    }
+
+    /// The witness provenance, if tainted.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        match self {
+            Taint::Clean => None,
+            Taint::Tainted(p) => Some(p),
+        }
+    }
+
+    /// Appends a hop to the witness path, if tainted.
+    pub fn hop(&self, step: &str) -> Taint {
+        match self {
+            Taint::Clean => Taint::Clean,
+            Taint::Tainted(p) => Taint::Tainted(p.hop(step)),
+        }
+    }
+}
+
+impl PartialEq for Taint {
+    fn eq(&self, other: &Taint) -> bool {
+        // Provenance is a witness, not part of the abstract value: two
+        // tainted values are equal for fixpoint purposes.
+        self.is_tainted() == other.is_tainted()
+    }
+}
+
+impl Lattice for Taint {
+    fn join(&self, other: &Taint) -> Taint {
+        match (self, other) {
+            (Taint::Tainted(p), _) => Taint::Tainted(p.clone()),
+            (_, Taint::Tainted(p)) => Taint::Tainted(p.clone()),
+            _ => Taint::Clean,
+        }
+    }
+
+    fn widen(&self, other: &Taint) -> Taint {
+        self.join(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_hull() {
+        let a = Interval::exact(1.0, true);
+        let b = Interval::exact(4.0, true);
+        assert_eq!(a.join(&b), Interval { lo: 1.0, hi: 4.0, int: true });
+    }
+
+    #[test]
+    fn widen_hits_thresholds_then_infinity() {
+        let a = Interval { lo: 0.2, hi: 0.4, int: false };
+        let grown = Interval { lo: 0.1, hi: 0.9, int: false };
+        let w = a.widen(&grown);
+        assert_eq!((w.lo, w.hi), (0.0, 1.0), "thresholds catch the first growth");
+        let grown2 = Interval { lo: -3.0, hi: 7.0, int: false };
+        let w2 = w.widen(&grown2);
+        assert!(w2.lo == f64::NEG_INFINITY && w2.hi == f64::INFINITY);
+    }
+
+    #[test]
+    fn strict_positivity_survives_mul_div() {
+        let tiny = Interval { lo: f64::MIN_POSITIVE, hi: 1.0, int: false };
+        assert!(tiny.mul(&tiny).strictly_positive());
+        let big = Interval { lo: 1.0, hi: f64::INFINITY, int: false };
+        assert!(tiny.div(&big).strictly_positive());
+    }
+
+    #[test]
+    fn division_by_maybe_zero_is_unknown() {
+        let d = Interval { lo: 0.0, hi: 5.0, int: true };
+        assert!(Interval::exact(1.0, false).div(&d).is_top());
+    }
+
+    #[test]
+    fn f64_to_u64_matches_checked_semantics() {
+        let neg = Interval { lo: -5.0, hi: -1.0, int: false };
+        assert_eq!(neg.f64_to_u64(), Interval { lo: 0.0, hi: 0.0, int: true });
+        let wide = Interval::TOP;
+        let r = wide.f64_to_u64();
+        assert_eq!(r.lo, 0.0);
+        assert!(r.int);
+    }
+
+    #[test]
+    fn taint_join_prefers_tainted_and_keeps_witness() {
+        let t = Taint::Tainted(Provenance::new("as_f64(\"eps\")"));
+        let j = Taint::Clean.join(&t);
+        assert!(j.is_tainted());
+        assert_eq!(j.provenance().unwrap().render(), "as_f64(\"eps\")");
+    }
+
+    #[test]
+    fn provenance_paths_are_bounded() {
+        let mut p = Provenance::new("src");
+        for i in 0..50 {
+            p = p.hop(&format!("v{i}"));
+        }
+        assert!(p.path.len() <= MAX_PATH);
+        assert!(p.render().contains("v49"), "most recent hop survives");
+    }
+}

@@ -20,10 +20,13 @@
 #![forbid(unsafe_code)]
 
 pub mod callgraph;
+pub mod dataflow;
+pub mod domains;
 pub mod lexer;
 pub mod lockflow;
 pub mod parser;
 pub mod rules;
+pub mod sarif;
 
 use rules::{Finding, NameRegistry};
 use std::fs;
@@ -54,6 +57,20 @@ pub const SCAN_ROOTS: [&str; 3] = ["crates", "shims", "tools"];
 /// subject to `checked-estimator-math` and seeding `rng-flow`.
 pub const ESTIMATOR_FILES: [&str; 3] =
     ["crates/core/src/coverage.rs", "crates/core/src/montecarlo.rs", "crates/core/src/optest.rs"];
+/// Repo-relative path of the wire-input validator registry, the source of
+/// truth for which functions sanitize taint under `wire-input-taint`.
+pub const VALIDATOR_REGISTRY_FILE: &str = "crates/common/src/validate.rs";
+/// Files the `estimator-intervals` interval analysis reports on (the
+/// estimator files plus the convergence diagnostics).
+pub const INTERVAL_FILES: [&str; 4] = [
+    "crates/core/src/convergence.rs",
+    "crates/core/src/coverage.rs",
+    "crates/core/src/montecarlo.rs",
+    "crates/core/src/optest.rs",
+];
+/// Repo-relative prefix under which NDJSON reads count as taint sources
+/// for `wire-input-taint`.
+pub const WIRE_SOURCE_PREFIX: &str = "crates/server/";
 
 /// A fatal problem with the scan itself (unreadable file, missing
 /// registry) — distinct from findings, which are problems with the code.
@@ -149,9 +166,17 @@ pub fn check_sources(sources: &[(String, String)], registry: &NameRegistry) -> V
     }
 
     let graph = callgraph::Graph::build(&parsed_v);
+    let flow = dataflow::analyze(
+        &graph,
+        &stripped_v,
+        &registry.validators,
+        &INTERVAL_FILES,
+        WIRE_SOURCE_PREFIX,
+    );
     findings.extend(rules::no_panic(&graph, &lexed_v, &REQUEST_PATH_FILES));
     findings.extend(rules::no_alloc(&graph, &lexed_v));
-    findings.extend(rules::checked_math(&graph, &lexed_v, &ESTIMATOR_FILES));
+    findings.extend(rules::checked_math(&graph, &lexed_v, &ESTIMATOR_FILES, &flow));
+    findings.extend(rules::dataflow_findings(&graph, &lexed_v, &flow));
     findings.extend(rules::rng_flow(&graph, &lexed_v, &stripped_v, &ESTIMATOR_FILES));
     findings.extend(lockflow::check(&graph, &lexed_v, &REQUEST_PATH_FILES));
 
@@ -193,6 +218,14 @@ pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, CheckError> {
         )));
     }
     registry.merge(chaos_registry);
+    let validator_registry = NameRegistry::parse(&read(&root.join(VALIDATOR_REGISTRY_FILE))?);
+    if validator_registry.validators.is_empty() {
+        return Err(CheckError(format!(
+            "{VALIDATOR_REGISTRY_FILE} yielded an empty VALIDATORS registry — refusing to lint \
+             against it"
+        )));
+    }
+    registry.merge(validator_registry);
 
     let mut sources = Vec::new();
     for (abs, rel) in source_files(root)? {

@@ -196,6 +196,16 @@ pub struct FnItem {
     pub cast_sites: Vec<CastSite>,
     /// Unchecked integer `+`/`*` sites.
     pub arith_sites: Vec<ArithSite>,
+    /// Token range of the body between (exclusive of) the braces, as
+    /// indices into the stripped per-file token stream handed to
+    /// [`parse_file`]. `(0, 0)` for bodyless declarations. The dataflow
+    /// engine re-walks this range; nested `fn` items inside it appear as
+    /// their own [`FnItem`]s and must be skipped, exactly as
+    /// `scan_body` does.
+    pub body: (usize, usize),
+    /// Parameter names in declaration order (`params` is sorted by name;
+    /// interprocedural summaries need positions).
+    pub param_order: Vec<String>,
 }
 
 /// A parsed source file: functions plus the struct field-type table.
@@ -532,6 +542,7 @@ fn parse_fn(
     }
     let body_end = skip_group(toks, i, end);
     f.end_line = toks[body_end.saturating_sub(1).min(toks.len() - 1)].line;
+    f.body = (i + 1, body_end - 1);
     scan_body(toks, i + 1, body_end - 1, end, &mut f, out);
     out.fns.push(f);
     body_end
@@ -591,6 +602,7 @@ fn parse_params(toks: &[Tok], self_ty: Option<&str>, f: &mut FnItem) {
             // `self` / `&self` / `&mut self`: typed as the impl target.
             if let Some(ty) = self_ty {
                 f.params.insert("self".to_owned(), ty.to_owned());
+                f.param_order.push("self".to_owned());
             }
             continue;
         }
@@ -606,6 +618,7 @@ fn parse_params(toks: &[Tok], self_ty: Option<&str>, f: &mut FnItem) {
             f.int_idents.insert(name.clone());
         }
         f.bindings.insert(name.clone());
+        f.param_order.push(name.clone());
         f.params.insert(name, ty);
     }
 }

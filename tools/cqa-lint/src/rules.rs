@@ -35,9 +35,11 @@ pub const FAULT_POINTS: &str = "fault-point-registry";
 pub const LOCK_ORDER: &str = "lock-order";
 pub const NO_BLOCKING: &str = "no-blocking-while-locked";
 pub const GUARD_FAULT: &str = "no-guard-across-fault-point";
+pub const WIRE_TAINT: &str = "wire-input-taint";
+pub const EST_INTERVALS: &str = "estimator-intervals";
 
 /// Every rule name, for validating `allow(...)` suppressions.
-pub const ALL_RULES: [&str; 14] = [
+pub const ALL_RULES: [&str; 16] = [
     NO_PANIC,
     NO_ALLOC,
     SAFETY,
@@ -52,6 +54,8 @@ pub const ALL_RULES: [&str; 14] = [
     LOCK_ORDER,
     NO_BLOCKING,
     GUARD_FAULT,
+    WIRE_TAINT,
+    EST_INTERVALS,
 ];
 
 /// One rule violation.
@@ -298,7 +302,18 @@ fn sampling_seeds(g: &Graph<'_>, lexed: &[Lexed], estimator_files: &[&str]) -> V
 /// (ε, δ) guarantee without any test failing. Narrowing casts
 /// (`as u32` and smaller) and float-result casts (`.ceil() as u64`) must
 /// go through the checked conversions in `cqa_common::checked`.
-pub fn checked_math(g: &Graph<'_>, lexed: &[Lexed], estimator_files: &[&str]) -> Vec<Finding> {
+///
+/// The syntactic scan is refined by the interval analysis in
+/// [`crate::dataflow`]: an arithmetic site whose operand ranges prove the
+/// result fits in `u64` (recorded in `proven_arith`) is *semantically*
+/// safe and demoted; a site the analysis saw but could not bound gets its
+/// operand ranges appended so the report says *why* checked ops are needed.
+pub fn checked_math(
+    g: &Graph<'_>,
+    lexed: &[Lexed],
+    estimator_files: &[&str],
+    flow: &crate::dataflow::DataflowReport,
+) -> Vec<Finding> {
     let mut out = Vec::new();
     for (fi, file) in g.files.iter().enumerate() {
         if !estimator_files.contains(&file.rel.as_str()) {
@@ -320,6 +335,14 @@ pub fn checked_math(g: &Graph<'_>, lexed: &[Lexed], estimator_files: &[&str]) ->
                 push(&mut out, &lexed[fi], CHECKED_MATH, &file.rel, c.line, msg);
             }
             for a in &f.arith_sites {
+                if flow.proven_arith.contains(&(fi, a.line)) {
+                    continue; // range-proven: the result cannot exceed u64
+                }
+                let why = flow
+                    .arith_notes
+                    .get(&(fi, a.line))
+                    .map(|n| format!("; interval analysis could not bound it ({n})"))
+                    .unwrap_or_default();
                 push(
                     &mut out,
                     &lexed[fi],
@@ -327,12 +350,39 @@ pub fn checked_math(g: &Graph<'_>, lexed: &[Lexed], estimator_files: &[&str]) ->
                     &file.rel,
                     a.line,
                     format!(
-                        "unchecked `{}` on integer `{}` can overflow silently in estimator math; use checked_/saturating_ arithmetic (fn {})",
+                        "unchecked `{}` on integer `{}` can overflow silently in estimator math; use checked_/saturating_ arithmetic (fn {}){why}",
                         a.op, a.operand, f.name
                     ),
                 );
             }
         }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rules: wire-input-taint, estimator-intervals
+// ---------------------------------------------------------------------------
+
+/// Converts the raw dataflow findings (taint sinks reached by wire input,
+/// interval violations in estimator math) into rule findings, applying the
+/// standard reasoned-suppression mechanism.
+pub fn dataflow_findings(
+    g: &Graph<'_>,
+    lexed: &[Lexed],
+    flow: &crate::dataflow::DataflowReport,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for raw in &flow.raw {
+        let rule = if raw.taint { WIRE_TAINT } else { EST_INTERVALS };
+        push(
+            &mut out,
+            &lexed[raw.file],
+            rule,
+            &g.files[raw.file].rel,
+            raw.line,
+            raw.message.clone(),
+        );
     }
     out
 }
@@ -538,6 +588,9 @@ pub struct NameRegistry {
     pub series: BTreeSet<String>,
     pub fields: BTreeSet<String>,
     pub points: BTreeSet<String>,
+    /// Sanitizer function names from the validator registry: a value
+    /// returned by one of these is no longer wire-tainted.
+    pub validators: BTreeSet<String>,
 }
 
 impl NameRegistry {
@@ -555,6 +608,7 @@ impl NameRegistry {
             series: const_array_strings(&toks, "SERIES"),
             fields: const_array_strings(&toks, "FIELDS"),
             points: const_array_strings(&toks, "POINTS"),
+            validators: const_array_strings(&toks, "VALIDATORS"),
         }
     }
 
@@ -566,6 +620,7 @@ impl NameRegistry {
         self.series.extend(other.series);
         self.fields.extend(other.fields);
         self.points.extend(other.points);
+        self.validators.extend(other.validators);
     }
 }
 

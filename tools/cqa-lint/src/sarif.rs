@@ -1,0 +1,118 @@
+//! SARIF 2.1.0 serialization of lint findings.
+//!
+//! Hand-rolled (the linter has zero non-std dependencies): the output is
+//! the minimal static-analysis interchange document CI annotation
+//! tooling consumes — one `run` with a `tool.driver` listing every rule
+//! as a `reportingDescriptor`, and one `result` per finding carrying the
+//! rule id, message, and physical location. Findings with line 0
+//! (whole-file findings such as a missing doc entry) omit the `region`,
+//! which SARIF permits.
+
+use crate::rules::{Finding, ALL_RULES};
+
+/// Serializes findings as a single-run SARIF 2.1.0 document.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(2048 + findings.len() * 256);
+    out.push_str(concat!(
+        "{\n",
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/",
+        "Schemata/sarif-schema-2.1.0.json\",\n",
+        "  \"version\": \"2.1.0\",\n",
+        "  \"runs\": [\n",
+        "    {\n",
+        "      \"tool\": {\n",
+        "        \"driver\": {\n",
+        "          \"name\": \"cqa-lint\",\n",
+        "          \"informationUri\": \"docs/ANALYSIS.md\",\n",
+        "          \"rules\": [\n"
+    ));
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        out.push_str("            {\"id\": ");
+        push_json_string(&mut out, rule);
+        out.push('}');
+        if i + 1 < ALL_RULES.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(concat!("          ]\n", "        }\n", "      },\n", "      \"results\": [\n"));
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("        {\"ruleId\": ");
+        push_json_string(&mut out, f.rule);
+        out.push_str(", \"level\": \"error\", \"message\": {\"text\": ");
+        push_json_string(&mut out, &f.message);
+        out.push_str("}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ");
+        push_json_string(&mut out, &f.file);
+        out.push('}');
+        if f.line > 0 {
+            out.push_str(&format!(", \"region\": {{\"startLine\": {}}}", f.line));
+        }
+        out.push_str("}}]}");
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Appends `s` as a JSON string literal (RFC 8259 escaping; findings carry
+/// arbitrary source identifiers and → arrows, so non-ASCII passes through
+/// as UTF-8 while control characters are escaped).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32, message: &str) -> Finding {
+        Finding { rule, file: file.to_owned(), line, message: message.to_owned() }
+    }
+
+    #[test]
+    fn document_shape_and_escaping() {
+        let doc = to_sarif(&[finding(
+            crate::rules::WIRE_TAINT,
+            "crates/server/src/protocol.rs",
+            42,
+            "tainted via a → b with \"quotes\"\nand newline",
+        )]);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"ruleId\": \"wire-input-taint\""));
+        assert!(doc.contains("\"startLine\": 42"));
+        assert!(doc.contains("\\\"quotes\\\""));
+        assert!(doc.contains("\\n"));
+        assert!(doc.contains("a → b"));
+        // Every rule is declared so annotation tooling can resolve ruleId.
+        for rule in ALL_RULES {
+            assert!(doc.contains(&format!("{{\"id\": \"{rule}\"}}")), "{rule}");
+        }
+    }
+
+    #[test]
+    fn line_zero_omits_region() {
+        let doc = to_sarif(&[finding(crate::rules::PROTOCOL_SYNC, "docs/PROTOCOL.md", 0, "m")]);
+        assert!(!doc.contains("startLine"));
+    }
+
+    #[test]
+    fn empty_findings_is_valid_empty_results() {
+        let doc = to_sarif(&[]);
+        assert!(doc.contains("\"results\": [\n      ]"));
+    }
+}

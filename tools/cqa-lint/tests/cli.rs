@@ -6,7 +6,7 @@
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
-/// A fresh scratch workspace with just the three name registries (the
+/// A fresh scratch workspace with just the four name registries (the
 /// minimum `check_workspace` refuses to run without) and one demo crate
 /// planting the registered fault point.
 fn scratch_workspace(name: &str) -> PathBuf {
@@ -27,6 +27,11 @@ fn scratch_workspace(name: &str) -> PathBuf {
     );
     write("crates/perf/src/names.rs", b"pub const SERIES: &[&str] = &[\"demo/build_ns\"];\n");
     write("crates/chaos/src/points.rs", b"pub const POINTS: &[&str] = &[\"demo/parse\"];\n");
+    write(
+        "crates/common/src/validate.rs",
+        b"pub const VALIDATORS: &[&str] = &[\"capped_u64\"];\n\
+          pub fn capped_u64(x: u64, cap: u64) -> u64 { x.min(cap) }\n",
+    );
     write("crates/demo/src/lib.rs", b"pub fn work() {\n    fault_point!(\"demo/parse\");\n}\n");
     root
 }
@@ -93,4 +98,55 @@ fn unparseable_source_is_linted_best_effort_not_a_crash() {
         out.status.code()
     );
     assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn sarif_format_writes_document_and_keeps_exit_contract() {
+    let root = scratch_workspace("sarif-clean");
+    let sarif_path = root.join("lint.sarif");
+    let out = Command::new(env!("CARGO_BIN_EXE_cqa-lint"))
+        .args(["check", "--root"])
+        .arg(&root)
+        .args(["--format", "sarif", "--out"])
+        .arg(&sarif_path)
+        .output()
+        .expect("spawn cqa-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let doc = std::fs::read_to_string(&sarif_path).unwrap();
+    assert!(doc.contains("\"version\": \"2.1.0\""), "{doc}");
+    assert!(doc.contains("\"name\": \"cqa-lint\""), "{doc}");
+}
+
+#[test]
+fn sarif_format_reports_findings_with_exit_1() {
+    let root = scratch_workspace("sarif-dirty");
+    // An unregistered span name is a deterministic single finding.
+    std::fs::write(
+        root.join("crates/demo/src/dirty.rs"),
+        "pub fn f() { let _s = cqa_obs::span(\"not/registered\"); }\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_cqa-lint"))
+        .args(["check", "--root"])
+        .arg(&root)
+        .args(["--format", "sarif"])
+        .output()
+        .expect("spawn cqa-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let doc = String::from_utf8_lossy(&out.stdout);
+    assert!(doc.contains("\"ruleId\": \"obs-name-registry\""), "{doc}");
+    assert!(doc.contains("\"startLine\""), "{doc}");
+}
+
+#[test]
+fn unknown_format_is_a_usage_error() {
+    let root = scratch_workspace("bad-format");
+    let out = Command::new(env!("CARGO_BIN_EXE_cqa-lint"))
+        .args(["check", "--root"])
+        .arg(&root)
+        .args(["--format", "xml"])
+        .output()
+        .expect("spawn cqa-lint");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown format"));
 }

@@ -1,0 +1,104 @@
+//! Property tests for the dataflow engine's abstract domains
+//! (`cqa_lint::domains`): the lattice laws the fixpoint engine's
+//! soundness and termination rest on. Join must be a commutative,
+//! monotone upper bound; widening must be an upper bound of both
+//! arguments that stabilizes on every ascending chain — otherwise the
+//! loop-head iteration in `dataflow.rs` could diverge or drop states.
+
+use cqa_lint::domains::{Interval, Lattice, Provenance, Taint};
+use proptest::prelude::*;
+
+/// Interesting bounds: infinities, the strict-positivity sentinel, the
+/// widening thresholds (0 and 1), and plain values on both sides.
+const BOUNDS: [f64; 9] =
+    [f64::NEG_INFINITY, -2.5, -1.0, 0.0, f64::MIN_POSITIVE, 0.5, 1.0, 3.75, f64::INFINITY];
+
+/// Builds an interval from bound-pool indices. `i > j` yields bottom,
+/// which is a legitimate lattice element and must obey the laws too.
+fn iv(i: usize, j: usize, int: bool) -> Interval {
+    Interval::new(BOUNDS[i], BOUNDS[j], int)
+}
+
+/// `a ⊑ b` in join-semilattice terms: joining `a` into `b` adds nothing.
+fn leq(a: &Interval, b: &Interval) -> bool {
+    b.join(a) == *b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn join_is_commutative(i in 0usize..9, j in 0usize..9, k in 0usize..9, l in 0usize..9) {
+        let a = iv(i, j, i % 2 == 0);
+        let b = iv(k, l, k % 2 == 0);
+        prop_assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn join_is_an_upper_bound(i in 0usize..9, j in 0usize..9, k in 0usize..9, l in 0usize..9) {
+        let a = iv(i, j, true);
+        let b = iv(k, l, false);
+        let ab = a.join(&b);
+        prop_assert!(leq(&a, &ab), "{a:?} ⋢ {ab:?}");
+        prop_assert!(leq(&b, &ab), "{b:?} ⋢ {ab:?}");
+    }
+
+    #[test]
+    fn join_is_monotone(
+        i in 0usize..9, j in 0usize..9,
+        k in 0usize..9, l in 0usize..9,
+        m in 0usize..9, n in 0usize..9,
+    ) {
+        // a ⊑ a' (constructed as a' = a ⊔ c) implies a ⊔ b ⊑ a' ⊔ b.
+        let a = iv(i, j, true);
+        let b = iv(k, l, true);
+        let bigger = a.join(&iv(m, n, true));
+        prop_assert!(leq(&a.join(&b), &bigger.join(&b)));
+    }
+
+    #[test]
+    fn widen_is_an_upper_bound(i in 0usize..9, j in 0usize..9, k in 0usize..9, l in 0usize..9) {
+        let a = iv(i, j, true);
+        let b = iv(k, l, true);
+        let w = a.widen(&b);
+        prop_assert!(leq(&a, &w), "{a:?} ⋢ widen {w:?}");
+        prop_assert!(leq(&b, &w), "{b:?} ⋢ widen {w:?}");
+    }
+
+    #[test]
+    fn widening_terminates_on_ascending_chains(
+        picks in prop::collection::vec(0usize..9, 0..40),
+    ) {
+        // Feed an arbitrary interval stream through the loop-head update
+        // w ← w.widen(w ⊔ x). Each bound can only move outward through
+        // the finite threshold set {0, 1} before reaching ±∞, and the
+        // int flag only falls, so the number of *changes* is bounded
+        // regardless of stream length.
+        let mut w = Interval::BOTTOM;
+        let mut changes = 0;
+        for (step, &p) in picks.iter().enumerate() {
+            let x = iv(p, (p + step) % 9, step % 2 == 0);
+            let next = w.widen(&w.join(&x));
+            prop_assert!(leq(&w, &next), "widening must ascend: {w:?} → {next:?}");
+            if next != w {
+                changes += 1;
+                w = next;
+            }
+        }
+        prop_assert!(changes <= 7, "{changes} changes — widening chain too long, ends at {w:?}");
+    }
+
+    #[test]
+    fn taint_join_is_commutative_and_absorbing(t1 in 0usize..2, t2 in 0usize..2) {
+        let mk = |t: usize| if t == 0 {
+            Taint::Clean
+        } else {
+            Taint::Tainted(Provenance::new("req_u64(\"n\")"))
+        };
+        let (a, b) = (mk(t1), mk(t2));
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).is_tainted(), a.is_tainted() || b.is_tainted());
+        // Widening adds nothing on a two-point lattice.
+        prop_assert_eq!(a.widen(&b), a.join(&b));
+    }
+}
